@@ -1,0 +1,23 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: test bench examples shell all
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/crossover_study.py
+	$(PYTHON) examples/decision_support.py
+	$(PYTHON) examples/nested_subqueries.py
+	$(PYTHON) examples/transformations_walkthrough.py
+
+shell:
+	$(PYTHON) -m repro --demo
+
+all: test bench

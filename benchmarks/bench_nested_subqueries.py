@@ -1,0 +1,108 @@
+"""E8 — nested subqueries through flattening (Section 1, Section 6).
+
+Paper claim: via Kim-style flattening, queries with correlated nested
+subqueries become joins with aggregate views, so this paper's optimizer
+"also provides a solution to the problem of optimizing complex queries
+containing nested subqueries". The win over the pre-Kim strategy —
+re-evaluating the inner block per outer row — is the motivation.
+
+Regenerates: page IO of (i) naive correlated evaluation (inner block
+scanned once per outer candidate row, the System R fallback), (ii) the
+flattened query through the traditional optimizer, (iii) the flattened
+query through the full optimizer, over a selectivity sweep.
+"""
+
+import pytest
+
+from repro.workloads import EmpDeptConfig, build_empdept
+from reporting import report_table
+
+EMPLOYEES = 6000
+DEPARTMENTS = 300
+
+
+def nested_sql(threshold: int) -> str:
+    return f"""
+    select e1.sal from emp e1
+    where e1.age < {threshold}
+      and e1.sal > (select avg(e2.sal) from emp e2 where e2.dno = e1.dno)
+    """
+
+
+def build():
+    return build_empdept(
+        EmpDeptConfig(
+            employees=EMPLOYEES,
+            departments=DEPARTMENTS,
+            uniform_ages=True,
+            memory_pages=8,
+            with_indexes=False,
+        )
+    )
+
+
+def naive_correlated_io(db, threshold: int) -> int:
+    """Page IO of tuple-at-a-time correlated evaluation: scan the outer
+    table once, then re-scan the inner table for every outer row that
+    passes the age filter (no caching, the pre-Kim execution model)."""
+    emp = db.catalog.table("emp")
+    age_position = emp.column_position("age")
+    outer_passing = sum(1 for row in emp.rows if row[age_position] < threshold)
+    return emp.num_pages + outer_passing * emp.num_pages
+
+
+@pytest.fixture(scope="module")
+def nested_rows():
+    db = build()
+    rows = []
+    for threshold in (19, 30, 55):
+        sql = nested_sql(threshold)
+        traditional = db.query(sql, optimizer="traditional")
+        full = db.query(sql, optimizer="full")
+        assert sorted(traditional.rows) == sorted(full.rows)
+        naive = naive_correlated_io(db, threshold)
+        rows.append(
+            (
+                f"age<{threshold}",
+                naive,
+                traditional.executed_io.total,
+                full.executed_io.total,
+                f"{naive / max(1, full.executed_io.total):.0f}x",
+            )
+        )
+    report_table(
+        "E8",
+        "Nested subquery: naive correlated vs flattened (page IO)",
+        ["filter", "naive IO", "flattened trad IO", "flattened full IO",
+         "naive/full"],
+        rows,
+        notes=[
+            "paper shape: flattening wins by orders of magnitude over "
+            "per-row re-evaluation; the full optimizer then matches or "
+            "beats the traditional plan on the flattened form."
+        ],
+    )
+    return db, rows
+
+
+def test_e8_flattening_dominates_naive(nested_rows, benchmark, bench_rounds):
+    db, rows = nested_rows
+    for _, naive, trad, full, _ in rows:
+        assert full < naive
+        assert full <= trad
+    benchmark.pedantic(
+        lambda: db.optimize(nested_sql(19), optimizer="full"),
+        rounds=bench_rounds,
+        iterations=1,
+    )
+
+
+def test_e8_unnesting_is_cheap(nested_rows, benchmark, bench_rounds):
+    db, _ = nested_rows
+    from repro.transforms import unnest_sql
+
+    def unnest():
+        report = unnest_sql(nested_sql(30), db.catalog)
+        assert report.unnested_count == 1
+
+    benchmark.pedantic(unnest, rounds=bench_rounds, iterations=1)

@@ -1,0 +1,122 @@
+"""E7 — enumeration effort: "very moderate increase in search space".
+
+Paper claim (Section 5.2, citing [CS94]): the greedy conservative
+modification of the DP "results in very moderate increase in search
+space while often producing significantly better plans"; Section 5.3
+adds the pull-up enumeration, bounded by the predicate-sharing and
+k-level restrictions.
+
+Regenerates: enumeration counters (subsets expanded, joinplan calls,
+plans retained) for the traditional DP, the greedy DP, and the full
+optimizer at several k, aggregated over a query population.
+"""
+
+import pytest
+
+from repro import OptimizerOptions
+from repro.optimizer import optimize_query, optimize_traditional
+from repro.workloads import RandomQueryConfig, random_queries
+from reporting import report_table
+
+CONFIGS = [
+    ("traditional", None),
+    ("greedy (k=0)", OptimizerOptions(k_level=0, enable_invariant_split=False,
+                                      enable_pullup=False)),
+    ("full k=1", OptimizerOptions(k_level=1)),
+    ("full k=2", OptimizerOptions(k_level=2)),
+    ("full k=2, no pred-share", OptimizerOptions(
+        k_level=2, require_shared_predicate=False)),
+    ("full k=2, no shared DP", OptimizerOptions(
+        k_level=2, share_view_dp=False)),
+]
+
+
+@pytest.fixture(scope="module")
+def search_rows():
+    db, queries = random_queries(
+        RandomQueryConfig(seed=77, queries=12, fact_rows=200, dim_rows=20)
+    )
+    rows = []
+    baseline_joinplans = None
+    for label, options in CONFIGS:
+        totals = {"joinplans": 0, "subsets": 0, "retained": 0, "cost": 0.0}
+        for query in queries:
+            if label == "traditional":
+                result = optimize_traditional(query, db.catalog, db.params)
+            else:
+                result = optimize_query(
+                    query, db.catalog, db.params, options
+                )
+            totals["joinplans"] += result.stats.joinplan_calls
+            totals["subsets"] += result.stats.subsets_expanded
+            totals["retained"] += result.stats.plans_retained
+            totals["cost"] += result.cost
+        if baseline_joinplans is None:
+            baseline_joinplans = totals["joinplans"]
+        rows.append(
+            (
+                label,
+                totals["joinplans"],
+                totals["subsets"],
+                totals["retained"],
+                f"{totals['joinplans'] / baseline_joinplans:.2f}x",
+                f"{totals['cost']:.0f}",
+            )
+        )
+    report_table(
+        "E7",
+        "Search-space growth vs plan quality (12 random queries)",
+        ["optimizer", "joinplans", "subsets", "plans kept",
+         "effort vs trad", "sum est cost"],
+        rows,
+        notes=[
+            "paper shape: greedy adds little effort; pull-up grows the "
+            "space with k but the restrictions keep it bounded, and "
+            "total plan cost only decreases."
+        ],
+    )
+    return db, queries, rows
+
+
+def test_e7_cost_monotone_in_search_space(
+    search_rows, benchmark, bench_rounds
+):
+    db, queries, rows = search_rows
+    costs = [float(row[5]) for row in rows]
+    # traditional >= greedy >= full k=1 >= full k=2
+    assert costs[0] >= costs[1] >= costs[2] >= costs[3] - 1e-6
+    benchmark.pedantic(
+        lambda: optimize_query(
+            queries[0], db.catalog, db.params, OptimizerOptions(k_level=2)
+        ),
+        rounds=bench_rounds,
+        iterations=1,
+    )
+
+
+def test_e7_restrictions_bound_effort(search_rows, benchmark, bench_rounds):
+    db, queries, rows = search_rows
+    by_label = {row[0]: row for row in rows}
+    # dropping predicate sharing can only grow the enumerated space
+    assert (
+        by_label["full k=2, no pred-share"][1] >= by_label["full k=2"][1]
+    )
+    # k=2 explores at least as much as k=1
+    assert by_label["full k=2"][1] >= by_label["full k=1"][1]
+    # Section 5.3's shared DP saves enumeration at equal plan quality
+    assert (
+        by_label["full k=2"][1] <= by_label["full k=2, no shared DP"][1]
+    )
+    assert float(by_label["full k=2"][5]) == pytest.approx(
+        float(by_label["full k=2, no shared DP"][5])
+    )
+    benchmark.pedantic(
+        lambda: optimize_query(
+            queries[1],
+            db.catalog,
+            db.params,
+            OptimizerOptions(k_level=1),
+        ),
+        rounds=bench_rounds,
+        iterations=1,
+    )

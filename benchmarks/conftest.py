@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_rounds():
+    """Rounds for pedantic benchmarks (kept small: the interesting
+    output is the experiment tables, not microsecond noise)."""
+    return 3

@@ -1,0 +1,50 @@
+"""Shared reporting for the benchmark harness.
+
+Each experiment prints its paper-style table straight to the real
+stdout (bypassing pytest capture, so the rows appear in
+``pytest benchmarks/ --benchmark-only`` output) and also writes it to
+``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[str]:
+    """Fixed-width table lines from headers and row tuples."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    def fmt(cells):
+        return "  ".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)
+        )
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return lines
+
+
+def report(experiment: str, title: str, lines: Sequence[str]) -> None:
+    """Print an experiment's table and persist it under results/."""
+    banner = f"===== {experiment}: {title} ====="
+    output = [banner, *lines, ""]
+    text = "\n".join(output)
+    print(text, file=sys.__stdout__, flush=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+
+
+def report_table(experiment, title, headers, rows, notes=()):
+    lines = format_table(headers, rows)
+    lines.extend(notes)
+    report(experiment, title, lines)

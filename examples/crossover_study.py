@@ -1,0 +1,79 @@
+"""The Example 1 crossover: when does pull-up win?
+
+"If there are many departments but few employees are younger than 22
+years, then the query B may be more efficient ... if there are few
+departments but many employees below 22 years old, then execution of A1
+and A2 may be significantly less expensive." (Section 3)
+
+This script sweeps the two knobs — the age-threshold selectivity and
+the number of departments — and reports, per cell, which strategy the
+cost-based optimizer picks and the executed page IO of both plans,
+reproducing the crossover the paper describes. Ages are uniform so the
+optimizer's selectivity estimates track the data exactly; the choice it
+makes is then the genuinely cheaper one.
+
+Run:  python examples/crossover_study.py
+"""
+
+from repro.workloads import EmpDeptConfig, build_empdept
+
+
+def example1_sql(age_threshold: int) -> str:
+    return f"""
+    with a1(dno, asal) as (
+        select e2.dno, avg(e2.sal) from emp e2 group by e2.dno
+    )
+    select e1.sal from emp e1, a1 b
+    where e1.dno = b.dno and e1.age < {age_threshold} and e1.sal > b.asal
+    """
+
+
+def main() -> None:
+    age_thresholds = [19, 30, 55]  # ~2%, ~26%, ~79% of uniform [18, 65]
+    department_counts = [10, 1000, 4000]
+    employees = 8000
+
+    header = (
+        f"{'age<':>5s} {'depts':>6s} {'trad IO':>8s} {'full IO':>8s} "
+        f"{'choice':>8s} {'speedup':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for threshold in age_thresholds:
+        for departments in department_counts:
+            db = build_empdept(
+                EmpDeptConfig(
+                    employees=employees,
+                    departments=departments,
+                    uniform_ages=True,
+                    memory_pages=8,
+                    with_indexes=False,
+                )
+            )
+            sql = example1_sql(threshold)
+            traditional = db.query(sql, optimizer="traditional")
+            full = db.query(sql, optimizer="full")
+            assert sorted(traditional.rows) == sorted(full.rows)
+            pulled = bool(full.optimization.pull_choices.get("b"))
+            speedup = (
+                traditional.executed_io.total
+                / max(1, full.executed_io.total)
+            )
+            print(
+                f"{threshold:5d} {departments:6d} "
+                f"{traditional.executed_io.total:8d} "
+                f"{full.executed_io.total:8d} "
+                f"{'pull-up' if pulled else 'local':>8s} "
+                f"{speedup:8.2f}"
+            )
+    print()
+    print(
+        "Expected shape (paper, Section 3): pull-up wins with a "
+        "selective filter and many departments (top right); the "
+        "traditional local-view plan is kept elsewhere, so the "
+        "cost-based optimizer never loses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""A guided tour of the paper's transformations, one by one.
+
+Shows, for each transformation, the query/plan before and after, the
+resulting SQL (via the unparser), and a correctness check against the
+brute-force reference — a compact companion to Sections 3 and 4.
+
+Run:  python examples/transformations_walkthrough.py
+"""
+
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.plan import GroupByNode, JoinNode, ScanNode, explain
+from repro.catalog.schema import table_row_schema
+from repro.cost import CostModel
+from repro.engine import ExecutionContext, execute_plan
+from repro.engine.reference import evaluate_canonical, rows_equal_bag
+from repro.sql import bind_sql
+from repro.sql.unparse import query_to_sql
+from repro.transforms import (
+    apply_invariant_split,
+    coalesce_plan,
+    minimal_invariant_set,
+    propagate_predicates,
+    pull_up,
+    pull_up_plan,
+)
+from repro.workloads import EmpDeptConfig, build_empdept
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def check(db, before_query, after_query) -> None:
+    first = evaluate_canonical(before_query, db.catalog)
+    second = evaluate_canonical(after_query, db.catalog)
+    assert rows_equal_bag(first.rows, second.rows)
+    print(f"[equivalent: both return {len(first.rows)} rows]")
+
+
+def main() -> None:
+    db = build_empdept(EmpDeptConfig(employees=400, departments=12))
+
+    # ------------------------------------------------------------------
+    banner("1. Pull-up (Section 3, Definition 1) — query level")
+    sql = """
+    with a1(dno, asal) as (
+        select e2.dno, avg(e2.sal) from emp e2 group by e2.dno
+    )
+    select e1.sal from emp e1, a1 b
+    where e1.dno = b.dno and e1.age < 22 and e1.sal > b.asal
+    """
+    query = bind_sql(sql, db.catalog)
+    print("before (query A1/A2):")
+    print(query_to_sql(query))
+    pulled = pull_up(query, "b", ["e1"], db.catalog)
+    print("\nafter pulling e1 through the view (query B):")
+    print(query_to_sql(pulled))
+    check(db, query, pulled)
+
+    # ------------------------------------------------------------------
+    banner("2. Pull-up — plan level (Figure 1: J1(G1, R2) -> G2(J2))")
+    emp_columns = db.catalog.table("emp").columns
+    inner = ScanNode("emp", "e2", table_row_schema("e2", emp_columns).fields)
+    group = GroupByNode(
+        inner,
+        group_keys=[("e2", "dno")],
+        aggregates=[("asal", AggregateCall("avg", col("e2.sal")))],
+    )
+    outer = ScanNode(
+        "emp",
+        "e1",
+        table_row_schema("e1", emp_columns).fields,
+        filters=(Comparison("<", col("e1.age"), lit(22)),),
+    )
+    join = JoinNode(
+        group,
+        outer,
+        method="hj",
+        equi_keys=[(("e2", "dno"), ("e1", "dno"))],
+        residuals=(Comparison(">", col("e1.sal"), col("asal")),),
+        projection=[("e1", "sal")],
+    )
+    model = CostModel(db.catalog, db.params)
+    model.annotate_tree(join)
+    print("plan P1 (group-by before the join):")
+    print(explain(join))
+    pulled_plan = pull_up_plan(join, db.catalog)
+    model.annotate_tree(pulled_plan)
+    print("\nplan P2 (group-by deferred past the join):")
+    print(explain(pulled_plan))
+    context = ExecutionContext(db.catalog, db.io, db.params)
+    assert rows_equal_bag(
+        execute_plan(join, context).rows,
+        execute_plan(pulled_plan, context).rows,
+    )
+    print("[plans produce identical rows]")
+
+    # ------------------------------------------------------------------
+    banner("3. Minimal invariant set (Section 4.1)")
+    sql = """
+    with c(dno, asal) as (
+        select e.dno, avg(e.sal) from emp e, dept d
+        where e.dno = d.dno and d.budget < 1000000
+        group by e.dno
+    )
+    select v.dno, v.asal from c v
+    """
+    query = bind_sql(sql, db.catalog)
+    block = query.views[0].block
+    invariant = minimal_invariant_set(block, db.catalog)
+    print(f"view relations: {sorted(block.aliases)}")
+    print(f"minimal invariant set: {sorted(invariant)} "
+          "(dept moves above the group-by)")
+    split = apply_invariant_split(query, db.catalog)
+    print("\nafter the split:")
+    print(query_to_sql(split))
+    check(db, query, split)
+
+    # ------------------------------------------------------------------
+    banner("4. Simple coalescing grouping (Section 4.2, Figure 2(b))")
+    dept_columns = db.catalog.table("dept").columns
+    join = JoinNode(
+        ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+        ScanNode("dept", "d", table_row_schema("d", dept_columns).fields),
+        method="hj",
+        equi_keys=[(("e", "dno"), ("d", "dno"))],
+    )
+    late = GroupByNode(
+        join,
+        group_keys=[("d", "loc")],
+        aggregates=[("a", AggregateCall("avg", col("e.sal")))],
+    )
+    model.annotate_tree(late)
+    print("late grouping:")
+    print(explain(late))
+    early = coalesce_plan(late)
+    model.annotate_tree(early)
+    print("\nwith an added partial group-by (coalesced above):")
+    print(explain(early))
+    assert rows_equal_bag(
+        execute_plan(late, context).rows,
+        execute_plan(early, context).rows,
+    )
+    print("[plans produce identical rows]")
+
+    # ------------------------------------------------------------------
+    banner("5. Predicate propagation ([LMS94] baseline, Section 1)")
+    sql = """
+    with v(dno, asal) as (
+        select e.dno, avg(e.sal) from emp e group by e.dno
+    )
+    select v.asal from v where v.dno = 3
+    """
+    query = bind_sql(sql, db.catalog)
+    moved = propagate_predicates(query)
+    print("before:")
+    print(query_to_sql(query))
+    print("\nafter (the dno filter moved inside the view):")
+    print(query_to_sql(moved))
+    check(db, query, moved)
+
+
+if __name__ == "__main__":
+    main()

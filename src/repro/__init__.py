@@ -1,0 +1,61 @@
+"""repro — a reproduction of *Optimizing Queries with Aggregate Views*
+(Surajit Chaudhuri and Kyuseok Shim, EDBT 1996).
+
+The package implements the paper's contribution — cost-based
+optimization of multi-block queries joining base tables and aggregate
+views — together with every substrate it needs: a paginated storage
+engine with page-IO accounting, a catalog with Selinger-style
+statistics, a SQL frontend (including Kim-style unnesting of correlated
+subqueries), the pull-up / push-down / coalescing transformations, an
+IO-only cost model, and three optimizers (traditional two-phase, greedy
+conservative, and the full Section 5 algorithm).
+
+Quick start::
+
+    from repro import Database
+
+    db = Database()
+    db.create_table("emp", [("eno", "int"), ("dno", "int"),
+                            ("sal", "float"), ("age", "int")],
+                    primary_key=["eno"])
+    db.insert("emp", [(1, 0, 55.0, 21), (2, 0, 70.0, 45)])
+    result = db.query(
+        "select e1.sal from emp e1 "
+        "where e1.age < 22 and e1.sal > "
+        "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno)"
+    )
+"""
+
+from .db import Database, QueryResult, OPTIMIZERS
+from .catalog.schema import Column
+from .cost.params import CostParams
+from .datatypes import DataType
+from .errors import ReproError
+from .optimizer.options import OptimizerOptions
+from .optimizer.canonical import (
+    OptimizationResult,
+    optimize_query,
+    optimize_traditional,
+)
+from .algebra.aggregates import AggregateFunction, register_aggregate
+from .algebra.plan import explain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "OPTIMIZERS",
+    "Column",
+    "CostParams",
+    "DataType",
+    "ReproError",
+    "OptimizerOptions",
+    "OptimizationResult",
+    "optimize_query",
+    "optimize_traditional",
+    "AggregateFunction",
+    "register_aggregate",
+    "explain",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Logical algebra: expressions, aggregates, query blocks, and plan trees.
+
+This package defines the vocabulary of the paper:
+
+- scalar :mod:`expressions <repro.algebra.expressions>` over aliased
+  columns (join predicates, selections, HAVING conditions);
+- :mod:`aggregate functions <repro.algebra.aggregates>` with the
+  decomposability protocol required by simple coalescing grouping
+  (Section 4.2);
+- the :mod:`query model <repro.algebra.query>`: SPJ blocks, aggregate
+  views, and the canonical multi-block form of Figure 3;
+- :mod:`operator trees <repro.algebra.plan>` (the paper's "execution
+  plans"), with joins and group-by operators carrying projection lists
+  (Section 2);
+- :mod:`legality checks <repro.algebra.legality>` corresponding to the
+  paper's "legal operator tree" notion.
+"""
+
+from .expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+    and_all,
+    col,
+    conjuncts,
+    equijoin_sides,
+    lit,
+)
+from .aggregates import (
+    AggregateCall,
+    AggregateFunction,
+    aggregate_function,
+    register_aggregate,
+)
+from .query import AggregateView, CanonicalQuery, QueryBlock, TableRef
+from .plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    RenameNode,
+    ScanNode,
+    SortNode,
+    explain,
+    plan_nodes,
+)
+
+__all__ = [
+    "And",
+    "Arith",
+    "ColumnRef",
+    "Comparison",
+    "Expression",
+    "Literal",
+    "Not",
+    "Or",
+    "and_all",
+    "col",
+    "conjuncts",
+    "equijoin_sides",
+    "lit",
+    "AggregateCall",
+    "AggregateFunction",
+    "aggregate_function",
+    "register_aggregate",
+    "AggregateView",
+    "CanonicalQuery",
+    "QueryBlock",
+    "TableRef",
+    "FilterNode",
+    "GroupByNode",
+    "JoinNode",
+    "PlanNode",
+    "ProjectNode",
+    "RenameNode",
+    "ScanNode",
+    "SortNode",
+    "explain",
+    "plan_nodes",
+]

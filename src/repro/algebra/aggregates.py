@@ -1,0 +1,437 @@
+"""Aggregate functions and the decomposability protocol.
+
+The paper allows "built-in or user-defined (without side-effects)"
+aggregate functions (Section 2) and requires *decomposable* aggregates
+for simple coalescing grouping (Section 4.2): "we must be able to
+subsequently coalesce two groups that agree on the grouping columns."
+
+Each aggregate function provides:
+
+- a runtime accumulator (``make_accumulator``) used by the group-by
+  physical operators, supporting ``add``/``merge``/``value``;
+- optionally a :meth:`AggregateFunction.decompose` description — how to
+  compute *partial* aggregates below a join and *coalesce* them above —
+  which is exactly what simple coalescing needs. Non-decomposable
+  functions (e.g. MEDIAN) return ``None`` and are skipped by the
+  transformation.
+
+New functions are added with :func:`register_aggregate`, mirroring the
+paper's support for user-defined aggregates; STDDEV is registered this
+way as the worked example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datatypes import DataType
+from ..errors import PlanError
+from .expressions import Arith, ColumnRef, Expression, FuncCall
+
+
+class Accumulator:
+    """Runtime state of one aggregate over one group."""
+
+    def add(self, value: object) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "Accumulator") -> None:
+        raise NotImplementedError
+
+    def value(self) -> object:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate invocation: function name + argument expression.
+
+    ``arg`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    func_name: str
+    arg: Optional[Expression]
+
+    def function(self) -> "AggregateFunction":
+        return aggregate_function(self.func_name)
+
+    def columns(self):
+        return self.arg.columns() if self.arg is not None else frozenset()
+
+    def aliases(self):
+        return self.arg.aliases() if self.arg is not None else frozenset()
+
+    def substitute(self, mapping) -> "AggregateCall":
+        if self.arg is None:
+            return self
+        return AggregateCall(self.func_name, self.arg.substitute(mapping))
+
+    def output_dtype(self, schema) -> DataType:
+        arg_dtype = (
+            self.arg.dtype(schema) if self.arg is not None else DataType.INT
+        )
+        return self.function().output_dtype(arg_dtype)
+
+    def display(self) -> str:
+        inner = self.arg.display() if self.arg is not None else "*"
+        return f"{self.func_name}({inner})"
+
+    def __repr__(self) -> str:
+        return self.display()
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """How to split one aggregate across two group-by levels.
+
+    - ``partials``: aggregate calls computed by the *lower* group-by,
+      over the original argument; each gets a generated output column.
+    - ``coalescers``: for each partial (same order), the aggregate
+      function name the *upper* group-by applies to that partial column.
+    - ``finalize``: builds the final value from the coalesced columns.
+      Given the list of upper output columns (as expressions), returns
+      the expression producing the original aggregate's value.
+    """
+
+    partials: Tuple[AggregateCall, ...]
+    coalescers: Tuple[str, ...]
+    finalize: Callable[[List[Expression]], Expression]
+
+
+class AggregateFunction:
+    """Base class for aggregate functions."""
+
+    name: str = ""
+
+    def make_accumulator(self) -> Accumulator:
+        raise NotImplementedError
+
+    def output_dtype(self, arg_dtype: DataType) -> DataType:
+        return arg_dtype
+
+    def decompose(self, arg: Optional[Expression]) -> Optional[Decomposition]:
+        """Decomposition for simple coalescing, or ``None`` if this
+        function is not decomposable."""
+        return None
+
+    @property
+    def decomposable(self) -> bool:
+        probe = ColumnRef("_probe", "_probe")
+        return self.decompose(probe) is not None
+
+
+# ----------------------------------------------------------------------
+# Accumulators
+# ----------------------------------------------------------------------
+
+
+class _CountAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: object) -> None:
+        self.count += 1
+
+    def merge(self, other: Accumulator) -> None:
+        assert isinstance(other, _CountAccumulator)
+        self.count += other.count
+
+    def value(self) -> object:
+        return self.count
+
+
+class _SumAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0
+        self.seen = False
+
+    def add(self, value: object) -> None:
+        self.total += value  # type: ignore[operator]
+        self.seen = True
+
+    def merge(self, other: Accumulator) -> None:
+        assert isinstance(other, _SumAccumulator)
+        if other.seen:
+            self.total += other.total
+            self.seen = True
+
+    def value(self) -> object:
+        if not self.seen:
+            raise PlanError("SUM over an empty group (no NULLs in scope)")
+        return self.total
+
+
+class _AvgAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: object) -> None:
+        self.total += value  # type: ignore[operator]
+        self.count += 1
+
+    def merge(self, other: Accumulator) -> None:
+        assert isinstance(other, _AvgAccumulator)
+        self.total += other.total
+        self.count += other.count
+
+    def value(self) -> object:
+        if not self.count:
+            raise PlanError("AVG over an empty group (no NULLs in scope)")
+        return self.total / self.count
+
+
+class _MinMaxAccumulator(Accumulator):
+    def __init__(self, pick: Callable) -> None:
+        self.pick = pick
+        self.best: object = None
+        self.seen = False
+
+    def add(self, value: object) -> None:
+        if not self.seen:
+            self.best = value
+            self.seen = True
+        else:
+            self.best = self.pick(self.best, value)
+
+    def merge(self, other: Accumulator) -> None:
+        assert isinstance(other, _MinMaxAccumulator)
+        if other.seen:
+            self.add(other.best)
+
+    def value(self) -> object:
+        if not self.seen:
+            raise PlanError("MIN/MAX over an empty group (no NULLs in scope)")
+        return self.best
+
+
+class _StddevAccumulator(Accumulator):
+    """Population standard deviation via (count, sum, sum of squares)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def add(self, value: object) -> None:
+        self.count += 1
+        self.total += value  # type: ignore[operator]
+        self.total_sq += value * value  # type: ignore[operator]
+
+    def merge(self, other: Accumulator) -> None:
+        assert isinstance(other, _StddevAccumulator)
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+
+    def value(self) -> object:
+        if not self.count:
+            raise PlanError("STDDEV over an empty group")
+        mean = self.total / self.count
+        variance = max(0.0, self.total_sq / self.count - mean * mean)
+        return math.sqrt(variance)
+
+
+class _MedianAccumulator(Accumulator):
+    """Holistic aggregate kept as the canonical *non-decomposable*
+    example: its accumulator must retain all values."""
+
+    def __init__(self) -> None:
+        self.values: List = []
+
+    def add(self, value: object) -> None:
+        self.values.append(value)
+
+    def merge(self, other: Accumulator) -> None:
+        assert isinstance(other, _MedianAccumulator)
+        self.values.extend(other.values)
+
+    def value(self) -> object:
+        if not self.values:
+            raise PlanError("MEDIAN over an empty group")
+        ordered = sorted(self.values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+# ----------------------------------------------------------------------
+# Built-in functions
+# ----------------------------------------------------------------------
+
+
+class CountFunction(AggregateFunction):
+    """COUNT(x) / COUNT(*): row counting; coalesces via SUM."""
+    name = "count"
+
+    def make_accumulator(self) -> Accumulator:
+        return _CountAccumulator()
+
+    def output_dtype(self, arg_dtype: DataType) -> DataType:
+        return DataType.INT
+
+    def decompose(self, arg: Optional[Expression]) -> Decomposition:
+        # count = sum of partial counts
+        return Decomposition(
+            partials=(AggregateCall("count", arg),),
+            coalescers=("sum",),
+            finalize=lambda cols: cols[0],
+        )
+
+
+class SumFunction(AggregateFunction):
+    """SUM(x); its own coalescer (a sum of sums is a sum)."""
+    name = "sum"
+
+    def make_accumulator(self) -> Accumulator:
+        return _SumAccumulator()
+
+    def decompose(self, arg: Optional[Expression]) -> Decomposition:
+        return Decomposition(
+            partials=(AggregateCall("sum", arg),),
+            coalescers=("sum",),
+            finalize=lambda cols: cols[0],
+        )
+
+
+class AvgFunction(AggregateFunction):
+    """AVG(x); decomposes into SUM and COUNT partials."""
+    name = "avg"
+
+    def make_accumulator(self) -> Accumulator:
+        return _AvgAccumulator()
+
+    def output_dtype(self, arg_dtype: DataType) -> DataType:
+        return DataType.FLOAT
+
+    def decompose(self, arg: Optional[Expression]) -> Decomposition:
+        # avg = sum of partial sums / sum of partial counts
+        return Decomposition(
+            partials=(
+                AggregateCall("sum", arg),
+                AggregateCall("count", arg),
+            ),
+            coalescers=("sum", "sum"),
+            finalize=lambda cols: Arith("/", cols[0], cols[1]),
+        )
+
+
+class MinFunction(AggregateFunction):
+    """MIN(x); duplicate-insensitive, self-coalescing."""
+    name = "min"
+
+    def make_accumulator(self) -> Accumulator:
+        return _MinMaxAccumulator(min)
+
+    def decompose(self, arg: Optional[Expression]) -> Decomposition:
+        return Decomposition(
+            partials=(AggregateCall("min", arg),),
+            coalescers=("min",),
+            finalize=lambda cols: cols[0],
+        )
+
+
+class MaxFunction(AggregateFunction):
+    """MAX(x); duplicate-insensitive, self-coalescing."""
+    name = "max"
+
+    def make_accumulator(self) -> Accumulator:
+        return _MinMaxAccumulator(max)
+
+    def decompose(self, arg: Optional[Expression]) -> Decomposition:
+        return Decomposition(
+            partials=(AggregateCall("max", arg),),
+            coalescers=("max",),
+            finalize=lambda cols: cols[0],
+        )
+
+
+def _stddev_finalize(cols: List[Expression]) -> Expression:
+    """sqrt(sumsq/count - (sum/count)^2) over coalesced partials."""
+    total, total_sq, count = cols
+    mean = Arith("/", total, count)
+    mean_sq = Arith("*", mean, mean)
+    variance = Arith("-", Arith("/", total_sq, count), mean_sq)
+    return FuncCall("sqrt", lambda v: math.sqrt(max(0.0, v)), [variance])
+
+
+class StddevFunction(AggregateFunction):
+    """Population standard deviation — the paper's example of a
+    user-defined aggregate function (Section 2)."""
+
+    name = "stddev"
+
+    def make_accumulator(self) -> Accumulator:
+        return _StddevAccumulator()
+
+    def output_dtype(self, arg_dtype: DataType) -> DataType:
+        return DataType.FLOAT
+
+    def decompose(self, arg: Optional[Expression]) -> Optional[Decomposition]:
+        if arg is None:
+            return None
+        return Decomposition(
+            partials=(
+                AggregateCall("sum", arg),
+                AggregateCall("sum", Arith("*", arg, arg)),
+                AggregateCall("count", arg),
+            ),
+            coalescers=("sum", "sum", "sum"),
+            finalize=_stddev_finalize,
+        )
+
+
+class MedianFunction(AggregateFunction):
+    """MEDIAN(x): the canonical holistic (non-decomposable) aggregate."""
+    name = "median"
+
+    def make_accumulator(self) -> Accumulator:
+        return _MedianAccumulator()
+
+    def output_dtype(self, arg_dtype: DataType) -> DataType:
+        return DataType.FLOAT
+
+    # decompose() inherited: returns None — MEDIAN is holistic.
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, AggregateFunction] = {}
+
+
+def register_aggregate(function: AggregateFunction) -> None:
+    """Register a (possibly user-defined) aggregate function by name."""
+    if not function.name:
+        raise PlanError("aggregate function must define a name")
+    _REGISTRY[function.name.lower()] = function
+
+
+def aggregate_function(name: str) -> AggregateFunction:
+    """Look up a registered aggregate function by (case-insensitive) name."""
+    function = _REGISTRY.get(name.lower())
+    if function is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PlanError(f"unknown aggregate {name!r} (known: {known})")
+    return function
+
+
+def known_aggregates() -> Sequence[str]:
+    """Sorted names of all registered aggregate functions."""
+    return sorted(_REGISTRY)
+
+
+for _function in (
+    CountFunction(),
+    SumFunction(),
+    AvgFunction(),
+    MinFunction(),
+    MaxFunction(),
+    StddevFunction(),
+    MedianFunction(),
+):
+    register_aggregate(_function)

@@ -1,0 +1,478 @@
+"""Scalar expressions over aliased columns.
+
+Expressions appear as selection/join predicates (WHERE conjuncts), HAVING
+conditions over aggregate outputs, and arithmetic inside aggregate
+arguments. They are immutable and hashable, so transformations can move
+them between operator trees and deduplicate them freely.
+
+Evaluation is two-step: :meth:`Expression.bind` compiles the expression
+against a :class:`~repro.catalog.schema.RowSchema` into a plain
+``row -> value`` closure, so per-row evaluation costs one function call
+instead of a tree walk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..catalog.schema import RowSchema
+from ..datatypes import DataType, infer_type
+from ..errors import PlanError
+
+FieldKey = Tuple[Optional[str], str]
+"""A column identity: (table alias or None, column name)."""
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        """All column references appearing in this expression."""
+        raise NotImplementedError
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        """Compile to a ``row -> value`` closure for *schema*."""
+        raise NotImplementedError
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        """The result type of this expression over *schema*."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[FieldKey, "Expression"]) -> "Expression":
+        """Return a copy with column references replaced per *mapping*."""
+        raise NotImplementedError
+
+    def aliases(self) -> FrozenSet[str]:
+        """Table aliases this expression refers to (None excluded)."""
+        return frozenset(
+            alias for alias, _ in self.columns() if alias is not None
+        )
+
+    def display(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.display()
+
+
+class ColumnRef(Expression):
+    """A reference to a column of some table alias (or a computed field)."""
+
+    __slots__ = ("alias", "name")
+
+    def __init__(self, alias: Optional[str], name: str):
+        self.alias = alias
+        self.name = name
+
+    @property
+    def key(self) -> FieldKey:
+        return (self.alias, self.name)
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        return frozenset({self.key})
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        position = schema.index_of(self.alias, self.name)
+        return lambda row: row[position]
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return schema.field_of(self.alias, self.name).dtype
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        replacement = mapping.get(self.key)
+        return replacement if replacement is not None else self
+
+    def display(self) -> str:
+        return f"{self.alias}.{self.name}" if self.alias else self.name
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ColumnRef)
+            and self.alias == other.alias
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash(("col", self.alias, self.name))
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        return frozenset()
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        value = self.value
+        return lambda row: value
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return infer_type(self.value)
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return self
+
+    def display(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("lit", self.value))
+
+
+_COMPARISON_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+COMPARISON_FLIP = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+class Comparison(Expression):
+    """A binary comparison: ``left op right``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _COMPARISON_OPS:
+            raise PlanError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        return self.left.columns() | self.right.columns()
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        op = _COMPARISON_OPS[self.op]
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        return lambda row: op(left(row), right(row))
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return DataType.BOOL
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return Comparison(
+            self.op, self.left.substitute(mapping), self.right.substitute(mapping)
+        )
+
+    def display(self) -> str:
+        return f"({self.left.display()} {self.op} {self.right.display()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cmp", self.op, self.left, self.right))
+
+
+class And(Expression):
+    """Conjunction of one or more expressions."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expression]):
+        if not items:
+            raise PlanError("AND of zero conjuncts")
+        self.items: Tuple[Expression, ...] = tuple(items)
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        result: FrozenSet[FieldKey] = frozenset()
+        for item in self.items:
+            result |= item.columns()
+        return result
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        bound = [item.bind(schema) for item in self.items]
+        return lambda row: all(check(row) for check in bound)
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return DataType.BOOL
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return And([item.substitute(mapping) for item in self.items])
+
+    def display(self) -> str:
+        return " AND ".join(item.display() for item in self.items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.items == other.items
+
+    def __hash__(self) -> int:
+        return hash(("and", self.items))
+
+
+class Or(Expression):
+    """Disjunction of one or more expressions."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expression]):
+        if not items:
+            raise PlanError("OR of zero disjuncts")
+        self.items: Tuple[Expression, ...] = tuple(items)
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        result: FrozenSet[FieldKey] = frozenset()
+        for item in self.items:
+            result |= item.columns()
+        return result
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        bound = [item.bind(schema) for item in self.items]
+        return lambda row: any(check(row) for check in bound)
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return DataType.BOOL
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return Or([item.substitute(mapping) for item in self.items])
+
+    def display(self) -> str:
+        return "(" + " OR ".join(item.display() for item in self.items) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.items == other.items
+
+    def __hash__(self) -> int:
+        return hash(("or", self.items))
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, item: Expression):
+        self.item = item
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        return self.item.columns()
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        bound = self.item.bind(schema)
+        return lambda row: not bound(row)
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return DataType.BOOL
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return Not(self.item.substitute(mapping))
+
+    def display(self) -> str:
+        return f"NOT {self.item.display()}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.item == other.item
+
+    def __hash__(self) -> int:
+        return hash(("not", self.item))
+
+
+_ARITH_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Arith(Expression):
+    """Binary arithmetic: ``left op right`` with op in ``+ - * /``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ARITH_OPS:
+            raise PlanError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        return self.left.columns() | self.right.columns()
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        op = _ARITH_OPS[self.op]
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        return lambda row: op(left(row), right(row))
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        if self.op == "/":
+            return DataType.FLOAT
+        left = self.left.dtype(schema)
+        right = self.right.dtype(schema)
+        if DataType.FLOAT in (left, right):
+            return DataType.FLOAT
+        return left
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return Arith(
+            self.op, self.left.substitute(mapping), self.right.substitute(mapping)
+        )
+
+    def display(self) -> str:
+        return f"({self.left.display()} {self.op} {self.right.display()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Arith)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("arith", self.op, self.left, self.right))
+
+
+class FuncCall(Expression):
+    """A scalar function call (sqrt, abs, ...) used by aggregate
+    finalization expressions such as STDDEV's."""
+
+    __slots__ = ("func_name", "func", "args")
+
+    def __init__(
+        self,
+        func_name: str,
+        func: Callable[..., Any],
+        args: Sequence[Expression],
+    ):
+        self.func_name = func_name
+        self.func = func
+        self.args: Tuple[Expression, ...] = tuple(args)
+
+    def columns(self) -> FrozenSet[FieldKey]:
+        result: FrozenSet[FieldKey] = frozenset()
+        for arg in self.args:
+            result |= arg.columns()
+        return result
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        func = self.func
+        bound = [arg.bind(schema) for arg in self.args]
+        return lambda row: func(*(evaluate(row) for evaluate in bound))
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return DataType.FLOAT
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return FuncCall(
+            self.func_name,
+            self.func,
+            [arg.substitute(mapping) for arg in self.args],
+        )
+
+    def display(self) -> str:
+        args = ", ".join(arg.display() for arg in self.args)
+        return f"{self.func_name}({args})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FuncCall)
+            and self.func_name == other.func_name
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("func", self.func_name, self.args))
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors and predicate utilities
+# ----------------------------------------------------------------------
+
+
+def col(reference: str) -> ColumnRef:
+    """Build a :class:`ColumnRef` from ``"alias.name"`` or ``"name"``."""
+    if "." in reference:
+        alias, _, name = reference.partition(".")
+        return ColumnRef(alias, name)
+    return ColumnRef(None, reference)
+
+
+def lit(value: Any) -> Literal:
+    """Build a :class:`Literal` from a Python value."""
+    return Literal(value)
+
+
+def conjuncts(expression: Optional[Expression]) -> Tuple[Expression, ...]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expression is None:
+        return ()
+    if isinstance(expression, And):
+        result: Tuple[Expression, ...] = ()
+        for item in expression.items:
+            result += conjuncts(item)
+        return result
+    return (expression,)
+
+
+def and_all(items: Sequence[Expression]) -> Optional[Expression]:
+    """Combine conjuncts into one expression (None when empty)."""
+    flattened: Tuple[Expression, ...] = ()
+    for item in items:
+        flattened += conjuncts(item)
+    if not flattened:
+        return None
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(flattened)
+
+
+def equijoin_sides(
+    predicate: Expression,
+) -> Optional[Tuple[FieldKey, FieldKey]]:
+    """If *predicate* is ``col1 = col2``, return the two field keys."""
+    if (
+        isinstance(predicate, Comparison)
+        and predicate.op == "="
+        and isinstance(predicate.left, ColumnRef)
+        and isinstance(predicate.right, ColumnRef)
+    ):
+        return (predicate.left.key, predicate.right.key)
+    return None
+
+
+def comparison_with_literal(
+    predicate: Expression,
+) -> Optional[Tuple[FieldKey, str, Any]]:
+    """If *predicate* is ``col op literal`` (either side), normalize to
+    ``(column, op, value)`` with the column on the left."""
+    if not isinstance(predicate, Comparison):
+        return None
+    if isinstance(predicate.left, ColumnRef) and isinstance(
+        predicate.right, Literal
+    ):
+        return (predicate.left.key, predicate.op, predicate.right.value)
+    if isinstance(predicate.left, Literal) and isinstance(
+        predicate.right, ColumnRef
+    ):
+        flipped = COMPARISON_FLIP[predicate.op]
+        return (predicate.right.key, flipped, predicate.left.value)
+    return None

@@ -1,0 +1,468 @@
+"""Operator trees — the paper's "execution plans" (Section 2).
+
+A plan is a tree of Scan / Join / GroupBy / Sort / Rename nodes. As in
+the paper, projection is not an explicit operator: each join and
+group-by carries an associated list of projection columns. Joins name
+the relations they join and their join predicates; group-by operators
+carry grouping columns, aggregating columns (with function names), and
+HAVING predicates.
+
+Nodes are structural: they compute their output :class:`RowSchema` but
+carry no statistics. The cost annotator (``repro.cost``) attaches a
+``props`` attribute (cardinality, pages, IO cost, sort order) without
+the plan layer depending on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..catalog.schema import RID_COLUMN, Field, RowSchema
+from ..datatypes import DataType
+from ..errors import PlanError
+from .aggregates import AggregateCall
+from .expressions import Expression, FieldKey
+
+
+class PlanNode:
+    """Base class of plan operators."""
+
+    def __init__(self) -> None:
+        self.props: Any = None  # filled in by the cost annotator
+        self.actual_rows: Optional[int] = None  # recorded by the executor
+
+    @property
+    def schema(self) -> RowSchema:
+        raise NotImplementedError
+
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description used by :func:`explain`."""
+        raise NotImplementedError
+
+    def aliases(self) -> frozenset:
+        return frozenset(self.schema.aliases())
+
+
+class ScanNode(PlanNode):
+    """Scan of one stored table under an alias.
+
+    - ``fields``: the output fields (projection applied at the scan).
+    - ``filters``: selection conjuncts evaluated during the scan.
+    - ``index_name``: when set, the scan uses an index equality access
+      path with literal probe values ``index_values``.
+    - ``include_rid`` exposes the hidden tuple id (pull-up's surrogate
+      key, Section 3).
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        alias: str,
+        fields: Sequence[Field],
+        filters: Sequence[Expression] = (),
+        include_rid: bool = False,
+        index_name: Optional[str] = None,
+        index_values: Tuple[Any, ...] = (),
+    ):
+        super().__init__()
+        self.table_name = table_name
+        self.alias = alias
+        self.filters: Tuple[Expression, ...] = tuple(filters)
+        self.include_rid = include_rid
+        self.index_name = index_name
+        self.index_values = index_values
+        field_list = list(fields)
+        if include_rid and not any(f.name == RID_COLUMN for f in field_list):
+            field_list.append(Field(alias, RID_COLUMN, DataType.INT))
+        self._schema = RowSchema(field_list)
+
+    @property
+    def schema(self) -> RowSchema:
+        return self._schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return ()
+
+    def describe(self) -> str:
+        access = f"index {self.index_name}" if self.index_name else "heap"
+        filters = (
+            " filter " + " AND ".join(f.display() for f in self.filters)
+            if self.filters
+            else ""
+        )
+        return f"Scan {self.table_name} AS {self.alias} [{access}]{filters}"
+
+
+JOIN_METHODS = ("nlj", "inlj", "smj", "hj")
+
+
+class JoinNode(PlanNode):
+    """A join of two subplans.
+
+    - ``equi_keys``: pairs ``(left_key, right_key)`` of equality join
+      columns (may be empty: cross/ineq join, NLJ only).
+    - ``residuals``: other predicates evaluated at this join.
+    - ``projection``: the field keys retained in the output (the
+      projection list associated with the join, Section 2).
+    - ``index_name``: for ``inlj``, the inner-side index probed with the
+      outer row's join key values.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        method: str,
+        equi_keys: Sequence[Tuple[FieldKey, FieldKey]] = (),
+        residuals: Sequence[Expression] = (),
+        projection: Optional[Sequence[FieldKey]] = None,
+        index_name: Optional[str] = None,
+    ):
+        super().__init__()
+        if method not in JOIN_METHODS:
+            raise PlanError(f"unknown join method {method!r}")
+        if method in ("smj", "hj", "inlj") and not equi_keys:
+            raise PlanError(f"join method {method!r} requires equi-join keys")
+        if method == "inlj" and index_name is None:
+            raise PlanError("index nested-loop join requires an index")
+        self.left = left
+        self.right = right
+        self.method = method
+        self.equi_keys: Tuple[Tuple[FieldKey, FieldKey], ...] = tuple(equi_keys)
+        self.residuals: Tuple[Expression, ...] = tuple(residuals)
+        self.index_name = index_name
+        combined = left.schema.concat(right.schema)
+        if projection is None:
+            projection = [field.key for field in combined]
+        self.projection: Tuple[FieldKey, ...] = tuple(projection)
+        self._schema = combined.project(self.projection)
+
+    @property
+    def schema(self) -> RowSchema:
+        return self._schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{_show_key(a)}={_show_key(b)}" for a, b in self.equi_keys
+        )
+        residuals = (
+            " residual " + " AND ".join(r.display() for r in self.residuals)
+            if self.residuals
+            else ""
+        )
+        via = f" via {self.index_name}" if self.index_name else ""
+        return f"Join [{self.method}{via}] on ({keys}){residuals}"
+
+
+GROUP_METHODS = ("hash", "sort")
+
+
+class GroupByNode(PlanNode):
+    """A group-by operator: grouping columns, aggregating columns (with
+    their functions), and HAVING predicates — the paper's annotations of
+    a group-by operator (Section 2).
+
+    The output schema is the grouping fields (keeping their original
+    aliases so predicates above still resolve) followed by one field per
+    aggregate, named ``(None, output_name)``. ``projection`` optionally
+    restricts/reorders the output (e.g. pull-up drops the surrogate key
+    columns after grouping).
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_keys: Sequence[FieldKey],
+        aggregates: Sequence[Tuple[str, AggregateCall]],
+        having: Sequence[Expression] = (),
+        method: str = "hash",
+        projection: Optional[Sequence[FieldKey]] = None,
+    ):
+        super().__init__()
+        if method not in GROUP_METHODS:
+            raise PlanError(f"unknown group-by method {method!r}")
+        self.child = child
+        self.group_keys: Tuple[FieldKey, ...] = tuple(group_keys)
+        self.aggregates: Tuple[Tuple[str, AggregateCall], ...] = tuple(aggregates)
+        self.having: Tuple[Expression, ...] = tuple(having)
+        self.method = method
+
+        child_schema = child.schema
+        fields: List[Field] = [
+            child_schema.fields[child_schema.index_of(*key)]
+            for key in self.group_keys
+        ]
+        seen = {field.key for field in fields}
+        for name, call in self.aggregates:
+            if (None, name) in seen:
+                raise PlanError(f"aggregate output {name!r} collides")
+            fields.append(
+                Field(None, name, call.output_dtype(child_schema))
+            )
+            seen.add((None, name))
+        full_schema = RowSchema(fields)
+        if projection is None:
+            projection = [field.key for field in full_schema]
+        self.projection: Tuple[FieldKey, ...] = tuple(projection)
+        self._internal_schema = full_schema
+        self._schema = full_schema.project(self.projection)
+
+    @property
+    def internal_schema(self) -> RowSchema:
+        """Schema before the output projection (what HAVING sees)."""
+        return self._internal_schema
+
+    @property
+    def schema(self) -> RowSchema:
+        return self._schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(_show_key(key) for key in self.group_keys)
+        aggs = ", ".join(
+            f"{call.display()} AS {name}" for name, call in self.aggregates
+        )
+        having = (
+            " having " + " AND ".join(h.display() for h in self.having)
+            if self.having
+            else ""
+        )
+        return f"GroupBy [{self.method}] keys=({keys}) aggs=({aggs}){having}"
+
+
+class FilterNode(PlanNode):
+    """Selection over an arbitrary input.
+
+    Base-table selections live in :class:`ScanNode` filters and join
+    predicates in :class:`JoinNode`; this node covers the remaining
+    case — predicates over a *derived* relation's output (e.g. an outer
+    predicate on a view's aggregate column). Pipelined, zero IO.
+    """
+
+    def __init__(self, child: PlanNode, predicates: Sequence[Expression]):
+        super().__init__()
+        if not predicates:
+            raise PlanError("filter needs at least one predicate")
+        self.child = child
+        self.predicates: Tuple[Expression, ...] = tuple(predicates)
+
+    @property
+    def schema(self) -> RowSchema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Filter " + " AND ".join(
+            predicate.display() for predicate in self.predicates
+        )
+
+
+class ProjectNode(PlanNode):
+    """Computed projection: each output is an expression over the child.
+
+    Needed wherever an output is *computed* rather than copied — e.g.
+    finalizing decomposed aggregates after simple coalescing
+    (``avg = sum_partial / count_partial``) or arithmetic in a SELECT
+    list. Costs no IO (pipelined).
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        outputs: Sequence[Tuple[Optional[str], str, Expression]],
+    ):
+        super().__init__()
+        if not outputs:
+            raise PlanError("projection needs at least one output")
+        self.child = child
+        self.outputs: Tuple[Tuple[Optional[str], str, Expression], ...] = tuple(
+            outputs
+        )
+        child_schema = child.schema
+        self._schema = RowSchema(
+            Field(alias, name, expression.dtype(child_schema))
+            for alias, name, expression in self.outputs
+        )
+
+    @property
+    def schema(self) -> RowSchema:
+        return self._schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{expression.display()} AS "
+            + (f"{alias}.{name}" if alias else name)
+            for alias, name, expression in self.outputs
+        )
+        return f"Project ({parts})"
+
+
+class SortNode(PlanNode):
+    """Explicit sort, establishing an interesting order.
+
+    ``descending`` marks per-key direction (default all ascending).
+    Only an all-ascending sort establishes an order property the
+    optimizer exploits; descending sorts exist for ORDER BY.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: Sequence[FieldKey],
+        descending: Optional[Sequence[bool]] = None,
+    ):
+        super().__init__()
+        if not keys:
+            raise PlanError("sort needs at least one key")
+        self.child = child
+        self.keys: Tuple[FieldKey, ...] = tuple(keys)
+        if descending is None:
+            descending = [False] * len(self.keys)
+        if len(descending) != len(self.keys):
+            raise PlanError("sort directions must match the keys")
+        self.descending: Tuple[bool, ...] = tuple(descending)
+        for key in self.keys:
+            child.schema.index_of(*key)  # validates
+
+    @property
+    def schema(self) -> RowSchema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            _show_key(key) + (" desc" if desc else "")
+            for key, desc in zip(self.keys, self.descending)
+        )
+        return f"Sort by ({keys})"
+
+
+class LimitNode(PlanNode):
+    """Keep the first N rows of the input (ORDER BY ... LIMIT n)."""
+
+    def __init__(self, child: PlanNode, count: int):
+        super().__init__()
+        if count < 0:
+            raise PlanError("limit must be non-negative")
+        self.child = child
+        self.count = count
+
+    @property
+    def schema(self) -> RowSchema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit {self.count}"
+
+
+class RenameNode(PlanNode):
+    """Projects and renames output columns.
+
+    Used at view boundaries (the view's output columns become
+    ``view_alias.column``) and at the query top (the SELECT list's output
+    names). ``mapping`` is a sequence of ``(new_alias, new_name,
+    source_key)`` triples.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        mapping: Sequence[Tuple[Optional[str], str, FieldKey]],
+    ):
+        super().__init__()
+        self.child = child
+        self.mapping: Tuple[Tuple[Optional[str], str, FieldKey], ...] = tuple(
+            mapping
+        )
+        child_schema = child.schema
+        self._schema = RowSchema(
+            Field(
+                new_alias,
+                new_name,
+                child_schema.field_of(*source).dtype,
+            )
+            for new_alias, new_name, source in self.mapping
+        )
+        self._positions = tuple(
+            child_schema.index_of(*source) for _, _, source in self.mapping
+        )
+
+    @property
+    def positions(self) -> Tuple[int, ...]:
+        """Child row positions, in output order (used by the executor)."""
+        return self._positions
+
+    @property
+    def schema(self) -> RowSchema:
+        return self._schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{_show_key(source)} AS "
+            + (f"{alias}.{name}" if alias else name)
+            for alias, name, source in self.mapping
+        )
+        return f"Rename ({parts})"
+
+
+def _show_key(key: FieldKey) -> str:
+    alias, name = key
+    return f"{alias}.{name}" if alias else name
+
+
+def explain(plan: PlanNode, indent: int = 0, analyze: bool = False) -> str:
+    """Readable multi-line rendering of a plan, with cost annotations
+    when the plan has been costed. With ``analyze=True``, executed row
+    counts (recorded by the executor) are shown next to the estimates —
+    the usual EXPLAIN ANALYZE reading."""
+    pad = "  " * indent
+    line = pad + plan.describe()
+    props = plan.props
+    if props is not None:
+        line += (
+            f"  [rows={props.rows:.0f} pages={props.pages:.0f} "
+            f"cost={props.cost:.0f}]"
+        )
+    if analyze and plan.actual_rows is not None:
+        line += f"  (actual rows={plan.actual_rows})"
+    lines = [line]
+    for child in plan.children:
+        lines.append(explain(child, indent + 1, analyze))
+    return "\n".join(lines)
+
+
+def plan_nodes(plan: PlanNode):
+    """Yield every node of the plan tree (pre-order)."""
+    yield plan
+    for child in plan.children:
+        yield from plan_nodes(child)

@@ -1,0 +1,185 @@
+"""The catalog: tables, keys, indexes, statistics, and view definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError
+from ..storage.index import OrderedIndex
+from ..storage.table import HeapTable
+from .schema import Column
+from .statistics import TableStats, analyze_table
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared foreign key: ``table.columns -> ref_table.ref_columns``.
+
+    Used in two places: pull-up omits the referenced table's key from the
+    new grouping columns when the join is a foreign-key join into its
+    primary key (Section 3), and the cardinality estimator treats FK
+    joins as non-expanding on the referencing side.
+    """
+
+    table: str
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+
+@dataclass
+class TableInfo:
+    """Everything the catalog knows about one stored table."""
+
+    table: HeapTable
+    primary_key: Optional[Tuple[str, ...]] = None
+    foreign_keys: List[ForeignKey] = dataclass_field(default_factory=list)
+    indexes: Dict[str, OrderedIndex] = dataclass_field(default_factory=dict)
+    _stats: Optional[TableStats] = None
+    _stats_row_count: int = -1
+
+    def stats(self) -> TableStats:
+        """Current statistics, recomputed lazily after inserts."""
+        if self._stats is None or self._stats_row_count != self.table.num_rows:
+            self._stats = analyze_table(self.table)
+            self._stats_row_count = self.table.num_rows
+        return self._stats
+
+    def index_on(self, column_names: Sequence[str]) -> Optional[OrderedIndex]:
+        """An index whose leading columns are exactly *column_names*."""
+        wanted = tuple(column_names)
+        for index in self.indexes.values():
+            if index.column_names[: len(wanted)] == wanted:
+                return index
+        return None
+
+
+class Catalog:
+    """Registry of tables, indexes, keys, statistics, and named views."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableInfo] = {}
+        self._views: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> HeapTable:
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"table or view {name!r} already exists")
+        table = HeapTable(name, columns)
+        pk: Optional[Tuple[str, ...]] = None
+        if primary_key:
+            for column in primary_key:
+                table.column_position(column)  # validates existence
+            pk = tuple(primary_key)
+        self._tables[name] = TableInfo(table=table, primary_key=pk)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> HeapTable:
+        return self.info(name).table
+
+    def info(self, name: str) -> TableInfo:
+        info = self._tables.get(name)
+        if info is None:
+            raise CatalogError(f"unknown table {name!r}")
+        return info
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Keys and indexes
+    # ------------------------------------------------------------------
+
+    def primary_key(self, name: str) -> Optional[Tuple[str, ...]]:
+        return self.info(name).primary_key
+
+    def add_foreign_key(
+        self,
+        table: str,
+        columns: Sequence[str],
+        ref_table: str,
+        ref_columns: Sequence[str],
+    ) -> ForeignKey:
+        info = self.info(table)
+        ref_info = self.info(ref_table)
+        for column in columns:
+            info.table.column_position(column)
+        for column in ref_columns:
+            ref_info.table.column_position(column)
+        if len(columns) != len(ref_columns):
+            raise CatalogError("foreign key column lists differ in length")
+        fk = ForeignKey(table, tuple(columns), ref_table, tuple(ref_columns))
+        info.foreign_keys.append(fk)
+        return fk
+
+    def foreign_keys(self, table: str) -> List[ForeignKey]:
+        return list(self.info(table).foreign_keys)
+
+    def create_index(
+        self, index_name: str, table: str, columns: Sequence[str]
+    ) -> OrderedIndex:
+        info = self.info(table)
+        if index_name in info.indexes:
+            raise CatalogError(f"index {index_name!r} already exists")
+        index = OrderedIndex(index_name, info.table, columns)
+        info.indexes[index_name] = index
+        return index
+
+    def rebuild_indexes(self, table: str) -> None:
+        """Refresh all indexes of *table* after bulk loading."""
+        for index in self.info(table).indexes.values():
+            index.build()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self, name: str) -> TableStats:
+        return self.info(name).stats()
+
+    def analyze_all(self) -> None:
+        for info in self._tables.values():
+            info.stats()
+
+    # ------------------------------------------------------------------
+    # Views (definitions are opaque to the catalog; the SQL binder owns
+    # their interpretation)
+    # ------------------------------------------------------------------
+
+    def register_view(self, name: str, definition: Any) -> None:
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"table or view {name!r} already exists")
+        self._views[name] = definition
+
+    def drop_view(self, name: str) -> None:
+        if name not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[name]
+
+    def has_view(self, name: str) -> bool:
+        return name in self._views
+
+    def view(self, name: str) -> Any:
+        if name not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        return self._views[name]
+
+    def view_names(self) -> List[str]:
+        return sorted(self._views)

@@ -1,0 +1,155 @@
+"""Schemas for stored tables and intermediate results.
+
+Two related notions:
+
+- :class:`Column` — a column of a *stored* table (name + type).
+- :class:`RowSchema` — the shape of rows flowing between operators. Each
+  :class:`Field` carries the alias of the table reference it came from
+  (``e.sal`` and ``e2.sal`` are distinct fields even though both come from
+  ``emp.sal``), or ``None`` for computed columns such as aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..datatypes import DataType
+from ..errors import SchemaError
+
+RID_COLUMN = "_rid"
+"""Name of the hidden row-id pseudo-column exposed by scans on request.
+
+The pull-up transformation needs a key of the pulled-through relation; in
+the absence of a declared primary key "the query engine can use the
+internal tuple id as a key" (Section 3). This is that tuple id.
+"""
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a stored table."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Field:
+    """One slot of an intermediate row.
+
+    ``alias`` is the table reference that produced the value (``e`` in
+    ``emp e``), or ``None`` for computed values (aggregate outputs).
+    """
+
+    alias: Optional[str]
+    name: str
+    dtype: DataType
+
+    @property
+    def key(self) -> Tuple[Optional[str], str]:
+        return (self.alias, self.name)
+
+    def display(self) -> str:
+        return f"{self.alias}.{self.name}" if self.alias else self.name
+
+
+class RowSchema:
+    """An ordered, immutable collection of :class:`Field`s.
+
+    Provides positional resolution of (possibly unqualified) column
+    references, width computation for the cost model, and the standard
+    schema algebra (concatenation for joins, projection).
+    """
+
+    __slots__ = ("fields", "_index")
+
+    def __init__(self, fields: Iterable[Field]):
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        index: dict = {}
+        for position, field in enumerate(self.fields):
+            if field.key in index:
+                raise SchemaError(f"duplicate field {field.display()}")
+            index[field.key] = position
+        self._index = index
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowSchema) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        names = ", ".join(f.display() for f in self.fields)
+        return f"RowSchema({names})"
+
+    @property
+    def width(self) -> int:
+        """Payload width in bytes of one row with this schema."""
+        return sum(field.dtype.width for field in self.fields)
+
+    def index_of(self, alias: Optional[str], name: str) -> int:
+        """Resolve a column reference to its position.
+
+        A qualified reference (alias given) must match exactly. An
+        unqualified reference matches any alias but must be unambiguous.
+        """
+        if alias is not None:
+            position = self._index.get((alias, name))
+            if position is None:
+                raise SchemaError(f"unknown column {alias}.{name}")
+            return position
+        matches = [
+            position
+            for position, field in enumerate(self.fields)
+            if field.name == name
+        ]
+        if not matches:
+            raise SchemaError(f"unknown column {name}")
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous column {name}")
+        return matches[0]
+
+    def field_of(self, alias: Optional[str], name: str) -> Field:
+        return self.fields[self.index_of(alias, name)]
+
+    def has(self, alias: Optional[str], name: str) -> bool:
+        try:
+            self.index_of(alias, name)
+        except SchemaError:
+            return False
+        return True
+
+    def concat(self, other: "RowSchema") -> "RowSchema":
+        """Schema of the concatenation of rows (join output)."""
+        return RowSchema(self.fields + other.fields)
+
+    def project(self, keys: Sequence[Tuple[Optional[str], str]]) -> "RowSchema":
+        """Schema restricted (and reordered) to the given field keys."""
+        return RowSchema(
+            self.fields[self.index_of(alias, name)] for alias, name in keys
+        )
+
+    def aliases(self) -> set:
+        """The set of table aliases contributing fields (None excluded)."""
+        return {f.alias for f in self.fields if f.alias is not None}
+
+
+def table_row_schema(
+    alias: str, columns: Sequence[Column], include_rid: bool = False
+) -> RowSchema:
+    """The :class:`RowSchema` of a base-table scan under *alias*."""
+    fields = [Field(alias, column.name, column.dtype) for column in columns]
+    if include_rid:
+        fields.append(Field(alias, RID_COLUMN, DataType.INT))
+    return RowSchema(fields)

@@ -1,0 +1,253 @@
+"""Interactive SQL shell over an in-memory repro database.
+
+Run with ``python -m repro`` (add ``--demo`` to preload the paper's
+emp/dept example data). Statements end with ``;``. Besides SQL, the
+shell understands a few backslash commands:
+
+=============== ====================================================
+``\\d``          list tables and views
+``\\d name``     describe one table (columns, keys, stats)
+``\\e [level]``  set the optimizer level (traditional/greedy/full)
+``\\explain sql`` show the chosen plan without executing
+``\\analyze sql`` run and show the plan with actual row counts
+``\\q``          quit
+=============== ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Optional, TextIO
+
+from .db import OPTIMIZERS, Database
+from .errors import ReproError
+from .workloads import EmpDeptConfig, build_empdept
+
+PROMPT = "repro> "
+CONTINUATION = "...... "
+
+
+def make_demo_database() -> Database:
+    """The paper's emp/dept schema with a small seeded instance."""
+    return build_empdept(EmpDeptConfig(employees=1000, departments=40))
+
+
+def format_rows(columns: List[str], rows: Iterable[tuple]) -> List[str]:
+    """Psql-ish table rendering."""
+    materialized = [
+        [_show(value) for value in row] for row in rows
+    ]
+    widths = [len(name) for name in columns]
+    for row in materialized:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    header = " | ".join(
+        name.ljust(width) for name, width in zip(columns, widths)
+    )
+    rule = "-+-".join("-" * width for width in widths)
+    lines = [header, rule]
+    lines.extend(
+        " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in materialized
+    )
+    lines.append(f"({len(materialized)} row"
+                 f"{'s' if len(materialized) != 1 else ''})")
+    return lines
+
+
+def _show(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+class Shell:
+    """One interactive session."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        out: TextIO = sys.stdout,
+    ):
+        self.db = database or Database()
+        self.out = out
+        self.optimizer = "full"
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # ------------------------------------------------------------------
+    # Command handling
+    # ------------------------------------------------------------------
+
+    def handle(self, statement: str) -> bool:
+        """Process one complete statement. Returns False to quit."""
+        statement = statement.strip().rstrip(";").strip()
+        if not statement:
+            return True
+        try:
+            if statement.startswith("\\"):
+                return self._handle_meta(statement)
+            self._run_sql(statement)
+        except ReproError as error:
+            self.write(f"error: {error}")
+        return True
+
+    def _handle_meta(self, statement: str) -> bool:
+        command, _, argument = statement.partition(" ")
+        argument = argument.strip()
+        if command == "\\q":
+            return False
+        if command == "\\d":
+            if argument:
+                self._describe_table(argument)
+            else:
+                self._list_relations()
+            return True
+        if command == "\\e":
+            if argument:
+                if argument not in OPTIMIZERS:
+                    self.write(
+                        f"unknown level {argument!r}; "
+                        f"choose from {', '.join(OPTIMIZERS)}"
+                    )
+                else:
+                    self.optimizer = argument
+            self.write(f"optimizer level: {self.optimizer}")
+            return True
+        if command == "\\i":
+            self._run_script(argument)
+            return True
+        if command == "\\explain":
+            result = self.db.query(
+                argument, optimizer=self.optimizer, execute=False
+            )
+            self.write(result.explain())
+            self.write(f"estimated cost: {result.estimated_cost:.0f} page IOs")
+            return True
+        if command == "\\analyze":
+            result = self.db.query(argument, optimizer=self.optimizer)
+            self.write(result.explain(analyze=True))
+            self.write(
+                f"estimated {result.estimated_cost:.0f} / executed "
+                f"{result.executed_io.total} page IOs"
+            )
+            return True
+        self.write(f"unknown command {command!r} (try \\d, \\e, \\i, \\q)")
+        return True
+
+    def _run_script(self, path: str) -> None:
+        """Execute a file of ';'-terminated statements (\\i file.sql)."""
+        if not path:
+            self.write("usage: \\i <file.sql>")
+            return
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as error:
+            self.write(f"cannot read {path!r}: {error}")
+            return
+        for statement in text.split(";"):
+            if statement.strip():
+                self.handle(statement)
+
+    def _run_sql(self, sql: str) -> None:
+        result = self.db.execute(sql, optimizer=self.optimizer)
+        if result is None:
+            self.write("ok")
+            return
+        for line in format_rows(result.columns, result.rows):
+            self.write(line)
+        self.write(
+            f"[{self.optimizer}] estimated {result.estimated_cost:.0f} / "
+            f"executed {result.executed_io.total} page IOs"
+        )
+
+    def _list_relations(self) -> None:
+        tables = self.db.catalog.table_names()
+        views = self.db.catalog.view_names()
+        if not tables and not views:
+            self.write("no tables (start with --demo for sample data)")
+        for name in tables:
+            table = self.db.catalog.table(name)
+            self.write(
+                f"table {name} ({table.num_rows} rows, "
+                f"{table.num_pages} pages)"
+            )
+        for name in views:
+            self.write(f"view {name}")
+
+    def _describe_table(self, name: str) -> None:
+        if not self.db.catalog.has_table(name):
+            self.write(f"no table named {name!r}")
+            return
+        table = self.db.catalog.table(name)
+        stats = self.db.catalog.stats(name)
+        primary_key = self.db.catalog.primary_key(name)
+        self.write(f"table {name}:")
+        for column in table.columns:
+            column_stats = stats.column(column.name)
+            extra = ""
+            if column_stats and column_stats.n_distinct:
+                extra = f"  ndv={column_stats.n_distinct}"
+                if column_stats.min_value is not None:
+                    extra += (
+                        f" range=[{column_stats.min_value}, "
+                        f"{column_stats.max_value}]"
+                    )
+            marker = (
+                " (pk)" if primary_key and column.name in primary_key else ""
+            )
+            self.write(f"  {column.name} {column.dtype.value}{marker}{extra}")
+        for fk in self.db.catalog.foreign_keys(name):
+            self.write(
+                f"  fk ({', '.join(fk.columns)}) -> "
+                f"{fk.ref_table}({', '.join(fk.ref_columns)})"
+            )
+
+    # ------------------------------------------------------------------
+    # REPL loop
+    # ------------------------------------------------------------------
+
+    def run(self, source: TextIO) -> None:
+        self.write(
+            "repro shell — Chaudhuri & Shim, 'Optimizing Queries with "
+            "Aggregate Views' (EDBT 1996)"
+        )
+        self.write("terminate statements with ';'  —  \\q quits, \\d lists")
+        buffer: List[str] = []
+        interactive = source is sys.stdin and sys.stdin.isatty()
+        while True:
+            if interactive:
+                prompt = CONTINUATION if buffer else PROMPT
+                try:
+                    line = input(prompt)
+                except EOFError:
+                    break
+            else:
+                line = source.readline()
+                if not line:
+                    break
+                line = line.rstrip("\n")
+            buffer.append(line)
+            text = "\n".join(buffer)
+            if text.strip().startswith("\\") or text.rstrip().endswith(";"):
+                buffer = []
+                if not self.handle(text):
+                    break
+        self.write("bye")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro``; ``--demo`` preloads emp/dept."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    database = None
+    if "--demo" in argv:
+        argv.remove("--demo")
+        database = make_demo_database()
+    if argv:
+        print(f"unknown arguments: {argv}", file=sys.stderr)
+        print("usage: python -m repro [--demo]", file=sys.stderr)
+        return 2
+    Shell(database).run(sys.stdin)
+    return 0

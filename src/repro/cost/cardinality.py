@@ -1,0 +1,177 @@
+"""Selinger-style selectivity and cardinality estimation.
+
+Every plan node gets per-column metadata (:class:`ColMeta`: distinct
+count and numeric range) propagated bottom-up. Selectivities follow the
+classic System R formulas: ``1/V(col)`` for equality with a literal,
+range fractions for inequalities when min/max are known, ``1/max(V(a),
+V(b))`` for equi-joins, and configurable defaults elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..algebra.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FieldKey,
+    Literal,
+    Not,
+    Or,
+    comparison_with_literal,
+    equijoin_sides,
+)
+from ..catalog.statistics import ColumnStats
+from .params import CostParams
+
+
+@dataclass(frozen=True)
+class ColMeta:
+    """Estimator's knowledge about one column of an intermediate result."""
+
+    ndv: float
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+
+    @classmethod
+    def from_stats(cls, stats: Optional[ColumnStats], rows: float) -> "ColMeta":
+        if stats is None or stats.n_distinct == 0:
+            return cls(ndv=max(1.0, rows))
+        low = stats.min_value if isinstance(stats.min_value, (int, float)) else None
+        high = stats.max_value if isinstance(stats.max_value, (int, float)) else None
+        return cls(ndv=float(stats.n_distinct), min_value=low, max_value=high)
+
+    def clamped(self, rows: float) -> "ColMeta":
+        """Distinct values can never exceed the row count."""
+        return replace(self, ndv=max(1.0, min(self.ndv, rows)))
+
+
+ColMetaMap = Dict[FieldKey, ColMeta]
+
+
+class CardinalityEstimator:
+    """Stateless selectivity arithmetic over :class:`ColMeta` maps."""
+
+    def __init__(self, params: CostParams):
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Predicate selectivity
+    # ------------------------------------------------------------------
+
+    def selectivity(self, predicate: Expression, meta: ColMetaMap) -> float:
+        """Estimated fraction of rows satisfying *predicate*."""
+        if isinstance(predicate, And):
+            result = 1.0
+            for item in predicate.items:
+                result *= self.selectivity(item, meta)
+            return result
+        if isinstance(predicate, Or):
+            miss = 1.0
+            for item in predicate.items:
+                miss *= 1.0 - self.selectivity(item, meta)
+            return 1.0 - miss
+        if isinstance(predicate, Not):
+            return max(0.0, 1.0 - self.selectivity(predicate.item, meta))
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate, meta)
+        if isinstance(predicate, Literal):
+            return 1.0 if predicate.value else 0.0
+        return self.params.default_selectivity
+
+    def _comparison_selectivity(
+        self, predicate: Comparison, meta: ColMetaMap
+    ) -> float:
+        literal_form = comparison_with_literal(predicate)
+        if literal_form is not None:
+            key, op, value = literal_form
+            return self._literal_selectivity(meta.get(key), op, value)
+        sides = equijoin_sides(predicate)
+        if sides is not None:
+            left_meta = meta.get(sides[0])
+            right_meta = meta.get(sides[1])
+            left_ndv = left_meta.ndv if left_meta else 1.0
+            right_ndv = right_meta.ndv if right_meta else 1.0
+            return 1.0 / max(left_ndv, right_ndv, 1.0)
+        if (
+            predicate.op == "="
+            and isinstance(predicate.left, ColumnRef)
+            or isinstance(predicate.right, ColumnRef)
+        ):
+            return self.params.default_selectivity
+        return self.params.default_selectivity
+
+    def _literal_selectivity(
+        self, column: Optional[ColMeta], op: str, value: object
+    ) -> float:
+        if column is None:
+            return self.params.default_selectivity
+        if op == "=":
+            return 1.0 / max(1.0, column.ndv)
+        if op == "!=":
+            return max(0.0, 1.0 - 1.0 / max(1.0, column.ndv))
+        # Range predicate: interpolate when the column range is known.
+        if (
+            isinstance(value, (int, float))
+            and column.min_value is not None
+            and column.max_value is not None
+            and column.max_value > column.min_value
+        ):
+            span = float(column.max_value) - float(column.min_value)
+            if op in ("<", "<="):
+                fraction = (float(value) - float(column.min_value)) / span
+            else:  # > or >=
+                fraction = (float(column.max_value) - float(value)) / span
+            return min(1.0, max(1.0 / max(1.0, column.ndv), fraction))
+        return self.params.default_selectivity
+
+    # ------------------------------------------------------------------
+    # Join and grouping cardinalities
+    # ------------------------------------------------------------------
+
+    def join_rows(
+        self,
+        left_rows: float,
+        right_rows: float,
+        equi_keys: Tuple[Tuple[FieldKey, FieldKey], ...],
+        residuals: Tuple[Expression, ...],
+        meta: ColMetaMap,
+    ) -> float:
+        rows = left_rows * right_rows
+        for left_key, right_key in equi_keys:
+            left_ndv = meta[left_key].ndv if left_key in meta else 1.0
+            right_ndv = meta[right_key].ndv if right_key in meta else 1.0
+            rows /= max(left_ndv, right_ndv, 1.0)
+        for predicate in residuals:
+            rows *= self.selectivity(predicate, meta)
+        return max(0.0, rows)
+
+    def group_rows(
+        self,
+        input_rows: float,
+        group_keys: Tuple[FieldKey, ...],
+        meta: ColMetaMap,
+    ) -> float:
+        """Estimated group count: product of key NDVs capped by rows."""
+        if input_rows <= 0:
+            return 0.0
+        distinct = 1.0
+        for key in group_keys:
+            distinct *= meta[key].ndv if key in meta else input_rows
+            if distinct >= input_rows:
+                return input_rows
+        return max(1.0, min(distinct, input_rows))
+
+    def having_selectivity(
+        self, predicate: Expression, meta: ColMetaMap
+    ) -> float:
+        """Selectivity of a HAVING conjunct. Conjuncts over grouping
+        columns use normal statistics; anything touching an aggregate
+        output falls back to the HAVING default."""
+        known = all(key in meta for key in predicate.columns())
+        if known:
+            return self.selectivity(predicate, meta)
+        return self.params.having_selectivity

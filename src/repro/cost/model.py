@@ -1,0 +1,483 @@
+"""The IO-only cost model: annotates plans with cardinality and cost.
+
+For every operator the model charges the same formulas the executor
+charges at runtime (``repro.engine.spill`` holds the shared spill
+arithmetic), evaluated over *estimated* page counts. ``PlanProps``
+carries the derived properties the paper's algorithms consume:
+
+- ``rows`` / ``pages`` — data-reduction effects of group-by placement;
+- ``width`` — the projection-size disadvantage of pull-up (Section 3)
+  and the greedy conservative heuristic's width guard (Section 5.2);
+- ``order`` — interesting orders (grouping columns, join columns);
+- ``cost`` — cumulative page IO, the optimizer's objective;
+- ``colmeta`` — per-column distinct counts and ranges for downstream
+  selectivity estimation.
+
+The model satisfies the principle of optimality the paper assumes
+(Section 5): a node's cost is its children's cost plus a local charge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Optional, Tuple
+
+from ..algebra.expressions import FieldKey
+from ..algebra.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    RenameNode,
+    ScanNode,
+    SortNode,
+)
+from ..catalog.catalog import Catalog
+from ..catalog.schema import RID_COLUMN
+from ..engine.spill import (
+    external_sort_extra_io,
+    hash_group_extra_io,
+    hash_spill_extra_io,
+    nlj_blocks,
+)
+from ..errors import PlanError
+from ..storage.page import pages_for
+from .cardinality import CardinalityEstimator, ColMeta, ColMetaMap
+from .params import CostParams
+
+
+@dataclass
+class PlanProps:
+    """Derived properties of an annotated plan node."""
+
+    rows: float
+    width: int
+    pages: float
+    cost: float
+    order: Tuple[FieldKey, ...] = ()
+    colmeta: ColMetaMap = dataclass_field(default_factory=dict)
+
+    @property
+    def total_width_bytes(self) -> float:
+        return self.rows * self.width
+
+
+def executed_weighted_cost(
+    plan: PlanNode, params: CostParams, executed_io: int
+) -> float:
+    """The executed counterpart of the weighted CPU+IO objective:
+    measured page IO plus the CPU weight times the *actual* tuples each
+    operator produced (recorded by the executor)."""
+    from ..algebra.plan import plan_nodes
+
+    cpu_tuples = sum(
+        node.actual_rows or 0 for node in plan_nodes(plan)
+    )
+    return executed_io + params.cpu_tuple_weight * cpu_tuples
+
+
+def estimated_pages(rows: float, width: int) -> float:
+    """Fractional page estimate consistent with storage pagination."""
+    return float(pages_for(int(math.ceil(max(0.0, rows))), width))
+
+
+class CostModel:
+    """Annotates plan trees bottom-up with :class:`PlanProps`."""
+
+    def __init__(self, catalog: Catalog, params: Optional[CostParams] = None):
+        self.catalog = catalog
+        self.params = params or CostParams()
+        self.estimator = CardinalityEstimator(self.params)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def annotate(self, plan: PlanNode) -> PlanProps:
+        """Annotate *plan* assuming its children are already annotated."""
+        if isinstance(plan, ScanNode):
+            props = self._annotate_scan(plan)
+        elif isinstance(plan, JoinNode):
+            props = self._annotate_join(plan)
+        elif isinstance(plan, GroupByNode):
+            props = self._annotate_group_by(plan)
+        elif isinstance(plan, SortNode):
+            props = self._annotate_sort(plan)
+        elif isinstance(plan, RenameNode):
+            props = self._annotate_rename(plan)
+        elif isinstance(plan, ProjectNode):
+            props = self._annotate_project(plan)
+        elif isinstance(plan, FilterNode):
+            props = self._annotate_filter(plan)
+        elif isinstance(plan, LimitNode):
+            props = self._annotate_limit(plan)
+        else:
+            raise PlanError(f"cannot cost node type {type(plan).__name__}")
+        if self.params.cpu_tuple_weight:
+            # the Section 5 adaptation: weighted CPU + IO objective
+            props.cost += self.params.cpu_tuple_weight * props.rows
+        plan.props = props
+        return props
+
+    def annotate_tree(self, plan: PlanNode) -> PlanProps:
+        """Annotate a whole (possibly hand-built) plan tree."""
+        for child in plan.children:
+            self.annotate_tree(child)
+        return self.annotate(plan)
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def _annotate_scan(self, plan: ScanNode) -> PlanProps:
+        stats = self.catalog.stats(plan.table_name)
+        table_rows = float(stats.row_count)
+        meta: ColMetaMap = {}
+        table = self.catalog.table(plan.table_name)
+        for column in table.columns:
+            meta[(plan.alias, column.name)] = ColMeta.from_stats(
+                stats.column(column.name), table_rows
+            )
+        meta[(plan.alias, RID_COLUMN)] = ColMeta(ndv=max(1.0, table_rows))
+
+        selectivity = 1.0
+        for predicate in plan.filters:
+            selectivity *= self.estimator.selectivity(predicate, meta)
+        rows = table_rows * selectivity
+
+        order: Tuple[FieldKey, ...] = ()
+        if plan.index_name is not None:
+            info = self.catalog.info(plan.table_name)
+            index = info.indexes.get(plan.index_name)
+            if index is None:
+                raise PlanError(
+                    f"unknown index {plan.index_name!r} in scan of "
+                    f"{plan.table_name!r}"
+                )
+            # Equality probe: traversal (which reaches the first leaf) +
+            # extra leaf pages + one data page per matching tuple
+            # (unclustered discipline, mirroring OrderedIndex charging).
+            eq_meta = meta.get((plan.alias, index.column_names[0]))
+            matches = table_rows / max(1.0, eq_meta.ndv if eq_meta else 1.0)
+            extra_leaves = max(
+                0.0, math.ceil(matches / index.entries_per_page) - 1
+            )
+            cost = index.height + extra_leaves + matches
+            order = tuple((plan.alias, name) for name in index.column_names)
+        else:
+            cost = float(stats.page_count)
+
+        out_meta = {
+            key: value.clamped(rows)
+            for key, value in meta.items()
+            if plan.schema.has(*key)
+        }
+        return PlanProps(
+            rows=rows,
+            width=plan.schema.width,
+            pages=estimated_pages(rows, plan.schema.width),
+            cost=cost,
+            order=order,
+            colmeta=out_meta,
+        )
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _annotate_join(self, plan: JoinNode) -> PlanProps:
+        left = plan.left.props
+        right = plan.right.props
+        if left is None or (right is None and plan.method != "inlj"):
+            raise PlanError("join children must be annotated first")
+
+        meta: ColMetaMap = dict(left.colmeta)
+        if plan.method == "inlj":
+            right_meta, right_rows = self._inner_scan_meta(plan)
+            meta.update(right_meta)
+        else:
+            meta.update(right.colmeta)
+            right_rows = right.rows
+
+        rows = self.estimator.join_rows(
+            left.rows, right_rows, plan.equi_keys, plan.residuals, meta
+        )
+        # Equality propagates the smaller NDV to both sides.
+        for left_key, right_key in plan.equi_keys:
+            if left_key in meta and right_key in meta:
+                shared = min(meta[left_key].ndv, meta[right_key].ndv)
+                meta[left_key] = ColMeta(
+                    shared, meta[left_key].min_value, meta[left_key].max_value
+                )
+                meta[right_key] = ColMeta(
+                    shared, meta[right_key].min_value, meta[right_key].max_value
+                )
+
+        cost, order = self._join_cost(plan, left, right, rows)
+
+        out_meta = {
+            key: value.clamped(rows)
+            for key, value in meta.items()
+            if plan.schema.has(*key)
+        }
+        return PlanProps(
+            rows=rows,
+            width=plan.schema.width,
+            pages=estimated_pages(rows, plan.schema.width),
+            cost=cost,
+            order=order,
+            colmeta=out_meta,
+        )
+
+    def _inner_scan_meta(self, plan: JoinNode):
+        """Column metadata of an INLJ inner (never fully scanned)."""
+        inner = plan.right
+        if not isinstance(inner, ScanNode):
+            raise PlanError("index NLJ requires a base-table inner scan")
+        stats = self.catalog.stats(inner.table_name)
+        table = self.catalog.table(inner.table_name)
+        table_rows = float(stats.row_count)
+        meta: ColMetaMap = {}
+        for column in table.columns:
+            meta[(inner.alias, column.name)] = ColMeta.from_stats(
+                stats.column(column.name), table_rows
+            )
+        meta[(inner.alias, RID_COLUMN)] = ColMeta(ndv=max(1.0, table_rows))
+        selectivity = 1.0
+        for predicate in inner.filters:
+            selectivity *= self.estimator.selectivity(predicate, meta)
+        return meta, table_rows * selectivity
+
+    def _join_cost(self, plan, left, right, rows):
+        memory = self.params.memory_pages
+        method = plan.method
+
+        if method == "hj":
+            extra = hash_spill_extra_io(right.pages, left.pages, memory)
+            return left.cost + right.cost + extra, ()
+
+        if method == "smj":
+            left_keys = tuple(pair[0] for pair in plan.equi_keys)
+            right_keys = tuple(pair[1] for pair in plan.equi_keys)
+            cost = left.cost + right.cost
+            if left.order[: len(left_keys)] != left_keys:
+                cost += external_sort_extra_io(left.pages, memory)
+            if right.order[: len(right_keys)] != right_keys:
+                cost += external_sort_extra_io(right.pages, memory)
+            return cost, left_keys
+
+        if method == "inlj":
+            inner = plan.right
+            info = self.catalog.info(inner.table_name)
+            index = info.indexes.get(plan.index_name or "")
+            if index is None:
+                raise PlanError(
+                    f"unknown index {plan.index_name!r} for index NLJ"
+                )
+            stats = self.catalog.stats(inner.table_name)
+            table_rows = float(stats.row_count)
+            column_stats = stats.column(index.column_names[0])
+            ndv = float(column_stats.n_distinct) if column_stats else 1.0
+            matches = table_rows / max(1.0, ndv)
+            extra_leaves = max(
+                0.0, math.ceil(matches / index.entries_per_page) - 1
+            )
+            probe_cost = index.height + extra_leaves + matches
+            return left.cost + left.rows * probe_cost, left.order
+
+        # Block nested-loop join.
+        blocks = nlj_blocks(left.pages, memory)
+        inner_is_scan = (
+            isinstance(plan.right, ScanNode) and plan.right.index_name is None
+        )
+        cache_pages = max(1, memory - 2)
+        if inner_is_scan:
+            table_pages = float(self.catalog.stats(plan.right.table_name).page_count)
+            if table_pages <= cache_pages or blocks == 1:
+                inner_cost = right.cost  # single scan (cached or one block)
+            else:
+                inner_cost = right.cost + (blocks - 1) * table_pages
+        else:
+            if right.pages <= cache_pages:
+                inner_cost = right.cost
+            else:
+                inner_cost = right.cost + right.pages + blocks * right.pages
+        return left.cost + inner_cost, left.order
+
+    # ------------------------------------------------------------------
+    # Group-by, sort, rename
+    # ------------------------------------------------------------------
+
+    def _annotate_group_by(self, plan: GroupByNode) -> PlanProps:
+        child = plan.child.props
+        if child is None:
+            raise PlanError("group-by child must be annotated first")
+        meta = dict(child.colmeta)
+        groups = self.estimator.group_rows(child.rows, plan.group_keys, meta)
+
+        internal_width = plan.internal_schema.width
+        if plan.method == "sort":
+            child_keys = set(plan.group_keys)
+            prefix = set(child.order[: len(plan.group_keys)])
+            if prefix != child_keys:
+                raise PlanError(
+                    "sort-based group-by requires input ordered on the "
+                    "grouping columns (insert a SortNode)"
+                )
+            extra = 0.0
+            order = child.order
+        else:
+            extra = hash_group_extra_io(
+                child.pages,
+                estimated_pages(groups, internal_width),
+                self.params.memory_pages,
+            )
+            order = ()
+
+        # aggregate outputs: one distinct value per group at worst
+        for name, _call in plan.aggregates:
+            meta[(None, name)] = ColMeta(ndv=max(1.0, groups))
+        for key in plan.group_keys:
+            if key in meta:
+                meta[key] = meta[key].clamped(groups)
+
+        rows = groups
+        for predicate in plan.having:
+            rows *= self.estimator.having_selectivity(predicate, meta)
+
+        out_meta = {
+            key: value.clamped(rows)
+            for key, value in meta.items()
+            if plan.schema.has(*key)
+        }
+        out_order = tuple(
+            key for key in order if plan.schema.has(*key)
+        ) if order else ()
+        return PlanProps(
+            rows=rows,
+            width=plan.schema.width,
+            pages=estimated_pages(rows, plan.schema.width),
+            cost=child.cost + extra,
+            order=out_order,
+            colmeta=out_meta,
+        )
+
+    def _annotate_sort(self, plan: SortNode) -> PlanProps:
+        child = plan.child.props
+        if child is None:
+            raise PlanError("sort child must be annotated first")
+        ascending_only = not any(plan.descending)
+        if ascending_only and child.order[: len(plan.keys)] == plan.keys:
+            extra = 0.0
+        else:
+            extra = external_sort_extra_io(
+                child.pages, self.params.memory_pages
+            )
+        return PlanProps(
+            rows=child.rows,
+            width=child.width,
+            pages=child.pages,
+            cost=child.cost + extra,
+            order=plan.keys if ascending_only else (),
+            colmeta=dict(child.colmeta),
+        )
+
+    def _annotate_limit(self, plan: LimitNode) -> PlanProps:
+        child = plan.child.props
+        if child is None:
+            raise PlanError("limit child must be annotated first")
+        rows = min(child.rows, float(plan.count))
+        return PlanProps(
+            rows=rows,
+            width=child.width,
+            pages=estimated_pages(rows, child.width),
+            cost=child.cost,
+            order=child.order,
+            colmeta={
+                key: value.clamped(rows)
+                for key, value in child.colmeta.items()
+            },
+        )
+
+    def _annotate_filter(self, plan: FilterNode) -> PlanProps:
+        child = plan.child.props
+        if child is None:
+            raise PlanError("filter child must be annotated first")
+        selectivity = 1.0
+        for predicate in plan.predicates:
+            selectivity *= self.estimator.having_selectivity(
+                predicate, child.colmeta
+            )
+        rows = child.rows * selectivity
+        meta = {
+            key: value.clamped(rows)
+            for key, value in child.colmeta.items()
+        }
+        return PlanProps(
+            rows=rows,
+            width=child.width,
+            pages=estimated_pages(rows, child.width),
+            cost=child.cost,
+            order=child.order,
+            colmeta=meta,
+        )
+
+    def _annotate_project(self, plan: ProjectNode) -> PlanProps:
+        child = plan.child.props
+        if child is None:
+            raise PlanError("project child must be annotated first")
+        from ..algebra.expressions import ColumnRef
+
+        meta: ColMetaMap = {}
+        order = []
+        copied = {}  # child key -> output key, for plain column copies
+        for alias, name, expression in plan.outputs:
+            if isinstance(expression, ColumnRef) and expression.key in child.colmeta:
+                meta[(alias, name)] = child.colmeta[expression.key]
+                copied[expression.key] = (alias, name)
+            else:
+                meta[(alias, name)] = ColMeta(ndv=max(1.0, child.rows))
+        for key in child.order:
+            if key in copied:
+                order.append(copied[key])
+            else:
+                break
+        return PlanProps(
+            rows=child.rows,
+            width=plan.schema.width,
+            pages=estimated_pages(child.rows, plan.schema.width),
+            cost=child.cost,
+            order=tuple(order),
+            colmeta=meta,
+        )
+
+    def _annotate_rename(self, plan: RenameNode) -> PlanProps:
+        child = plan.child.props
+        if child is None:
+            raise PlanError("rename child must be annotated first")
+        remap = {
+            source: (new_alias, new_name)
+            for new_alias, new_name, source in plan.mapping
+        }
+        meta = {
+            remap[key]: value
+            for key, value in child.colmeta.items()
+            if key in remap
+        }
+        order = []
+        for key in child.order:
+            if key in remap:
+                order.append(remap[key])
+            else:
+                break  # order is only meaningful as a prefix
+        return PlanProps(
+            rows=child.rows,
+            width=plan.schema.width,
+            pages=estimated_pages(child.rows, plan.schema.width),
+            cost=child.cost,
+            order=tuple(order),
+            colmeta=meta,
+        )

@@ -1,0 +1,107 @@
+"""Column data types and their physical widths.
+
+The cost model in the paper is IO-only (Section 5), which makes the byte
+width of intermediate tuples a first-class quantity: pulling up a group-by
+widens tuples ("Increased Size of Projection Columns", Section 3), and the
+greedy conservative heuristic explicitly compares widths (Section 5.2).
+This module defines the small type system used to compute those widths.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from .errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Supported column types with fixed physical widths in bytes."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    BOOL = "bool"
+    DATE = "date"  # stored as integer day number
+
+    @property
+    def width(self) -> int:
+        """Physical width in bytes used for page-count estimation."""
+        return _WIDTHS[self]
+
+    def validate(self, value: Any) -> Any:
+        """Check *value* against this type, returning the canonical form.
+
+        Raises :class:`SchemaError` on a mismatch. ``None`` is rejected:
+        the paper assumes a NULL-free database (Section 2).
+        """
+        if value is None:
+            raise SchemaError(
+                "NULL values are outside the paper's scope (Section 2)"
+            )
+        checker = _CHECKERS[self]
+        converted = checker(value)
+        if converted is _INVALID:
+            raise SchemaError(f"value {value!r} is not a valid {self.value}")
+        return converted
+
+
+_WIDTHS = {
+    DataType.INT: 4,
+    DataType.FLOAT: 8,
+    DataType.STR: 16,  # average string payload assumed by the cost model
+    DataType.BOOL: 1,
+    DataType.DATE: 4,
+}
+
+_INVALID = object()
+
+
+def _check_int(value: Any) -> Any:
+    if isinstance(value, bool):
+        return _INVALID
+    if isinstance(value, int):
+        return value
+    return _INVALID
+
+
+def _check_float(value: Any) -> Any:
+    if isinstance(value, bool):
+        return _INVALID
+    if isinstance(value, (int, float)):
+        return float(value)
+    return _INVALID
+
+
+def _check_str(value: Any) -> Any:
+    if isinstance(value, str):
+        return value
+    return _INVALID
+
+
+def _check_bool(value: Any) -> Any:
+    if isinstance(value, bool):
+        return value
+    return _INVALID
+
+
+_CHECKERS = {
+    DataType.INT: _check_int,
+    DataType.FLOAT: _check_float,
+    DataType.STR: _check_str,
+    DataType.BOOL: _check_bool,
+    DataType.DATE: _check_int,
+}
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value (for literals)."""
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STR
+    raise SchemaError(f"cannot infer a column type for {value!r}")

@@ -1,0 +1,285 @@
+"""The end-to-end facade: a small in-process database with a cost-based
+optimizer for queries over aggregate views.
+
+Typical use::
+
+    db = Database()
+    db.create_table("emp", [("eno", "int"), ("dno", "int"),
+                            ("sal", "float"), ("age", "int")],
+                    primary_key=["eno"])
+    db.insert("emp", rows)
+    result = db.query('''
+        with a1(dno, asal) as (select e2.dno, avg(e2.sal)
+                               from emp e2 group by e2.dno)
+        select e1.sal from emp e1, a1 b
+        where e1.dno = b.dno and e1.age < 22 and e1.sal > b.asal
+    ''')
+    print(result.rows, result.estimated_cost, result.executed_io)
+    print(result.explain())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .algebra.plan import PlanNode, explain as explain_plan
+from .algebra.query import CanonicalQuery
+from .catalog.catalog import Catalog, ForeignKey
+from .catalog.schema import Column
+from .cost.params import CostParams
+from .datatypes import DataType
+from .engine.context import ExecutionContext, Result
+from .engine.executor import execute_plan
+from .engine.reference import evaluate_canonical
+from .errors import CatalogError, ReproError
+from .optimizer.canonical import (
+    OptimizationResult,
+    optimize_query,
+    optimize_traditional,
+)
+from .optimizer.options import OptimizerOptions
+from .sql.ast import ViewDefAst
+from .sql.binder import bind_sql
+from .sql.parser import parse_select
+from .storage.iocounter import IOCounter, IOSnapshot
+
+_TYPE_NAMES = {
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "float": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "str": DataType.STR,
+    "string": DataType.STR,
+    "text": DataType.STR,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+    "date": DataType.DATE,
+}
+
+OPTIMIZERS = ("full", "greedy", "traditional")
+"""Available optimizer levels.
+
+- ``"traditional"`` — Section 5.1 two-phase baseline.
+- ``"greedy"`` — traditional phases but each block uses the greedy
+  conservative heuristic (push-down only, no pull-up).
+- ``"full"`` — the complete Section 5.3/5.4 algorithm (default).
+"""
+
+
+@dataclass
+class QueryResult:
+    """Everything one query run produced."""
+
+    rows: List[Tuple[Any, ...]]
+    columns: List[str]
+    plan: PlanNode
+    estimated_cost: float
+    executed_io: Optional[IOSnapshot]
+    optimization: OptimizationResult
+    sql: str = ""
+
+    def explain(self, analyze: bool = False) -> str:
+        """The plan as text; ``analyze=True`` adds executed row counts
+        (available after the query ran)."""
+        return explain_plan(self.plan, analyze=analyze)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """An in-memory relational database with IO-accounted storage and
+    the paper's aggregate-view optimizer."""
+
+    def __init__(self, params: Optional[CostParams] = None):
+        self.catalog = Catalog()
+        self.params = params or CostParams()
+        self.io = IOCounter()
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Union[Column, Tuple[str, str]]],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Create a table. Columns are ``Column`` objects or
+        ``(name, type_name)`` pairs with types int/float/str/bool/date."""
+        resolved: List[Column] = []
+        for column in columns:
+            if isinstance(column, Column):
+                resolved.append(column)
+            else:
+                column_name, type_name = column
+                dtype = _TYPE_NAMES.get(type_name.lower())
+                if dtype is None:
+                    raise CatalogError(
+                        f"unknown column type {type_name!r} "
+                        f"(known: {sorted(_TYPE_NAMES)})"
+                    )
+                resolved.append(Column(column_name, dtype))
+        self.catalog.create_table(name, resolved, primary_key=primary_key)
+
+    def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> None:
+        self.catalog.table(table).insert_many(rows)
+        self.catalog.rebuild_indexes(table)
+
+    def create_index(
+        self, index_name: str, table: str, columns: Sequence[str]
+    ) -> None:
+        self.catalog.create_index(index_name, table, columns)
+
+    def add_foreign_key(
+        self,
+        table: str,
+        columns: Sequence[str],
+        ref_table: str,
+        ref_columns: Sequence[str],
+    ) -> ForeignKey:
+        return self.catalog.add_foreign_key(
+            table, columns, ref_table, ref_columns
+        )
+
+    def create_view(
+        self, name: str, column_names: Sequence[str], body_sql: str
+    ) -> None:
+        """Register a named view usable in any query's FROM list."""
+        body = parse_select(body_sql)
+        self.catalog.register_view(
+            name,
+            ViewDefAst(
+                name=name, column_names=tuple(column_names), body=body
+            ),
+        )
+
+    def analyze(self) -> None:
+        """Refresh statistics for all tables."""
+        self.catalog.analyze_all()
+
+    def execute(
+        self,
+        sql: str,
+        optimizer: str = "full",
+        options: Optional[OptimizerOptions] = None,
+    ) -> Optional[QueryResult]:
+        """Run any supported statement.
+
+        CREATE TABLE / CREATE INDEX / INSERT return ``None``; queries
+        return a :class:`QueryResult` (the same as :meth:`query`).
+        """
+        from .sql.ddl import (
+            CreateIndexStmt,
+            CreateTableStmt,
+            InsertStmt,
+            maybe_parse_ddl,
+        )
+
+        statement = maybe_parse_ddl(sql)
+        if statement is None:
+            return self.query(sql, optimizer=optimizer, options=options)
+        if isinstance(statement, CreateTableStmt):
+            self.create_table(
+                statement.name,
+                list(statement.columns),
+                primary_key=list(statement.primary_key) or None,
+            )
+            return None
+        if isinstance(statement, CreateIndexStmt):
+            self.create_index(
+                statement.name, statement.table, list(statement.columns)
+            )
+            return None
+        assert isinstance(statement, InsertStmt)
+        self.insert(statement.table, list(statement.rows))
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def bind(self, sql: str) -> CanonicalQuery:
+        """Parse and bind SQL to the canonical form without optimizing."""
+        return bind_sql(sql, self.catalog)
+
+    def optimize(
+        self,
+        sql: str,
+        optimizer: str = "full",
+        options: Optional[OptimizerOptions] = None,
+    ) -> OptimizationResult:
+        """Optimize without executing."""
+        query = self.bind(sql)
+        return self.optimize_bound(query, optimizer, options)
+
+    def optimize_bound(
+        self,
+        query: CanonicalQuery,
+        optimizer: str = "full",
+        options: Optional[OptimizerOptions] = None,
+    ) -> OptimizationResult:
+        if optimizer == "traditional":
+            return optimize_traditional(query, self.catalog, self.params)
+        if optimizer == "greedy":
+            greedy_options = OptimizerOptions(
+                enable_pullup=False,
+                enable_invariant_split=False,
+                enable_pushdown=True,
+            )
+            return optimize_query(
+                query, self.catalog, self.params, greedy_options
+            )
+        if optimizer == "full":
+            return optimize_query(query, self.catalog, self.params, options)
+        raise ReproError(
+            f"unknown optimizer {optimizer!r} (choose from {OPTIMIZERS})"
+        )
+
+    def execute_plan(self, plan: PlanNode) -> Tuple[Result, IOSnapshot]:
+        """Execute an annotated plan, returning rows and its IO delta."""
+        context = ExecutionContext(self.catalog, self.io, self.params)
+        with self.io.measure() as span:
+            result = execute_plan(plan, context)
+        return result, span.delta
+
+    def query(
+        self,
+        sql: str,
+        optimizer: str = "full",
+        options: Optional[OptimizerOptions] = None,
+        execute: bool = True,
+    ) -> QueryResult:
+        """Bind, optimize, and (by default) execute one SQL query."""
+        bound = self.bind(sql)
+        optimization = self.optimize_bound(bound, optimizer, options)
+        plan = optimization.plan
+        columns = [field.display() for field in plan.schema]
+        if execute:
+            result, delta = self.execute_plan(plan)
+            rows = result.rows
+            executed: Optional[IOSnapshot] = delta
+        else:
+            rows = []
+            executed = None
+        return QueryResult(
+            rows=rows,
+            columns=columns,
+            plan=plan,
+            estimated_cost=optimization.cost,
+            executed_io=executed,
+            optimization=optimization,
+            sql=sql,
+        )
+
+    def explain(self, sql: str, optimizer: str = "full") -> str:
+        return explain_plan(self.optimize(sql, optimizer).plan)
+
+    def reference(self, sql: str) -> Result:
+        """Evaluate by brute force (ground truth; no optimizer)."""
+        return evaluate_canonical(self.bind(sql), self.catalog)

@@ -1,0 +1,20 @@
+"""Physical execution: iterator operators, executor, reference evaluator.
+
+Plans produced by the optimizer (or built by hand) execute against the
+stored tables, charging page IO with exactly the formulas the cost model
+estimates with — spills, rescans, and materializations included — so a
+benchmark can put estimated IO and executed IO side by side.
+"""
+
+from .context import ExecutionContext, Result
+from .executor import execute_plan
+from .reference import evaluate_block, evaluate_canonical, rows_equal_bag
+
+__all__ = [
+    "ExecutionContext",
+    "Result",
+    "execute_plan",
+    "evaluate_block",
+    "evaluate_canonical",
+    "rows_equal_bag",
+]

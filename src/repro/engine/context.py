@@ -1,0 +1,47 @@
+"""Execution context and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from ..catalog.catalog import Catalog
+from ..catalog.schema import RowSchema
+from ..cost.params import CostParams
+from ..storage.iocounter import IOCounter
+from ..storage.page import pages_for
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a physical operator needs: catalog, IO counter, knobs."""
+
+    catalog: Catalog
+    io: IOCounter
+    params: CostParams = field(default_factory=CostParams)
+
+
+@dataclass
+class Result:
+    """A materialized (in Python memory) intermediate or final result."""
+
+    schema: RowSchema
+    rows: List[Tuple[Any, ...]]
+
+    @property
+    def pages(self) -> int:
+        """Pages this result would occupy if spilled/materialized."""
+        return pages_for(len(self.rows), self.schema.width)
+
+    def column(self, alias, name) -> List[Any]:
+        """Convenience accessor: all values of one output column."""
+        position = self.schema.index_of(alias, name)
+        return [row[position] for row in self.rows]
+
+    def as_dicts(self) -> List[dict]:
+        """Rows as ``{display_name: value}`` dicts (for examples/docs)."""
+        names = [field.display() for field in self.schema]
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

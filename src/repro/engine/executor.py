@@ -1,0 +1,61 @@
+"""Plan executor: dispatches plan nodes to physical operators."""
+
+from __future__ import annotations
+
+from ..algebra.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    RenameNode,
+    ScanNode,
+    SortNode,
+)
+from ..errors import ExecutionError
+from .context import ExecutionContext, Result
+from .groupby import (
+    execute_filter,
+    execute_group_by,
+    execute_limit,
+    execute_project,
+    execute_rename,
+    execute_sort,
+)
+from .join import execute_join
+from .scan import execute_scan
+
+
+def execute_plan(plan: PlanNode, context: ExecutionContext) -> Result:
+    """Execute an operator tree and return the materialized result.
+
+    Page IO is charged to ``context.io`` as execution proceeds; wrap the
+    call in ``context.io.measure()`` to attribute IO to one query. Each
+    node's actual output cardinality is recorded on ``node.actual_rows``
+    so ``explain(plan, analyze=True)`` can show estimates next to
+    actuals.
+    """
+    result = _dispatch(plan, context)
+    plan.actual_rows = len(result.rows)
+    return result
+
+
+def _dispatch(plan: PlanNode, context: ExecutionContext) -> Result:
+    if isinstance(plan, ScanNode):
+        return execute_scan(plan, context)
+    if isinstance(plan, JoinNode):
+        return execute_join(plan, context, execute_plan)
+    if isinstance(plan, GroupByNode):
+        return execute_group_by(plan, context, execute_plan)
+    if isinstance(plan, SortNode):
+        return execute_sort(plan, context, execute_plan)
+    if isinstance(plan, RenameNode):
+        return execute_rename(plan, context, execute_plan)
+    if isinstance(plan, ProjectNode):
+        return execute_project(plan, context, execute_plan)
+    if isinstance(plan, FilterNode):
+        return execute_filter(plan, context, execute_plan)
+    if isinstance(plan, LimitNode):
+        return execute_limit(plan, context, execute_plan)
+    raise ExecutionError(f"cannot execute node type {type(plan).__name__}")

@@ -1,0 +1,187 @@
+"""Execution of group-by (hash and sort-based), sort, and rename."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..algebra.aggregates import Accumulator
+from ..algebra.plan import (
+    FilterNode,
+    GroupByNode,
+    LimitNode,
+    ProjectNode,
+    RenameNode,
+    SortNode,
+)
+from .context import ExecutionContext, Result
+from .spill import external_sort_extra_io, hash_group_extra_io
+
+
+def execute_group_by(
+    plan: GroupByNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Group the child's rows (hash or sorted-run) and apply HAVING."""
+    child = run(plan.child, context)
+    child_schema = plan.child.schema
+    key_positions = [
+        child_schema.index_of(alias, name) for alias, name in plan.group_keys
+    ]
+    arg_evaluators = [
+        call.arg.bind(child_schema) if call.arg is not None else None
+        for _, call in plan.aggregates
+    ]
+    functions = [call.function() for _, call in plan.aggregates]
+
+    if plan.method == "sort":
+        groups = _sorted_groups(child.rows, key_positions, arg_evaluators, functions)
+    else:
+        groups = _hashed_groups(child.rows, key_positions, arg_evaluators, functions)
+        extra = hash_group_extra_io(
+            child.pages,
+            _group_pages(len(groups), plan.internal_schema.width),
+            context.params.memory_pages,
+        )
+        if extra:
+            context.io.write_pages(extra // 2)
+            context.io.read_pages(extra - extra // 2)
+
+    internal = plan.internal_schema
+    having_checks = [predicate.bind(internal) for predicate in plan.having]
+    out_positions = [
+        internal.index_of(alias, name) for alias, name in plan.projection
+    ]
+    rows: List[Tuple] = []
+    for key, accumulators in groups:
+        internal_row = key + tuple(acc.value() for acc in accumulators)
+        if all(check(internal_row) for check in having_checks):
+            rows.append(tuple(internal_row[p] for p in out_positions))
+    return Result(schema=plan.schema, rows=rows)
+
+
+def _hashed_groups(rows, key_positions, arg_evaluators, functions):
+    table: Dict[Tuple, List[Accumulator]] = {}
+    order: List[Tuple] = []
+    for row in rows:
+        key = tuple(row[p] for p in key_positions)
+        accumulators = table.get(key)
+        if accumulators is None:
+            accumulators = [function.make_accumulator() for function in functions]
+            table[key] = accumulators
+            order.append(key)
+        for accumulator, evaluate in zip(accumulators, arg_evaluators):
+            accumulator.add(evaluate(row) if evaluate is not None else None)
+    return [(key, table[key]) for key in order]
+
+
+def _sorted_groups(rows, key_positions, arg_evaluators, functions):
+    """Run-based aggregation over input sorted on the group keys.
+
+    The planner guarantees the ordering (a SortNode below, or an order-
+    producing child); we re-sort defensively if the input is small and
+    unsorted, which keeps hand-built plans usable in tests.
+    """
+    keyed = [(tuple(row[p] for p in key_positions), row) for row in rows]
+    if any(keyed[i][0] > keyed[i + 1][0] for i in range(len(keyed) - 1)):
+        keyed.sort(key=lambda pair: pair[0])
+    groups = []
+    current_key = None
+    accumulators: List[Accumulator] = []
+    for key, row in keyed:
+        if key != current_key:
+            if current_key is not None:
+                groups.append((current_key, accumulators))
+            current_key = key
+            accumulators = [function.make_accumulator() for function in functions]
+        for accumulator, evaluate in zip(accumulators, arg_evaluators):
+            accumulator.add(evaluate(row) if evaluate is not None else None)
+    if current_key is not None:
+        groups.append((current_key, accumulators))
+    return groups
+
+
+def _group_pages(group_count: int, width: int) -> int:
+    from ..storage.page import pages_for
+
+    return pages_for(group_count, width)
+
+
+def execute_sort(
+    plan: SortNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Sort the child's rows (stable, per-key direction), charging external-sort IO when the input exceeds memory."""
+    child = run(plan.child, context)
+    child_order = getattr(plan.child.props, "order", ()) if plan.child.props else ()
+    ascending_only = not any(plan.descending)
+    if ascending_only and tuple(
+        child_order[: len(plan.keys)]
+    ) == tuple(plan.keys):
+        return Result(schema=plan.schema, rows=child.rows)
+    extra = external_sort_extra_io(child.pages, context.params.memory_pages)
+    if extra:
+        context.io.write_pages(extra // 2)
+        context.io.read_pages(extra - extra // 2)
+    schema = plan.child.schema
+    rows = list(child.rows)
+    # stable multi-pass sort: apply keys from least to most significant
+    for key, descending in reversed(list(zip(plan.keys, plan.descending))):
+        position = schema.index_of(*key)
+        rows.sort(key=lambda row: row[position], reverse=descending)
+    return Result(schema=plan.schema, rows=rows)
+
+
+def execute_limit(
+    plan: LimitNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Keep the first N child rows."""
+    child = run(plan.child, context)
+    return Result(schema=plan.schema, rows=child.rows[: plan.count])
+
+
+def execute_filter(
+    plan: FilterNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Drop child rows failing any predicate (pipelined, no IO)."""
+    child = run(plan.child, context)
+    schema = plan.child.schema
+    checks = [predicate.bind(schema) for predicate in plan.predicates]
+    rows = [
+        row for row in child.rows if all(check(row) for check in checks)
+    ]
+    return Result(schema=plan.schema, rows=rows)
+
+
+def execute_project(
+    plan: ProjectNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Evaluate each output expression per child row."""
+    child = run(plan.child, context)
+    schema = plan.child.schema
+    evaluators = [
+        expression.bind(schema) for _, _, expression in plan.outputs
+    ]
+    rows = [
+        tuple(evaluate(row) for evaluate in evaluators) for row in child.rows
+    ]
+    return Result(schema=plan.schema, rows=rows)
+
+
+def execute_rename(
+    plan: RenameNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Permute/rename child columns per the node's mapping."""
+    child = run(plan.child, context)
+    positions = plan.positions
+    rows = [tuple(row[p] for p in positions) for row in child.rows]
+    return Result(schema=plan.schema, rows=rows)

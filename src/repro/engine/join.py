@@ -1,0 +1,233 @@
+"""Execution of the four join methods.
+
+IO discipline (mirrored by the cost model in ``repro.cost.model``):
+
+- **Block NLJ**: the outer is streamed in blocks of ``memory_pages - 2``
+  pages. An inner that fits in the remaining buffers is read once;
+  otherwise a base-table inner is rescanned per block and any other
+  inner is materialized (one write) and re-read per block.
+- **Index NLJ**: per outer row, a probe into the inner table's index;
+  the index itself charges traversal/leaf/data-page IO.
+- **Sort-merge**: each input is sorted unless already ordered on the
+  join keys; sorting charges :func:`external_sort_extra_io`.
+- **Hash**: build on the right input; a build side larger than memory
+  charges a Grace partitioning pass over both inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..algebra.plan import JoinNode, ScanNode
+from ..catalog.schema import RowSchema, table_row_schema
+from ..errors import ExecutionError
+from .context import ExecutionContext, Result
+from .spill import external_sort_extra_io, hash_spill_extra_io, nlj_blocks
+
+
+def execute_join(
+    plan: JoinNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Execute *plan*; *run* recursively executes child plans."""
+    left = run(plan.left, context)
+    combined = plan.left.schema.concat(plan.right.schema)
+    residual_checks = [
+        predicate.bind(combined) for predicate in plan.residuals
+    ]
+    positions = [
+        combined.index_of(alias, name) for alias, name in plan.projection
+    ]
+
+    if plan.method == "inlj":
+        joined = _index_nlj(plan, context, left)
+    else:
+        right = run(plan.right, context)
+        if plan.method == "hj":
+            joined = _hash_join(plan, context, left, right)
+        elif plan.method == "smj":
+            joined = _sort_merge_join(plan, context, left, right)
+        else:
+            joined = _block_nlj(plan, context, left, right)
+
+    rows: List[Tuple] = []
+    for row in joined:
+        if all(check(row) for check in residual_checks):
+            rows.append(tuple(row[position] for position in positions))
+    return Result(schema=plan.schema, rows=rows)
+
+
+def _key_positions(
+    schema: RowSchema, keys: List[Tuple[Optional[str], str]]
+) -> List[int]:
+    return [schema.index_of(alias, name) for alias, name in keys]
+
+
+def _block_nlj(
+    plan: JoinNode, context: ExecutionContext, left: Result, right: Result
+) -> List[Tuple]:
+    """Block nested-loop join; equi keys (if any) checked as predicates."""
+    memory = context.params.memory_pages
+    blocks = nlj_blocks(left.pages, memory)
+
+    # Charge the inner side's rescans. The first pass was charged when
+    # the right child executed (base scan) or is free (still in memory).
+    inner_is_scan = (
+        isinstance(plan.right, ScanNode) and plan.right.index_name is None
+    )
+    if inner_is_scan:
+        inner_pages = context.catalog.table(plan.right.table_name).num_pages
+        if inner_pages > max(1, memory - 2) and blocks > 1:
+            context.io.read_pages((blocks - 1) * inner_pages)
+    else:
+        inner_pages = right.pages
+        if inner_pages > max(1, memory - 2):
+            context.io.write_pages(inner_pages)  # materialize the inner
+            context.io.read_pages(blocks * inner_pages)
+
+    left_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+    right_positions = _key_positions(
+        plan.right.schema, [pair[1] for pair in plan.equi_keys]
+    )
+    rows: List[Tuple] = []
+    for left_row in left.rows:
+        left_key = tuple(left_row[p] for p in left_positions)
+        for right_row in right.rows:
+            if left_key == tuple(right_row[p] for p in right_positions):
+                rows.append(left_row + right_row)
+    return rows
+
+
+def _index_nlj(
+    plan: JoinNode, context: ExecutionContext, left: Result
+) -> List[Tuple]:
+    """Index nested-loop join: probe the inner table's index per outer
+    row, applying the inner scan's filters to fetched rows."""
+    inner = plan.right
+    if not isinstance(inner, ScanNode):
+        raise ExecutionError("index NLJ requires a base-table inner")
+    info = context.catalog.info(inner.table_name)
+    index = info.indexes.get(plan.index_name or "")
+    if index is None:
+        raise ExecutionError(
+            f"index {plan.index_name!r} not found on {inner.table_name!r}"
+        )
+
+    # The index must be on the inner join columns, in equi-key order.
+    inner_join_columns = [name for (_, (_, name)) in plan.equi_keys]
+    if list(index.column_names[: len(inner_join_columns)]) != inner_join_columns:
+        raise ExecutionError(
+            f"index {index.name!r} does not cover join columns "
+            f"{inner_join_columns}"
+        )
+
+    table = info.table
+    inner_full = table_row_schema(inner.alias, table.columns, include_rid=True)
+    checks = [predicate.bind(inner_full) for predicate in inner.filters]
+    inner_positions = [
+        inner_full.index_of(field.alias, field.name) for field in inner.schema
+    ]
+    left_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+
+    rows: List[Tuple] = []
+    for left_row in left.rows:
+        probe = tuple(left_row[p] for p in left_positions)
+        for inner_row in index.lookup_rows(context.io, probe, include_rid=True):
+            if all(check(inner_row) for check in checks):
+                projected = tuple(inner_row[p] for p in inner_positions)
+                rows.append(left_row + projected)
+    return rows
+
+
+def _hash_join(
+    plan: JoinNode, context: ExecutionContext, left: Result, right: Result
+) -> List[Tuple]:
+    """Hash join, build side right, probe side left."""
+    extra = hash_spill_extra_io(
+        right.pages, left.pages, context.params.memory_pages
+    )
+    if extra:
+        context.io.write_pages(extra // 2)
+        context.io.read_pages(extra - extra // 2)
+
+    left_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+    right_positions = _key_positions(
+        plan.right.schema, [pair[1] for pair in plan.equi_keys]
+    )
+    buckets: dict = {}
+    for right_row in right.rows:
+        key = tuple(right_row[p] for p in right_positions)
+        buckets.setdefault(key, []).append(right_row)
+    rows: List[Tuple] = []
+    for left_row in left.rows:
+        key = tuple(left_row[p] for p in left_positions)
+        for right_row in buckets.get(key, ()):
+            rows.append(left_row + right_row)
+    return rows
+
+
+def _sort_merge_join(
+    plan: JoinNode, context: ExecutionContext, left: Result, right: Result
+) -> List[Tuple]:
+    """Sort-merge join; charges sorts unless an input is pre-ordered."""
+    memory = context.params.memory_pages
+    left_keys = [pair[0] for pair in plan.equi_keys]
+    right_keys = [pair[1] for pair in plan.equi_keys]
+    left_positions = _key_positions(plan.left.schema, left_keys)
+    right_positions = _key_positions(plan.right.schema, right_keys)
+
+    for result, child, positions in (
+        (left, plan.left, left_positions),
+        (right, plan.right, right_positions),
+    ):
+        order = getattr(child.props, "order", ()) if child.props else ()
+        keys = left_keys if result is left else right_keys
+        if tuple(order[: len(keys)]) != tuple(keys):
+            extra = external_sort_extra_io(result.pages, memory)
+            if extra:
+                context.io.write_pages(extra // 2)
+                context.io.read_pages(extra - extra // 2)
+            result.rows.sort(key=lambda row: _sort_key(row, positions))
+        # pre-ordered inputs merge for free
+
+    rows: List[Tuple] = []
+    i = 0
+    j = 0
+    left_rows, right_rows = left.rows, right.rows
+    while i < len(left_rows) and j < len(right_rows):
+        left_key = _sort_key(left_rows[i], left_positions)
+        right_key = _sort_key(right_rows[j], right_positions)
+        if left_key < right_key:
+            i += 1
+        elif left_key > right_key:
+            j += 1
+        else:
+            # collect the equal-key run on each side, emit the product
+            i_end = i
+            while (
+                i_end < len(left_rows)
+                and _sort_key(left_rows[i_end], left_positions) == left_key
+            ):
+                i_end += 1
+            j_end = j
+            while (
+                j_end < len(right_rows)
+                and _sort_key(right_rows[j_end], right_positions) == right_key
+            ):
+                j_end += 1
+            for left_row in left_rows[i:i_end]:
+                for right_row in right_rows[j:j_end]:
+                    rows.append(left_row + right_row)
+            i, j = i_end, j_end
+    return rows
+
+
+def _sort_key(row: Tuple, positions: List[int]) -> Tuple[Any, ...]:
+    return tuple(row[p] for p in positions)

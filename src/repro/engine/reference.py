@@ -1,0 +1,187 @@
+"""Brute-force reference evaluator.
+
+Evaluates query blocks and canonical queries directly from their
+definitions — cartesian products, predicate filtering, dictionary
+grouping — with no optimizer, no plans, and no IO accounting. It is the
+ground truth that every transformation and every optimizer plan is
+checked against in the test suite: if a pulled-up or pushed-down plan
+disagrees with this evaluator, the transformation is wrong.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.aggregates import Accumulator
+from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock
+from ..catalog.catalog import Catalog
+from ..catalog.schema import Field, RowSchema, table_row_schema
+from .context import Result
+
+
+def evaluate_block(block: QueryBlock, catalog: Catalog) -> Result:
+    """Evaluate one single-block query by brute force."""
+    sources = [_table_source(ref, catalog) for ref in block.relations]
+    return _evaluate_over(
+        sources,
+        block.predicates,
+        block.group_by,
+        block.aggregates,
+        block.having,
+        block.select,
+    )
+
+
+def _table_source(ref, catalog: Catalog) -> Result:
+    """A base table as a source, with the hidden row id exposed so
+    rid-keyed pulled-up queries evaluate under the reference too."""
+    table = catalog.table(ref.table)
+    schema = table_row_schema(ref.alias, table.columns, include_rid=True)
+    rows = [row + (rid,) for rid, row in enumerate(table.rows)]
+    return Result(schema=schema, rows=rows)
+
+
+def evaluate_view(view: AggregateView, catalog: Catalog) -> Result:
+    """Evaluate an aggregate view; outputs are ``view_alias.column``."""
+    inner = evaluate_block(view.block, catalog)
+    fields = [
+        Field(view.alias, field.name, field.dtype) for field in inner.schema
+    ]
+    return Result(schema=RowSchema(fields), rows=inner.rows)
+
+
+def evaluate_canonical(query: CanonicalQuery, catalog: Catalog) -> Result:
+    """Evaluate a Figure 3 canonical query by brute force: materialize
+    each aggregate view, then evaluate the outer block."""
+    sources = [_table_source(ref, catalog) for ref in query.base_tables]
+    for view in query.views:
+        sources.append(evaluate_view(view, catalog))
+    result = _evaluate_over(
+        sources,
+        query.predicates,
+        query.group_by,
+        query.aggregates,
+        query.having,
+        query.select,
+    )
+    if query.order_by:
+        rows = list(result.rows)
+        for name, descending in reversed(query.order_by):
+            position = result.schema.index_of(None, name)
+            rows.sort(key=lambda row: row[position], reverse=descending)
+        result = Result(schema=result.schema, rows=rows)
+    if query.limit is not None:
+        result = Result(
+            schema=result.schema, rows=result.rows[: query.limit]
+        )
+    return result
+
+
+def _evaluate_over(
+    sources: Sequence[Result],
+    predicates,
+    group_by,
+    aggregates,
+    having,
+    select,
+) -> Result:
+    schema = sources[0].schema
+    for source in sources[1:]:
+        schema = schema.concat(source.schema)
+    checks = [predicate.bind(schema) for predicate in predicates]
+
+    joined: List[Tuple[Any, ...]] = []
+    for combo in itertools.product(*(source.rows for source in sources)):
+        row = tuple(itertools.chain.from_iterable(combo))
+        if all(check(row) for check in checks):
+            joined.append(row)
+
+    if not group_by:
+        evaluators = [source.bind(schema) for _, source in select]
+        rows = [
+            tuple(evaluate(row) for evaluate in evaluators) for row in joined
+        ]
+        out_schema = RowSchema(
+            Field(None, name, source.dtype(schema))
+            for name, source in select
+        )
+        return Result(schema=out_schema, rows=rows)
+
+    key_positions = [
+        schema.index_of(reference.alias, reference.name)
+        for reference in group_by
+    ]
+    functions = [call.function() for _, call in aggregates]
+    arg_evaluators = [
+        call.arg.bind(schema) if call.arg is not None else None
+        for _, call in aggregates
+    ]
+    groups: Dict[Tuple, List[Accumulator]] = {}
+    order: List[Tuple] = []
+    for row in joined:
+        key = tuple(row[p] for p in key_positions)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [function.make_accumulator() for function in functions]
+            groups[key] = accumulators
+            order.append(key)
+        for accumulator, evaluate in zip(accumulators, arg_evaluators):
+            accumulator.add(evaluate(row) if evaluate is not None else None)
+
+    internal_fields = [schema.fields[p] for p in key_positions]
+    internal_fields += [
+        Field(None, name, call.output_dtype(schema))
+        for name, call in aggregates
+    ]
+    internal_schema = RowSchema(internal_fields)
+    having_checks = [predicate.bind(internal_schema) for predicate in having]
+    evaluators = [source.bind(internal_schema) for _, source in select]
+    out_schema = RowSchema(
+        Field(None, name, source.dtype(internal_schema))
+        for name, source in select
+    )
+    rows = []
+    for key in order:
+        internal_row = key + tuple(acc.value() for acc in groups[key])
+        if all(check(internal_row) for check in having_checks):
+            rows.append(tuple(evaluate(internal_row) for evaluate in evaluators))
+    return Result(schema=out_schema, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Bag comparison (for equivalence tests)
+# ----------------------------------------------------------------------
+
+
+def _normalize(value: Any) -> Any:
+    if isinstance(value, float):
+        return round(value, 9)
+    return value
+
+
+def rows_equal_bag(
+    left: Sequence[Tuple[Any, ...]],
+    right: Sequence[Tuple[Any, ...]],
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Multiset equality of row collections, tolerant to float noise and
+    row order (SQL results are bags)."""
+    if len(left) != len(right):
+        return False
+    key = lambda row: tuple(  # noqa: E731 - local sort key
+        (str(type(v)), _normalize(v)) for v in row
+    )
+    left_sorted = sorted(left, key=key)
+    right_sorted = sorted(right, key=key)
+    for row_a, row_b in zip(left_sorted, right_sorted):
+        if len(row_a) != len(row_b):
+            return False
+        for a, b in zip(row_a, row_b):
+            if isinstance(a, float) or isinstance(b, float):
+                if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-9):
+                    return False
+            elif a != b:
+                return False
+    return True

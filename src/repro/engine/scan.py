@@ -1,0 +1,44 @@
+"""Execution of table scans (heap and index access paths)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..algebra.plan import ScanNode
+from ..catalog.schema import table_row_schema
+from ..errors import ExecutionError
+from .context import ExecutionContext, Result
+
+
+def execute_scan(plan: ScanNode, context: ExecutionContext) -> Result:
+    """Scan a stored table, apply the scan's filters, project.
+
+    Filters are evaluated against the full table row (selection happens
+    while scanning, before projection), so a filter may reference columns
+    the scan does not output.
+    """
+    table = context.catalog.table(plan.table_name)
+    full_schema = table_row_schema(plan.alias, table.columns, include_rid=True)
+    checks = [predicate.bind(full_schema) for predicate in plan.filters]
+    positions = [
+        full_schema.index_of(field.alias, field.name) for field in plan.schema
+    ]
+
+    if plan.index_name is not None:
+        info = context.catalog.info(plan.table_name)
+        index = info.indexes.get(plan.index_name)
+        if index is None:
+            raise ExecutionError(
+                f"index {plan.index_name!r} not found on {plan.table_name!r}"
+            )
+        source = index.lookup_rows(
+            context.io, plan.index_values, include_rid=True
+        )
+    else:
+        source = table.scan(context.io, include_rid=True)
+
+    rows: List[Tuple] = []
+    for row in source:
+        if all(check(row) for check in checks):
+            rows.append(tuple(row[position] for position in positions))
+    return Result(schema=plan.schema, rows=rows)

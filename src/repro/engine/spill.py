@@ -1,0 +1,55 @@
+"""Shared spill-IO formulas.
+
+These formulas are the single source of truth for out-of-memory charges:
+the cost model calls them with *estimated* page counts, the executor with
+*actual* ones. Keeping them in one place is what makes experiment E12
+(cost-model fidelity) meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def external_sort_extra_io(pages: int, memory_pages: int) -> int:
+    """Extra page IO to sort a *pages*-page stream with *memory_pages*
+    buffers, beyond reading the input once.
+
+    In-memory sorts are free. External sorts write initial runs, then
+    each merge pass reads and writes everything; the final merge streams
+    out without a write. Total: ``2 * pages * merge_passes``.
+    """
+    pages = max(1, int(math.ceil(pages)))
+    if pages <= memory_pages:
+        return 0
+    runs = math.ceil(pages / memory_pages)
+    fan_in = max(2, memory_pages - 1)
+    passes = max(1, math.ceil(math.log(runs, fan_in)))
+    return 2 * pages * passes
+
+
+def hash_spill_extra_io(
+    build_pages: int, probe_pages: int, memory_pages: int
+) -> int:
+    """Extra page IO of a Grace hash join when the build side exceeds
+    memory: one partitioning pass writes and re-reads both inputs."""
+    if build_pages <= memory_pages:
+        return 0
+    return 2 * (int(math.ceil(build_pages)) + int(math.ceil(probe_pages)))
+
+
+def hash_group_extra_io(
+    input_pages: int, group_pages: int, memory_pages: int
+) -> int:
+    """Extra page IO of hash aggregation when the group table exceeds
+    memory: partition the input to disk and re-read it."""
+    if group_pages <= memory_pages:
+        return 0
+    return 2 * int(math.ceil(input_pages))
+
+
+def nlj_blocks(outer_pages: int, memory_pages: int) -> int:
+    """Number of outer blocks (inner passes) of a block nested-loop join
+    that buffers ``memory_pages - 2`` outer pages per block."""
+    block_size = max(1, memory_pages - 2)
+    return max(1, math.ceil(max(1, outer_pages) / block_size))

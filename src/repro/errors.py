@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single base class. Subclasses mirror the layers of the system: catalog,
+SQL frontend, planning/legality, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation failed (unknown table, duplicate name, ...)."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a column reference cannot be resolved."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(ReproError):
+    """A parsed query refers to unknown tables/columns or violates SQL
+    semantics (e.g. a selected column is not in the GROUP BY list)."""
+
+
+class PlanError(ReproError):
+    """An operator tree is illegal or cannot be constructed."""
+
+
+class TransformError(ReproError):
+    """A transformation's applicability conditions are not met."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while producing rows."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """The query uses a feature outside the paper's stated scope
+    (e.g. outer joins or NULLs, excluded in Section 2)."""

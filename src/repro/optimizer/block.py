@@ -1,0 +1,854 @@
+"""Dynamic-programming optimizer for one single-block query.
+
+This is the paper's Section 5.2 machinery: the classic System R join
+enumerator (linear join trees, interesting orders) extended to *linear
+aggregate join trees* — group-by operators may interleave with joins.
+The **greedy conservative heuristic** governs early group-bys: at each
+DP extension, besides the plain join (plan 1) the optimizer builds a
+variant with an early group-by on the side holding the aggregate
+arguments (plan 2), and keeps plan 2 only when it is *cheaper and no
+wider* — which, under an IO-only cost model, guarantees the final plan
+is never worse than the traditional one.
+
+Early group-bys always compute decomposed *partial* aggregates
+(``repro.transforms.coalescing``); the final group-by coalesces and a
+projection finalizes. When the early grouping happens to be invariant
+(each group meets at most one join partner), the coalescing group-by
+degenerates to a per-row pass that costs no IO, so both Figure 2
+transformations fall out of one mechanism.
+
+Blocks are optimized over *leaves*: base tables or derived relations
+(pre-optimized view plans), which is how the two-phase algorithms of
+Sections 5.3/5.4 reuse this module for both phases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..algebra.aggregates import AggregateCall
+from ..algebra.expressions import (
+    ColumnRef,
+    Expression,
+    FieldKey,
+    equijoin_sides,
+    comparison_with_literal,
+)
+from ..algebra.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+from ..algebra.query import TableRef
+from ..catalog.catalog import Catalog
+from ..catalog.schema import RID_COLUMN, Field, table_row_schema
+from ..cost.model import CostModel
+from ..cost.params import CostParams
+from ..errors import PlanError
+from ..transforms.coalescing import DecomposedAggregates, decompose_aggregates
+from .options import OptimizerOptions
+from .stats import SearchStats
+
+
+@dataclass(frozen=True)
+class GroupingSpec:
+    """The block's final grouping: columns, aggregates, HAVING."""
+
+    group_keys: Tuple[FieldKey, ...]
+    aggregates: Tuple[Tuple[str, AggregateCall], ...]
+    having: Tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class BaseLeaf:
+    """A stored table joined under an alias."""
+
+    ref: TableRef
+
+    @property
+    def alias(self) -> str:
+        return self.ref.alias
+
+
+@dataclass(frozen=True)
+class DerivedLeaf:
+    """A pre-optimized subplan (e.g. an aggregate view's plan) treated
+    as a relation — the second phase's 'view as base table' leaves."""
+
+    alias: str
+    plan: PlanNode
+
+
+Leaf = Union[BaseLeaf, DerivedLeaf]
+
+
+@dataclass
+class _Entry:
+    """One retained plan for a DP subset."""
+
+    plan: PlanNode
+    grouped: bool  # early (partial) aggregation already applied
+
+
+class BlockOptimizer:
+    """Optimizes one block; reusable across blocks (stats accumulate)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: Optional[CostParams] = None,
+        options: Optional[OptimizerOptions] = None,
+        mode: str = "greedy",
+        stats: Optional[SearchStats] = None,
+    ):
+        if mode not in ("greedy", "traditional"):
+            raise PlanError(f"unknown optimizer mode {mode!r}")
+        self.catalog = catalog
+        self.params = params or CostParams()
+        self.options = options or OptimizerOptions()
+        self.mode = mode
+        self.stats = stats if stats is not None else SearchStats()
+        self.model = CostModel(catalog, self.params)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def optimize_block(
+        self,
+        leaves: Sequence[Leaf],
+        predicates: Sequence[Expression],
+        spec: Optional[GroupingSpec],
+        select: Sequence[Tuple[str, Expression]],
+    ) -> PlanNode:
+        """Return the cheapest annotated plan computing the block.
+
+        The output schema is one field ``(None, name)`` per *select*
+        entry, in order.
+        """
+        self.stats.blocks_optimized += 1
+        leaves = list(leaves)
+        if not leaves:
+            raise PlanError("a block needs at least one relation")
+        aliases = [leaf.alias for leaf in leaves]
+        if len(set(aliases)) != len(aliases):
+            raise PlanError(f"duplicate leaf aliases: {aliases}")
+        predicates = tuple(predicates)
+        select = tuple(select)
+
+        context = _BlockContext(self, leaves, predicates, spec, select)
+        entries = self._run_dp(context)
+        return self._finalize(context, entries)
+
+    def optimize_block_shared(
+        self,
+        leaves: Sequence[Leaf],
+        predicates: Sequence[Expression],
+        base_spec: Optional[GroupingSpec],
+        base_select: Sequence[Tuple[str, Expression]],
+        requests: Sequence[
+            Tuple[
+                object,
+                FrozenSet[str],
+                Optional[GroupingSpec],
+                Sequence[Tuple[str, Expression]],
+            ]
+        ],
+    ) -> Dict[object, PlanNode]:
+        """One shared DP serving several final groupings — the paper's
+        Section 5.3 sharing: "while optimizing for Φ(V′, B′), we can
+        also generate the subplans for the joins of relations in the
+        set V′ ∪ W for every W ⊆ B′".
+
+        *requests* lists ``(key, subset_aliases, spec, select)``; for
+        each, the best retained plan of that DP subset is extended
+        "with the possible extension of adding a group-by" per its own
+        spec. ``base_spec``/``base_select`` describe the maximal block
+        (W = B′), which drives early-grouping decisions inside the DP.
+        """
+        self.stats.blocks_optimized += 1
+        leaves = list(leaves)
+        predicates = tuple(predicates)
+
+        extra_needed: Set[FieldKey] = set()
+        for _, _, spec, select in requests:
+            if spec is not None:
+                extra_needed |= set(spec.group_keys)
+                for _, call in spec.aggregates:
+                    extra_needed |= set(call.columns())
+                for predicate in spec.having:
+                    extra_needed |= {
+                        key
+                        for key in predicate.columns()
+                        if key[0] is not None
+                    }
+            for _, source in select:
+                extra_needed |= {
+                    key for key in source.columns() if key[0] is not None
+                }
+
+        context = _BlockContext(
+            self,
+            leaves,
+            predicates,
+            base_spec,
+            tuple(base_select),
+            extra_needed=frozenset(extra_needed),
+        )
+        table = self._dp_table(context)
+
+        results: Dict[object, PlanNode] = {}
+        for key, subset, spec, select in requests:
+            entries = table.get(frozenset(subset))
+            if not entries:
+                raise PlanError(
+                    f"shared DP produced no plan for subset {sorted(subset)}"
+                )
+            best: Optional[PlanNode] = None
+            for entry in entries:
+                for candidate in context.final_plans(
+                    entry, spec=spec, select=tuple(select)
+                ):
+                    if best is None or candidate.props.cost < best.props.cost:
+                        best = candidate
+            assert best is not None
+            results[key] = best
+        return results
+
+    # ------------------------------------------------------------------
+    # DP over subsets
+    # ------------------------------------------------------------------
+
+    def _run_dp(self, context: "_BlockContext") -> List[_Entry]:
+        table = self._dp_table(context)
+        full = table.get(frozenset(leaf.alias for leaf in context.leaves))
+        if not full:
+            raise PlanError("the DP produced no plan for the full block")
+        return full
+
+    def _dp_table(
+        self, context: "_BlockContext"
+    ) -> Dict[FrozenSet[str], List[_Entry]]:
+        table: Dict[FrozenSet[str], List[_Entry]] = {}
+        for leaf in context.leaves:
+            plans = context.leaf_plans(leaf)
+            table[frozenset({leaf.alias})] = self._prune(
+                context, [_Entry(plan, False) for plan in plans]
+            )
+
+        all_aliases = [leaf.alias for leaf in context.leaves]
+        for size in range(2, len(all_aliases) + 1):
+            for combo in itertools.combinations(sorted(all_aliases), size):
+                subset = frozenset(combo)
+                candidates = self._expand_subset(context, table, subset)
+                if candidates:
+                    self.stats.subsets_expanded += 1
+                    table[subset] = self._prune(context, candidates)
+        return table
+
+    def _expand_subset(
+        self,
+        context: "_BlockContext",
+        table: Dict[FrozenSet[str], List[_Entry]],
+        subset: FrozenSet[str],
+    ) -> List[_Entry]:
+        pairs: List[Tuple[FrozenSet[str], str, bool]] = []
+        for alias in sorted(subset):
+            remainder = subset - {alias}
+            if remainder not in table:
+                continue
+            connected = context.connected(remainder, alias)
+            pairs.append((remainder, alias, connected))
+        if not pairs:
+            return []
+        if any(connected for _, _, connected in pairs):
+            pairs = [pair for pair in pairs if pair[2]]
+
+        candidates: List[_Entry] = []
+        for remainder, alias, _ in pairs:
+            for left_entry in table[remainder]:
+                for right_plan in context.leaf_plans(context.leaf(alias)):
+                    candidates.extend(
+                        self._extend(
+                            context, left_entry, remainder, right_plan, alias
+                        )
+                    )
+        return candidates
+
+    def _extend(
+        self,
+        context: "_BlockContext",
+        left_entry: _Entry,
+        left_aliases: FrozenSet[str],
+        right_plan: PlanNode,
+        right_alias: str,
+    ) -> List[_Entry]:
+        """The greedy conservative step: plan (1) join as-is, plan (2)
+        join with an early group-by; keep (2) only if cheaper and no
+        wider (Section 5.2)."""
+        subset = left_aliases | {right_alias}
+        plan1 = self._joinplans(
+            context, left_entry.plan, left_aliases, right_plan, right_alias
+        )
+        entries1 = [_Entry(plan, left_entry.grouped) for plan in plan1]
+
+        if (
+            self.mode != "greedy"
+            or not self.options.enable_pushdown
+            or context.decomposed is None
+        ):
+            return entries1
+
+        early_side = context.early_side(left_entry, left_aliases, right_alias)
+        if early_side is None:
+            return entries1
+        self.stats.early_groupby_considered += 1
+
+        if early_side == "left":
+            early = context.early_group(
+                left_entry.plan, left_aliases, left_entry.grouped
+            )
+            if early is None:
+                return entries1
+            plan2 = self._joinplans(
+                context, early, left_aliases, right_plan, right_alias
+            )
+        else:
+            early = context.early_group(right_plan, {right_alias}, False)
+            if early is None:
+                return entries1
+            plan2 = self._joinplans(
+                context, left_entry.plan, left_aliases, early, right_alias
+            )
+        entries2 = [_Entry(plan, True) for plan in plan2]
+        if not entries2:
+            return entries1
+        if not entries1:
+            return entries2
+
+        best1 = min(entries1, key=lambda e: e.plan.props.cost)
+        best2 = min(entries2, key=lambda e: e.plan.props.cost)
+        cheaper = best2.plan.props.cost < best1.plan.props.cost
+        narrow = (
+            best2.plan.props.width <= best1.plan.props.width
+            or not self.options.width_guard
+        )
+        if cheaper and narrow:
+            self.stats.early_groupby_accepted += 1
+            return entries2
+        return entries1
+
+    # ------------------------------------------------------------------
+    # joinplan: all physical alternatives for one join
+    # ------------------------------------------------------------------
+
+    def _joinplans(
+        self,
+        context: "_BlockContext",
+        left_plan: PlanNode,
+        left_aliases: FrozenSet[str],
+        right_plan: PlanNode,
+        right_alias: str,
+    ) -> List[PlanNode]:
+        subset = left_aliases | {right_alias}
+        equi, residuals = context.join_predicates(
+            left_plan, left_aliases, right_plan, right_alias
+        )
+        projection = context.join_projection(left_plan, right_plan, subset)
+
+        methods: List[Tuple[str, Optional[str]]] = []
+        if equi:
+            methods.append(("hj", None))
+            methods.append(("smj", None))
+            index_name = context.inlj_index(right_plan, equi)
+            if index_name is not None:
+                methods.append(("inlj", index_name))
+        methods.append(("nlj", None))
+
+        plans: List[PlanNode] = []
+        for method, index_name in methods:
+            self.stats.joinplan_calls += 1
+            ordered_equi = equi
+            if method == "inlj" and index_name is not None:
+                ordered_equi = context.order_equi_for_index(
+                    right_plan, equi, index_name
+                )
+            join = JoinNode(
+                left_plan,
+                right_plan,
+                method=method,
+                equi_keys=ordered_equi,
+                residuals=residuals,
+                projection=projection,
+                index_name=index_name,
+            )
+            self.model.annotate(join)
+            plans.append(join)
+        return plans
+
+    # ------------------------------------------------------------------
+    # Final group-by / projection
+    # ------------------------------------------------------------------
+
+    def _finalize(
+        self, context: "_BlockContext", entries: List[_Entry]
+    ) -> PlanNode:
+        best: Optional[PlanNode] = None
+        for entry in entries:
+            for candidate in context.final_plans(entry):
+                if best is None or candidate.props.cost < best.props.cost:
+                    best = candidate
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+
+    def _prune(
+        self, context: "_BlockContext", candidates: List[_Entry]
+    ) -> List[_Entry]:
+        best: Dict[Tuple[bool, Tuple[FieldKey, ...]], _Entry] = {}
+        for entry in candidates:
+            order = context.useful_order(entry.plan.props.order)
+            key = (entry.grouped, order)
+            incumbent = best.get(key)
+            if (
+                incumbent is None
+                or entry.plan.props.cost < incumbent.plan.props.cost
+            ):
+                best[key] = entry
+        kept = sorted(best.values(), key=lambda e: e.plan.props.cost)
+        limit = self.options.max_plans_per_set
+        pruned = kept[:limit]
+        self.stats.plans_retained += len(pruned)
+        self.stats.plans_pruned += len(candidates) - len(pruned)
+        return pruned
+
+
+class _BlockContext:
+    """Per-block precomputation: needed columns, leaf plan variants,
+    connectivity, early-grouping construction, finalization."""
+
+    def __init__(
+        self,
+        optimizer: BlockOptimizer,
+        leaves: List[Leaf],
+        predicates: Tuple[Expression, ...],
+        spec: Optional[GroupingSpec],
+        select: Tuple[Tuple[str, Expression], ...],
+        extra_needed: FrozenSet[FieldKey] = frozenset(),
+    ):
+        self.optimizer = optimizer
+        self.catalog = optimizer.catalog
+        self.model = optimizer.model
+        self.leaves = leaves
+        self.predicates = predicates
+        self.spec = spec
+        self.select = select
+        self.extra_needed = extra_needed
+        self._leaf_by_alias = {leaf.alias: leaf for leaf in leaves}
+        self._leaf_plan_cache: Dict[str, List[PlanNode]] = {}
+
+        self.decomposed: Optional[DecomposedAggregates] = None
+        if spec is not None and optimizer.options.enable_pushdown:
+            self.decomposed = decompose_aggregates(spec.aggregates)
+        self.agg_arg_aliases: FrozenSet[str] = frozenset()
+        if spec is not None:
+            aliases: Set[str] = set()
+            for _, call in spec.aggregates:
+                aliases |= call.aliases()
+            self.agg_arg_aliases = frozenset(aliases)
+
+        # Base columns needed anywhere in the block.
+        needed: Set[FieldKey] = set()
+        for predicate in predicates:
+            needed |= set(predicate.columns())
+        if spec is not None:
+            needed |= set(spec.group_keys)
+            for _, call in spec.aggregates:
+                needed |= set(call.columns())
+            for predicate in spec.having:
+                needed |= {
+                    key for key in predicate.columns() if key[0] is not None
+                }
+        for _, source in select:
+            needed |= {
+                key for key in source.columns() if key[0] is not None
+            }
+        needed |= extra_needed
+        self.needed: FrozenSet[FieldKey] = frozenset(
+            key for key in needed if key[0] is not None
+        )
+
+        # Interesting orders: join columns and grouping columns.
+        interesting: Set[FieldKey] = set()
+        for predicate in predicates:
+            sides = equijoin_sides(predicate)
+            if sides is not None:
+                interesting.update(sides)
+        if spec is not None:
+            interesting.update(spec.group_keys)
+        self.interesting = frozenset(interesting)
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+
+    def leaf(self, alias: str) -> Leaf:
+        return self._leaf_by_alias[alias]
+
+    def leaf_plans(self, leaf: Leaf) -> List[PlanNode]:
+        cached = self._leaf_plan_cache.get(leaf.alias)
+        if cached is not None:
+            return cached
+        if isinstance(leaf, DerivedLeaf):
+            plans = [self._derived_leaf_plan(leaf)]
+        else:
+            plans = self._base_leaf_plans(leaf)
+        self._leaf_plan_cache[leaf.alias] = plans
+        return plans
+
+    def _local_predicates(self, alias: str) -> Tuple[Expression, ...]:
+        return tuple(
+            predicate
+            for predicate in self.predicates
+            if predicate.aliases() == {alias}
+        )
+
+    def _derived_leaf_plan(self, leaf: DerivedLeaf) -> PlanNode:
+        plan = leaf.plan
+        if plan.props is None:
+            self.model.annotate_tree(plan)
+        local = self._local_predicates(leaf.alias)
+        if local:
+            plan = FilterNode(plan, local)
+            self.model.annotate(plan)
+        return plan
+
+    def _base_leaf_plans(self, leaf: BaseLeaf) -> List[PlanNode]:
+        table = self.catalog.table(leaf.ref.table)
+        alias = leaf.alias
+        local = self._local_predicates(alias)
+        wanted = sorted(
+            {
+                key[1]
+                for key in self.needed
+                if key[0] == alias and key[1] != RID_COLUMN
+            }
+        )
+        include_rid = (alias, RID_COLUMN) in self.needed
+        column_types = {column.name: column.dtype for column in table.columns}
+        fields = [
+            Field(alias, name, column_types[name])
+            for name in wanted
+            if name in column_types
+        ]
+        if not fields and not include_rid:
+            # nothing referenced: keep the narrowest column for shape
+            first = table.columns[0]
+            fields = [Field(alias, first.name, first.dtype)]
+
+        plans: List[PlanNode] = []
+        heap = ScanNode(
+            leaf.ref.table,
+            alias,
+            fields,
+            filters=local,
+            include_rid=include_rid,
+        )
+        self.model.annotate(heap)
+        plans.append(heap)
+
+        # Index equality access paths from literal predicates.
+        info = self.catalog.info(leaf.ref.table)
+        for predicate in local:
+            literal = comparison_with_literal(predicate)
+            if literal is None or literal[1] != "=":
+                continue
+            (_, column_name), _, value = literal
+            for index in info.indexes.values():
+                if index.column_names[0] != column_name:
+                    continue
+                if len(index.column_names) != 1:
+                    continue
+                remaining = tuple(p for p in local if p is not predicate)
+                scan = ScanNode(
+                    leaf.ref.table,
+                    alias,
+                    fields,
+                    filters=remaining,
+                    include_rid=include_rid,
+                    index_name=index.name,
+                    index_values=(value,),
+                )
+                self.model.annotate(scan)
+                plans.append(scan)
+        return plans
+
+    # ------------------------------------------------------------------
+    # Predicates / connectivity
+    # ------------------------------------------------------------------
+
+    def connected(self, left: FrozenSet[str], alias: str) -> bool:
+        for predicate in self.predicates:
+            aliases = predicate.aliases()
+            if (
+                alias in aliases
+                and aliases & left
+                and aliases <= left | {alias}
+            ):
+                return True
+        return False
+
+    def join_predicates(
+        self,
+        left_plan: PlanNode,
+        left_aliases: FrozenSet[str],
+        right_plan: PlanNode,
+        right_alias: str,
+    ) -> Tuple[
+        List[Tuple[FieldKey, FieldKey]], List[Expression]
+    ]:
+        subset = left_aliases | {right_alias}
+        equi: List[Tuple[FieldKey, FieldKey]] = []
+        residuals: List[Expression] = []
+        for predicate in self.predicates:
+            aliases = predicate.aliases()
+            if not aliases or aliases == {right_alias}:
+                continue
+            if right_alias not in aliases or not aliases <= subset:
+                continue
+            sides = equijoin_sides(predicate)
+            if sides is not None:
+                left_key, right_key = sides
+                if right_key[0] != right_alias:
+                    left_key, right_key = right_key, left_key
+                if (
+                    right_key[0] == right_alias
+                    and left_key[0] in left_aliases
+                    and left_plan.schema.has(*left_key)
+                    and right_plan.schema.has(*right_key)
+                ):
+                    equi.append((left_key, right_key))
+                    continue
+            residuals.append(predicate)
+        return equi, residuals
+
+    def join_projection(
+        self,
+        left_plan: PlanNode,
+        right_plan: PlanNode,
+        subset: FrozenSet[str],
+    ) -> List[FieldKey]:
+        pending: Set[FieldKey] = set()
+        for predicate in self.predicates:
+            if not predicate.aliases() <= subset:
+                pending |= set(predicate.columns())
+        keep = self.needed | pending
+        combined = left_plan.schema.concat(right_plan.schema)
+        projection = [
+            field.key
+            for field in combined
+            if field.alias is None or field.key in keep
+        ]
+        if not projection:
+            projection = [combined.fields[0].key]
+        return projection
+
+    # ------------------------------------------------------------------
+    # Index nested-loop support
+    # ------------------------------------------------------------------
+
+    def inlj_index(
+        self,
+        right_plan: PlanNode,
+        equi: List[Tuple[FieldKey, FieldKey]],
+    ) -> Optional[str]:
+        if not isinstance(right_plan, ScanNode) or right_plan.index_name:
+            return None
+        info = self.catalog.info(right_plan.table_name)
+        right_columns = {right_key[1] for _, right_key in equi}
+        for index in info.indexes.values():
+            prefix_length = 0
+            for column in index.column_names:
+                if column in right_columns:
+                    prefix_length += 1
+                else:
+                    break
+            if prefix_length == len(index.column_names):
+                return index.name
+        return None
+
+    def order_equi_for_index(
+        self,
+        right_plan: PlanNode,
+        equi: List[Tuple[FieldKey, FieldKey]],
+        index_name: str,
+    ) -> List[Tuple[FieldKey, FieldKey]]:
+        assert isinstance(right_plan, ScanNode)
+        info = self.catalog.info(right_plan.table_name)
+        index = info.indexes[index_name]
+        by_column = {right_key[1]: (left_key, right_key) for left_key, right_key in equi}
+        ordered = [by_column[column] for column in index.column_names]
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Early grouping (eager aggregation)
+    # ------------------------------------------------------------------
+
+    def early_side(
+        self,
+        left_entry: _Entry,
+        left_aliases: FrozenSet[str],
+        right_alias: str,
+    ) -> Optional[str]:
+        """Which side an early group-by may be applied to — the side
+        holding all aggregate arguments (one-sided, per the paper)."""
+        if self.decomposed is None:
+            return None
+        if not self.agg_arg_aliases:
+            return "left"  # COUNT(*)-style: either side; prefer the prefix
+        if self.agg_arg_aliases <= left_aliases:
+            return "left"
+        if self.agg_arg_aliases <= {right_alias} and not left_entry.grouped:
+            return "right"
+        return None
+
+    def early_group(
+        self,
+        plan: PlanNode,
+        aliases: Union[FrozenSet[str], Set[str]],
+        already_grouped: bool,
+    ) -> Optional[PlanNode]:
+        """Wrap *plan* in an early (partial) group-by, or None when no
+        sound grouping keys exist."""
+        assert self.decomposed is not None
+        pending: Set[FieldKey] = set()
+        for predicate in self.predicates:
+            if not predicate.aliases() <= aliases:
+                pending |= set(predicate.columns())
+        # grouping keys = everything still needed above this point:
+        # pending predicate columns, the final grouping columns, output
+        # columns, and any columns shared finalizations ask for
+        keep = set(self.extra_needed) | pending
+        if self.spec is not None:
+            keep |= set(self.spec.group_keys)
+        for _, source in self.select:
+            keep |= {key for key in source.columns() if key[0] is not None}
+
+        keys = [
+            field.key
+            for field in plan.schema
+            if field.alias is not None and field.key in keep
+        ]
+        if not keys:
+            return None
+        if already_grouped:
+            aggregates = self.decomposed.coalescers
+        else:
+            aggregates = self.decomposed.partials
+            for _, call in aggregates:
+                for key in call.columns():
+                    if not plan.schema.has(*key):
+                        return None
+
+        order = plan.props.order if plan.props else ()
+        if set(order[: len(keys)]) == set(keys) and keys:
+            method = "sort"
+        else:
+            method = "hash"
+        group = GroupByNode(
+            plan,
+            group_keys=keys,
+            aggregates=aggregates,
+            method=method,
+        )
+        self.model.annotate(group)
+        return group
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def final_plans(
+        self,
+        entry: _Entry,
+        spec: Optional[GroupingSpec] = None,
+        select: Optional[Tuple[Tuple[str, Expression], ...]] = None,
+    ) -> List[PlanNode]:
+        """Finalize one DP entry: attach the final group-by (per *spec*,
+        defaulting to the block's own) and the output projection."""
+        plan = entry.plan
+        if spec is None:
+            spec = self.spec
+        if select is None:
+            select = self.select
+        if spec is None:
+            if entry.grouped:
+                raise PlanError(
+                    "an early-grouped plan cannot finalize without a spec"
+                )
+            return [self._project(plan, select)]
+
+        if entry.grouped:
+            assert self.decomposed is not None
+            finalize = self.decomposed.finalize_substitution()
+            aggregates = self.decomposed.coalescers
+            having = tuple(p.substitute(finalize) for p in spec.having)
+            select = tuple(
+                (name, source.substitute(finalize))
+                for name, source in select
+            )
+        else:
+            aggregates = spec.aggregates
+            having = spec.having
+
+        results: List[PlanNode] = []
+        methods = ["hash"]
+        order = plan.props.order if plan.props else ()
+        keys = list(spec.group_keys)
+        if keys and set(order[: len(keys)]) == set(keys):
+            methods.append("sort")
+        for method in methods:
+            group = GroupByNode(
+                plan,
+                group_keys=keys,
+                aggregates=aggregates,
+                having=having,
+                method=method,
+            )
+            self.model.annotate(group)
+            results.append(self._project(group, select))
+        return results
+
+    def _project(
+        self,
+        plan: PlanNode,
+        select: Tuple[Tuple[str, Expression], ...],
+    ) -> PlanNode:
+        project = ProjectNode(
+            plan, [(None, name, source) for name, source in select]
+        )
+        self.model.annotate(project)
+        return project
+
+    # ------------------------------------------------------------------
+    # Order bookkeeping
+    # ------------------------------------------------------------------
+
+    def useful_order(
+        self, order: Tuple[FieldKey, ...]
+    ) -> Tuple[FieldKey, ...]:
+        useful: List[FieldKey] = []
+        for key in order:
+            if key in self.interesting:
+                useful.append(key)
+            else:
+                break
+        return tuple(useful)

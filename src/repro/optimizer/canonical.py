@@ -1,0 +1,428 @@
+"""Optimization of canonical queries (Figure 3) — Sections 5.1–5.4.
+
+Two entry points:
+
+- :func:`optimize_traditional` — the two-phase baseline of Section 5.1:
+  every aggregate view optimized locally (Selinger DP, group-by after
+  all joins), then a linear join order over base tables and view
+  results, with the outer group-by last.
+- :func:`optimize_query` — the paper's algorithm:
+
+  1. reduce each view to its minimal invariant set V′ (Section 4.1),
+     moving V − V′ into the outer block (B′ = B ∪ ⋃(Vᵢ − Vᵢ′));
+  2. enumerate pull-up sets Wᵢ ⊆ B′ per view — restricted to
+     predicate-connected sets of size ≤ k (the paper's two search-space
+     restrictions), always including ∅ and the "restore" set Vᵢ − Vᵢ′
+     (which reproduces the traditional view boundary and anchors the
+     no-worse guarantee);
+  3. for each consistent (pairwise-disjoint) combination, build the
+     pulled-up queries Φ(Vᵢ′, Wᵢ) via the pull-up transformation,
+     optimize each with the greedy-conservative DP, then optimize the
+     outer block over the Φ results and the remaining B′ relations;
+  4. return the cheapest plan over all combinations — never worse than
+     the traditional plan, which is explicitly costed as a baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..algebra.expressions import Expression
+from ..algebra.plan import LimitNode, PlanNode, RenameNode, SortNode
+from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock
+from ..catalog.catalog import Catalog
+from ..cost.params import CostParams
+from ..errors import PlanError
+from ..transforms.invariant import split_view
+from ..transforms.propagate import propagate_predicates
+from ..transforms.pullup import pull_up
+from .block import BaseLeaf, BlockOptimizer, DerivedLeaf, GroupingSpec, Leaf
+from .options import OptimizerOptions
+from .stats import SearchStats
+
+
+@dataclass
+class OptimizationResult:
+    """The chosen plan plus the search's paper-trail."""
+
+    plan: PlanNode
+    cost: float
+    stats: SearchStats
+    pull_choices: Dict[str, Tuple[str, ...]] = dataclass_field(
+        default_factory=dict
+    )
+    # every enumerated combination: ({view: W}, total estimated cost)
+    alternatives: List[Tuple[Dict[str, Tuple[str, ...]], float]] = (
+        dataclass_field(default_factory=list)
+    )
+    traditional_cost: Optional[float] = None
+
+    @property
+    def improvement_over_traditional(self) -> Optional[float]:
+        if self.traditional_cost is None or self.cost <= 0:
+            return None
+        return self.traditional_cost / self.cost
+
+
+def _block_spec(block: QueryBlock) -> Optional[GroupingSpec]:
+    if not block.is_grouped:
+        return None
+    return GroupingSpec(
+        group_keys=tuple(ref.key for ref in block.group_by),
+        aggregates=block.aggregates,
+        having=block.having,
+    )
+
+
+def _query_spec(query: CanonicalQuery) -> Optional[GroupingSpec]:
+    if not query.is_grouped:
+        return None
+    return GroupingSpec(
+        group_keys=tuple(ref.key for ref in query.group_by),
+        aggregates=query.aggregates,
+        having=query.having,
+    )
+
+
+def _optimize_view(
+    view: AggregateView, optimizer: BlockOptimizer
+) -> DerivedLeaf:
+    """Optimize a view's block and expose it under the view alias."""
+    block = view.block
+    plan = optimizer.optimize_block(
+        leaves=[BaseLeaf(ref) for ref in block.relations],
+        predicates=block.predicates,
+        spec=_block_spec(block),
+        select=block.select,
+    )
+    rename = RenameNode(
+        plan,
+        [
+            (view.alias, name, (None, name))
+            for name, _ in block.select
+        ],
+    )
+    optimizer.model.annotate(rename)
+    return DerivedLeaf(alias=view.alias, plan=rename)
+
+
+def _optimize_outer(
+    query: CanonicalQuery,
+    derived: Sequence[DerivedLeaf],
+    optimizer: BlockOptimizer,
+) -> PlanNode:
+    leaves: List[Leaf] = [BaseLeaf(ref) for ref in query.base_tables]
+    leaves.extend(derived)
+    plan = optimizer.optimize_block(
+        leaves=leaves,
+        predicates=query.predicates,
+        spec=_query_spec(query),
+        select=query.select,
+    )
+    return _apply_presentation(plan, query, optimizer)
+
+
+def _apply_presentation(
+    plan: PlanNode, query: CanonicalQuery, optimizer: BlockOptimizer
+) -> PlanNode:
+    """Wrap the block plan with the query's ORDER BY / LIMIT."""
+    if query.order_by:
+        plan = SortNode(
+            plan,
+            keys=[(None, name) for name, _ in query.order_by],
+            descending=[descending for _, descending in query.order_by],
+        )
+        optimizer.model.annotate(plan)
+    if query.limit is not None:
+        plan = LimitNode(plan, query.limit)
+        optimizer.model.annotate(plan)
+    return plan
+
+
+def optimize_traditional(
+    query: CanonicalQuery,
+    catalog: Catalog,
+    params: Optional[CostParams] = None,
+    propagate: bool = True,
+) -> OptimizationResult:
+    """The Section 5.1 baseline: local view optimization, then a linear
+    join order treating the views as base relations, group-bys last.
+
+    Predicate propagation across blocks runs first — the paper's
+    premise is that traditional optimizers already do that much
+    ([MFPR90, LMS94], Section 1); ``propagate=False`` ablates it."""
+    if propagate:
+        query = propagate_predicates(query)
+    stats = SearchStats()
+    optimizer = BlockOptimizer(
+        catalog, params, OptimizerOptions(), mode="traditional", stats=stats
+    )
+    derived = [_optimize_view(view, optimizer) for view in query.views]
+    plan = _optimize_outer(query, derived, optimizer)
+    return OptimizationResult(
+        plan=plan,
+        cost=plan.props.cost,
+        stats=stats,
+        pull_choices={view.alias: () for view in query.views},
+    )
+
+
+def optimize_query(
+    query: CanonicalQuery,
+    catalog: Catalog,
+    params: Optional[CostParams] = None,
+    options: Optional[OptimizerOptions] = None,
+) -> OptimizationResult:
+    """The full cost-based algorithm of Sections 5.3/5.4."""
+    options = options or OptimizerOptions()
+    stats = SearchStats()
+    optimizer = BlockOptimizer(
+        catalog, params, options, mode="greedy", stats=stats
+    )
+
+    # Step 0: [LMS94]-style predicate propagation (the preprocessing
+    # the paper assumes of every optimizer, Section 1).
+    if options.enable_predicate_propagation:
+        query = propagate_predicates(query)
+
+    # Step 1: minimal invariant sets (B' construction).
+    working = query
+    restore_sets: Dict[str, Tuple[str, ...]] = {}
+    if options.enable_invariant_split and query.views:
+        new_views: List[AggregateView] = []
+        extra_tables = []
+        extra_predicates: List[Expression] = []
+        for view in query.views:
+            reduced, moved, join_back = split_view(view, catalog)
+            new_views.append(reduced)
+            extra_tables.extend(moved)
+            extra_predicates.extend(join_back)
+            restore_sets[view.alias] = tuple(ref.alias for ref in moved)
+        if extra_tables:
+            working = CanonicalQuery(
+                base_tables=query.base_tables + tuple(extra_tables),
+                views=tuple(new_views),
+                predicates=query.predicates + tuple(extra_predicates),
+                group_by=query.group_by,
+                aggregates=query.aggregates,
+                having=query.having,
+                select=query.select,
+                order_by=query.order_by,
+                limit=query.limit,
+            )
+
+    # Step 2: pull-up candidates per view.
+    candidates: Dict[str, List[Tuple[str, ...]]] = {}
+    for view in working.views:
+        sets = _pullup_candidates(working, view.alias, options)
+        restore = restore_sets.get(view.alias, ())
+        if restore and restore not in sets:
+            sets.append(tuple(sorted(restore)))
+        candidates[view.alias] = sets
+        stats.pullup_sets_enumerated += len(sets)
+
+    # Step 3: consistent combinations.
+    view_aliases = [view.alias for view in working.views]
+    combos: List[Dict[str, Tuple[str, ...]]] = []
+    truncated = 0
+    if view_aliases:
+        for choice in itertools.product(
+            *(candidates[alias] for alias in view_aliases)
+        ):
+            used: Set[str] = set()
+            consistent = True
+            for pulled in choice:
+                if used & set(pulled):
+                    consistent = False
+                    break
+                used |= set(pulled)
+            if not consistent:
+                continue
+            if len(combos) >= options.max_combinations:
+                truncated += 1
+                continue
+            combos.append(dict(zip(view_aliases, choice)))
+    else:
+        combos.append({})
+    stats.combinations_enumerated += len(combos)
+    stats.combinations_truncated += truncated
+
+    # Step 4: cost each combination. The plan for Φ(Vᵢ′, Wᵢ) depends
+    # only on (view, Wᵢ) — pulls into *other* views never change this
+    # view's block — so view plans are shared across combinations, the
+    # paper's "we do not need to optimize Φ(V′, W) separately". With
+    # ``share_view_dp`` the sharing goes further: one DP over V′ ∪ ⋃W
+    # per view serves every W (Section 5.3's construction).
+    view_plan_cache: Dict[Tuple[str, Tuple[str, ...]], DerivedLeaf] = {}
+    if options.share_view_dp:
+        for view in working.views:
+            view_plan_cache.update(
+                _shared_view_plans(
+                    working,
+                    view.alias,
+                    candidates[view.alias],
+                    optimizer,
+                    catalog,
+                )
+            )
+
+    def view_leaf(
+        view_alias: str, pulled: Tuple[str, ...], pulled_query
+    ) -> DerivedLeaf:
+        key = (view_alias, pulled)
+        cached = view_plan_cache.get(key)
+        if cached is not None:
+            stats.view_plans_reused += 1
+            return cached
+        leaf = _optimize_view(pulled_query.view(view_alias), optimizer)
+        view_plan_cache[key] = leaf
+        return leaf
+
+    best_plan: Optional[PlanNode] = None
+    best_choice: Dict[str, Tuple[str, ...]] = {}
+    alternatives: List[Tuple[Dict[str, Tuple[str, ...]], float]] = []
+    for combo in combos:
+        pulled_query = working
+        for view_alias, pulled in combo.items():
+            if pulled:
+                pulled_query = pull_up(
+                    pulled_query, view_alias, pulled, catalog
+                )
+        derived = [
+            view_leaf(view.alias, combo.get(view.alias, ()), pulled_query)
+            for view in pulled_query.views
+        ]
+        plan = _optimize_outer(pulled_query, derived, optimizer)
+        alternatives.append((combo, plan.props.cost))
+        if best_plan is None or plan.props.cost < best_plan.props.cost:
+            best_plan = plan
+            best_choice = combo
+    assert best_plan is not None
+
+    # Guarantee: never worse than the traditional optimizer.
+    traditional = optimize_traditional(query, catalog, params)
+    stats.merge(traditional.stats)
+    if traditional.cost < best_plan.props.cost:
+        best_plan = traditional.plan
+        best_choice = traditional.pull_choices
+
+    return OptimizationResult(
+        plan=best_plan,
+        cost=best_plan.props.cost,
+        stats=stats,
+        pull_choices=best_choice,
+        alternatives=alternatives,
+        traditional_cost=traditional.cost,
+    )
+
+
+def _shared_view_plans(
+    working: CanonicalQuery,
+    view_alias: str,
+    pulled_sets: Sequence[Tuple[str, ...]],
+    optimizer: BlockOptimizer,
+    catalog: Catalog,
+) -> Dict[Tuple[str, Tuple[str, ...]], DerivedLeaf]:
+    """One shared DP for all of a view's pull-up sets (Section 5.3).
+
+    The DP runs over the *maximal* pulled block Φ(V′, ⋃W); each W's plan
+    is the best retained subplan for the subset V′ ∪ W, extended with
+    that W's own group-by — exactly the paper's construction.
+    """
+    union: Set[str] = set()
+    for pulled in pulled_sets:
+        union |= set(pulled)
+    maximal_query = (
+        pull_up(working, view_alias, sorted(union), catalog)
+        if union
+        else working
+    )
+    maximal_block = maximal_query.view(view_alias).block
+
+    requests = []
+    per_request_blocks: Dict[Tuple[str, ...], QueryBlock] = {}
+    for pulled in pulled_sets:
+        pulled_query = (
+            pull_up(working, view_alias, pulled, catalog)
+            if pulled
+            else working
+        )
+        block = pulled_query.view(view_alias).block
+        per_request_blocks[pulled] = block
+        requests.append(
+            (
+                pulled,
+                frozenset(ref.alias for ref in block.relations),
+                _block_spec(block),
+                block.select,
+            )
+        )
+
+    plans = optimizer.optimize_block_shared(
+        leaves=[BaseLeaf(ref) for ref in maximal_block.relations],
+        predicates=maximal_block.predicates,
+        base_spec=_block_spec(maximal_block),
+        base_select=maximal_block.select,
+        requests=requests,
+    )
+    leaves: Dict[Tuple[str, Tuple[str, ...]], DerivedLeaf] = {}
+    for pulled, plan in plans.items():
+        block = per_request_blocks[pulled]
+        rename = RenameNode(
+            plan,
+            [(view_alias, name, (None, name)) for name, _ in block.select],
+        )
+        optimizer.model.annotate(rename)
+        leaves[(view_alias, pulled)] = DerivedLeaf(
+            alias=view_alias, plan=rename
+        )
+    return leaves
+
+
+def _pullup_candidates(
+    query: CanonicalQuery,
+    view_alias: str,
+    options: OptimizerOptions,
+) -> List[Tuple[str, ...]]:
+    """Pull-up sets W for one view: ∅ plus predicate-connected subsets
+    of the base tables up to the k-level cap (Section 5.3's practical
+    restrictions)."""
+    sets: List[Tuple[str, ...]] = [()]
+    if not options.enable_pullup or options.k_level == 0:
+        return sets
+    base_aliases = sorted(ref.alias for ref in query.base_tables)
+    if not base_aliases:
+        return sets
+
+    if not options.require_shared_predicate:
+        for size in range(1, min(options.k_level, len(base_aliases)) + 1):
+            for combo in itertools.combinations(base_aliases, size):
+                sets.append(combo)
+        return sets
+
+    # Connectivity: a candidate W must be connected to the view through
+    # predicates among W ∪ {view}.
+    def neighbors(core: FrozenSet[str]) -> Set[str]:
+        found: Set[str] = set()
+        scope = core | {view_alias}
+        for predicate in query.predicates:
+            aliases = predicate.aliases()
+            if aliases & scope:
+                found |= aliases & set(base_aliases)
+        return found - core
+
+    frontier: List[FrozenSet[str]] = [frozenset()]
+    seen: Set[FrozenSet[str]] = {frozenset()}
+    for _ in range(options.k_level):
+        next_frontier: List[FrozenSet[str]] = []
+        for current in frontier:
+            for alias in sorted(neighbors(current)):
+                grown = current | {alias}
+                if grown not in seen:
+                    seen.add(grown)
+                    sets.append(tuple(sorted(grown)))
+                    next_frontier.append(grown)
+        frontier = next_frontier
+    return sets

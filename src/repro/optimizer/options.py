@@ -1,0 +1,73 @@
+"""Optimizer configuration.
+
+The defaults implement the paper's full algorithm with its two
+search-space restrictions (Section 5.3, "Practical Restrictions on the
+Search Space"): predicate-sharing for pull-up candidates and the k-level
+pull-up cap. Benchmarks E9/E10 ablate individual knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Knobs of the aggregate-view optimizer.
+
+    - ``enable_pullup``: enumerate pull-up sets W (Section 5.3). Off =
+      views keep their (invariant-split) boundaries.
+    - ``enable_pushdown``: let the block DP consider early group-bys
+      (greedy conservative heuristic, Section 5.2).
+    - ``enable_invariant_split``: reduce each view to its minimal
+      invariant set first (Section 4.1), freeing V − V′ for reordering.
+    - ``k_level``: maximum pull-up applications per view (|W| ≤ k); the
+      paper's k-level pull-up restriction. The "restore" set V − V′ is
+      always considered regardless, preserving the no-worse guarantee.
+    - ``require_shared_predicate``: only pull a relation through a view
+      when connected to it by a predicate (the paper's restriction).
+    - ``width_guard``: the greedy conservative safety condition — accept
+      an early group-by only when the result is no wider. Disabling it
+      is unsound per the paper's argument and exists only for the E9
+      ablation.
+    - ``max_plans_per_set``: plans retained per DP subset (per
+      interesting order); bounds memory like a real optimizer would.
+    - ``max_combinations``: cap on multi-view W-combinations (Section
+      5.4); hitting the cap is recorded in the search stats, never
+      silent.
+    """
+
+    enable_pullup: bool = True
+    enable_pushdown: bool = True
+    enable_invariant_split: bool = True
+    k_level: int = 2
+    require_shared_predicate: bool = True
+    width_guard: bool = True
+    max_plans_per_set: int = 6
+    max_combinations: int = 256
+    share_view_dp: bool = True
+    """Run ONE DP over V′ ∪ ⋃W per view and extract the plan for every
+    pull-up set W from it (Section 5.3: "we do not need to optimize
+    Φ(V′, W) separately"). Off = optimize each Φ(V′, W) independently;
+    same plans, more enumeration work (the E7 sharing ablation)."""
+
+    enable_predicate_propagation: bool = True
+    """[MFPR90, LMS94] preprocessing: move outer literal predicates on
+    grouping-column view outputs inside the view. The paper assumes
+    every optimizer does this; off only for the propagation ablation."""
+
+    def __post_init__(self) -> None:
+        if self.k_level < 0:
+            raise ValueError("k_level must be non-negative")
+        if self.max_plans_per_set < 1:
+            raise ValueError("max_plans_per_set must be positive")
+        if self.max_combinations < 1:
+            raise ValueError("max_combinations must be positive")
+
+
+TRADITIONAL = OptimizerOptions(
+    enable_pullup=False,
+    enable_pushdown=False,
+    enable_invariant_split=False,
+)
+"""The Section 5.1 baseline expressed as options."""

@@ -1,0 +1,54 @@
+"""Search-effort accounting.
+
+The paper's [CS94] claim — "very moderate increase in search space while
+often producing significantly better plans" — is about enumeration
+effort, so every optimizer records it (experiment E7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated across one optimization."""
+
+    subsets_expanded: int = 0
+    joinplan_calls: int = 0
+    plans_retained: int = 0
+    plans_pruned: int = 0
+    early_groupby_considered: int = 0
+    early_groupby_accepted: int = 0
+    pullup_sets_enumerated: int = 0
+    combinations_enumerated: int = 0
+    combinations_truncated: int = 0
+    blocks_optimized: int = 0
+    view_plans_reused: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.subsets_expanded += other.subsets_expanded
+        self.joinplan_calls += other.joinplan_calls
+        self.plans_retained += other.plans_retained
+        self.plans_pruned += other.plans_pruned
+        self.early_groupby_considered += other.early_groupby_considered
+        self.early_groupby_accepted += other.early_groupby_accepted
+        self.pullup_sets_enumerated += other.pullup_sets_enumerated
+        self.combinations_enumerated += other.combinations_enumerated
+        self.combinations_truncated += other.combinations_truncated
+        self.blocks_optimized += other.blocks_optimized
+        self.view_plans_reused += other.view_plans_reused
+
+    def summary(self) -> str:
+        return (
+            f"subsets={self.subsets_expanded} joinplans={self.joinplan_calls} "
+            f"retained={self.plans_retained} pruned={self.plans_pruned} "
+            f"earlyG={self.early_groupby_accepted}/"
+            f"{self.early_groupby_considered} "
+            f"pullups={self.pullup_sets_enumerated} "
+            f"combos={self.combinations_enumerated}"
+            + (
+                f" (truncated {self.combinations_truncated})"
+                if self.combinations_truncated
+                else ""
+            )
+        )

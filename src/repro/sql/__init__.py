@@ -1,0 +1,15 @@
+"""SQL frontend: lexer, parser, and binder to the canonical query form.
+
+Supports the paper's query class: SELECT-FROM-WHERE-GROUP BY-HAVING
+blocks, ``WITH`` views (aggregate views and flattenable SPJ views),
+references to catalog-registered views, and correlated nested subqueries
+of Kim's join-aggregate class, which the binder unnests into aggregate
+views (Section 1's route from nested subqueries to this paper's
+optimizer).
+"""
+
+from .lexer import Token, tokenize
+from .parser import parse_select
+from .binder import Binder, bind_sql
+
+__all__ = ["Token", "tokenize", "parse_select", "Binder", "bind_sql"]

@@ -1,0 +1,136 @@
+"""Abstract syntax for the supported SQL dialect.
+
+Scalar expressions reuse the algebra's :class:`Expression` classes
+directly (the parser emits :class:`ColumnRef`, :class:`Comparison`, ...),
+with two parse-only extensions that the binder eliminates:
+
+- :class:`AggregateExpr` — an aggregate call appearing in a SELECT or
+  HAVING position; the binder turns it into a named aggregate output.
+- :class:`SubqueryExpr` — a parenthesized SELECT used as a scalar in a
+  comparison; the binder unnests it (Kim's transformation) into an
+  aggregate view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..algebra.expressions import Expression, FieldKey
+
+
+@dataclass(frozen=True)
+class TableRefAst:
+    """``name [AS] alias`` in a FROM list; *name* may be a table or view."""
+
+    name: str
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry: an expression with an optional output name."""
+
+    expression: Expression
+    output_name: Optional[str]
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """A (possibly nested) SELECT statement."""
+
+    select_items: Tuple[SelectItem, ...]
+    from_tables: Tuple[TableRefAst, ...]
+    where: Optional[Expression]
+    group_by: Tuple[Expression, ...]
+    having: Optional[Expression]
+    with_views: Tuple["ViewDefAst", ...] = ()
+    order_by: Tuple[Tuple[Expression, bool], ...] = ()  # (expr, desc)
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ViewDefAst:
+    """``WITH name(col, ...) AS (select)``."""
+
+    name: str
+    column_names: Tuple[str, ...]
+    body: SelectStmt
+
+
+class AggregateExpr(Expression):
+    """Parse-time aggregate call: ``func(expr)`` or ``count(*)``.
+
+    Exists only between parser and binder; the binder replaces it with a
+    reference to a named aggregate output column.
+    """
+
+    __slots__ = ("func_name", "arg")
+
+    def __init__(self, func_name: str, arg: Optional[Expression]):
+        self.func_name = func_name
+        self.arg = arg
+
+    def columns(self):
+        return self.arg.columns() if self.arg is not None else frozenset()
+
+    def substitute(self, mapping):
+        if self.arg is None:
+            return self
+        return AggregateExpr(self.func_name, self.arg.substitute(mapping))
+
+    def bind(self, schema):
+        raise NotImplementedError(
+            "AggregateExpr must be eliminated by the binder before execution"
+        )
+
+    def dtype(self, schema):
+        raise NotImplementedError(
+            "AggregateExpr must be eliminated by the binder"
+        )
+
+    def display(self) -> str:
+        inner = self.arg.display() if self.arg is not None else "*"
+        return f"{self.func_name}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AggregateExpr)
+            and self.func_name == other.func_name
+            and self.arg == other.arg
+        )
+
+    def __hash__(self) -> int:
+        return hash(("aggexpr", self.func_name, self.arg))
+
+
+class SubqueryExpr(Expression):
+    """Parse-time scalar subquery. The binder unnests it."""
+
+    __slots__ = ("stmt",)
+
+    def __init__(self, stmt: SelectStmt):
+        self.stmt = stmt
+
+    def columns(self):
+        return frozenset()
+
+    def substitute(self, mapping):
+        return self
+
+    def bind(self, schema):
+        raise NotImplementedError(
+            "SubqueryExpr must be eliminated by the binder before execution"
+        )
+
+    def dtype(self, schema):
+        raise NotImplementedError("SubqueryExpr must be eliminated by the binder")
+
+    def display(self) -> str:
+        return "(subquery)"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SubqueryExpr) and self.stmt == other.stmt
+
+    def __hash__(self) -> int:
+        return hash(("subquery", id(self.stmt)))

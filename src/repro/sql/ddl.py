@@ -1,0 +1,236 @@
+"""DDL and DML statements: CREATE TABLE / CREATE INDEX / INSERT.
+
+The paper's scope is query optimization, so the data-definition layer
+is deliberately small: enough to build and populate a database from SQL
+scripts and the interactive shell.
+
+Grammar::
+
+    create_table := CREATE TABLE name "(" column ("," column)*
+                    ["," PRIMARY KEY "(" names ")"] ")"
+    column       := name type [PRIMARY KEY]
+    create_index := CREATE INDEX name ON table "(" names ")"
+    insert       := INSERT INTO name VALUES row ("," row)*
+    row          := "(" literal ("," literal)* ")"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..errors import SqlSyntaxError
+from .lexer import Token, tokenize
+
+_TYPE_WORDS = {
+    "int", "integer", "float", "double", "str", "string", "text",
+    "bool", "boolean", "date",
+}
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    """Parsed CREATE TABLE."""
+
+    name: str
+    columns: Tuple[Tuple[str, str], ...]  # (column, type name)
+    primary_key: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt:
+    """Parsed CREATE INDEX."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """Parsed INSERT INTO ... VALUES."""
+
+    table: str
+    rows: Tuple[Tuple[Any, ...], ...]
+
+
+DdlStatement = object  # union of the three statement dataclasses
+
+
+def maybe_parse_ddl(sql: str) -> Optional[DdlStatement]:
+    """Parse *sql* as a DDL/DML statement, or return None if it does
+    not start with CREATE/INSERT (i.e. it is a query)."""
+    head = sql.lstrip().lower()
+    if head.startswith("create") or head.startswith("insert"):
+        return _DdlParser(tokenize(sql)).parse()
+    return None
+
+
+class _DdlParser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.current
+        return SqlSyntaxError(
+            f"{message} (found {token.text or '<eof>'!r})",
+            token.line,
+            token.column,
+        )
+
+    def expect_word(self, word: str) -> None:
+        token = self.current
+        text = token.text.lower()
+        if token.kind in ("name", "keyword") and text == word:
+            self.advance()
+            return
+        raise self.error(f"expected {word.upper()}")
+
+    def accept_word(self, word: str) -> bool:
+        token = self.current
+        if token.kind in ("name", "keyword") and token.text.lower() == word:
+            self.advance()
+            return True
+        return False
+
+    def expect_name(self) -> str:
+        if self.current.kind != "name":
+            raise self.error("expected an identifier")
+        return self.advance().text
+
+    def expect_punct(self, char: str) -> None:
+        token = self.current
+        if token.kind == "punctuation" and token.text == char:
+            self.advance()
+            return
+        raise self.error(f"expected {char!r}")
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.current
+        if token.kind == "punctuation" and token.text == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "eof":
+            raise self.error("unexpected trailing input")
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> DdlStatement:
+        if self.accept_word("create"):
+            if self.accept_word("table"):
+                return self._create_table()
+            if self.accept_word("index"):
+                return self._create_index()
+            raise self.error("expected TABLE or INDEX after CREATE")
+        self.expect_word("insert")
+        self.expect_word("into")
+        return self._insert()
+
+    def _create_table(self) -> CreateTableStmt:
+        name = self.expect_name()
+        self.expect_punct("(")
+        columns: List[Tuple[str, str]] = []
+        primary_key: List[str] = []
+        while True:
+            if self.accept_word("primary"):
+                self.expect_word("key")
+                self.expect_punct("(")
+                primary_key.append(self.expect_name())
+                while self.accept_punct(","):
+                    primary_key.append(self.expect_name())
+                self.expect_punct(")")
+            else:
+                column = self.expect_name()
+                type_token = self.current
+                type_name = type_token.text.lower()
+                if (
+                    type_token.kind not in ("name", "keyword")
+                    or type_name not in _TYPE_WORDS
+                ):
+                    raise self.error(
+                        f"expected a column type "
+                        f"({', '.join(sorted(_TYPE_WORDS))})"
+                    )
+                self.advance()
+                if self.accept_word("primary"):
+                    self.expect_word("key")
+                    primary_key.append(column)
+                columns.append((column, type_name))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        self.expect_eof()
+        if not columns:
+            raise self.error("a table needs at least one column")
+        return CreateTableStmt(
+            name=name,
+            columns=tuple(columns),
+            primary_key=tuple(primary_key),
+        )
+
+    def _create_index(self) -> CreateIndexStmt:
+        name = self.expect_name()
+        self.expect_word("on")
+        table = self.expect_name()
+        self.expect_punct("(")
+        columns = [self.expect_name()]
+        while self.accept_punct(","):
+            columns.append(self.expect_name())
+        self.expect_punct(")")
+        self.expect_eof()
+        return CreateIndexStmt(name=name, table=table, columns=tuple(columns))
+
+    def _insert(self) -> InsertStmt:
+        table = self.expect_name()
+        self.expect_word("values")
+        rows = [self._row()]
+        while self.accept_punct(","):
+            rows.append(self._row())
+        self.expect_eof()
+        return InsertStmt(table=table, rows=tuple(rows))
+
+    def _row(self) -> Tuple[Any, ...]:
+        self.expect_punct("(")
+        values = [self._literal()]
+        while self.accept_punct(","):
+            values.append(self._literal())
+        self.expect_punct(")")
+        return tuple(values)
+
+    def _literal(self) -> Any:
+        token = self.current
+        negative = False
+        if token.kind == "punctuation" and token.text == "-":
+            self.advance()
+            negative = True
+            token = self.current
+        if token.kind == "number":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return -value if negative else value
+        if negative:
+            raise self.error("expected a number after '-'")
+        if token.kind == "string":
+            self.advance()
+            return token.text
+        if token.is_keyword("true"):
+            self.advance()
+            return True
+        if token.is_keyword("false"):
+            self.advance()
+            return False
+        raise self.error("expected a literal value")

@@ -1,0 +1,149 @@
+"""Tokenizer for the supported SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select",
+    "all",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "as",
+    "and",
+    "or",
+    "not",
+    "with",
+    "in",
+    "exists",
+    "order",
+    "between",
+    "asc",
+    "desc",
+    "limit",
+    "true",
+    "false",
+}
+
+_PUNCTUATION = {
+    "(": "lparen",
+    ")": "rparen",
+    ",": "comma",
+    ".": "dot",
+    "*": "star",
+    "+": "plus",
+    "-": "minus",
+    "/": "slash",
+}
+
+_COMPARATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location (1-based)."""
+
+    kind: str  # keyword | name | number | string | op | punctuation | eof
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize *sql*; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    position = 0
+    length = len(sql)
+
+    def advance(count: int) -> None:
+        nonlocal position, line, column
+        for _ in range(count):
+            if position < length and sql[position] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            position += 1
+
+    while position < length:
+        char = sql[position]
+        if char.isspace():
+            advance(1)
+            continue
+        if sql.startswith("--", position):
+            while position < length and sql[position] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[position:end]
+            lowered = word.lower()
+            kind = "keyword" if lowered in KEYWORDS else "name"
+            text = lowered if kind == "keyword" else word
+            advance(end - position)
+            yield Token(kind, text, start_line, start_column)
+            continue
+        if char.isdigit():
+            end = position
+            seen_dot = False
+            while end < length and (
+                sql[end].isdigit() or (sql[end] == "." and not seen_dot)
+            ):
+                if sql[end] == ".":
+                    # "1." followed by a name is "1" then "." (qualified)
+                    if end + 1 >= length or not sql[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            text = sql[position:end]
+            advance(end - position)
+            yield Token("number", text, start_line, start_column)
+            continue
+        if char == "'":
+            end = position + 1
+            while end < length and sql[end] != "'":
+                end += 1
+            if end >= length:
+                raise SqlSyntaxError(
+                    "unterminated string literal", start_line, start_column
+                )
+            text = sql[position + 1 : end]
+            advance(end + 1 - position)
+            yield Token("string", text, start_line, start_column)
+            continue
+        matched = False
+        for comparator in _COMPARATORS:
+            if sql.startswith(comparator, position):
+                advance(len(comparator))
+                text = "!=" if comparator == "<>" else comparator
+                yield Token("op", text, start_line, start_column)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCTUATION:
+            advance(1)
+            yield Token("punctuation", char, start_line, start_column)
+            continue
+        raise SqlSyntaxError(
+            f"unexpected character {char!r}", start_line, start_column
+        )
+    yield Token("eof", "", line, column)

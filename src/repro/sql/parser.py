@@ -1,0 +1,374 @@
+"""Recursive-descent parser for the supported SQL dialect.
+
+Grammar (informal)::
+
+    statement   := [WITH view ("," view)*] select EOF
+    view        := name "(" name ("," name)* ")" AS "(" select ")"
+    select      := SELECT [ALL] item ("," item)*
+                   FROM table ("," table)*
+                   [WHERE expr] [GROUP BY column ("," column)*]
+                   [HAVING expr]
+    item        := expr [AS name]
+    table       := name [[AS] name]
+    expr        := or-expr with the usual precedence:
+                   OR < AND < NOT < comparison < additive < multiplicative
+    primary     := literal | column | aggregate "(" (expr | "*") ")"
+                 | "(" expr ")" | "(" select ")"
+
+Join syntax is the implicit comma form (joins live in WHERE), matching
+the paper's examples. Explicit OUTER JOINs are outside the paper's scope
+(Section 2) and are rejected at the lexical level (no JOIN keyword).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..algebra.aggregates import known_aggregates
+from ..algebra.expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+)
+from ..errors import SqlSyntaxError
+from .ast import (
+    AggregateExpr,
+    SelectItem,
+    SelectStmt,
+    SubqueryExpr,
+    TableRefAst,
+    ViewDefAst,
+)
+from .lexer import Token, tokenize
+
+
+def parse_select(sql: str) -> SelectStmt:
+    """Parse one SELECT statement (with optional WITH clause)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.current
+        found = token.text or "<end of input>"
+        return SqlSyntaxError(
+            f"{message} (found {found!r})", token.line, token.column
+        )
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word.upper()}")
+
+    def accept_punct(self, char: str) -> bool:
+        if self.current.kind == "punctuation" and self.current.text == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise self.error(f"expected {char!r}")
+
+    def expect_name(self) -> str:
+        if self.current.kind != "name":
+            raise self.error("expected an identifier")
+        return self.advance().text
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "eof":
+            raise self.error("unexpected trailing input")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStmt:
+        views: List[ViewDefAst] = []
+        if self.accept_keyword("with"):
+            views.append(self.parse_view_def())
+            while self.accept_punct(","):
+                views.append(self.parse_view_def())
+        select = self.parse_select_body()
+        return SelectStmt(
+            select_items=select.select_items,
+            from_tables=select.from_tables,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            with_views=tuple(views),
+            order_by=select.order_by,
+            limit=select.limit,
+        )
+
+    def parse_view_def(self) -> ViewDefAst:
+        name = self.expect_name()
+        self.expect_punct("(")
+        column_names = [self.expect_name()]
+        while self.accept_punct(","):
+            column_names.append(self.expect_name())
+        self.expect_punct(")")
+        self.expect_keyword("as")
+        self.expect_punct("(")
+        body = self.parse_select_body()
+        self.expect_punct(")")
+        return ViewDefAst(
+            name=name, column_names=tuple(column_names), body=body
+        )
+
+    def parse_select_body(self) -> SelectStmt:
+        self.expect_keyword("select")
+        if self.current.is_keyword("distinct"):
+            raise self.error("SELECT DISTINCT is not supported")
+        self.accept_keyword("all")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("from")
+        tables = [self.parse_table_ref()]
+        while self.accept_punct(","):
+            tables.append(self.parse_table_ref())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+        group_by: List[Expression] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_primary())
+            while self.accept_punct(","):
+                group_by.append(self.parse_primary())
+        having = None
+        if self.accept_keyword("having"):
+            having = self.parse_expression()
+        order_by = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.current
+            if token.kind != "number" or "." in token.text:
+                raise self.error("LIMIT expects an integer")
+            self.advance()
+            limit = int(token.text)
+        return SelectStmt(
+            select_items=tuple(items),
+            from_tables=tuple(tables),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def parse_order_item(self):
+        expression = self.parse_primary()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return (expression, descending)
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        output_name: Optional[str] = None
+        if self.accept_keyword("as"):
+            output_name = self.expect_name()
+        elif self.current.kind == "name":
+            output_name = self.advance().text
+        return SelectItem(expression=expression, output_name=output_name)
+
+    def parse_table_ref(self) -> TableRefAst:
+        name = self.expect_name()
+        alias: Optional[str] = None
+        if self.accept_keyword("as"):
+            alias = self.expect_name()
+        elif self.current.kind == "name":
+            alias = self.advance().text
+        return TableRefAst(name=name, alias=alias)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        items = [self.parse_and()]
+        while self.accept_keyword("or"):
+            items.append(self.parse_and())
+        return items[0] if len(items) == 1 else Or(items)
+
+    def parse_and(self) -> Expression:
+        items = [self.parse_not()]
+        while self.accept_keyword("and"):
+            items.append(self.parse_not())
+        return items[0] if len(items) == 1 else And(items)
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("not"):
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        negate = False
+        if self.current.is_keyword("not"):
+            following = self._tokens[self._position + 1]
+            if following.is_keyword("between") or following.is_keyword("in"):
+                self.advance()
+                negate = True
+            else:
+                raise self.error("expected BETWEEN or IN after NOT here")
+        if self.accept_keyword("between"):
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            expression: Expression = And(
+                [
+                    Comparison(">=", left, low),
+                    Comparison("<=", left, high),
+                ]
+            )
+            return Not(expression) if negate else expression
+        if self.accept_keyword("in"):
+            self.expect_punct("(")
+            if self.current.is_keyword("select"):
+                raise self.error(
+                    "IN (subquery) is not supported; use a comparison "
+                    "with a scalar aggregate subquery"
+                )
+            values = [self.parse_expression()]
+            while self.accept_punct(","):
+                values.append(self.parse_expression())
+            self.expect_punct(")")
+            expression = (
+                Or([Comparison("=", left, value) for value in values])
+                if len(values) > 1
+                else Comparison("=", left, values[0])
+            )
+            return Not(expression) if negate else expression
+        if negate:
+            raise self.error("expected BETWEEN or IN after NOT")
+        if self.current.kind == "op":
+            op = self.advance().text
+            right = self.parse_additive()
+            return Comparison(op, left, right)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.current.kind == "punctuation" and self.current.text in (
+            "+",
+            "-",
+        ):
+            op = self.advance().text
+            right = self.parse_multiplicative()
+            left = Arith(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while self.current.kind == "punctuation" and self.current.text in (
+            "*",
+            "/",
+        ):
+            op = self.advance().text
+            right = self.parse_unary()
+            left = Arith(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.current.kind == "punctuation" and self.current.text == "-":
+            self.advance()
+            inner = self.parse_unary()
+            if isinstance(inner, Literal) and isinstance(
+                inner.value, (int, float)
+            ):
+                return Literal(-inner.value)
+            return Arith("-", Literal(0), inner)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("true"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Literal(False)
+        if token.kind == "punctuation" and token.text == "(":
+            self.advance()
+            if self.current.is_keyword("select"):
+                stmt = self.parse_select_body()
+                self.expect_punct(")")
+                return SubqueryExpr(stmt)
+            inner = self.parse_expression()
+            self.expect_punct(")")
+            return inner
+        if token.kind == "name":
+            return self.parse_name_expression()
+        raise self.error("expected an expression")
+
+    def parse_name_expression(self) -> Expression:
+        name = self.expect_name()
+        # aggregate call?
+        if (
+            self.current.kind == "punctuation"
+            and self.current.text == "("
+            and name.lower() in known_aggregates()
+        ):
+            self.advance()
+            if self.accept_punct("*"):
+                self.expect_punct(")")
+                return AggregateExpr(name.lower(), None)
+            arg = self.parse_expression()
+            self.expect_punct(")")
+            return AggregateExpr(name.lower(), arg)
+        # qualified or bare column
+        if self.accept_punct("."):
+            column = self.expect_name()
+            return ColumnRef(name, column)
+        return ColumnRef(None, name)

@@ -1,0 +1,225 @@
+"""Render a canonical query back to SQL text.
+
+The inverse of the binder, up to alias uniquification: the emitted SQL
+re-binds to a semantically equivalent canonical query. Used for
+debugging, for displaying what a transformation did to a query, and in
+the round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algebra.aggregates import AggregateCall
+from ..algebra.expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FuncCall,
+    Literal,
+    Not,
+    Or,
+)
+from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock
+from ..catalog.schema import RID_COLUMN
+from ..errors import UnsupportedFeatureError
+
+
+def expression_to_sql(expression: Expression) -> str:
+    """SQL text of one scalar expression."""
+    if isinstance(expression, ColumnRef):
+        if expression.name == RID_COLUMN:
+            raise UnsupportedFeatureError(
+                "the hidden row id has no SQL spelling; unparse before "
+                "pull-up introduces surrogate keys"
+            )
+        return expression.display()
+    if isinstance(expression, Literal):
+        value = expression.value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        return repr(value)
+    if isinstance(expression, Comparison):
+        return (
+            f"({expression_to_sql(expression.left)} {expression.op} "
+            f"{expression_to_sql(expression.right)})"
+        )
+    if isinstance(expression, Arith):
+        return (
+            f"({expression_to_sql(expression.left)} {expression.op} "
+            f"{expression_to_sql(expression.right)})"
+        )
+    if isinstance(expression, And):
+        return " and ".join(
+            expression_to_sql(item) for item in expression.items
+        )
+    if isinstance(expression, Or):
+        return (
+            "("
+            + " or ".join(expression_to_sql(item) for item in expression.items)
+            + ")"
+        )
+    if isinstance(expression, Not):
+        return f"not {expression_to_sql(expression.item)}"
+    if isinstance(expression, _AggregatePlaceholder):
+        return aggregate_to_sql(expression.call)
+    if isinstance(expression, FuncCall):
+        raise UnsupportedFeatureError(
+            f"scalar function {expression.func_name!r} has no SQL spelling"
+        )
+    raise UnsupportedFeatureError(
+        f"cannot unparse expression type {type(expression).__name__}"
+    )
+
+
+def aggregate_to_sql(call: AggregateCall) -> str:
+    """SQL text of one aggregate call."""
+    if call.arg is None:
+        return f"{call.func_name}(*)"
+    return f"{call.func_name}({expression_to_sql(call.arg)})"
+
+
+def block_to_sql(block: QueryBlock) -> str:
+    """The SELECT text of one single-block query (no trailing newline)."""
+    select_parts: List[str] = []
+    aggregate_map = dict(block.aggregates)
+    for name, source in block.select:
+        if (
+            isinstance(source, ColumnRef)
+            and source.alias is None
+            and source.name in aggregate_map
+        ):
+            select_parts.append(aggregate_to_sql(aggregate_map[source.name]))
+        else:
+            select_parts.append(expression_to_sql(source))
+    from_parts = [f"{ref.table} {ref.alias}" for ref in block.relations]
+    lines = [
+        "select " + ", ".join(select_parts),
+        "from " + ", ".join(from_parts),
+    ]
+    if block.predicates:
+        lines.append(
+            "where "
+            + " and ".join(
+                expression_to_sql(predicate)
+                for predicate in block.predicates
+            )
+        )
+    if block.group_by:
+        lines.append(
+            "group by "
+            + ", ".join(ref.display() for ref in block.group_by)
+        )
+    if block.having:
+        lines.append(
+            "having "
+            + " and ".join(
+                expression_to_sql(_inline_aggregates(p, aggregate_map))
+                for p in block.having
+            )
+        )
+    return "\n".join(lines)
+
+
+def _inline_aggregates(expression: Expression, aggregate_map):
+    """Replace aggregate-output references with their calls so HAVING
+    unparsing reads ``having avg(e.sal) > 5`` rather than a made-up
+    column name."""
+    mapping = {}
+    for key in expression.columns():
+        alias, name = key
+        if alias is None and name in aggregate_map:
+            mapping[key] = _AggregatePlaceholder(aggregate_map[name])
+    return expression.substitute(mapping) if mapping else expression
+
+
+class _AggregatePlaceholder(Expression):
+    """Unparse-only wrapper rendering as the aggregate call."""
+
+    def __init__(self, call: AggregateCall):
+        self.call = call
+
+    def columns(self):
+        return frozenset()
+
+    def substitute(self, mapping):
+        return self
+
+    def display(self):
+        return self.call.display()
+
+    def bind(self, schema):  # pragma: no cover - unparse-only
+        raise NotImplementedError
+
+    def dtype(self, schema):  # pragma: no cover - unparse-only
+        raise NotImplementedError
+
+
+def view_to_sql(view: AggregateView) -> str:
+    """The WITH-clause definition text of one aggregate view."""
+    names = ", ".join(name for name, _ in view.block.select)
+    body = block_to_sql(view.block).replace("\n", "\n    ")
+    return f"{view.alias}({names}) as (\n    {body}\n)"
+
+
+def query_to_sql(query: CanonicalQuery) -> str:
+    """SQL text of a canonical query.
+
+    View instances are emitted as WITH definitions named after their
+    aliases and referenced once each, which re-binds to the same
+    canonical structure (modulo the binder's alias uniquification).
+    """
+    lines: List[str] = []
+    if query.views:
+        definitions = ",\n".join(view_to_sql(view) for view in query.views)
+        lines.append("with " + definitions)
+    aggregate_map = dict(query.aggregates)
+    select_parts = []
+    for name, source in query.select:
+        if (
+            isinstance(source, ColumnRef)
+            and source.alias is None
+            and source.name in aggregate_map
+        ):
+            rendered = aggregate_to_sql(aggregate_map[source.name])
+        else:
+            rendered = expression_to_sql(source)
+        select_parts.append(f"{rendered} as {name}")
+    lines.append("select " + ", ".join(select_parts))
+    from_parts = [f"{ref.table} {ref.alias}" for ref in query.base_tables]
+    from_parts.extend(f"{view.alias} {view.alias}" for view in query.views)
+    lines.append("from " + ", ".join(from_parts))
+    if query.predicates:
+        lines.append(
+            "where "
+            + " and ".join(
+                expression_to_sql(p) for p in query.predicates
+            )
+        )
+    if query.group_by:
+        lines.append(
+            "group by " + ", ".join(ref.display() for ref in query.group_by)
+        )
+    if query.having:
+        lines.append(
+            "having "
+            + " and ".join(
+                expression_to_sql(_inline_aggregates(p, aggregate_map))
+                for p in query.having
+            )
+        )
+    if query.order_by:
+        lines.append(
+            "order by "
+            + ", ".join(
+                name + (" desc" if descending else "")
+                for name, descending in query.order_by
+            )
+        )
+    if query.limit is not None:
+        lines.append(f"limit {query.limit}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Physical storage: paginated heap tables, ordered indexes, IO accounting.
+
+The paper's optimizer minimizes IO cost (Section 5). To make cost-based
+claims testable rather than self-referential, this package gives every
+stored table a physical pagination (4096-byte pages whose capacity depends
+on tuple width) and charges every page touch to an :class:`IOCounter`.
+Benchmarks can therefore report *executed* page IO next to the optimizer's
+*estimated* page IO.
+"""
+
+from .iocounter import IOCounter, IOSnapshot
+from .page import PAGE_SIZE, rows_per_page, pages_for
+from .table import HeapTable
+from .index import OrderedIndex
+
+__all__ = [
+    "IOCounter",
+    "IOSnapshot",
+    "PAGE_SIZE",
+    "rows_per_page",
+    "pages_for",
+    "HeapTable",
+    "OrderedIndex",
+]

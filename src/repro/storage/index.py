@@ -1,0 +1,130 @@
+"""Ordered (B-tree-style) secondary indexes.
+
+The index stores ``(key, rid)`` entries in key order. IO is charged the
+way a B-tree would: a root-to-leaf traversal of ``height`` page reads,
+then one read per leaf page of matching entries. Fetching the indexed
+rows through :meth:`HeapTable.fetch` charges data-page reads separately
+(unclustered-index discipline).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .iocounter import IOCounter
+from .page import PAGE_SIZE
+from .table import HeapTable
+
+_ENTRY_OVERHEAD = 8  # rid + slot bookkeeping per index entry
+
+
+class OrderedIndex:
+    """An ordered index over one or more columns of a heap table."""
+
+    def __init__(self, name: str, table: HeapTable, column_names: Sequence[str]):
+        if not column_names:
+            raise SchemaError("an index needs at least one column")
+        self.name = name
+        self.table = table
+        self.column_names: Tuple[str, ...] = tuple(column_names)
+        self._positions = [
+            table.column_position(column) for column in self.column_names
+        ]
+        key_width = sum(
+            table.columns[position].dtype.width for position in self._positions
+        )
+        self.entries_per_page = max(
+            2, PAGE_SIZE // (key_width + _ENTRY_OVERHEAD)
+        )
+        # entries: parallel arrays of keys and rids, sorted by key
+        self._keys: List[Tuple[Any, ...]] = []
+        self._rids: List[int] = []
+        self.build()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def build(self) -> None:
+        """(Re)build the index from the table's current rows."""
+        pairs = sorted(
+            (self._key_of(row), rid) for rid, row in enumerate(self.table.rows)
+        )
+        self._keys = [key for key, _ in pairs]
+        self._rids = [rid for _, rid in pairs]
+
+    def _key_of(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(row[position] for position in self._positions)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._keys)
+
+    @property
+    def num_leaf_pages(self) -> int:
+        return max(1, math.ceil(len(self._keys) / self.entries_per_page))
+
+    @property
+    def height(self) -> int:
+        """Root-to-leaf page reads for one traversal."""
+        return max(1, math.ceil(math.log(self.num_leaf_pages + 1, 16)) + 1)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def lookup_rids(self, io: IOCounter, key: Sequence[Any]) -> List[int]:
+        """Rids of rows whose indexed columns equal *key* (charges IO)."""
+        probe = tuple(key)
+        lo = bisect.bisect_left(self._keys, probe)
+        hi = bisect.bisect_right(self._keys, probe)
+        io.read_pages(self.height)
+        if hi > lo:
+            first_leaf = lo // self.entries_per_page
+            last_leaf = (hi - 1) // self.entries_per_page
+            extra_leaves = last_leaf - first_leaf
+            if extra_leaves:
+                io.read_pages(extra_leaves)
+        return self._rids[lo:hi]
+
+    def lookup_rows(
+        self, io: IOCounter, key: Sequence[Any], include_rid: bool = False
+    ) -> Iterator[Tuple[Any, ...]]:
+        """Rows matching *key*, fetched through the heap (charges IO)."""
+        last_page: Optional[int] = None
+        for rid in self.lookup_rids(io, key):
+            row, last_page = self.table.fetch(io, rid, last_page)
+            yield row + (rid,) if include_rid else row
+
+    def range_rids(
+        self,
+        io: IOCounter,
+        low: Optional[Sequence[Any]] = None,
+        high: Optional[Sequence[Any]] = None,
+    ) -> List[int]:
+        """Rids with low <= key <= high (either bound may be open)."""
+        lo = 0 if low is None else bisect.bisect_left(self._keys, tuple(low))
+        hi = (
+            len(self._keys)
+            if high is None
+            else bisect.bisect_right(self._keys, tuple(high))
+        )
+        io.read_pages(self.height)
+        if hi > lo:
+            first_leaf = lo // self.entries_per_page
+            last_leaf = (hi - 1) // self.entries_per_page
+            extra_leaves = last_leaf - first_leaf
+            if extra_leaves:
+                io.read_pages(extra_leaves)
+        return self._rids[lo:hi]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        columns = ", ".join(self.column_names)
+        return f"OrderedIndex({self.name!r} on {self.table.name}({columns}))"

@@ -1,0 +1,37 @@
+"""Page-size arithmetic shared by storage and the cost model.
+
+Pages are logical: a heap table's rows are grouped into runs of
+``rows_per_page(width)`` tuples, and each run counts as one 4096-byte page
+for IO accounting. The same arithmetic is used by the cost model so that
+estimated and executed page counts are directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+
+PAGE_SIZE = 4096
+"""Bytes per page; the unit the IO-only cost model counts."""
+
+ROW_OVERHEAD = 8
+"""Per-tuple bookkeeping bytes (slot pointer + header) added to the
+payload width before computing page capacity."""
+
+
+def rows_per_page(row_width: int) -> int:
+    """How many tuples of *row_width* payload bytes fit on one page."""
+    if row_width < 0:
+        raise ValueError(f"negative row width: {row_width}")
+    return max(1, PAGE_SIZE // (row_width + ROW_OVERHEAD))
+
+
+def pages_for(row_count: int, row_width: int) -> int:
+    """Number of pages needed to hold *row_count* tuples of *row_width*.
+
+    An empty relation still occupies one page (its header page), which
+    keeps costs strictly positive and avoids divide-by-zero corner cases
+    in the optimizer.
+    """
+    if row_count <= 0:
+        return 1
+    return math.ceil(row_count / rows_per_page(row_width))

@@ -1,0 +1,40 @@
+"""The paper's transformations.
+
+- :mod:`pullup` — the pull-up transformation (Section 3, Definition 1):
+  defer a view's group-by past joins, at the query level (used by the
+  optimizer's Φ(V′, W) construction) and at the plan level (Figure 1).
+- :mod:`invariant` — invariant grouping push-down and the minimal
+  invariant set (Section 4.1), including the plan-level Figure 2(a)
+  rewrite.
+- :mod:`coalescing` — simple coalescing grouping (Section 4.2, Figure
+  2(b)) via the aggregate decomposability protocol.
+- :mod:`propagate` — predicate propagation across blocks, the
+  [MFPR90, LMS94] baseline the paper's introduction contrasts with.
+- :mod:`unnest` — the Kim-style flattening entry point that turns
+  correlated nested subqueries into aggregate-view queries (Section 1).
+"""
+
+from .pullup import pull_up, pull_up_plan, key_columns
+from .invariant import (
+    apply_invariant_split,
+    minimal_invariant_set,
+    push_down_plan,
+    removable_aliases,
+)
+from .coalescing import coalesce_plan, decompose_aggregates
+from .propagate import propagate_predicates
+from .unnest import unnest_sql
+
+__all__ = [
+    "pull_up",
+    "pull_up_plan",
+    "key_columns",
+    "apply_invariant_split",
+    "minimal_invariant_set",
+    "push_down_plan",
+    "removable_aliases",
+    "coalesce_plan",
+    "decompose_aggregates",
+    "propagate_predicates",
+    "unnest_sql",
+]

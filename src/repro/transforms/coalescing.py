@@ -1,0 +1,177 @@
+"""Simple coalescing grouping (Section 4.2, Figure 2(b)).
+
+Unlike invariant grouping, simple coalescing does not *move* the
+group-by: it **adds** an early group-by G2 below the join, computing
+partial aggregates, while the original G1 stays above and *coalesces*
+groups that were split by the finer early grouping. Applicability
+requires the aggregate functions to be decomposable — "we must be able
+to subsequently coalesce two groups that agree on the grouping columns."
+
+The decomposition machinery here is shared with the optimizer's eager-
+aggregation steps (greedy conservative heuristic, Section 5.2): an early
+group-by always computes the *partials*; the final group-by applies the
+*coalescers* and a projection applies each aggregate's *finalizer*
+(e.g. ``avg = sum_partial / count_partial``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algebra.aggregates import AggregateCall, aggregate_function
+from ..algebra.expressions import ColumnRef, Expression, FieldKey
+from ..algebra.plan import GroupByNode, JoinNode, PlanNode, ProjectNode
+from ..errors import TransformError
+
+
+@dataclass(frozen=True)
+class DecomposedAggregates:
+    """A decomposed aggregate list, shared by coalescing and the
+    optimizer's eager aggregation.
+
+    - ``partials``: aggregate calls the early group-by computes, with
+      generated column names; the calls' arguments are in the *input*
+      namespace (original relation columns).
+    - ``coalescers``: aggregate calls the final group-by computes over
+      the partial columns; outputs reuse the partial names so repeated
+      coalescing composes (a sum of sums is again a sum).
+    - ``finalizers``: for each original aggregate output name, the
+      expression over coalesced columns producing its value.
+    """
+
+    partials: Tuple[Tuple[str, AggregateCall], ...]
+    coalescers: Tuple[Tuple[str, AggregateCall], ...]
+    finalizers: Dict[str, Expression]
+
+    def finalize_substitution(self) -> Dict[FieldKey, Expression]:
+        """Mapping from original aggregate-output keys to finalizer
+        expressions (for rewriting HAVING/select)."""
+        return {
+            (None, name): expression
+            for name, expression in self.finalizers.items()
+        }
+
+
+def decompose_aggregates(
+    aggregates: Sequence[Tuple[str, AggregateCall]],
+) -> Optional[DecomposedAggregates]:
+    """Decompose every aggregate, or return None if any is holistic."""
+    partials: List[Tuple[str, AggregateCall]] = []
+    coalescers: List[Tuple[str, AggregateCall]] = []
+    finalizers: Dict[str, Expression] = {}
+    partial_index: Dict[AggregateCall, str] = {}
+
+    for name, call in aggregates:
+        decomposition = call.function().decompose(call.arg)
+        if decomposition is None:
+            return None
+        columns: List[Expression] = []
+        for partial_call, coalescer_name in zip(
+            decomposition.partials, decomposition.coalescers
+        ):
+            existing = partial_index.get(partial_call)
+            if existing is None:
+                existing = f"__p{len(partials)}"
+                partial_index[partial_call] = existing
+                partials.append((existing, partial_call))
+                coalescers.append(
+                    (
+                        existing,
+                        AggregateCall(
+                            coalescer_name, ColumnRef(None, existing)
+                        ),
+                    )
+                )
+            columns.append(ColumnRef(None, existing))
+        finalizers[name] = decomposition.finalize(columns)
+
+    return DecomposedAggregates(
+        partials=tuple(partials),
+        coalescers=tuple(coalescers),
+        finalizers=finalizers,
+    )
+
+
+def coalesce_plan(group: GroupByNode) -> PlanNode:
+    """Figure 2(b): rewrite ``G1(J(R1, R2))`` by adding an early partial
+    group-by on the left join input and coalescing above.
+
+    Requires every aggregate argument to come from the left input and
+    every aggregate function to be decomposable. The result's output
+    schema equals the original's (a finalizing projection on top).
+    """
+    join = group.child
+    if not isinstance(join, JoinNode):
+        raise TransformError("coalescing needs a join under the group-by")
+    left_schema = join.left.schema
+
+    for _, call in group.aggregates:
+        for key in call.columns():
+            if not left_schema.has(*key):
+                raise TransformError(
+                    "aggregate arguments must come from the left join input"
+                )
+    decomposed = decompose_aggregates(group.aggregates)
+    if decomposed is None:
+        raise TransformError(
+            "simple coalescing requires decomposable aggregate functions"
+        )
+
+    # Early grouping keys: left-side final grouping columns plus every
+    # left-side column the join still needs (join keys, residuals).
+    early_keys: List[FieldKey] = []
+    seen: Set[FieldKey] = set()
+
+    def add(key: FieldKey) -> None:
+        if key not in seen and left_schema.has(*key):
+            early_keys.append(key)
+            seen.add(key)
+
+    for key in group.group_keys:
+        if left_schema.has(*key):
+            add(key)
+    for left_key, _ in join.equi_keys:
+        add(left_key)
+    for predicate in join.residuals:
+        for key in predicate.columns():
+            if left_schema.has(*key):
+                add(key)
+    if not early_keys:
+        raise TransformError(
+            "no early grouping keys available on the left input"
+        )
+
+    early = GroupByNode(
+        join.left,
+        group_keys=early_keys,
+        aggregates=decomposed.partials,
+        method="hash",
+    )
+    new_join = JoinNode(
+        early,
+        join.right,
+        method=join.method,
+        equi_keys=join.equi_keys,
+        residuals=join.residuals,
+        index_name=join.index_name,
+    )
+    finalize = decomposed.finalize_substitution()
+    final = GroupByNode(
+        new_join,
+        group_keys=group.group_keys,
+        aggregates=decomposed.coalescers,
+        having=tuple(p.substitute(finalize) for p in group.having),
+        method="hash",
+    )
+    # Restore the original output schema: grouping columns pass through,
+    # aggregate outputs are finalized expressions.
+    internal = group.internal_schema
+    outputs = []
+    for alias, name in group.projection:
+        field = internal.field_of(alias, name)
+        if field.alias is None and name in decomposed.finalizers:
+            outputs.append((None, name, decomposed.finalizers[name]))
+        else:
+            outputs.append((alias, name, ColumnRef(alias, name)))
+    return ProjectNode(final, outputs)

@@ -1,0 +1,26 @@
+"""Workload generators.
+
+- :mod:`empdept` — the paper's running example schema (emp, dept) with
+  tunable sizes and selectivities, used by Examples 1 and 2 and the
+  crossover benchmarks.
+- :mod:`tpcdlike` — a TPC-D-flavoured decision-support schema
+  (region/nation-free, laptop-scale: supplier, customer, orders,
+  lineitem) standing in for the benchmark the paper's introduction
+  motivates with.
+- :mod:`generator` — a seeded random generator of canonical-form
+  queries (Figure 3) for the no-worse-guarantee and search-space
+  experiments.
+"""
+
+from .empdept import EmpDeptConfig, build_empdept
+from .tpcdlike import TpcdConfig, build_tpcd_like
+from .generator import RandomQueryConfig, random_queries
+
+__all__ = [
+    "EmpDeptConfig",
+    "build_empdept",
+    "TpcdConfig",
+    "build_tpcd_like",
+    "RandomQueryConfig",
+    "random_queries",
+]

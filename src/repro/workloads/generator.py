@@ -1,0 +1,274 @@
+"""Seeded random canonical-form queries (Figure 3) over a star schema.
+
+Used by the no-worse-guarantee experiment (E6), the search-space
+experiment (E7), and the randomized correctness tests: every generated
+query is well-formed by construction, small enough for the brute-force
+reference evaluator, and exercises views, outer group-bys, HAVING
+clauses, and multi-view joins in seed-controlled proportions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..algebra.aggregates import AggregateCall
+from ..algebra.expressions import ColumnRef, Comparison, Expression, col, lit
+from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock, TableRef
+from ..cost.params import CostParams
+from ..db import Database
+
+
+@dataclass(frozen=True)
+class RandomQueryConfig:
+    """Workload shape for the random generator."""
+
+    seed: int = 0
+    queries: int = 20
+    fact_rows: int = 300
+    dim_rows: int = 30
+    categories: int = 6
+    max_views: int = 2
+    memory_pages: int = 16
+
+
+_AGG_FUNCS = ("sum", "avg", "min", "max", "count")
+_FACT_MEASURES = ("qty", "price")
+
+
+def build_star_database(config: RandomQueryConfig) -> Database:
+    """A small star schema: fact(f) referencing dim1/dim2."""
+    rng = random.Random(config.seed)
+    db = Database(CostParams(memory_pages=config.memory_pages))
+    db.create_table(
+        "dim1",
+        [("d1_id", "int"), ("cat", "int"), ("val", "float")],
+        primary_key=["d1_id"],
+    )
+    db.create_table(
+        "dim2",
+        [("d2_id", "int"), ("cat", "int"), ("val", "float")],
+        primary_key=["d2_id"],
+    )
+    db.create_table(
+        "fact",
+        [
+            ("f_id", "int"),
+            ("d1_id", "int"),
+            ("d2_id", "int"),
+            ("qty", "float"),
+            ("price", "float"),
+            ("flag", "int"),
+        ],
+        primary_key=["f_id"],
+    )
+    db.insert(
+        "dim1",
+        [
+            (i, rng.randrange(config.categories), float(rng.randint(0, 100)))
+            for i in range(config.dim_rows)
+        ],
+    )
+    db.insert(
+        "dim2",
+        [
+            (i, rng.randrange(config.categories), float(rng.randint(0, 100)))
+            for i in range(config.dim_rows)
+        ],
+    )
+    db.insert(
+        "fact",
+        [
+            (
+                i,
+                rng.randrange(config.dim_rows),
+                rng.randrange(config.dim_rows),
+                float(rng.randint(1, 50)),
+                float(rng.randint(10, 500)),
+                rng.randrange(3),
+            )
+            for i in range(config.fact_rows)
+        ],
+    )
+    db.create_index("fact_d1_idx", "fact", ["d1_id"])
+    db.create_index("fact_d2_idx", "fact", ["d2_id"])
+    db.add_foreign_key("fact", ["d1_id"], "dim1", ["d1_id"])
+    db.add_foreign_key("fact", ["d2_id"], "dim2", ["d2_id"])
+    db.analyze()
+    return db
+
+
+def random_queries(
+    config: Optional[RandomQueryConfig] = None,
+) -> Tuple[Database, List[CanonicalQuery]]:
+    """Build the star database and a list of random canonical queries."""
+    config = config or RandomQueryConfig()
+    db = build_star_database(config)
+    rng = random.Random(config.seed + 1)
+    queries = [
+        _random_query(rng, index, config) for index in range(config.queries)
+    ]
+    return db, queries
+
+
+def _random_view(
+    rng: random.Random, name: str, config: RandomQueryConfig
+) -> Tuple[AggregateView, str, str]:
+    """One aggregate view over the fact table (optionally joined to a
+    dimension). Returns (view, group output name, aggregate output
+    name); the group output is always a fact FK column usable for
+    joining outside."""
+    fact_alias = f"{name}_f"
+    group_column = rng.choice(("d1_id", "d2_id"))
+    relations: List[TableRef] = [TableRef("fact", fact_alias)]
+    predicates: List[Expression] = []
+
+    if rng.random() < 0.4:
+        # join a dimension inside the view (tests invariant splitting)
+        dim = "dim1" if group_column == "d1_id" else "dim2"
+        dim_alias = f"{name}_d"
+        relations.append(TableRef(dim, dim_alias))
+        predicates.append(
+            Comparison(
+                "=",
+                ColumnRef(fact_alias, group_column),
+                ColumnRef(dim_alias, f"{group_column}"),
+            )
+        )
+        if rng.random() < 0.5:
+            predicates.append(
+                Comparison(
+                    "<",
+                    ColumnRef(dim_alias, "val"),
+                    lit(float(rng.randint(30, 90))),
+                )
+            )
+    if rng.random() < 0.5:
+        predicates.append(
+            Comparison(
+                "=", ColumnRef(fact_alias, "flag"), lit(rng.randrange(3))
+            )
+        )
+
+    func = rng.choice(_AGG_FUNCS)
+    measure = rng.choice(_FACT_MEASURES)
+    agg_arg = None if func == "count" else ColumnRef(fact_alias, measure)
+    aggregates = (("agg_out", AggregateCall(func, agg_arg)),)
+    having: Tuple[Expression, ...] = ()
+    if rng.random() < 0.3 and func in ("sum", "avg", "min", "max"):
+        having = (
+            Comparison(">", ColumnRef(None, "agg_out"), lit(0.0)),
+        )
+    block = QueryBlock(
+        relations=tuple(relations),
+        predicates=tuple(predicates),
+        group_by=(ColumnRef(fact_alias, group_column),),
+        aggregates=aggregates,
+        having=having,
+        select=(
+            ("gkey", ColumnRef(fact_alias, group_column)),
+            ("agg_out", ColumnRef(None, "agg_out")),
+        ),
+    )
+    return AggregateView(alias=name, block=block), "gkey", "agg_out"
+
+
+def _random_query(
+    rng: random.Random, index: int, config: RandomQueryConfig
+) -> CanonicalQuery:
+    view_count = rng.randint(1, config.max_views)
+    views: List[AggregateView] = []
+    view_info: List[Tuple[str, str, str]] = []
+    for v in range(view_count):
+        name = f"q{index}v{v}"
+        view, group_out, agg_out = _random_view(rng, name, config)
+        views.append(view)
+        view_info.append((name, group_out, agg_out))
+
+    base_tables: List[TableRef] = []
+    predicates: List[Expression] = []
+    select: List[Tuple[str, Expression]] = []
+
+    # Join each view to a dimension (or to the first view) on its key.
+    anchor_dim = rng.choice(("dim1", "dim2"))
+    dim_alias = f"q{index}dim"
+    dim_key = "d1_id" if anchor_dim == "dim1" else "d2_id"
+    base_tables.append(TableRef(anchor_dim, dim_alias))
+    first_alias, first_group, first_agg = view_info[0]
+    # views group on d1_id or d2_id of fact; join to the matching dim
+    first_view = views[0]
+    group_source = first_view.block.group_by[0].name  # d1_id or d2_id
+    if (group_source == "d1_id") != (anchor_dim == "dim1"):
+        anchor_dim = "dim1" if group_source == "d1_id" else "dim2"
+        dim_key = "d1_id" if anchor_dim == "dim1" else "d2_id"
+        base_tables[0] = TableRef(anchor_dim, dim_alias)
+    predicates.append(
+        Comparison(
+            "=",
+            ColumnRef(dim_alias, dim_key),
+            ColumnRef(first_alias, first_group),
+        )
+    )
+    if rng.random() < 0.6:
+        predicates.append(
+            Comparison(
+                "<", ColumnRef(dim_alias, "val"), lit(float(rng.randint(20, 95)))
+            )
+        )
+    if rng.random() < 0.5:
+        predicates.append(
+            Comparison(
+                ">", ColumnRef(first_alias, first_agg), lit(float(rng.randint(0, 50)))
+            )
+        )
+    for extra_alias, extra_group, extra_agg in view_info[1:]:
+        predicates.append(
+            Comparison(
+                "=",
+                ColumnRef(first_alias, first_group),
+                ColumnRef(extra_alias, extra_group),
+            )
+        )
+
+    grouped = rng.random() < 0.4
+    if grouped:
+        group_by = (ColumnRef(dim_alias, "cat"),)
+        func = rng.choice(("sum", "avg", "max", "min"))
+        aggregates = (
+            (
+                "outer_agg",
+                AggregateCall(func, ColumnRef(first_alias, first_agg)),
+            ),
+        )
+        having: Tuple[Expression, ...] = ()
+        if rng.random() < 0.4:
+            having = (
+                Comparison(">", ColumnRef(None, "outer_agg"), lit(1.0)),
+            )
+        select = [
+            ("cat", ColumnRef(dim_alias, "cat")),
+            ("outer_agg", ColumnRef(None, "outer_agg")),
+        ]
+        return CanonicalQuery(
+            base_tables=tuple(base_tables),
+            views=tuple(views),
+            predicates=tuple(predicates),
+            group_by=group_by,
+            aggregates=aggregates,
+            having=having,
+            select=tuple(select),
+        )
+
+    select = [
+        ("dim_val", ColumnRef(dim_alias, "val")),
+        ("view_agg", ColumnRef(first_alias, first_agg)),
+    ]
+    for extra_alias, _, extra_agg in view_info[1:]:
+        select.append((f"{extra_alias}_agg", ColumnRef(extra_alias, extra_agg)))
+    return CanonicalQuery(
+        base_tables=tuple(base_tables),
+        views=tuple(views),
+        predicates=tuple(predicates),
+        select=tuple(select),
+    )

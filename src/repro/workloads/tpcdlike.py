@@ -1,0 +1,146 @@
+"""A TPC-D-flavoured decision-support schema at laptop scale.
+
+The paper motivates its query class with decision-support workloads
+("e.g., see TPC-D benchmark", Section 1). The real TPC-D data generator
+and scale factors are not reproducible here, so this module builds a
+seeded synthetic instance with the same *shape*: a large fact table
+(lineitem), medium orders, and small dimensions (customer, supplier),
+with the skews that make aggregate views interesting — many lineitems
+per order, many orders per customer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cost.params import CostParams
+from ..db import Database
+
+
+@dataclass(frozen=True)
+class TpcdConfig:
+    """Scale knobs (defaults keep full runs under a few seconds)."""
+
+    customers: int = 150
+    suppliers: int = 20
+    orders: int = 1500
+    lineitems_per_order: int = 4
+    seed: int = 7
+    memory_pages: int = 32
+
+    @property
+    def lineitems(self) -> int:
+        return self.orders * self.lineitems_per_order
+
+
+def build_tpcd_like(config: Optional[TpcdConfig] = None) -> Database:
+    """Build the synthetic decision-support database."""
+    config = config or TpcdConfig()
+    rng = random.Random(config.seed)
+    db = Database(CostParams(memory_pages=config.memory_pages))
+
+    db.create_table(
+        "customer",
+        [("custkey", "int"), ("nation", "int"), ("acctbal", "float"),
+         ("segment", "int")],
+        primary_key=["custkey"],
+    )
+    db.create_table(
+        "supplier",
+        [("suppkey", "int"), ("nation", "int"), ("acctbal", "float")],
+        primary_key=["suppkey"],
+    )
+    db.create_table(
+        "orders",
+        [("orderkey", "int"), ("custkey", "int"), ("orderdate", "int"),
+         ("totalprice", "float")],
+        primary_key=["orderkey"],
+    )
+    db.create_table(
+        "lineitem",
+        [("orderkey", "int"), ("linenumber", "int"), ("suppkey", "int"),
+         ("quantity", "float"), ("price", "float"), ("discount", "float")],
+        primary_key=["orderkey", "linenumber"],
+    )
+
+    db.insert(
+        "customer",
+        [
+            (c, rng.randrange(25), float(rng.randint(-999, 40_000)),
+             rng.randrange(5))
+            for c in range(config.customers)
+        ],
+    )
+    db.insert(
+        "supplier",
+        [
+            (s, rng.randrange(25), float(rng.randint(-999, 9999)))
+            for s in range(config.suppliers)
+        ],
+    )
+    orders = []
+    lineitems = []
+    for o in range(config.orders):
+        custkey = rng.randrange(config.customers)
+        orderdate = rng.randint(0, 2556)  # days over ~7 years
+        lines = max(1, rng.randint(1, 2 * config.lineitems_per_order - 1))
+        total = 0.0
+        for line in range(lines):
+            quantity = float(rng.randint(1, 50))
+            price = float(rng.randint(100, 10_000))
+            discount = rng.randint(0, 10) / 100.0
+            total += price * (1.0 - discount)
+            lineitems.append(
+                (o, line, rng.randrange(config.suppliers), quantity, price,
+                 discount)
+            )
+        orders.append((o, custkey, orderdate, total))
+    db.insert("orders", orders)
+    db.insert("lineitem", lineitems)
+
+    db.create_index("orders_custkey_idx", "orders", ["custkey"])
+    db.create_index("lineitem_orderkey_idx", "lineitem", ["orderkey"])
+    db.add_foreign_key("orders", ["custkey"], "customer", ["custkey"])
+    db.add_foreign_key("lineitem", ["suppkey"], "supplier", ["suppkey"])
+    db.analyze()
+    return db
+
+
+REVENUE_PER_CUSTOMER_SQL = """
+with rev(orderkey, revenue) as (
+    select l.orderkey, sum(l.price * (1 - l.discount))
+    from lineitem l
+    group by l.orderkey
+)
+select o.custkey, sum(r.revenue) as total
+from orders o, rev r
+where o.orderkey = r.orderkey and o.orderdate < 700
+group by o.custkey
+"""
+"""An aggregate view over the fact table joined with a filtered orders
+table then re-aggregated — the canonical decision-support shape."""
+
+BIG_SPENDERS_SQL = """
+select c.custkey, c.acctbal
+from customer c
+where c.acctbal > (
+    select avg(o.totalprice) from orders o where o.custkey = c.custkey
+)
+"""
+"""Customers whose balance exceeds their average order price —
+a correlated nested subquery flattened via Kim's transformation."""
+
+SUPPLIER_SHARE_SQL = """
+with srev(suppkey, srevenue) as (
+    select l.suppkey, sum(l.price * (1 - l.discount))
+    from lineitem l
+    group by l.suppkey
+)
+select s.nation, max(v.srevenue) as best
+from supplier s, srev v
+where s.suppkey = v.suppkey and s.acctbal > 0
+group by s.nation
+"""
+"""Supplier revenue view rolled up by nation (outer group-by G0)."""

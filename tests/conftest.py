@@ -1,0 +1,97 @@
+"""Shared fixtures: small, deterministic databases used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CostParams, Database
+from repro.catalog import Catalog, Column
+from repro.datatypes import DataType
+
+
+@pytest.fixture
+def empty_catalog() -> Catalog:
+    return Catalog()
+
+
+@pytest.fixture
+def emp_dept_db() -> Database:
+    """The paper's running-example schema, small enough for the
+    brute-force reference evaluator."""
+    db = Database(CostParams(memory_pages=8))
+    db.create_table(
+        "emp",
+        [("eno", "int"), ("dno", "int"), ("sal", "float"), ("age", "int")],
+        primary_key=["eno"],
+    )
+    db.create_table(
+        "dept",
+        [("dno", "int"), ("budget", "float"), ("loc", "int")],
+        primary_key=["dno"],
+    )
+    rng = random.Random(1234)
+    db.insert(
+        "emp",
+        [
+            (
+                eno,
+                eno % 7,
+                float(rng.randint(20_000, 120_000)),
+                rng.randint(18, 65),
+            )
+            for eno in range(140)
+        ],
+    )
+    db.insert(
+        "dept",
+        [
+            (dno, float(rng.randint(100_000, 3_000_000)), dno % 3)
+            for dno in range(7)
+        ],
+    )
+    db.create_index("emp_dno_idx", "emp", ["dno"])
+    db.add_foreign_key("emp", ["dno"], "dept", ["dno"])
+    db.analyze()
+    return db
+
+
+@pytest.fixture
+def nopk_db() -> Database:
+    """A schema with a key-less table, forcing row-id surrogate keys."""
+    db = Database(CostParams(memory_pages=8))
+    db.create_table(
+        "events", [("dno", "int"), ("kind", "int"), ("amount", "float")]
+    )
+    db.create_table(
+        "emp",
+        [("eno", "int"), ("dno", "int"), ("sal", "float")],
+        primary_key=["eno"],
+    )
+    rng = random.Random(99)
+    db.insert(
+        "events",
+        [
+            (rng.randrange(5), rng.randrange(3), float(rng.randint(1, 50)))
+            for _ in range(40)
+        ],
+    )
+    db.insert(
+        "emp",
+        [(e, e % 5, float(rng.randint(100, 900))) for e in range(60)],
+    )
+    db.analyze()
+    return db
+
+
+def make_columns(*specs):
+    """('name', DataType) pairs to Column objects."""
+    return [Column(name, dtype) for name, dtype in specs]
+
+
+@pytest.fixture
+def int_float_columns():
+    return make_columns(
+        ("a", DataType.INT), ("b", DataType.FLOAT), ("c", DataType.STR)
+    )

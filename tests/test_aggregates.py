@@ -1,0 +1,227 @@
+"""Unit tests for aggregate functions and the decomposability protocol."""
+
+import math
+
+import pytest
+
+from repro.algebra.aggregates import (
+    AggregateCall,
+    AggregateFunction,
+    Accumulator,
+    aggregate_function,
+    known_aggregates,
+    register_aggregate,
+)
+from repro.algebra.expressions import col
+from repro.catalog import Field, RowSchema
+from repro.datatypes import DataType
+from repro.errors import PlanError
+
+
+def run(func_name, values):
+    acc = aggregate_function(func_name).make_accumulator()
+    for value in values:
+        acc.add(value)
+    return acc.value()
+
+
+class TestBuiltins:
+    def test_count(self):
+        assert run("count", [5, 5, 7]) == 3
+
+    def test_sum(self):
+        assert run("sum", [1.0, 2.0, 3.5]) == 6.5
+
+    def test_avg(self):
+        assert run("avg", [2.0, 4.0]) == 3.0
+
+    def test_min_max(self):
+        assert run("min", [3, 1, 2]) == 1
+        assert run("max", [3, 1, 2]) == 3
+
+    def test_stddev_population(self):
+        assert run("stddev", [2.0, 4.0]) == pytest.approx(1.0)
+
+    def test_stddev_constant_is_zero(self):
+        assert run("stddev", [5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_median_odd(self):
+        assert run("median", [3, 1, 2]) == 2
+
+    def test_median_even(self):
+        assert run("median", [1, 2, 3, 4]) == 2.5
+
+    def test_empty_group_raises(self):
+        for name in ("sum", "avg", "min", "max", "stddev", "median"):
+            with pytest.raises(PlanError):
+                run(name, [])
+
+    def test_empty_count_is_zero(self):
+        assert run("count", []) == 0
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(PlanError):
+            aggregate_function("frobnicate")
+
+
+class TestMerge:
+    """merge() must behave as if the inputs were one stream — the core
+    decomposability requirement of Section 4.2."""
+
+    @pytest.mark.parametrize(
+        "name", ["count", "sum", "avg", "min", "max", "stddev", "median"]
+    )
+    def test_merge_equals_single_stream(self, name):
+        values = [1.0, 5.0, 2.0, 8.0, 8.0, 3.0]
+        whole = aggregate_function(name).make_accumulator()
+        for value in values:
+            whole.add(value)
+        left = aggregate_function(name).make_accumulator()
+        right = aggregate_function(name).make_accumulator()
+        for value in values[:3]:
+            left.add(value)
+        for value in values[3:]:
+            right.add(value)
+        left.merge(right)
+        assert left.value() == pytest.approx(whole.value())
+
+    def test_merge_with_empty_side(self):
+        left = aggregate_function("min").make_accumulator()
+        left.add(4)
+        right = aggregate_function("min").make_accumulator()
+        left.merge(right)
+        assert left.value() == 4
+
+
+class TestDecomposition:
+    def schema(self):
+        return RowSchema([Field("t", "x", DataType.FLOAT)])
+
+    def finalize_value(self, name, values):
+        """Compute an aggregate through its partial/coalesce/finalize
+        pipeline split across two partitions, and return the result."""
+        function = aggregate_function(name)
+        decomposition = function.decompose(col("t.x"))
+        assert decomposition is not None
+        # partial accumulators per partition; partial args are
+        # expressions over the input row (e.g. x*x for STDDEV)
+        input_schema = self.schema()
+        partitions = [values[: len(values) // 2], values[len(values) // 2 :]]
+        partial_rows = []
+        for partition in partitions:
+            row = []
+            for partial_call in decomposition.partials:
+                acc = partial_call.function().make_accumulator()
+                evaluate = (
+                    partial_call.arg.bind(input_schema)
+                    if partial_call.arg is not None
+                    else None
+                )
+                for value in partition:
+                    acc.add(
+                        evaluate((value,)) if evaluate is not None else None
+                    )
+                row.append(acc.value())
+            partial_rows.append(tuple(row))
+        # coalesce across partitions
+        coalesced = []
+        for position, coalescer in enumerate(decomposition.coalescers):
+            acc = aggregate_function(coalescer).make_accumulator()
+            for row in partial_rows:
+                acc.add(row[position])
+            coalesced.append(acc.value())
+        # finalize via the expression over a synthetic schema
+        fields = [
+            Field(None, f"c{i}", DataType.FLOAT)
+            for i in range(len(coalesced))
+        ]
+        schema = RowSchema(fields)
+        columns = [col(f"c{i}") for i in range(len(coalesced))]
+        final = decomposition.finalize(columns)
+        return final.bind(schema)(tuple(coalesced))
+
+    @pytest.mark.parametrize("name", ["sum", "count", "min", "max", "avg"])
+    def test_decomposition_matches_direct(self, name):
+        values = [1.0, 2.0, 2.0, 7.0, 10.0]
+        direct = run(name, values)
+        assert self.finalize_value(name, values) == pytest.approx(direct)
+
+    def test_stddev_decomposition(self):
+        values = [1.0, 3.0, 5.0, 9.0]
+        assert self.finalize_value("stddev", values) == pytest.approx(
+            run("stddev", values)
+        )
+
+    def test_median_not_decomposable(self):
+        assert aggregate_function("median").decompose(col("t.x")) is None
+        assert not aggregate_function("median").decomposable
+
+    def test_builtins_decomposable_flag(self):
+        for name in ("sum", "count", "avg", "min", "max", "stddev"):
+            assert aggregate_function(name).decomposable
+
+
+class TestAggregateCall:
+    def test_output_dtype_count_is_int(self):
+        call = AggregateCall("count", None)
+        schema = RowSchema([Field("t", "x", DataType.FLOAT)])
+        assert call.output_dtype(schema) is DataType.INT
+
+    def test_output_dtype_avg_is_float(self):
+        call = AggregateCall("avg", col("t.x"))
+        schema = RowSchema([Field("t", "x", DataType.INT)])
+        assert call.output_dtype(schema) is DataType.FLOAT
+
+    def test_sum_preserves_input_dtype(self):
+        call = AggregateCall("sum", col("t.x"))
+        schema = RowSchema([Field("t", "x", DataType.INT)])
+        assert call.output_dtype(schema) is DataType.INT
+
+    def test_substitute_rewrites_arg(self):
+        call = AggregateCall("sum", col("t.x"))
+        rewritten = call.substitute({("t", "x"): col("u.y")})
+        assert rewritten.columns() == {("u", "y")}
+
+    def test_count_star_has_no_columns(self):
+        assert AggregateCall("count", None).columns() == frozenset()
+
+    def test_display(self):
+        assert AggregateCall("avg", col("e.sal")).display() == "avg(e.sal)"
+        assert AggregateCall("count", None).display() == "count(*)"
+
+
+class TestUserDefined:
+    def test_register_and_use(self):
+        class Second(AggregateFunction):
+            """Keeps the second value seen (an arbitrary UDF)."""
+
+            name = "second_test_only"
+
+            def make_accumulator(self):
+                outer = self
+
+                class _Acc(Accumulator):
+                    def __init__(self):
+                        self.values = []
+
+                    def add(self, value):
+                        self.values.append(value)
+
+                    def merge(self, other):
+                        self.values.extend(other.values)
+
+                    def value(self):
+                        return self.values[1]
+
+                return _Acc()
+
+        register_aggregate(Second())
+        assert "second_test_only" in known_aggregates()
+        assert run("second_test_only", [7, 8, 9]) == 8
+
+    def test_register_requires_name(self):
+        class Nameless(AggregateFunction):
+            pass
+
+        with pytest.raises(PlanError):
+            register_aggregate(Nameless())

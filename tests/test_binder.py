@@ -1,0 +1,264 @@
+"""Unit tests for the binder: resolution, views, unnesting, validation."""
+
+import pytest
+
+from repro.algebra.expressions import ColumnRef
+from repro.errors import BindError, UnsupportedFeatureError
+from repro.sql import bind_sql
+
+
+class TestResolution:
+    def test_basic_bind(self, emp_dept_db):
+        query = bind_sql(
+            "select e.sal from emp e where e.age < 30", emp_dept_db.catalog
+        )
+        assert [ref.alias for ref in query.base_tables] == ["e"]
+        assert len(query.predicates) == 1
+        assert query.select[0][0] == "sal"
+
+    def test_default_alias_is_table_name(self, emp_dept_db):
+        query = bind_sql("select emp.sal from emp", emp_dept_db.catalog)
+        assert query.base_tables[0].alias == "emp"
+
+    def test_unqualified_column_resolved(self, emp_dept_db):
+        query = bind_sql(
+            "select budget from emp e, dept d where e.dno = d.dno",
+            emp_dept_db.catalog,
+        )
+        assert query.select[0][1] == ColumnRef("d", "budget")
+
+    def test_ambiguous_column_rejected(self, emp_dept_db):
+        with pytest.raises(BindError):
+            bind_sql(
+                "select dno from emp e, dept d", emp_dept_db.catalog
+            )
+
+    def test_unknown_column_rejected(self, emp_dept_db):
+        with pytest.raises(BindError):
+            bind_sql("select zzz from emp e", emp_dept_db.catalog)
+
+    def test_unknown_table_rejected(self, emp_dept_db):
+        with pytest.raises(BindError):
+            bind_sql("select x from nothere", emp_dept_db.catalog)
+
+    def test_duplicate_alias_rejected(self, emp_dept_db):
+        with pytest.raises(BindError):
+            bind_sql("select e.sal from emp e, dept e", emp_dept_db.catalog)
+
+    def test_self_join_distinct_aliases(self, emp_dept_db):
+        query = bind_sql(
+            "select e1.sal from emp e1, emp e2 where e1.dno = e2.dno",
+            emp_dept_db.catalog,
+        )
+        assert {ref.alias for ref in query.base_tables} == {"e1", "e2"}
+
+
+class TestGroupingValidation:
+    def test_grouped_select_must_use_group_cols(self, emp_dept_db):
+        with pytest.raises(BindError):
+            bind_sql(
+                "select e.sal from emp e group by e.dno",
+                emp_dept_db.catalog,
+            )
+
+    def test_having_must_use_group_cols_or_aggs(self, emp_dept_db):
+        with pytest.raises(BindError):
+            bind_sql(
+                "select e.dno from emp e group by e.dno having e.sal > 5",
+                emp_dept_db.catalog,
+            )
+
+    def test_aggregate_without_group_by_rejected(self, emp_dept_db):
+        with pytest.raises(UnsupportedFeatureError):
+            bind_sql("select avg(e.sal) from emp e", emp_dept_db.catalog)
+
+    def test_aggregate_naming_explicit(self, emp_dept_db):
+        query = bind_sql(
+            "select e.dno, avg(e.sal) as mean from emp e group by e.dno",
+            emp_dept_db.catalog,
+        )
+        assert query.aggregates[0][0] == "mean"
+
+    def test_aggregate_naming_generated(self, emp_dept_db):
+        query = bind_sql(
+            "select e.dno, avg(e.sal) from emp e group by e.dno",
+            emp_dept_db.catalog,
+        )
+        assert query.aggregates[0][0] == "avg_sal"
+
+    def test_duplicate_aggregates_shared(self, emp_dept_db):
+        query = bind_sql(
+            "select e.dno, avg(e.sal) as a from emp e group by e.dno "
+            "having avg(e.sal) > 10",
+            emp_dept_db.catalog,
+        )
+        assert len(query.aggregates) == 1
+
+    def test_having_introduces_new_aggregate(self, emp_dept_db):
+        query = bind_sql(
+            "select e.dno, avg(e.sal) as a from emp e group by e.dno "
+            "having max(e.sal) > 10",
+            emp_dept_db.catalog,
+        )
+        assert len(query.aggregates) == 2
+
+
+class TestViews:
+    VIEW_SQL = (
+        "with v(dno, asal) as "
+        "(select e2.dno, avg(e2.sal) from emp e2 group by e2.dno) "
+    )
+
+    def test_aggregate_view_bound(self, emp_dept_db):
+        query = bind_sql(
+            self.VIEW_SQL + "select b.asal from v b where b.asal > 0",
+            emp_dept_db.catalog,
+        )
+        assert len(query.views) == 1
+        assert query.views[0].alias == "b"
+
+    def test_view_internal_aliases_uniquified(self, emp_dept_db):
+        query = bind_sql(
+            self.VIEW_SQL + "select b.asal from v b, emp e2 "
+            "where e2.dno = b.dno",
+            emp_dept_db.catalog,
+        )
+        inner_aliases = query.views[0].block.aliases
+        assert inner_aliases == {"b__e2"}  # no clash with outer e2
+
+    def test_same_view_twice(self, emp_dept_db):
+        query = bind_sql(
+            self.VIEW_SQL + "select x.asal from v x, v y "
+            "where x.dno = y.dno",
+            emp_dept_db.catalog,
+        )
+        assert {view.alias for view in query.views} == {"x", "y"}
+        all_inner = set()
+        for view in query.views:
+            assert not (all_inner & view.block.aliases)
+            all_inner |= view.block.aliases
+
+    def test_spj_view_flattened(self, emp_dept_db):
+        query = bind_sql(
+            "with rich(eno, sal) as "
+            "(select e.eno, e.sal from emp e where e.sal > 50000) "
+            "select r.sal from rich r where r.sal < 90000",
+            emp_dept_db.catalog,
+        )
+        # flattened: no views left, emp joined directly
+        assert query.views == ()
+        assert query.base_tables[0].table == "emp"
+        assert len(query.predicates) == 2
+
+    def test_view_column_count_mismatch(self, emp_dept_db):
+        with pytest.raises(BindError):
+            bind_sql(
+                "with v(a) as (select e.dno, avg(e.sal) from emp e "
+                "group by e.dno) select v.a from v",
+                emp_dept_db.catalog,
+            )
+
+    def test_view_with_having(self, emp_dept_db):
+        query = bind_sql(
+            "with v(dno, asal) as (select e.dno, avg(e.sal) from emp e "
+            "group by e.dno having avg(e.sal) > 100) "
+            "select v.asal from v",
+            emp_dept_db.catalog,
+        )
+        assert len(query.views[0].block.having) == 1
+
+    def test_catalog_registered_view(self, emp_dept_db):
+        emp_dept_db.create_view(
+            "dsal",
+            ["dno", "total"],
+            "select e.dno, sum(e.sal) from emp e group by e.dno",
+        )
+        query = bind_sql(
+            "select t.total from dsal t where t.total > 0",
+            emp_dept_db.catalog,
+        )
+        assert query.views[0].alias == "t"
+
+
+class TestUnnesting:
+    def test_correlated_avg_subquery(self, emp_dept_db):
+        query = bind_sql(
+            "select e1.sal from emp e1 where e1.sal > "
+            "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno)",
+            emp_dept_db.catalog,
+        )
+        assert len(query.views) == 1
+        view = query.views[0]
+        assert view.block.aggregates[0][1].func_name == "avg"
+        assert len(view.block.group_by) == 1
+        # correlation becomes a join predicate + the comparison
+        assert len(query.predicates) == 2
+
+    def test_subquery_on_left_side(self, emp_dept_db):
+        query = bind_sql(
+            "select e1.sal from emp e1 where "
+            "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno) < e1.sal",
+            emp_dept_db.catalog,
+        )
+        assert len(query.views) == 1
+
+    def test_multiple_correlations(self, emp_dept_db):
+        query = bind_sql(
+            "select e1.sal from emp e1 where e1.sal > "
+            "(select min(e2.sal) from emp e2 "
+            "where e2.dno = e1.dno and e2.age = e1.age)",
+            emp_dept_db.catalog,
+        )
+        view = query.views[0]
+        assert len(view.block.group_by) == 2
+
+    def test_subquery_local_predicate_stays_inside(self, emp_dept_db):
+        query = bind_sql(
+            "select e1.sal from emp e1 where e1.sal > "
+            "(select avg(e2.sal) from emp e2 "
+            "where e2.dno = e1.dno and e2.age > 30)",
+            emp_dept_db.catalog,
+        )
+        assert len(query.views[0].block.predicates) == 1
+
+    def test_count_subquery_rejected(self, emp_dept_db):
+        # Kim's COUNT bug: unsound without outer joins
+        with pytest.raises(UnsupportedFeatureError):
+            bind_sql(
+                "select e1.sal from emp e1 where e1.eno > "
+                "(select count(*) from emp e2 where e2.dno = e1.dno)",
+                emp_dept_db.catalog,
+            )
+
+    def test_uncorrelated_subquery_rejected(self, emp_dept_db):
+        with pytest.raises(UnsupportedFeatureError):
+            bind_sql(
+                "select e1.sal from emp e1 where e1.sal > "
+                "(select avg(e2.sal) from emp e2)",
+                emp_dept_db.catalog,
+            )
+
+    def test_non_aggregate_subquery_rejected(self, emp_dept_db):
+        with pytest.raises(UnsupportedFeatureError):
+            bind_sql(
+                "select e1.sal from emp e1 where e1.sal > "
+                "(select e2.sal from emp e2 where e2.dno = e1.dno)",
+                emp_dept_db.catalog,
+            )
+
+    def test_subquery_inside_or_rejected_at_bind_time(self, emp_dept_db):
+        with pytest.raises(UnsupportedFeatureError):
+            bind_sql(
+                "select e1.sal from emp e1 where e1.dno = 0 or e1.sal > "
+                "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno)",
+                emp_dept_db.catalog,
+            )
+
+    def test_grouped_subquery_rejected(self, emp_dept_db):
+        with pytest.raises(UnsupportedFeatureError):
+            bind_sql(
+                "select e1.sal from emp e1 where e1.sal > "
+                "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno "
+                "group by e2.age)",
+                emp_dept_db.catalog,
+            )

@@ -1,0 +1,192 @@
+"""Tests for simple coalescing grouping (Section 4.2, Figure 2(b))."""
+
+import pytest
+
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.legality import check_plan
+from repro.algebra.plan import GroupByNode, JoinNode, ProjectNode, ScanNode
+from repro.catalog.schema import table_row_schema
+from repro.cost import CostModel
+from repro.engine import ExecutionContext, execute_plan
+from repro.engine.reference import rows_equal_bag
+from repro.errors import TransformError
+from repro.transforms import coalesce_plan, decompose_aggregates
+
+
+class TestDecomposeAggregates:
+    def test_shared_partials(self):
+        aggregates = [
+            ("a", AggregateCall("avg", col("t.x"))),
+            ("s", AggregateCall("sum", col("t.x"))),
+        ]
+        decomposed = decompose_aggregates(aggregates)
+        # avg needs sum+count; sum reuses avg's sum partial
+        assert len(decomposed.partials) == 2
+
+    def test_finalizers_cover_all_outputs(self):
+        aggregates = [
+            ("a", AggregateCall("avg", col("t.x"))),
+            ("m", AggregateCall("max", col("t.y"))),
+            ("c", AggregateCall("count", None)),
+        ]
+        decomposed = decompose_aggregates(aggregates)
+        assert set(decomposed.finalizers) == {"a", "m", "c"}
+
+    def test_coalescer_names_match_partials(self):
+        decomposed = decompose_aggregates(
+            [("s", AggregateCall("sum", col("t.x")))]
+        )
+        assert [n for n, _ in decomposed.partials] == [
+            n for n, _ in decomposed.coalescers
+        ]
+
+    def test_median_blocks_decomposition(self):
+        aggregates = [
+            ("s", AggregateCall("sum", col("t.x"))),
+            ("m", AggregateCall("median", col("t.x"))),
+        ]
+        assert decompose_aggregates(aggregates) is None
+
+    def test_count_coalesces_via_sum(self):
+        decomposed = decompose_aggregates(
+            [("c", AggregateCall("count", col("t.x")))]
+        )
+        assert decomposed.coalescers[0][1].func_name == "sum"
+
+
+class TestCoalescePlan:
+    def build(self, db, funcs=("avg",), having=()):
+        emp_columns = db.catalog.table("emp").columns
+        dept_columns = db.catalog.table("dept").columns
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            ScanNode(
+                "dept",
+                "d",
+                table_row_schema("d", dept_columns).fields,
+                filters=(Comparison("<", col("d.budget"), lit(2_000_000)),),
+            ),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        aggregates = [
+            (f"{func}_out", AggregateCall(func, col("e.sal")))
+            for func in funcs
+        ]
+        return GroupByNode(
+            join,
+            group_keys=[("d", "loc")],
+            aggregates=aggregates,
+            having=having,
+        )
+
+    def run_plan(self, db, plan):
+        CostModel(db.catalog, db.params).annotate_tree(plan)
+        context = ExecutionContext(db.catalog, db.io, db.params)
+        return execute_plan(plan, context)
+
+    @pytest.mark.parametrize(
+        "funcs",
+        [("sum",), ("count",), ("min",), ("max",), ("avg",), ("stddev",),
+         ("avg", "sum", "count")],
+    )
+    def test_equivalence_per_function(self, emp_dept_db, funcs):
+        original = self.build(emp_dept_db, funcs)
+        baseline = self.run_plan(emp_dept_db, original)
+        rewritten = coalesce_plan(self.build(emp_dept_db, funcs))
+        check_plan(rewritten, emp_dept_db.catalog)
+        result = self.run_plan(emp_dept_db, rewritten)
+        assert rows_equal_bag(baseline.rows, result.rows)
+
+    def test_structure_has_two_group_bys(self, emp_dept_db):
+        rewritten = coalesce_plan(self.build(emp_dept_db))
+        assert isinstance(rewritten, ProjectNode)
+        upper = rewritten.child
+        assert isinstance(upper, GroupByNode)
+        join = upper.child
+        assert isinstance(join, JoinNode)
+        assert isinstance(join.left, GroupByNode)  # the added early G2
+
+    def test_early_group_keys_include_join_columns(self, emp_dept_db):
+        rewritten = coalesce_plan(self.build(emp_dept_db))
+        early = rewritten.child.child.left
+        assert ("e", "dno") in early.group_keys
+
+    def test_output_schema_preserved(self, emp_dept_db):
+        original = self.build(emp_dept_db, ("avg", "sum"))
+        rewritten = coalesce_plan(self.build(emp_dept_db, ("avg", "sum")))
+        assert rewritten.schema == original.schema
+
+    def test_having_rewritten_over_finalizers(self, emp_dept_db):
+        having = (Comparison(">", col("avg_out"), lit(40_000.0)),)
+        original = self.build(emp_dept_db, having=having)
+        baseline = self.run_plan(emp_dept_db, original)
+        rewritten = coalesce_plan(self.build(emp_dept_db, having=having))
+        result = self.run_plan(emp_dept_db, rewritten)
+        assert rows_equal_bag(baseline.rows, result.rows)
+
+    def test_median_rejected(self, emp_dept_db):
+        with pytest.raises(TransformError):
+            coalesce_plan(self.build(emp_dept_db, ("median",)))
+
+    def test_right_side_aggregate_rejected(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        dept_columns = emp_dept_db.catalog.table("dept").columns
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            ScanNode("dept", "d", table_row_schema("d", dept_columns).fields),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        group = GroupByNode(
+            join,
+            group_keys=[("e", "dno")],
+            aggregates=[("ab", AggregateCall("avg", col("d.budget")))],
+        )
+        with pytest.raises(TransformError):
+            coalesce_plan(group)
+
+    def test_group_by_without_join_rejected(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        group = GroupByNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            group_keys=[("e", "dno")],
+            aggregates=[("s", AggregateCall("sum", col("e.sal")))],
+        )
+        with pytest.raises(TransformError):
+            coalesce_plan(group)
+
+    def test_non_key_join_still_correct(self, nopk_db):
+        """Coalescing is exactly the transform that stays correct when
+        each group row matches several partners (where invariant
+        grouping is inapplicable)."""
+        emp_columns = nopk_db.catalog.table("emp").columns
+        events_columns = nopk_db.catalog.table("events").columns
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            ScanNode(
+                "events", "x", table_row_schema("x", events_columns).fields
+            ),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("x", "dno"))],
+        )
+        original = GroupByNode(
+            join,
+            group_keys=[("x", "kind")],
+            aggregates=[
+                ("s", AggregateCall("sum", col("e.sal"))),
+                ("c", AggregateCall("count", None)),
+                ("a", AggregateCall("avg", col("e.sal"))),
+            ],
+        )
+        baseline = self.run_plan(nopk_db, original)
+        rewritten = coalesce_plan(
+            GroupByNode(
+                join,
+                group_keys=[("x", "kind")],
+                aggregates=original.aggregates,
+            )
+        )
+        result = self.run_plan(nopk_db, rewritten)
+        assert rows_equal_bag(baseline.rows, result.rows)

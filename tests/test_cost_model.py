@@ -1,0 +1,235 @@
+"""Cost-model tests: annotation sanity and estimated-vs-executed IO.
+
+The central property: for plans whose cardinality estimates are exact
+(no filters, or filters the estimator can evaluate exactly), the
+estimated IO cost equals the executed page IO — the two sides share the
+same formulas over the same page counts (experiment E12's unit-level
+version)."""
+
+import pytest
+
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.plan import GroupByNode, JoinNode, ScanNode, SortNode
+from repro.catalog.schema import table_row_schema
+from repro.cost import CostModel, CostParams
+from repro.engine import ExecutionContext, execute_plan
+from repro.engine.spill import (
+    external_sort_extra_io,
+    hash_group_extra_io,
+    hash_spill_extra_io,
+    nlj_blocks,
+)
+
+
+def scan(db, table, alias, filters=()):
+    return ScanNode(
+        table,
+        alias,
+        table_row_schema(alias, db.catalog.table(table).columns).fields,
+        filters=filters,
+    )
+
+
+def annotate(db, plan, memory_pages=8):
+    model = CostModel(db.catalog, CostParams(memory_pages=memory_pages))
+    model.annotate_tree(plan)
+    return plan
+
+
+def executed_io(db, plan):
+    context = ExecutionContext(db.catalog, db.io, db.params)
+    with db.io.measure() as span:
+        execute_plan(plan, context)
+    return span.delta.total
+
+
+class TestSpillFormulas:
+    def test_sort_in_memory_free(self):
+        assert external_sort_extra_io(5, 8) == 0
+
+    def test_sort_one_merge_pass(self):
+        # 32 pages, 8 buffers -> 4 runs, fan-in 7 -> one pass: 2*32
+        assert external_sort_extra_io(32, 8) == 64
+
+    def test_sort_grows_with_pages(self):
+        assert external_sort_extra_io(640, 8) >= external_sort_extra_io(
+            64, 8
+        )
+
+    def test_hash_spill_condition(self):
+        assert hash_spill_extra_io(4, 100, 8) == 0
+        assert hash_spill_extra_io(16, 100, 8) == 2 * 116
+
+    def test_hash_group_condition(self):
+        assert hash_group_extra_io(100, 4, 8) == 0
+        assert hash_group_extra_io(100, 50, 8) == 200
+
+    def test_nlj_blocks(self):
+        assert nlj_blocks(1, 8) == 1
+        assert nlj_blocks(12, 8) == 2
+        assert nlj_blocks(0, 8) == 1
+
+
+class TestAnnotation:
+    def test_scan_cardinality_exact(self, emp_dept_db):
+        plan = annotate(emp_dept_db, scan(emp_dept_db, "emp", "e"))
+        assert plan.props.rows == 140
+        assert plan.props.cost == emp_dept_db.catalog.table("emp").num_pages
+
+    def test_equality_filter_selectivity(self, emp_dept_db):
+        plan = annotate(
+            emp_dept_db,
+            scan(
+                emp_dept_db,
+                "emp",
+                "e",
+                filters=(Comparison("=", col("e.dno"), lit(3)),),
+            ),
+        )
+        assert plan.props.rows == pytest.approx(140 / 7)
+
+    def test_range_filter_uses_min_max(self, emp_dept_db):
+        plan = annotate(
+            emp_dept_db,
+            scan(
+                emp_dept_db,
+                "emp",
+                "e",
+                filters=(Comparison("<", col("e.sal"), lit(1)),),
+            ),
+        )
+        # below the minimum: close to zero (floor 1/ndv)
+        assert plan.props.rows < 5
+
+    def test_fk_join_cardinality(self, emp_dept_db):
+        join = JoinNode(
+            scan(emp_dept_db, "emp", "e"),
+            scan(emp_dept_db, "dept", "d"),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        annotate(emp_dept_db, join)
+        assert join.props.rows == pytest.approx(140)
+
+    def test_group_by_cardinality(self, emp_dept_db):
+        group = GroupByNode(
+            scan(emp_dept_db, "emp", "e"),
+            group_keys=[("e", "dno")],
+            aggregates=[("a", AggregateCall("avg", col("e.sal")))],
+        )
+        annotate(emp_dept_db, group)
+        assert group.props.rows == pytest.approx(7)
+
+    def test_group_capped_by_input_rows(self, emp_dept_db):
+        group = GroupByNode(
+            scan(emp_dept_db, "emp", "e"),
+            group_keys=[("e", "eno"), ("e", "dno")],
+            aggregates=[("a", AggregateCall("avg", col("e.sal")))],
+        )
+        annotate(emp_dept_db, group)
+        assert group.props.rows <= 140
+
+    def test_width_tracks_projection(self, emp_dept_db):
+        wide = annotate(emp_dept_db, scan(emp_dept_db, "emp", "e"))
+        narrow_node = ScanNode(
+            "emp",
+            "e",
+            [wide.schema.fields[0]],
+        )
+        narrow = annotate(emp_dept_db, narrow_node)
+        assert narrow.props.width < wide.props.width
+
+    def test_sort_order_property(self, emp_dept_db):
+        sort = SortNode(scan(emp_dept_db, "emp", "e"), [("e", "sal")])
+        annotate(emp_dept_db, sort)
+        assert sort.props.order == (("e", "sal"),)
+
+    def test_smj_output_order(self, emp_dept_db):
+        join = JoinNode(
+            scan(emp_dept_db, "emp", "e"),
+            scan(emp_dept_db, "dept", "d"),
+            method="smj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        annotate(emp_dept_db, join)
+        assert join.props.order == (("e", "dno"),)
+
+    def test_principle_of_optimality_monotone_cost(self, emp_dept_db):
+        # a parent's cost is never below its child's
+        join = JoinNode(
+            scan(emp_dept_db, "emp", "e"),
+            scan(emp_dept_db, "dept", "d"),
+            method="smj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        annotate(emp_dept_db, join)
+        assert join.props.cost >= join.left.props.cost
+        assert join.props.cost >= join.right.props.cost
+
+
+class TestEstimatedEqualsExecuted:
+    """For exactly-estimable plans, estimated cost == executed page IO."""
+
+    def check(self, db, plan, memory_pages=8):
+        annotate(db, plan, memory_pages)
+        assert executed_io(db, plan) == pytest.approx(plan.props.cost)
+
+    def test_heap_scan(self, emp_dept_db):
+        self.check(emp_dept_db, scan(emp_dept_db, "emp", "e"))
+
+    def test_hash_join(self, emp_dept_db):
+        self.check(
+            emp_dept_db,
+            JoinNode(
+                scan(emp_dept_db, "emp", "e"),
+                scan(emp_dept_db, "dept", "d"),
+                method="hj",
+                equi_keys=[(("e", "dno"), ("d", "dno"))],
+            ),
+        )
+
+    def test_sort_merge_join(self, emp_dept_db):
+        self.check(
+            emp_dept_db,
+            JoinNode(
+                scan(emp_dept_db, "emp", "e"),
+                scan(emp_dept_db, "dept", "d"),
+                method="smj",
+                equi_keys=[(("e", "dno"), ("d", "dno"))],
+            ),
+        )
+
+    def test_block_nlj_with_rescans(self, emp_dept_db):
+        # self-join: inner table larger than the buffer budget
+        self.check(
+            emp_dept_db,
+            JoinNode(
+                scan(emp_dept_db, "emp", "e1"),
+                scan(emp_dept_db, "emp", "e2"),
+                method="nlj",
+                equi_keys=[(("e1", "dno"), ("e2", "dno"))],
+            ),
+            memory_pages=3,
+        )
+
+    def test_group_by_over_join(self, emp_dept_db):
+        join = JoinNode(
+            scan(emp_dept_db, "emp", "e"),
+            scan(emp_dept_db, "dept", "d"),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        group = GroupByNode(
+            join,
+            group_keys=[("e", "dno")],
+            aggregates=[("a", AggregateCall("avg", col("e.sal")))],
+        )
+        self.check(emp_dept_db, group)
+
+    def test_explicit_sort(self, emp_dept_db):
+        self.check(
+            emp_dept_db,
+            SortNode(scan(emp_dept_db, "emp", "e"), [("e", "sal")]),
+            memory_pages=3,
+        )

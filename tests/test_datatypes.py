@@ -1,0 +1,86 @@
+"""Unit tests for the type system."""
+
+import pytest
+
+from repro.datatypes import DataType, infer_type
+from repro.errors import SchemaError
+
+
+class TestWidths:
+    def test_int_width(self):
+        assert DataType.INT.width == 4
+
+    def test_float_width(self):
+        assert DataType.FLOAT.width == 8
+
+    def test_str_width(self):
+        assert DataType.STR.width == 16
+
+    def test_bool_width(self):
+        assert DataType.BOOL.width == 1
+
+    def test_date_width(self):
+        assert DataType.DATE.width == 4
+
+
+class TestValidation:
+    def test_int_accepts_int(self):
+        assert DataType.INT.validate(7) == 7
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.validate(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.validate(1.5)
+
+    def test_float_accepts_int_and_converts(self):
+        value = DataType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(SchemaError):
+            DataType.FLOAT.validate("3.0")
+
+    def test_str_accepts_str(self):
+        assert DataType.STR.validate("x") == "x"
+
+    def test_str_rejects_number(self):
+        with pytest.raises(SchemaError):
+            DataType.STR.validate(3)
+
+    def test_bool_accepts_bool(self):
+        assert DataType.BOOL.validate(False) is False
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(SchemaError):
+            DataType.BOOL.validate(1)
+
+    def test_date_stored_as_int(self):
+        assert DataType.DATE.validate(1000) == 1000
+
+    def test_null_rejected_everywhere(self):
+        # the paper assumes a NULL-free database (Section 2)
+        for dtype in DataType:
+            with pytest.raises(SchemaError):
+                dtype.validate(None)
+
+
+class TestInference:
+    def test_infer_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOL
+
+    def test_infer_int(self):
+        assert infer_type(3) is DataType.INT
+
+    def test_infer_float(self):
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_infer_str(self):
+        assert infer_type("s") is DataType.STR
+
+    def test_infer_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            infer_type([1, 2])

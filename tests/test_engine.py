@@ -1,0 +1,279 @@
+"""Integration tests for the physical operators: results and IO.
+
+Each join/group method is executed against the same inputs and checked
+for identical results, and IO charges are checked against the storage
+shapes (the executed-IO = estimated-IO property is tested separately in
+test_cost_model).
+"""
+
+import pytest
+
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    ProjectNode,
+    RenameNode,
+    ScanNode,
+    SortNode,
+)
+from repro.catalog.schema import table_row_schema
+from repro.engine import ExecutionContext, execute_plan
+from repro.engine.reference import rows_equal_bag
+
+
+def scan(db, table, alias, filters=(), include_rid=False):
+    return ScanNode(
+        table,
+        alias,
+        table_row_schema(alias, db.catalog.table(table).columns).fields,
+        filters=filters,
+        include_rid=include_rid,
+    )
+
+
+def run(db, plan):
+    context = ExecutionContext(db.catalog, db.io, db.params)
+    with db.io.measure() as span:
+        result = execute_plan(plan, context)
+    return result, span.delta
+
+
+class TestScans:
+    def test_heap_scan_rows_and_io(self, emp_dept_db):
+        plan = scan(emp_dept_db, "emp", "e")
+        result, io = run(emp_dept_db, plan)
+        table = emp_dept_db.catalog.table("emp")
+        assert len(result.rows) == table.num_rows
+        assert io.page_reads == table.num_pages
+
+    def test_scan_filters_applied(self, emp_dept_db):
+        plan = scan(
+            emp_dept_db,
+            "emp",
+            "e",
+            filters=(Comparison("<", col("e.age"), lit(30)),),
+        )
+        result, _ = run(emp_dept_db, plan)
+        position = plan.schema.index_of("e", "age")
+        assert all(row[position] < 30 for row in result.rows)
+        assert result.rows  # fixture guarantees some young employees
+
+    def test_filter_can_reference_unprojected_column(self, emp_dept_db):
+        plan = ScanNode(
+            "emp",
+            "e",
+            table_row_schema(
+                "e", emp_dept_db.catalog.table("emp").columns
+            ).project([("e", "sal")]).fields,
+            filters=(Comparison("<", col("e.age"), lit(30)),),
+        )
+        result, _ = run(emp_dept_db, plan)
+        assert len(result.schema) == 1
+        assert result.rows
+
+    def test_index_scan_matches_heap_scan(self, emp_dept_db):
+        heap = scan(
+            emp_dept_db,
+            "emp",
+            "e",
+            filters=(Comparison("=", col("e.dno"), lit(3)),),
+        )
+        via_index = ScanNode(
+            "emp",
+            "e",
+            heap.schema.fields,
+            index_name="emp_dno_idx",
+            index_values=(3,),
+        )
+        heap_result, heap_io = run(emp_dept_db, heap)
+        index_result, index_io = run(emp_dept_db, via_index)
+        assert rows_equal_bag(heap_result.rows, index_result.rows)
+        assert index_io.page_reads > 0
+
+    def test_rid_scan(self, emp_dept_db):
+        plan = scan(emp_dept_db, "emp", "e", include_rid=True)
+        result, _ = run(emp_dept_db, plan)
+        rid_position = plan.schema.index_of("e", "_rid")
+        rids = [row[rid_position] for row in result.rows]
+        assert rids == sorted(set(rids))  # distinct, in insertion order
+
+
+class TestJoins:
+    def join(self, db, method, index_name=None, projection=None):
+        return JoinNode(
+            scan(db, "emp", "e"),
+            scan(db, "dept", "d"),
+            method=method,
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+            projection=projection,
+            index_name=index_name,
+        )
+
+    def test_all_methods_agree(self, emp_dept_db):
+        db = emp_dept_db
+        db.create_index("dept_pk_idx", "dept", ["dno"])
+        baseline, _ = run(db, self.join(db, "hj"))
+        for method, index in (
+            ("smj", None),
+            ("nlj", None),
+            ("inlj", "dept_pk_idx"),
+        ):
+            result, _ = run(db, self.join(db, method, index))
+            assert rows_equal_bag(baseline.rows, result.rows), method
+
+    def test_join_row_count_fk(self, emp_dept_db):
+        # every employee matches exactly one department
+        result, _ = run(emp_dept_db, self.join(emp_dept_db, "hj"))
+        assert len(result.rows) == emp_dept_db.catalog.table("emp").num_rows
+
+    def test_projection_applied(self, emp_dept_db):
+        plan = self.join(
+            emp_dept_db, "hj", projection=[("e", "sal"), ("d", "budget")]
+        )
+        result, _ = run(emp_dept_db, plan)
+        assert len(result.schema) == 2
+
+    def test_residual_predicates(self, emp_dept_db):
+        plan = JoinNode(
+            scan(emp_dept_db, "emp", "e"),
+            scan(emp_dept_db, "dept", "d"),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+            residuals=(Comparison(">", col("d.budget"), col("e.sal")),),
+        )
+        result, _ = run(emp_dept_db, plan)
+        budget = plan.schema.index_of("d", "budget")
+        salary = plan.schema.index_of("e", "sal")
+        assert all(row[budget] > row[salary] for row in result.rows)
+
+    def test_cross_join_via_nlj(self, emp_dept_db):
+        plan = JoinNode(
+            scan(emp_dept_db, "dept", "d1"),
+            scan(emp_dept_db, "dept", "d2"),
+            method="nlj",
+        )
+        result, _ = run(emp_dept_db, plan)
+        departments = emp_dept_db.catalog.table("dept").num_rows
+        assert len(result.rows) == departments * departments
+
+    def test_smj_output_sorted_on_keys(self, emp_dept_db):
+        result, _ = run(emp_dept_db, self.join(emp_dept_db, "smj"))
+        position = 1  # e.dno
+        values = [row[position] for row in result.rows]
+        assert values == sorted(values)
+
+    def test_duplicate_join_keys_cross_product(self, nopk_db):
+        # events has repeated dno values on both sides
+        plan = JoinNode(
+            scan(nopk_db, "events", "a"),
+            scan(nopk_db, "events", "b"),
+            method="smj",
+            equi_keys=[(("a", "dno"), ("b", "dno"))],
+        )
+        smj, _ = run(nopk_db, plan)
+        plan_hj = JoinNode(
+            scan(nopk_db, "events", "a"),
+            scan(nopk_db, "events", "b"),
+            method="hj",
+            equi_keys=[(("a", "dno"), ("b", "dno"))],
+        )
+        hj, _ = run(nopk_db, plan_hj)
+        assert rows_equal_bag(smj.rows, hj.rows)
+
+
+class TestGroupBy:
+    def group(self, db, method="hash", having=()):
+        return GroupByNode(
+            scan(db, "emp", "e"),
+            group_keys=[("e", "dno")],
+            aggregates=[
+                ("asal", AggregateCall("avg", col("e.sal"))),
+                ("n", AggregateCall("count", None)),
+            ],
+            having=having,
+            method=method,
+        )
+
+    def test_hash_grouping(self, emp_dept_db):
+        result, _ = run(emp_dept_db, self.group(emp_dept_db))
+        assert len(result.rows) == 7  # departments in the fixture
+        count_position = result.schema.index_of(None, "n")
+        total = sum(row[count_position] for row in result.rows)
+        assert total == emp_dept_db.catalog.table("emp").num_rows
+
+    def test_sort_method_agrees_with_hash(self, emp_dept_db):
+        hashed, _ = run(emp_dept_db, self.group(emp_dept_db, "hash"))
+        sorted_, _ = run(emp_dept_db, self.group(emp_dept_db, "sort"))
+        assert rows_equal_bag(hashed.rows, sorted_.rows)
+
+    def test_having_filters_groups(self, emp_dept_db):
+        having = (Comparison(">", col("n"), lit(18)),)
+        result, _ = run(emp_dept_db, self.group(emp_dept_db, having=having))
+        count_position = result.schema.index_of(None, "n")
+        assert all(row[count_position] > 18 for row in result.rows)
+
+    def test_empty_input_no_groups(self, emp_dept_db):
+        plan = GroupByNode(
+            scan(
+                emp_dept_db,
+                "emp",
+                "e",
+                filters=(Comparison("<", col("e.age"), lit(0)),),
+            ),
+            group_keys=[("e", "dno")],
+            aggregates=[("n", AggregateCall("count", None))],
+        )
+        result, _ = run(emp_dept_db, plan)
+        assert result.rows == []
+
+    def test_projection_drops_keys(self, emp_dept_db):
+        plan = GroupByNode(
+            scan(emp_dept_db, "emp", "e"),
+            group_keys=[("e", "dno")],
+            aggregates=[("asal", AggregateCall("avg", col("e.sal")))],
+            projection=[(None, "asal")],
+        )
+        result, _ = run(emp_dept_db, plan)
+        assert len(result.schema) == 1
+
+
+class TestOtherOperators:
+    def test_sort_orders_rows(self, emp_dept_db):
+        plan = SortNode(scan(emp_dept_db, "emp", "e"), [("e", "sal")])
+        result, _ = run(emp_dept_db, plan)
+        position = plan.schema.index_of("e", "sal")
+        values = [row[position] for row in result.rows]
+        assert values == sorted(values)
+
+    def test_filter_node(self, emp_dept_db):
+        plan = FilterNode(
+            scan(emp_dept_db, "emp", "e"),
+            [Comparison(">", col("e.sal"), lit(100_000))],
+        )
+        result, _ = run(emp_dept_db, plan)
+        position = plan.schema.index_of("e", "sal")
+        assert all(row[position] > 100_000 for row in result.rows)
+
+    def test_project_computes_expressions(self, emp_dept_db):
+        from repro.algebra.expressions import Arith
+
+        plan = ProjectNode(
+            scan(emp_dept_db, "emp", "e"),
+            [(None, "monthly", Arith("/", col("e.sal"), lit(12)))],
+        )
+        result, _ = run(emp_dept_db, plan)
+        assert all(len(row) == 1 for row in result.rows)
+
+    def test_rename_permutes_and_renames(self, emp_dept_db):
+        plan = RenameNode(
+            scan(emp_dept_db, "emp", "e"),
+            [("v", "salary", ("e", "sal")), ("v", "id", ("e", "eno"))],
+        )
+        result, _ = run(emp_dept_db, plan)
+        assert [f.key for f in result.schema] == [
+            ("v", "salary"),
+            ("v", "id"),
+        ]

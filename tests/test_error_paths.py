@@ -1,0 +1,192 @@
+"""Error-path tests: the library must fail loudly and precisely."""
+
+import pytest
+
+from repro import Database
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.plan import GroupByNode, JoinNode, PlanNode, ScanNode
+from repro.catalog.schema import table_row_schema
+from repro.cost import CostModel
+from repro.engine import ExecutionContext, execute_plan
+from repro.errors import (
+    BindError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SqlSyntaxError,
+    TransformError,
+    UnsupportedFeatureError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (
+            BindError,
+            ExecutionError,
+            PlanError,
+            SchemaError,
+            SqlSyntaxError,
+            TransformError,
+            UnsupportedFeatureError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_syntax_error_location_formatting(self):
+        error = SqlSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+
+class TestExecutionErrors:
+    def test_unknown_plan_node(self, emp_dept_db):
+        class Bogus(PlanNode):
+            @property
+            def schema(self):
+                raise NotImplementedError
+
+            @property
+            def children(self):
+                return ()
+
+            def describe(self):
+                return "Bogus"
+
+        context = ExecutionContext(
+            emp_dept_db.catalog, emp_dept_db.io, emp_dept_db.params
+        )
+        with pytest.raises(ExecutionError):
+            execute_plan(Bogus(), context)
+
+    def test_inlj_requires_base_inner_at_execution(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        grouped = GroupByNode(
+            ScanNode("emp", "x", table_row_schema("x", emp_columns).fields),
+            group_keys=[("x", "dno")],
+            aggregates=[("a", AggregateCall("avg", col("x.sal")))],
+        )
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            grouped,
+            method="inlj",
+            equi_keys=[(("e", "dno"), ("x", "dno"))],
+            index_name="emp_dno_idx",
+        )
+        context = ExecutionContext(
+            emp_dept_db.catalog, emp_dept_db.io, emp_dept_db.params
+        )
+        with pytest.raises(ExecutionError):
+            execute_plan(join, context)
+
+    def test_inlj_index_must_cover_join_columns(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        join = JoinNode(
+            ScanNode("emp", "a", table_row_schema("a", emp_columns).fields),
+            ScanNode("emp", "b", table_row_schema("b", emp_columns).fields),
+            method="inlj",
+            equi_keys=[(("a", "sal"), ("b", "sal"))],  # index is on dno
+            index_name="emp_dno_idx",
+        )
+        context = ExecutionContext(
+            emp_dept_db.catalog, emp_dept_db.io, emp_dept_db.params
+        )
+        with pytest.raises(ExecutionError):
+            execute_plan(join, context)
+
+
+class TestCostModelErrors:
+    def test_annotate_requires_annotated_children(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        join = JoinNode(
+            ScanNode("emp", "a", table_row_schema("a", emp_columns).fields),
+            ScanNode("emp", "b", table_row_schema("b", emp_columns).fields),
+            method="hj",
+            equi_keys=[(("a", "dno"), ("b", "dno"))],
+        )
+        model = CostModel(emp_dept_db.catalog, emp_dept_db.params)
+        with pytest.raises(PlanError):
+            model.annotate(join)  # children not annotated
+
+    def test_sorted_group_by_requires_order(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        scan = ScanNode(
+            "emp", "e", table_row_schema("e", emp_columns).fields
+        )
+        group = GroupByNode(
+            scan,
+            group_keys=[("e", "dno")],
+            aggregates=[("a", AggregateCall("avg", col("e.sal")))],
+            method="sort",
+        )
+        model = CostModel(emp_dept_db.catalog, emp_dept_db.params)
+        model.annotate(scan)
+        with pytest.raises(PlanError):
+            model.annotate(group)  # heap scan has no order
+
+
+class TestFacadeErrors:
+    def test_view_name_clash(self, emp_dept_db):
+        emp_dept_db.create_view(
+            "myview", ["d", "a"],
+            "select e.dno, avg(e.sal) from emp e group by e.dno",
+        )
+        with pytest.raises(ReproError):
+            emp_dept_db.create_view(
+                "myview", ["d", "a"],
+                "select e.dno, avg(e.sal) from emp e group by e.dno",
+            )
+
+    def test_view_over_view_rejected(self, emp_dept_db):
+        emp_dept_db.create_view(
+            "base_view", ["d", "a"],
+            "select e.dno, avg(e.sal) from emp e group by e.dno",
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            emp_dept_db.query(
+                "with v2(x) as (select b.a from base_view b group by b.a) "
+                "select v2.x from v2"
+            )
+
+    def test_insert_into_missing_table(self, emp_dept_db):
+        with pytest.raises(ReproError):
+            emp_dept_db.insert("nope", [(1,)])
+
+    def test_null_rejected_at_load(self, emp_dept_db):
+        with pytest.raises(SchemaError):
+            emp_dept_db.insert("dept", [(99, None, 0)])
+
+    def test_query_on_empty_table_is_fine(self):
+        db = Database()
+        db.create_table("t", [("a", "int")])
+        result = db.query("select t.a from t")
+        assert result.rows == []
+
+
+class TestTransformErrors:
+    def test_pull_unknown_view(self, emp_dept_db):
+        from repro.sql import bind_sql
+        from repro.transforms import pull_up
+
+        query = bind_sql(
+            "with v(d, a) as (select e.dno, avg(e.sal) from emp e "
+            "group by e.dno) select v.a from v",
+            emp_dept_db.catalog,
+        )
+        # an empty pull set is a no-op regardless of the alias
+        assert pull_up(query, "nosuchview", [], emp_dept_db.catalog) is query
+        with pytest.raises(BindError):
+            pull_up(query, "nosuchview", ["x"], emp_dept_db.catalog)
+
+    def test_pull_nonexistent_base_alias(self, emp_dept_db):
+        from repro.sql import bind_sql
+        from repro.transforms import pull_up
+
+        query = bind_sql(
+            "with v(d, a) as (select e.dno, avg(e.sal) from emp e "
+            "group by e.dno) select v.a from v",
+            emp_dept_db.catalog,
+        )
+        with pytest.raises(TransformError):
+            pull_up(query, "v", ["ghost"], emp_dept_db.catalog)

@@ -1,0 +1,208 @@
+"""Unit tests for scalar expressions: evaluation, analysis, rewriting."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    Literal,
+    Not,
+    Or,
+    and_all,
+    col,
+    comparison_with_literal,
+    conjuncts,
+    equijoin_sides,
+    lit,
+)
+from repro.catalog import Field, RowSchema
+from repro.datatypes import DataType
+from repro.errors import PlanError, SchemaError
+
+
+SCHEMA = RowSchema(
+    [
+        Field("e", "dno", DataType.INT),
+        Field("e", "sal", DataType.FLOAT),
+        Field(None, "asal", DataType.FLOAT),
+    ]
+)
+ROW = (3, 50.0, 40.0)
+
+
+def evaluate(expression, row=ROW, schema=SCHEMA):
+    return expression.bind(schema)(row)
+
+
+class TestEvaluation:
+    def test_column_ref(self):
+        assert evaluate(col("e.sal")) == 50.0
+
+    def test_unqualified_column(self):
+        assert evaluate(col("asal")) == 40.0
+
+    def test_literal(self):
+        assert evaluate(lit(7)) == 7
+
+    def test_comparison_true(self):
+        assert evaluate(Comparison(">", col("e.sal"), col("asal"))) is True
+
+    def test_comparison_false(self):
+        assert evaluate(Comparison("<", col("e.sal"), lit(10))) is False
+
+    def test_all_comparison_ops(self):
+        cases = {
+            "=": False,
+            "!=": True,
+            "<": False,
+            "<=": False,
+            ">": True,
+            ">=": True,
+        }
+        for op, expected in cases.items():
+            assert evaluate(Comparison(op, col("e.sal"), lit(40.0))) is expected
+
+    def test_and_short_circuit_semantics(self):
+        expression = And(
+            [Comparison(">", col("e.sal"), lit(0)), lit(False)]
+        )
+        assert evaluate(expression) is False
+
+    def test_or(self):
+        expression = Or([lit(False), Comparison("=", col("e.dno"), lit(3))])
+        assert evaluate(expression) is True
+
+    def test_not(self):
+        assert evaluate(Not(lit(False))) is True
+
+    def test_arithmetic(self):
+        assert evaluate(Arith("+", col("e.sal"), lit(10))) == 60.0
+        assert evaluate(Arith("-", col("e.sal"), lit(10))) == 40.0
+        assert evaluate(Arith("*", col("e.dno"), lit(2))) == 6
+        assert evaluate(Arith("/", col("e.sal"), lit(2))) == 25.0
+
+    def test_func_call(self):
+        expression = FuncCall("half", lambda v: v / 2, [col("e.sal")])
+        assert evaluate(expression) == 25.0
+
+    def test_unknown_comparison_op(self):
+        with pytest.raises(PlanError):
+            Comparison("~", lit(1), lit(2))
+
+    def test_unknown_arith_op(self):
+        with pytest.raises(PlanError):
+            Arith("%", lit(1), lit(2))
+
+    def test_bind_unknown_column(self):
+        with pytest.raises(SchemaError):
+            col("zzz.q").bind(SCHEMA)
+
+
+class TestAnalysis:
+    def test_columns(self):
+        expression = And(
+            [
+                Comparison("=", col("e.dno"), lit(1)),
+                Comparison(">", col("e.sal"), col("asal")),
+            ]
+        )
+        assert expression.columns() == {
+            ("e", "dno"),
+            ("e", "sal"),
+            (None, "asal"),
+        }
+
+    def test_aliases_excludes_none(self):
+        expression = Comparison(">", col("e.sal"), col("asal"))
+        assert expression.aliases() == {"e"}
+
+    def test_dtype_of_comparison_is_bool(self):
+        assert (
+            Comparison("=", col("e.dno"), lit(1)).dtype(SCHEMA)
+            is DataType.BOOL
+        )
+
+    def test_dtype_of_division_is_float(self):
+        assert Arith("/", col("e.dno"), lit(2)).dtype(SCHEMA) is DataType.FLOAT
+
+    def test_dtype_promotion(self):
+        assert (
+            Arith("+", col("e.dno"), col("e.sal")).dtype(SCHEMA)
+            is DataType.FLOAT
+        )
+
+
+class TestRewriting:
+    def test_substitute_column(self):
+        expression = Comparison(">", col("e.sal"), lit(5))
+        rewritten = expression.substitute({("e", "sal"): col("x.salary")})
+        assert rewritten.columns() == {("x", "salary")}
+
+    def test_substitute_leaves_others(self):
+        expression = Comparison(">", col("e.sal"), col("e.dno"))
+        rewritten = expression.substitute({("e", "sal"): col("x.s")})
+        assert ("e", "dno") in rewritten.columns()
+
+    def test_substitute_with_expression(self):
+        expression = Comparison(">", col("avg_out"), lit(1))
+        rewritten = expression.substitute(
+            {(None, "avg_out"): Arith("/", col("s"), col("c"))}
+        )
+        assert rewritten.columns() == {(None, "s"), (None, "c")}
+
+    def test_equality_and_hash(self):
+        a = Comparison("=", col("e.dno"), lit(1))
+        b = Comparison("=", col("e.dno"), lit(1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Comparison("=", col("e.dno"), lit(2))
+
+
+class TestPredicateUtilities:
+    def test_conjuncts_flatten_nested_and(self):
+        expression = And(
+            [And([lit(True), lit(False)]), Comparison("=", lit(1), lit(1))]
+        )
+        assert len(conjuncts(expression)) == 3
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == ()
+
+    def test_and_all_roundtrip(self):
+        parts = [lit(True), Comparison("=", col("e.dno"), lit(1))]
+        combined = and_all(parts)
+        assert conjuncts(combined) == tuple(parts)
+
+    def test_and_all_empty(self):
+        assert and_all([]) is None
+
+    def test_and_all_single(self):
+        single = lit(True)
+        assert and_all([single]) is single
+
+    def test_equijoin_sides_positive(self):
+        sides = equijoin_sides(Comparison("=", col("a.x"), col("b.y")))
+        assert sides == (("a", "x"), ("b", "y"))
+
+    def test_equijoin_sides_negative(self):
+        assert equijoin_sides(Comparison("<", col("a.x"), col("b.y"))) is None
+        assert equijoin_sides(Comparison("=", col("a.x"), lit(1))) is None
+
+    def test_comparison_with_literal_normalizes(self):
+        flipped = comparison_with_literal(Comparison("<", lit(5), col("a.x")))
+        assert flipped == (("a", "x"), ">", 5)
+
+    def test_comparison_with_literal_plain(self):
+        direct = comparison_with_literal(Comparison(">=", col("a.x"), lit(2)))
+        assert direct == (("a", "x"), ">=", 2)
+
+    def test_col_helper_parses_alias(self):
+        reference = col("e.sal")
+        assert reference.alias == "e" and reference.name == "sal"
+
+    def test_col_helper_bare(self):
+        reference = col("sal")
+        assert reference.alias is None

@@ -1,0 +1,272 @@
+"""Tests for invariant grouping and the minimal invariant set
+(Section 4.1, Figure 2(a))."""
+
+import pytest
+
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.legality import check_plan
+from repro.algebra.plan import GroupByNode, JoinNode, ScanNode
+from repro.catalog.schema import table_row_schema
+from repro.cost import CostModel
+from repro.engine import ExecutionContext, execute_plan
+from repro.engine.reference import evaluate_canonical, rows_equal_bag
+from repro.errors import TransformError
+from repro.sql import bind_sql
+from repro.transforms import (
+    apply_invariant_split,
+    minimal_invariant_set,
+    push_down_plan,
+    removable_aliases,
+    pull_up,
+)
+
+EXAMPLE2_VIEW = """
+with c(dno, asal) as (
+    select e.dno, avg(e.sal) from emp e, dept d
+    where e.dno = d.dno and d.budget < 1000000
+    group by e.dno
+)
+select v.dno, v.asal from c v
+"""
+
+
+class TestMinimalInvariantSet:
+    def test_example2_removes_dept(self, emp_dept_db):
+        query = bind_sql(EXAMPLE2_VIEW, emp_dept_db.catalog)
+        block = query.views[0].block
+        invariant = minimal_invariant_set(block, emp_dept_db.catalog)
+        assert invariant == {"v__e"}  # emp must stay; dept moves out
+
+    def test_removable_aliases(self, emp_dept_db):
+        query = bind_sql(EXAMPLE2_VIEW, emp_dept_db.catalog)
+        block = query.views[0].block
+        assert removable_aliases(block, emp_dept_db.catalog) == {"v__d"}
+
+    def test_aggregate_source_not_removable(self, emp_dept_db):
+        sql = """
+        with v(dno, ab) as (
+            select e.dno, avg(d.budget) from emp e, dept d
+            where e.dno = d.dno group by e.dno
+        )
+        select v.ab from v
+        """
+        query = bind_sql(sql, emp_dept_db.catalog)
+        block = query.views[0].block
+        # dept feeds the aggregate now: nothing is removable
+        assert removable_aliases(block, emp_dept_db.catalog) == frozenset()
+
+    def test_non_key_join_not_removable(self, nopk_db):
+        sql = """
+        with v(dno, total) as (
+            select e.dno, sum(e.sal) from emp e, events x
+            where e.dno = x.dno group by e.dno
+        )
+        select v.total from v
+        """
+        query = bind_sql(sql, nopk_db.catalog)
+        block = query.views[0].block
+        # events has no key covered by the join: each group may match
+        # several event rows, so removal would change the aggregates
+        assert removable_aliases(block, nopk_db.catalog) == frozenset()
+
+    def test_nonequi_cross_predicate_blocks_removal(self, emp_dept_db):
+        sql = """
+        with v(dno, asal) as (
+            select e.dno, avg(e.sal) from emp e, dept d
+            where e.dno = d.dno and d.budget > e.sal
+            group by e.dno
+        )
+        select v.asal from v
+        """
+        query = bind_sql(sql, emp_dept_db.catalog)
+        block = query.views[0].block
+        assert removable_aliases(block, emp_dept_db.catalog) == frozenset()
+
+    def test_join_on_non_grouping_column_blocks_removal(self, emp_dept_db):
+        sql = """
+        with v(age, asal) as (
+            select e.age, avg(e.sal) from emp e, dept d
+            where e.dno = d.dno group by e.age
+        )
+        select v.asal from v
+        """
+        query = bind_sql(sql, emp_dept_db.catalog)
+        block = query.views[0].block
+        # join column e.dno is not a grouping column: groups mix
+        # departments, so dept cannot move above the group-by
+        assert removable_aliases(block, emp_dept_db.catalog) == frozenset()
+
+    def test_single_relation_view_trivially_invariant(self, emp_dept_db):
+        sql = """
+        with v(dno, asal) as (
+            select e.dno, avg(e.sal) from emp e group by e.dno
+        )
+        select v.asal from v
+        """
+        query = bind_sql(sql, emp_dept_db.catalog)
+        block = query.views[0].block
+        assert minimal_invariant_set(block, emp_dept_db.catalog) == {"v__e"}
+
+
+class TestApplyInvariantSplit:
+    def check(self, db, sql):
+        query = bind_sql(sql, db.catalog)
+        reference = evaluate_canonical(query, db.catalog)
+        split = apply_invariant_split(query, db.catalog)
+        result = evaluate_canonical(split, db.catalog)
+        assert rows_equal_bag(reference.rows, result.rows)
+        return split
+
+    def test_example2_equivalence(self, emp_dept_db):
+        split = self.check(emp_dept_db, EXAMPLE2_VIEW)
+        assert [ref.alias for ref in split.base_tables] == ["v__d"]
+        assert split.views[0].block.aliases == {"v__e"}
+        # dept's filter and join-back predicate moved to the outer block
+        assert len(split.predicates) == 2
+
+    def test_having_preserved(self, emp_dept_db):
+        sql = """
+        with c(dno, asal) as (
+            select e.dno, avg(e.sal) from emp e, dept d
+            where e.dno = d.dno and d.budget < 2000000
+            group by e.dno having avg(e.sal) > 30000
+        )
+        select v.asal from c v
+        """
+        split = self.check(emp_dept_db, sql)
+        assert len(split.views[0].block.having) == 1
+
+    def test_grouping_on_removed_side_rewritten(self, emp_dept_db):
+        # group by d.dno (equated to e.dno): dept still removable, with
+        # the grouping column rewritten to the kept side
+        sql = """
+        with c(dno, asal) as (
+            select d.dno, avg(e.sal) from emp e, dept d
+            where e.dno = d.dno group by d.dno
+        )
+        select v.dno, v.asal from c v
+        """
+        split = self.check(emp_dept_db, sql)
+        view = split.views[0]
+        assert view.block.aliases == {"v__e"}
+        assert view.block.group_by[0].key == ("v__e", "dno")
+
+    def test_no_views_untouched(self, emp_dept_db):
+        query = bind_sql("select e.sal from emp e", emp_dept_db.catalog)
+        assert apply_invariant_split(query, emp_dept_db.catalog) is query
+
+    def test_restore_by_pullup_round_trips(self, emp_dept_db):
+        """Splitting then pulling the moved relation back must stay
+        equivalent — this is the optimizer's 'restore set' path."""
+        query = bind_sql(EXAMPLE2_VIEW, emp_dept_db.catalog)
+        reference = evaluate_canonical(query, emp_dept_db.catalog)
+        split = apply_invariant_split(query, emp_dept_db.catalog)
+        restored = pull_up(split, "v", ["v__d"], emp_dept_db.catalog)
+        result = evaluate_canonical(restored, emp_dept_db.catalog)
+        assert rows_equal_bag(reference.rows, result.rows)
+
+
+class TestPlanLevelPushDown:
+    """Figure 2(a): G(J(R1, R2)) -> J(G'(R1), R2)."""
+
+    def build(self, db, having=()):
+        emp_columns = db.catalog.table("emp").columns
+        dept_columns = db.catalog.table("dept").columns
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            ScanNode(
+                "dept",
+                "d",
+                table_row_schema("d", dept_columns).fields,
+                filters=(Comparison("<", col("d.budget"), lit(1_500_000)),),
+            ),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        return GroupByNode(
+            join,
+            group_keys=[("e", "dno")],
+            aggregates=[("asal", AggregateCall("avg", col("e.sal")))],
+            having=having,
+            projection=[("e", "dno"), (None, "asal")],
+        )
+
+    def run_plan(self, db, plan):
+        CostModel(db.catalog, db.params).annotate_tree(plan)
+        context = ExecutionContext(db.catalog, db.io, db.params)
+        return execute_plan(plan, context)
+
+    def test_equivalence(self, emp_dept_db):
+        original = self.build(emp_dept_db)
+        baseline = self.run_plan(emp_dept_db, original)
+        pushed = push_down_plan(self.build(emp_dept_db), emp_dept_db.catalog)
+        check_plan(pushed, emp_dept_db.catalog)
+        result = self.run_plan(emp_dept_db, pushed)
+        assert rows_equal_bag(baseline.rows, result.rows)
+
+    def test_having_pushed_down_with_group_by(self, emp_dept_db):
+        having = (Comparison(">", col("asal"), lit(40_000.0)),)
+        original = self.build(emp_dept_db, having=having)
+        baseline = self.run_plan(emp_dept_db, original)
+        pushed = push_down_plan(
+            self.build(emp_dept_db, having=having), emp_dept_db.catalog
+        )
+        assert isinstance(pushed, JoinNode)
+        assert isinstance(pushed.left, GroupByNode)
+        assert pushed.left.having == having  # "Having can be pushed down"
+        result = self.run_plan(emp_dept_db, pushed)
+        assert rows_equal_bag(baseline.rows, result.rows)
+
+    def test_rejects_when_partner_feeds_aggregate(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        dept_columns = emp_dept_db.catalog.table("dept").columns
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            ScanNode("dept", "d", table_row_schema("d", dept_columns).fields),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("d", "dno"))],
+        )
+        group = GroupByNode(
+            join,
+            group_keys=[("e", "dno")],
+            aggregates=[("ab", AggregateCall("avg", col("d.budget")))],
+        )
+        with pytest.raises(TransformError):
+            push_down_plan(group, emp_dept_db.catalog)
+
+    def test_rejects_non_key_partner_join(self, nopk_db):
+        emp_columns = nopk_db.catalog.table("emp").columns
+        events_columns = nopk_db.catalog.table("events").columns
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            ScanNode(
+                "events", "x", table_row_schema("x", events_columns).fields
+            ),
+            method="hj",
+            equi_keys=[(("e", "dno"), ("x", "dno"))],
+        )
+        group = GroupByNode(
+            join,
+            group_keys=[("e", "dno")],
+            aggregates=[("s", AggregateCall("sum", col("e.sal")))],
+        )
+        with pytest.raises(TransformError):
+            push_down_plan(group, nopk_db.catalog)
+
+    def test_rejects_join_on_non_grouping_column(self, emp_dept_db):
+        emp_columns = emp_dept_db.catalog.table("emp").columns
+        dept_columns = emp_dept_db.catalog.table("dept").columns
+        join = JoinNode(
+            ScanNode("emp", "e", table_row_schema("e", emp_columns).fields),
+            ScanNode("dept", "d", table_row_schema("d", dept_columns).fields),
+            method="hj",
+            equi_keys=[(("e", "eno"), ("d", "dno"))],  # eno not grouped
+        )
+        group = GroupByNode(
+            join,
+            group_keys=[("e", "dno")],
+            aggregates=[("s", AggregateCall("sum", col("e.sal")))],
+        )
+        with pytest.raises(TransformError):
+            push_down_plan(group, emp_dept_db.catalog)

@@ -1,0 +1,95 @@
+"""Tests for optimizer options, search statistics, and cost params."""
+
+import pytest
+
+from repro.cost.params import CostParams
+from repro.optimizer.options import TRADITIONAL, OptimizerOptions
+from repro.optimizer.stats import SearchStats
+
+
+class TestOptimizerOptions:
+    def test_defaults_enable_everything(self):
+        options = OptimizerOptions()
+        assert options.enable_pullup
+        assert options.enable_pushdown
+        assert options.enable_invariant_split
+        assert options.width_guard
+        assert options.share_view_dp
+
+    def test_traditional_preset(self):
+        assert not TRADITIONAL.enable_pullup
+        assert not TRADITIONAL.enable_pushdown
+        assert not TRADITIONAL.enable_invariant_split
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerOptions(k_level=-1)
+
+    def test_zero_plans_per_set_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerOptions(max_plans_per_set=0)
+
+    def test_zero_combinations_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerOptions(max_combinations=0)
+
+    def test_frozen(self):
+        options = OptimizerOptions()
+        with pytest.raises(Exception):
+            options.k_level = 5  # type: ignore[misc]
+
+
+class TestCostParams:
+    def test_memory_floor(self):
+        with pytest.raises(ValueError):
+            CostParams(memory_pages=2)
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(ValueError):
+            CostParams(default_selectivity=0.0)
+        with pytest.raises(ValueError):
+            CostParams(default_selectivity=1.5)
+        with pytest.raises(ValueError):
+            CostParams(having_selectivity=-0.1)
+
+    def test_valid_params(self):
+        params = CostParams(memory_pages=16, default_selectivity=0.5)
+        assert params.memory_pages == 16
+
+
+class TestSearchStats:
+    def test_merge_accumulates(self):
+        first = SearchStats(joinplan_calls=3, subsets_expanded=2)
+        second = SearchStats(joinplan_calls=4, plans_retained=5)
+        first.merge(second)
+        assert first.joinplan_calls == 7
+        assert first.subsets_expanded == 2
+        assert first.plans_retained == 5
+
+    def test_merge_all_fields(self):
+        source = SearchStats(
+            subsets_expanded=1,
+            joinplan_calls=2,
+            plans_retained=3,
+            plans_pruned=4,
+            early_groupby_considered=5,
+            early_groupby_accepted=6,
+            pullup_sets_enumerated=7,
+            combinations_enumerated=8,
+            combinations_truncated=9,
+            blocks_optimized=10,
+            view_plans_reused=11,
+        )
+        target = SearchStats()
+        target.merge(source)
+        assert target == source
+
+    def test_summary_mentions_counters(self):
+        stats = SearchStats(joinplan_calls=12, subsets_expanded=3)
+        text = stats.summary()
+        assert "joinplans=12" in text
+        assert "subsets=3" in text
+
+    def test_summary_shows_truncation_only_when_present(self):
+        assert "truncated" not in SearchStats().summary()
+        assert "truncated" in SearchStats(combinations_truncated=2).summary()

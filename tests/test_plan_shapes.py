@@ -1,0 +1,174 @@
+"""Golden plan-shape tests for the paper's canonical situations.
+
+These assert the *structure* the optimizer should produce in each
+regime — the executable version of the paper's Figures 1/2/4 — so a
+regression in the search space shows up as a changed shape, not just a
+changed number.
+"""
+
+import pytest
+
+from repro import CostParams, Database, OptimizerOptions
+from repro.algebra.plan import (
+    GroupByNode,
+    JoinNode,
+    ScanNode,
+    plan_nodes,
+)
+from repro.workloads import EmpDeptConfig, build_empdept
+
+
+def nodes_of(plan, node_type):
+    return [node for node in plan_nodes(plan) if isinstance(node, node_type)]
+
+
+@pytest.fixture(scope="module")
+def crossover_db():
+    return build_empdept(
+        EmpDeptConfig(
+            employees=8000,
+            departments=4000,
+            uniform_ages=True,
+            memory_pages=8,
+            with_indexes=False,
+        )
+    )
+
+
+EXAMPLE1 = """
+with a1(dno, asal) as (select e2.dno, avg(e2.sal) from emp e2 group by e2.dno)
+select e1.sal from emp e1, a1 b
+where e1.dno = b.dno and e1.age < {threshold} and e1.sal > b.asal
+"""
+
+
+class TestPulledUpShape:
+    """Selective regime: the paper's plan P2 / query B shape."""
+
+    def plan(self, crossover_db):
+        return crossover_db.query(
+            EXAMPLE1.format(threshold=19), optimizer="full", execute=False
+        ).plan
+
+    def test_group_by_above_join(self, crossover_db):
+        plan = self.plan(crossover_db)
+        groups = nodes_of(plan, GroupByNode)
+        assert len(groups) == 1
+        assert isinstance(groups[0].child, JoinNode)
+
+    def test_having_carries_deferred_predicate(self, crossover_db):
+        plan = self.plan(crossover_db)
+        group = nodes_of(plan, GroupByNode)[0]
+        assert group.having  # e1.sal > asal deferred per Definition 1
+
+    def test_grouping_includes_partner_key(self, crossover_db):
+        plan = self.plan(crossover_db)
+        group = nodes_of(plan, GroupByNode)[0]
+        assert ("e1", "eno") in group.group_keys
+
+    def test_join_is_between_base_scans(self, crossover_db):
+        plan = self.plan(crossover_db)
+        join = nodes_of(plan, JoinNode)[0]
+        assert isinstance(join.left, ScanNode)
+        assert isinstance(join.right, ScanNode)
+
+    def test_filter_pushed_to_scan(self, crossover_db):
+        plan = self.plan(crossover_db)
+        scans = nodes_of(plan, ScanNode)
+        assert any(scan.filters for scan in scans)
+
+
+class TestTraditionalShape:
+    """Unselective regime: the view is evaluated locally (plan P1)."""
+
+    def plan(self, crossover_db):
+        return crossover_db.query(
+            EXAMPLE1.format(threshold=55), optimizer="full", execute=False
+        ).plan
+
+    def test_group_by_below_join(self, crossover_db):
+        plan = self.plan(crossover_db)
+        join = nodes_of(plan, JoinNode)[0]
+        # the view result feeds the join: a GroupBy lives under it
+        group_descendants = [
+            node
+            for node in plan_nodes(join)
+            if isinstance(node, GroupByNode)
+        ]
+        assert group_descendants
+
+    def test_join_predicate_on_aggregate_stays_residual(self, crossover_db):
+        plan = self.plan(crossover_db)
+        join = nodes_of(plan, JoinNode)[0]
+        assert any(
+            "asal" in predicate.display() for predicate in join.residuals
+        )
+
+
+class TestEarlyAggregationShape:
+    def test_partial_then_coalesce(self):
+        db = Database(CostParams(memory_pages=4))
+        db.create_table(
+            "sales", [("sid", "int"), ("dno", "int"), ("amt", "float")],
+            primary_key=["sid"],
+        )
+        db.create_table(
+            "details", [("rid", "int"), ("dno", "int"), ("x", "float"),
+                        ("y", "float")],
+            primary_key=["rid"],
+        )
+        db.insert(
+            "sales", [(i, i % 10, float(i % 97)) for i in range(3000)]
+        )
+        db.insert(
+            "details", [(i, i % 10, float(i), float(i)) for i in range(3000)]
+        )
+        db.analyze()
+        plan = db.query(
+            "select s.dno, sum(s.amt) as t from sales s, details d "
+            "where s.dno = d.dno group by s.dno",
+            optimizer="greedy",
+            execute=False,
+        ).plan
+        groups = nodes_of(plan, GroupByNode)
+        assert len(groups) == 2  # partial below the join, coalesce above
+        join = nodes_of(plan, JoinNode)[0]
+        below_join = [
+            node for node in plan_nodes(join)
+            if isinstance(node, GroupByNode)
+        ]
+        assert len(below_join) == 1
+        # the partial aggregates use generated names, coalesced above
+        partial = below_join[0]
+        assert all(name.startswith("__p") for name, _ in partial.aggregates)
+
+
+class TestIndexShape:
+    def test_inlj_after_pullup(self):
+        import random
+
+        db = Database(CostParams(memory_pages=8))
+        db.create_table(
+            "emp", [("eno", "int"), ("dno", "int"), ("sal", "float")],
+            primary_key=["eno"],
+        )
+        db.create_table(
+            "watch", [("wid", "int"), ("dno", "int")], primary_key=["wid"]
+        )
+        rng = random.Random(4)
+        db.insert(
+            "emp",
+            [(i, i % 3000, float(rng.randint(1, 99))) for i in range(30000)],
+        )
+        db.insert("watch", [(w, rng.randrange(3000)) for w in range(8)])
+        db.create_index("emp_dno_idx", "emp", ["dno"])
+        db.analyze()
+        plan = db.query(
+            "with v(dno, a) as (select e.dno, avg(e.sal) from emp e "
+            "group by e.dno) "
+            "select w.wid, v.a from watch w, v where w.dno = v.dno",
+            optimizer="full",
+            execute=False,
+        ).plan
+        joins = nodes_of(plan, JoinNode)
+        assert any(join.method == "inlj" for join in joins)

@@ -1,0 +1,91 @@
+"""Tests for predicate propagation across blocks ([LMS94] baseline)."""
+
+import pytest
+
+from repro.engine.reference import evaluate_canonical, rows_equal_bag
+from repro.sql import bind_sql
+from repro.transforms import propagate_predicates
+
+VIEW_SQL = """
+with v(dno, loc2, asal) as (
+    select e.dno, e.age, avg(e.sal) from emp e group by e.dno, e.age
+)
+select v.asal from v where {predicate}
+"""
+
+
+def bound(db, predicate):
+    return bind_sql(VIEW_SQL.format(predicate=predicate), db.catalog)
+
+
+class TestMovability:
+    def test_group_column_literal_moves(self, emp_dept_db):
+        query = bound(emp_dept_db, "v.dno = 3")
+        moved = propagate_predicates(query)
+        assert moved.predicates == ()
+        assert len(moved.views[0].block.predicates) == 1
+        # rewritten into the inner namespace
+        inner = moved.views[0].block.predicates[0]
+        assert all(key[0] != "v" for key in inner.columns())
+
+    def test_range_predicate_moves(self, emp_dept_db):
+        query = bound(emp_dept_db, "v.loc2 < 30")
+        moved = propagate_predicates(query)
+        assert moved.predicates == ()
+
+    def test_aggregate_output_stays(self, emp_dept_db):
+        query = bound(emp_dept_db, "v.asal > 50000")
+        moved = propagate_predicates(query)
+        assert moved is query  # nothing movable: untouched
+
+    def test_mixed_conjuncts_split(self, emp_dept_db):
+        query = bound(emp_dept_db, "v.dno = 3 and v.asal > 0")
+        moved = propagate_predicates(query)
+        assert len(moved.predicates) == 1  # the aggregate one stays
+        assert len(moved.views[0].block.predicates) == 1
+
+    def test_join_predicates_stay(self, emp_dept_db):
+        sql = """
+        with v(dno, asal) as (
+            select e.dno, avg(e.sal) from emp e group by e.dno
+        )
+        select v.asal from dept d, v where d.dno = v.dno
+        """
+        query = bind_sql(sql, emp_dept_db.catalog)
+        moved = propagate_predicates(query)
+        assert moved is query
+
+    def test_no_views_untouched(self, emp_dept_db):
+        query = bind_sql(
+            "select e.sal from emp e where e.dno = 1", emp_dept_db.catalog
+        )
+        assert propagate_predicates(query) is query
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "predicate",
+        ["v.dno = 3", "v.loc2 < 30", "v.dno = 3 and v.loc2 > 20",
+         "v.dno in (1, 2)", "v.dno between 2 and 4 and v.asal > 0"],
+    )
+    def test_results_unchanged(self, emp_dept_db, predicate):
+        query = bound(emp_dept_db, predicate)
+        reference = evaluate_canonical(query, emp_dept_db.catalog)
+        moved = propagate_predicates(query)
+        result = evaluate_canonical(moved, emp_dept_db.catalog)
+        assert rows_equal_bag(reference.rows, result.rows)
+
+    def test_optimizers_benefit_and_agree(self, emp_dept_db):
+        sql = VIEW_SQL.format(predicate="v.dno = 3")
+        reference = emp_dept_db.reference(sql)
+        for optimizer in ("traditional", "full"):
+            result = emp_dept_db.query(sql, optimizer=optimizer)
+            assert rows_equal_bag(reference.rows, result.rows)
+
+    def test_propagation_reduces_view_cardinality(self, emp_dept_db):
+        sql = VIEW_SQL.format(predicate="v.dno = 3")
+        result = emp_dept_db.query(sql, optimizer="traditional")
+        # the view's scan now filters on dno before grouping: the
+        # group-by node sees ~1/7 of the employees
+        text = result.explain()
+        assert "filter" in text

@@ -1,0 +1,84 @@
+"""Property test: estimated IO == executed IO on filter-free plans.
+
+On plans without predicates the cardinality estimates are exact (exact
+statistics, no selectivity assumptions), so the cost model's number must
+match the executor's charged IO for every join method, any data, any
+memory size — the strongest statement of the shared-formula design.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CostParams, Database
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import col
+from repro.algebra.plan import GroupByNode, JoinNode, ScanNode
+from repro.catalog.schema import table_row_schema
+from repro.cost import CostModel
+from repro.engine import ExecutionContext, execute_plan
+
+
+@st.composite
+def join_case(draw):
+    left_rows = draw(st.integers(min_value=0, max_value=400))
+    right_rows = draw(st.integers(min_value=0, max_value=400))
+    keys = draw(st.integers(min_value=1, max_value=8))
+    memory = draw(st.sampled_from([3, 4, 8, 64]))
+    method = draw(st.sampled_from(["hj", "smj", "nlj"]))
+    return left_rows, right_rows, keys, memory, method
+
+
+def build(left_rows, right_rows, keys, memory):
+    db = Database(CostParams(memory_pages=memory))
+    db.create_table("l", [("k", "int"), ("v", "float")])
+    db.create_table("r", [("k", "int"), ("w", "float")])
+    db.insert("l", [(i % keys, float(i)) for i in range(left_rows)])
+    db.insert("r", [(i % keys, float(i)) for i in range(right_rows)])
+    db.analyze()
+    return db
+
+
+def scan(db, table, alias):
+    return ScanNode(
+        table,
+        alias,
+        table_row_schema(alias, db.catalog.table(table).columns).fields,
+    )
+
+
+class TestEstimatedEqualsExecuted:
+    @given(case=join_case())
+    @settings(max_examples=40, deadline=None)
+    def test_joins(self, case):
+        left_rows, right_rows, keys, memory, method = case
+        db = build(left_rows, right_rows, keys, memory)
+        plan = JoinNode(
+            scan(db, "l", "a"),
+            scan(db, "r", "b"),
+            method=method,
+            equi_keys=[(("a", "k"), ("b", "k"))],
+        )
+        CostModel(db.catalog, db.params).annotate_tree(plan)
+        context = ExecutionContext(db.catalog, db.io, db.params)
+        with db.io.measure() as span:
+            execute_plan(plan, context)
+        assert span.delta.total == round(plan.props.cost)
+
+    @given(
+        rows=st.integers(min_value=0, max_value=800),
+        keys=st.integers(min_value=1, max_value=600),
+        memory=st.sampled_from([3, 8, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_by(self, rows, keys, memory):
+        db = build(rows, 0, max(1, keys), memory)
+        plan = GroupByNode(
+            scan(db, "l", "a"),
+            group_keys=[("a", "k")],
+            aggregates=[("s", AggregateCall("sum", col("a.v")))],
+        )
+        CostModel(db.catalog, db.params).annotate_tree(plan)
+        context = ExecutionContext(db.catalog, db.io, db.params)
+        with db.io.measure() as span:
+            execute_plan(plan, context)
+        assert span.delta.total == round(plan.props.cost)

@@ -1,0 +1,148 @@
+"""Property-based tests: physical operators against naive models."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import col
+from repro.algebra.plan import GroupByNode, JoinNode, ScanNode, SortNode
+from repro.catalog.schema import table_row_schema
+from repro.engine import ExecutionContext, execute_plan
+from repro.engine.reference import rows_equal_bag
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=-20, max_value=20),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+def build_db(left_rows, right_rows):
+    db = Database()
+    db.create_table("l", [("k", "int"), ("v", "int")])
+    db.create_table("r", [("k", "int"), ("w", "int")])
+    db.insert("l", left_rows)
+    db.insert("r", right_rows)
+    db.analyze()
+    return db
+
+
+def scan(db, table, alias):
+    return ScanNode(
+        table,
+        alias,
+        table_row_schema(alias, db.catalog.table(table).columns).fields,
+    )
+
+
+def run(db, plan):
+    context = ExecutionContext(db.catalog, db.io, db.params)
+    return execute_plan(plan, context).rows
+
+
+class TestJoinProperties:
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_all_join_methods_equal_nested_loops(self, left, right):
+        db = build_db(left, right)
+        expected = [
+            a + b
+            for a, b in itertools.product(left, right)
+            if a[0] == b[0]
+        ]
+        for method in ("hj", "smj", "nlj"):
+            plan = JoinNode(
+                scan(db, "l", "a"),
+                scan(db, "r", "b"),
+                method=method,
+                equi_keys=[(("a", "k"), ("b", "k"))],
+            )
+            assert rows_equal_bag(expected, run(db, plan)), method
+
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_join_commutative_up_to_column_order(self, left, right):
+        db = build_db(left, right)
+        forward = JoinNode(
+            scan(db, "l", "a"),
+            scan(db, "r", "b"),
+            method="hj",
+            equi_keys=[(("a", "k"), ("b", "k"))],
+            projection=[("a", "v"), ("b", "w")],
+        )
+        backward = JoinNode(
+            scan(db, "r", "b"),
+            scan(db, "l", "a"),
+            method="hj",
+            equi_keys=[(("b", "k"), ("a", "k"))],
+            projection=[("a", "v"), ("b", "w")],
+        )
+        assert rows_equal_bag(run(db, forward), run(db, backward))
+
+
+class TestGroupByProperties:
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_matches_python_grouping(self, rows):
+        db = build_db(rows, [])
+        plan = GroupByNode(
+            scan(db, "l", "a"),
+            group_keys=[("a", "k")],
+            aggregates=[
+                ("s", AggregateCall("sum", col("a.v"))),
+                ("n", AggregateCall("count", None)),
+                ("mx", AggregateCall("max", col("a.v"))),
+            ],
+        )
+        expected = {}
+        for k, v in rows:
+            entry = expected.setdefault(k, [0, 0, None])
+            entry[0] += v
+            entry[1] += 1
+            entry[2] = v if entry[2] is None else max(entry[2], v)
+        got = run(db, plan)
+        assert rows_equal_bag(
+            [(k, s, n, mx) for k, (s, n, mx) in expected.items()], got
+        )
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_hash_and_sort_methods_agree(self, rows):
+        db = build_db(rows, [])
+        def make(method):
+            return GroupByNode(
+                scan(db, "l", "a"),
+                group_keys=[("a", "k")],
+                aggregates=[("s", AggregateCall("sum", col("a.v")))],
+                method=method,
+            )
+        assert rows_equal_bag(run(db, make("hash")), run(db, make("sort")))
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_group_count_is_distinct_keys(self, rows):
+        db = build_db(rows, [])
+        plan = GroupByNode(
+            scan(db, "l", "a"),
+            group_keys=[("a", "k")],
+            aggregates=[("n", AggregateCall("count", None))],
+        )
+        assert len(run(db, plan)) == len({k for k, _ in rows})
+
+
+class TestSortProperties:
+    @given(rows=rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_sort_is_permutation_and_ordered(self, rows):
+        db = build_db(rows, [])
+        plan = SortNode(scan(db, "l", "a"), [("a", "v"), ("a", "k")])
+        got = run(db, plan)
+        assert rows_equal_bag(rows, got)
+        keys = [(row[1], row[0]) for row in got]
+        assert keys == sorted(keys)

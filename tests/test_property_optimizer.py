@@ -1,0 +1,56 @@
+"""Property-based end-to-end optimizer tests over random canonical
+queries: every optimizer level returns the reference result, and the
+full optimizer is never costlier than the traditional one (the paper's
+guarantee, randomized)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.reference import evaluate_canonical, rows_equal_bag
+from repro.optimizer import optimize_query, optimize_traditional
+from repro.workloads import RandomQueryConfig, random_queries
+
+
+@st.composite
+def workload(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    db, queries = random_queries(
+        RandomQueryConfig(seed=seed, queries=3, fact_rows=120, dim_rows=15)
+    )
+    index = draw(st.integers(min_value=0, max_value=len(queries) - 1))
+    return db, queries[index]
+
+
+class TestRandomizedOptimizer:
+    @given(case=workload())
+    @settings(max_examples=25, deadline=None)
+    def test_full_optimizer_correct(self, case):
+        db, query = case
+        reference = evaluate_canonical(query, db.catalog)
+        result = optimize_query(query, db.catalog, db.params)
+        rows, _ = db.execute_plan(result.plan)
+        assert rows_equal_bag(reference.rows, rows.rows)
+
+    @given(case=workload())
+    @settings(max_examples=25, deadline=None)
+    def test_traditional_optimizer_correct(self, case):
+        db, query = case
+        reference = evaluate_canonical(query, db.catalog)
+        result = optimize_traditional(query, db.catalog, db.params)
+        rows, _ = db.execute_plan(result.plan)
+        assert rows_equal_bag(reference.rows, rows.rows)
+
+    @given(case=workload())
+    @settings(max_examples=25, deadline=None)
+    def test_guarantee_never_worse(self, case):
+        db, query = case
+        full = optimize_query(query, db.catalog, db.params)
+        traditional = optimize_traditional(query, db.catalog, db.params)
+        assert full.cost <= traditional.cost + 1e-9
+
+    @given(case=workload())
+    @settings(max_examples=15, deadline=None)
+    def test_estimated_cost_positive_and_finite(self, case):
+        db, query = case
+        result = optimize_query(query, db.catalog, db.params)
+        assert 0 < result.cost < float("inf")

@@ -1,0 +1,156 @@
+"""Tests for the brute-force reference evaluator itself.
+
+The reference is the ground truth of the whole test suite, so it gets
+its own checks against hand-computed answers on tiny data.
+"""
+
+import pytest
+
+from repro import Database
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import Comparison, col, lit
+from repro.algebra.query import AggregateView, CanonicalQuery, QueryBlock, TableRef
+from repro.engine.reference import (
+    evaluate_block,
+    evaluate_canonical,
+    evaluate_view,
+    rows_equal_bag,
+)
+
+
+@pytest.fixture
+def tiny_db():
+    db = Database()
+    db.create_table("t", [("g", "int"), ("v", "int")])
+    db.insert("t", [(1, 10), (1, 20), (2, 5), (2, 5), (3, 7)])
+    db.create_table("u", [("g", "int"), ("w", "int")], primary_key=["g"])
+    db.insert("u", [(1, 100), (2, 200)])
+    return db
+
+
+class TestEvaluateBlock:
+    def test_spj(self, tiny_db):
+        block = QueryBlock(
+            relations=(TableRef("t", "a"), TableRef("u", "b")),
+            predicates=(Comparison("=", col("a.g"), col("b.g")),),
+            select=(("v", col("a.v")), ("w", col("b.w"))),
+        )
+        result = evaluate_block(block, tiny_db.catalog)
+        assert rows_equal_bag(
+            result.rows, [(10, 100), (20, 100), (5, 200), (5, 200)]
+        )
+
+    def test_grouped(self, tiny_db):
+        block = QueryBlock(
+            relations=(TableRef("t", "a"),),
+            group_by=(col("a.g"),),
+            aggregates=(
+                ("s", AggregateCall("sum", col("a.v"))),
+                ("n", AggregateCall("count", None)),
+            ),
+            select=(("g", col("a.g")), ("s", col("s")), ("n", col("n"))),
+        )
+        result = evaluate_block(block, tiny_db.catalog)
+        assert rows_equal_bag(result.rows, [(1, 30, 2), (2, 10, 2), (3, 7, 1)])
+
+    def test_having(self, tiny_db):
+        block = QueryBlock(
+            relations=(TableRef("t", "a"),),
+            group_by=(col("a.g"),),
+            aggregates=(("n", AggregateCall("count", None)),),
+            having=(Comparison(">", col("n"), lit(1)),),
+            select=(("g", col("a.g")),),
+        )
+        result = evaluate_block(block, tiny_db.catalog)
+        assert rows_equal_bag(result.rows, [(1,), (2,)])
+
+    def test_duplicate_rows_preserved(self, tiny_db):
+        block = QueryBlock(
+            relations=(TableRef("t", "a"),),
+            predicates=(Comparison("=", col("a.g"), lit(2)),),
+            select=(("v", col("a.v")),),
+        )
+        result = evaluate_block(block, tiny_db.catalog)
+        assert result.rows == [(5,), (5,)]  # bag semantics
+
+    def test_select_expression(self, tiny_db):
+        from repro.algebra.expressions import Arith
+
+        block = QueryBlock(
+            relations=(TableRef("t", "a"),),
+            select=(("double", Arith("*", col("a.v"), lit(2))),),
+        )
+        result = evaluate_block(block, tiny_db.catalog)
+        assert sorted(r[0] for r in result.rows) == [10, 10, 14, 20, 40]
+
+
+class TestEvaluateCanonical:
+    def test_view_join(self, tiny_db):
+        view = AggregateView(
+            alias="s",
+            block=QueryBlock(
+                relations=(TableRef("t", "a"),),
+                group_by=(col("a.g"),),
+                aggregates=(("total", AggregateCall("sum", col("a.v"))),),
+                select=(("g", col("a.g")), ("total", col("total"))),
+            ),
+        )
+        query = CanonicalQuery(
+            base_tables=(TableRef("u", "b"),),
+            views=(view,),
+            predicates=(Comparison("=", col("b.g"), col("s.g")),),
+            select=(("w", col("b.w")), ("total", col("s.total"))),
+        )
+        result = evaluate_canonical(query, tiny_db.catalog)
+        assert rows_equal_bag(result.rows, [(100, 30), (200, 10)])
+
+    def test_view_alias_fields(self, tiny_db):
+        view = AggregateView(
+            alias="s",
+            block=QueryBlock(
+                relations=(TableRef("t", "a"),),
+                group_by=(col("a.g"),),
+                aggregates=(("total", AggregateCall("sum", col("a.v"))),),
+                select=(("g", col("a.g")), ("total", col("total"))),
+            ),
+        )
+        materialized = evaluate_view(view, tiny_db.catalog)
+        assert materialized.schema.has("s", "total")
+
+    def test_order_and_limit(self, tiny_db):
+        query = CanonicalQuery(
+            base_tables=(TableRef("t", "a"),),
+            select=(("v", col("a.v")),),
+            order_by=(("v", True),),
+            limit=2,
+        )
+        result = evaluate_canonical(query, tiny_db.catalog)
+        assert result.rows == [(20,), (10,)]
+
+    def test_rid_exposed_for_base_tables(self, tiny_db):
+        query = CanonicalQuery(
+            base_tables=(TableRef("t", "a"),),
+            select=(("rid", col("a._rid")),),
+        )
+        result = evaluate_canonical(query, tiny_db.catalog)
+        assert sorted(r[0] for r in result.rows) == [0, 1, 2, 3, 4]
+
+
+class TestRowsEqualBag:
+    def test_order_insensitive(self):
+        assert rows_equal_bag([(1,), (2,)], [(2,), (1,)])
+
+    def test_multiplicity_sensitive(self):
+        assert not rows_equal_bag([(1,), (1,)], [(1,), (2,)])
+
+    def test_length_mismatch(self):
+        assert not rows_equal_bag([(1,)], [(1,), (1,)])
+
+    def test_float_tolerance(self):
+        assert rows_equal_bag([(0.1 + 0.2,)], [(0.3,)])
+
+    def test_float_difference_detected(self):
+        assert not rows_equal_bag([(0.30001,)], [(0.3,)])
+
+    def test_mixed_types(self):
+        assert rows_equal_bag([(1, "a"), (2, "b")], [(2, "b"), (1, "a")])

@@ -1,0 +1,100 @@
+"""Tests for the shared Φ(V′, W) DP (Section 5.3's subplan sharing)."""
+
+import pytest
+
+from repro import OptimizerOptions
+from repro.engine.reference import evaluate_canonical, rows_equal_bag
+from repro.optimizer import optimize_query
+from repro.sql import bind_sql
+from repro.workloads import RandomQueryConfig, random_queries
+
+EXAMPLE1 = """
+with a1(dno, asal) as (select e2.dno, avg(e2.sal) from emp e2 group by e2.dno)
+select e1.sal from emp e1, a1 b
+where e1.dno = b.dno and e1.age < 22 and e1.sal > b.asal
+"""
+
+MULTI_PULL = """
+with v(dno, asal) as (select e.dno, avg(e.sal) from emp e group by e.dno)
+select e1.sal, d.budget from emp e1, dept d, v
+where e1.dno = v.dno and d.dno = v.dno and e1.sal > v.asal
+"""
+
+
+def run_both(db, sql):
+    query = bind_sql(sql, db.catalog)
+    shared = optimize_query(
+        query, db.catalog, db.params, OptimizerOptions(share_view_dp=True)
+    )
+    unshared = optimize_query(
+        query, db.catalog, db.params, OptimizerOptions(share_view_dp=False)
+    )
+    return query, shared, unshared
+
+
+class TestSharedDp:
+    @pytest.mark.parametrize("sql", [EXAMPLE1, MULTI_PULL])
+    def test_same_cost_as_unshared(self, emp_dept_db, sql):
+        _, shared, unshared = run_both(emp_dept_db, sql)
+        assert shared.cost == pytest.approx(unshared.cost)
+
+    @pytest.mark.parametrize("sql", [EXAMPLE1, MULTI_PULL])
+    def test_shared_plan_correct(self, emp_dept_db, sql):
+        query, shared, _ = run_both(emp_dept_db, sql)
+        reference = evaluate_canonical(query, emp_dept_db.catalog)
+        rows, _ = emp_dept_db.execute_plan(shared.plan)
+        assert rows_equal_bag(reference.rows, rows.rows)
+
+    def test_same_alternative_costs(self, emp_dept_db):
+        _, shared, unshared = run_both(emp_dept_db, MULTI_PULL)
+        shared_costs = {
+            tuple(sorted(combo.items())): cost
+            for combo, cost in shared.alternatives
+        }
+        unshared_costs = {
+            tuple(sorted(combo.items())): cost
+            for combo, cost in unshared.alternatives
+        }
+        assert set(shared_costs) == set(unshared_costs)
+        for key, cost in shared_costs.items():
+            assert cost == pytest.approx(unshared_costs[key]), key
+
+    def test_randomized_equivalence(self):
+        db, queries = random_queries(
+            RandomQueryConfig(seed=88, queries=8, fact_rows=150, dim_rows=15)
+        )
+        for query in queries:
+            shared = optimize_query(
+                query, db.catalog, db.params,
+                OptimizerOptions(share_view_dp=True),
+            )
+            unshared = optimize_query(
+                query, db.catalog, db.params,
+                OptimizerOptions(share_view_dp=False),
+            )
+            assert shared.cost == pytest.approx(unshared.cost)
+            reference = evaluate_canonical(query, db.catalog)
+            rows, _ = db.execute_plan(shared.plan)
+            assert rows_equal_bag(reference.rows, rows.rows)
+
+    def test_guarantee_still_holds(self, emp_dept_db):
+        from repro.optimizer import optimize_traditional
+
+        query = bind_sql(MULTI_PULL, emp_dept_db.catalog)
+        shared = optimize_query(query, emp_dept_db.catalog, emp_dept_db.params)
+        traditional = optimize_traditional(
+            query, emp_dept_db.catalog, emp_dept_db.params
+        )
+        assert shared.cost <= traditional.cost + 1e-9
+
+    def test_shared_dp_reuses_plans_across_combinations(self, emp_dept_db):
+        sql = """
+        with v1(dno, a) as (select e.dno, avg(e.sal) from emp e group by e.dno),
+             v2(dno, m) as (select f.dno, max(f.sal) from emp f group by f.dno)
+        select d.budget, v1.a, v2.m from dept d, v1, v2
+        where d.dno = v1.dno and v1.dno = v2.dno
+        """
+        query = bind_sql(sql, emp_dept_db.catalog)
+        result = optimize_query(query, emp_dept_db.catalog, emp_dept_db.params)
+        # several combinations, but each (view, W) optimized once
+        assert result.stats.view_plans_reused > 0

@@ -1,0 +1,84 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.text) for t in tokenize(sql) if t.kind != "eof"]
+
+
+class TestTokenKinds:
+    def test_keywords_lowercased(self):
+        assert kinds("SELECT froM") == [
+            ("keyword", "select"),
+            ("keyword", "from"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("Emp e1") == [("name", "Emp"), ("name", "e1")]
+
+    def test_integer_and_float(self):
+        assert kinds("42 3.5") == [("number", "42"), ("number", "3.5")]
+
+    def test_qualified_column_is_three_tokens(self):
+        assert kinds("e.sal") == [
+            ("name", "e"),
+            ("punctuation", "."),
+            ("name", "sal"),
+        ]
+
+    def test_number_then_dot_name(self):
+        # "1.e" must not swallow the dot into the number
+        assert kinds("1.e") == [
+            ("number", "1"),
+            ("punctuation", "."),
+            ("name", "e"),
+        ]
+
+    def test_string_literal(self):
+        assert kinds("'hello world'") == [("string", "hello world")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_comparators(self):
+        assert [t for _, t in kinds("= < <= > >= != <>")] == [
+            "=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+            "!=",
+            "!=",
+        ]
+
+    def test_punctuation(self):
+        assert [k for k, _ in kinds("( ) , * + - /")] == ["punctuation"] * 7
+
+    def test_comments_skipped(self):
+        assert kinds("select -- a comment\nx") == [
+            ("keyword", "select"),
+            ("name", "x"),
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+    def test_error_reports_location(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("select\n  @")
+        assert info.value.line == 2
+
+    def test_eof_token_present(self):
+        assert tokenize("x")[-1].kind == "eof"
+
+    def test_underscore_names(self):
+        assert kinds("_rid foo_bar") == [
+            ("name", "_rid"),
+            ("name", "foo_bar"),
+        ]

@@ -1,0 +1,170 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    Arith,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+)
+from repro.errors import SqlSyntaxError
+from repro.sql import parse_select
+from repro.sql.ast import AggregateExpr, SubqueryExpr
+
+
+class TestSelectShape:
+    def test_minimal(self):
+        stmt = parse_select("select x from t")
+        assert len(stmt.select_items) == 1
+        assert stmt.from_tables[0].name == "t"
+        assert stmt.where is None
+
+    def test_aliases(self):
+        stmt = parse_select("select e.sal from emp e, dept as d")
+        assert stmt.from_tables[0].alias == "e"
+        assert stmt.from_tables[1].alias == "d"
+
+    def test_select_item_output_names(self):
+        stmt = parse_select("select a as x, b y, c from t")
+        assert [item.output_name for item in stmt.select_items] == [
+            "x",
+            "y",
+            None,
+        ]
+
+    def test_where_group_having(self):
+        stmt = parse_select(
+            "select dno, avg(sal) from emp where age < 22 "
+            "group by dno having avg(sal) > 10"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_distinct_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("select distinct x from t")
+
+    def test_select_all_accepted(self):
+        stmt = parse_select("select all x from t")
+        assert len(stmt.select_items) == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("select x from t where a = 1 )")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("select x")
+
+
+class TestWithClause:
+    def test_single_view(self):
+        stmt = parse_select(
+            "with v(dno, asal) as (select dno, avg(sal) from emp "
+            "group by dno) select v.asal from v"
+        )
+        assert len(stmt.with_views) == 1
+        view = stmt.with_views[0]
+        assert view.name == "v"
+        assert view.column_names == ("dno", "asal")
+
+    def test_multiple_views(self):
+        stmt = parse_select(
+            "with a(x) as (select p from t group by p), "
+            "b(y) as (select q from u group by q) "
+            "select a.x from a, b"
+        )
+        assert [view.name for view in stmt.with_views] == ["a", "b"]
+
+    def test_view_requires_column_list(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("with v as (select x from t) select v.x from v")
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_select(f"select x from t where {text}").where
+
+    def test_precedence_and_over_or(self):
+        parsed = self.expr("a = 1 or b = 2 and c = 3")
+        assert isinstance(parsed, Or)
+        assert isinstance(parsed.items[1], And)
+
+    def test_not(self):
+        parsed = self.expr("not a = 1")
+        assert isinstance(parsed, Not)
+
+    def test_arith_precedence(self):
+        parsed = self.expr("a + b * c = 1")
+        assert isinstance(parsed, Comparison)
+        left = parsed.left
+        assert isinstance(left, Arith) and left.op == "+"
+        assert isinstance(left.right, Arith) and left.right.op == "*"
+
+    def test_parenthesized(self):
+        parsed = self.expr("(a + b) * c = 1")
+        assert parsed.left.op == "*"
+
+    def test_unary_minus_folds_literal(self):
+        parsed = self.expr("a = -5")
+        assert parsed.right == Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        parsed = self.expr("a = -b")
+        assert isinstance(parsed.right, Arith)
+
+    def test_string_and_bool_literals(self):
+        parsed = self.expr("a = 'x' and b = true and c = false")
+        values = [item.right.value for item in parsed.items]
+        assert values == ["x", True, False]
+
+    def test_qualified_and_bare_columns(self):
+        parsed = self.expr("e.sal > sal")
+        assert parsed.left == ColumnRef("e", "sal")
+        assert parsed.right == ColumnRef(None, "sal")
+
+    def test_float_literal(self):
+        parsed = self.expr("a = 1.25")
+        assert parsed.right == Literal(1.25)
+
+
+class TestAggregatesAndSubqueries:
+    def test_aggregate_call(self):
+        stmt = parse_select("select avg(sal) from emp group by dno")
+        item = stmt.select_items[0].expression
+        assert isinstance(item, AggregateExpr)
+        assert item.func_name == "avg"
+
+    def test_count_star(self):
+        stmt = parse_select("select count(*) from emp group by dno")
+        item = stmt.select_items[0].expression
+        assert item.func_name == "count" and item.arg is None
+
+    def test_aggregate_with_expression_arg(self):
+        stmt = parse_select(
+            "select sum(price * (1 - discount)) from lineitem group by o"
+        )
+        item = stmt.select_items[0].expression
+        assert isinstance(item.arg, Arith)
+
+    def test_non_aggregate_name_with_parens_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("select frob(x) from t")
+
+    def test_scalar_subquery(self):
+        stmt = parse_select(
+            "select sal from emp e1 where sal > "
+            "(select avg(sal) from emp e2 where e2.dno = e1.dno)"
+        )
+        assert isinstance(stmt.where.right, SubqueryExpr)
+        inner = stmt.where.right.stmt
+        assert isinstance(inner.select_items[0].expression, AggregateExpr)
+
+    def test_parenthesized_expression_not_subquery(self):
+        stmt = parse_select("select x from t where (a) = 1")
+        assert isinstance(stmt.where.left, ColumnRef)

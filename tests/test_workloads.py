@@ -1,0 +1,152 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.engine.reference import evaluate_canonical
+from repro.workloads import (
+    EmpDeptConfig,
+    RandomQueryConfig,
+    TpcdConfig,
+    build_empdept,
+    build_tpcd_like,
+    random_queries,
+)
+from repro.workloads.empdept import (
+    EXAMPLE1_NESTED_SQL,
+    EXAMPLE1_SQL,
+    EXAMPLE2_SQL,
+)
+from repro.workloads.tpcdlike import (
+    BIG_SPENDERS_SQL,
+    REVENUE_PER_CUSTOMER_SQL,
+    SUPPLIER_SHARE_SQL,
+)
+
+
+class TestEmpDept:
+    def test_sizes(self):
+        db = build_empdept(EmpDeptConfig(employees=500, departments=20))
+        assert db.catalog.table("emp").num_rows == 500
+        assert db.catalog.table("dept").num_rows == 20
+
+    def test_young_fraction_controls_skew(self):
+        few = build_empdept(
+            EmpDeptConfig(employees=2000, young_fraction=0.05)
+        )
+        many = build_empdept(
+            EmpDeptConfig(employees=2000, young_fraction=0.6)
+        )
+        def young_count(db):
+            emp = db.catalog.table("emp")
+            position = emp.column_position("age")
+            return sum(1 for row in emp.rows if row[position] < 22)
+        assert young_count(few) < young_count(many)
+
+    def test_uniform_ages(self):
+        db = build_empdept(EmpDeptConfig(employees=3000, uniform_ages=True))
+        emp = db.catalog.table("emp")
+        position = emp.column_position("age")
+        young = sum(1 for row in emp.rows if row[position] < 22)
+        # 4/48 of the uniform range, loosely
+        assert 0.03 < young / emp.num_rows < 0.15
+
+    def test_determinism(self):
+        first = build_empdept(EmpDeptConfig(seed=9))
+        second = build_empdept(EmpDeptConfig(seed=9))
+        assert first.catalog.table("emp").rows == second.catalog.table(
+            "emp"
+        ).rows
+
+    def test_foreign_key_declared(self):
+        db = build_empdept(EmpDeptConfig())
+        assert db.catalog.foreign_keys("emp")
+
+    @pytest.mark.parametrize(
+        "sql", [EXAMPLE1_SQL, EXAMPLE1_NESTED_SQL, EXAMPLE2_SQL]
+    )
+    def test_example_queries_run(self, sql):
+        db = build_empdept(EmpDeptConfig(employees=300, departments=10))
+        result = db.query(sql)
+        assert result.estimated_cost > 0
+
+    def test_example1_forms_agree(self):
+        db = build_empdept(EmpDeptConfig(employees=300, departments=10))
+        view_form = db.query(EXAMPLE1_SQL)
+        nested_form = db.query(EXAMPLE1_NESTED_SQL)
+        assert sorted(view_form.rows) == sorted(nested_form.rows)
+
+
+class TestTpcdLike:
+    def test_sizes_and_keys(self):
+        db = build_tpcd_like(TpcdConfig(orders=200, customers=30))
+        assert db.catalog.table("orders").num_rows == 200
+        assert db.catalog.primary_key("lineitem") == (
+            "orderkey",
+            "linenumber",
+        )
+
+    def test_lineitems_reference_orders(self):
+        db = build_tpcd_like(TpcdConfig(orders=100))
+        lineitem = db.catalog.table("lineitem")
+        position = lineitem.column_position("orderkey")
+        assert all(0 <= row[position] < 100 for row in lineitem.rows)
+
+    def test_totalprice_consistent_with_lines(self):
+        db = build_tpcd_like(TpcdConfig(orders=50))
+        result = db.query(
+            "with rev(orderkey, r) as (select l.orderkey, "
+            "sum(l.price * (1 - l.discount)) from lineitem l "
+            "group by l.orderkey) "
+            "select o.totalprice, v.r from orders o, rev v "
+            "where o.orderkey = v.orderkey"
+        )
+        assert result.rows
+        for total, revenue in result.rows:
+            assert total == pytest.approx(revenue)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [REVENUE_PER_CUSTOMER_SQL, BIG_SPENDERS_SQL, SUPPLIER_SHARE_SQL],
+    )
+    def test_workload_queries_consistent_across_optimizers(self, sql):
+        db = build_tpcd_like(TpcdConfig(orders=300, customers=50))
+        traditional = db.query(sql, optimizer="traditional")
+        full = db.query(sql, optimizer="full")
+        assert sorted(map(repr, traditional.rows)) == sorted(
+            map(repr, full.rows)
+        )
+
+
+class TestRandomQueries:
+    def test_reproducible(self):
+        _, first = random_queries(RandomQueryConfig(seed=5, queries=5))
+        _, second = random_queries(RandomQueryConfig(seed=5, queries=5))
+        for a, b in zip(first, second):
+            assert a.select == b.select
+            assert a.predicates == b.predicates
+
+    def test_different_seeds_differ(self):
+        _, first = random_queries(RandomQueryConfig(seed=5, queries=8))
+        _, second = random_queries(RandomQueryConfig(seed=6, queries=8))
+        assert any(
+            a.predicates != b.predicates for a, b in zip(first, second)
+        )
+
+    def test_all_queries_evaluable(self):
+        db, queries = random_queries(
+            RandomQueryConfig(seed=1, queries=10, fact_rows=80, dim_rows=10)
+        )
+        for query in queries:
+            evaluate_canonical(query, db.catalog)  # must not raise
+
+    def test_views_always_grouped(self):
+        _, queries = random_queries(RandomQueryConfig(seed=2, queries=10))
+        for query in queries:
+            for view in query.views:
+                assert view.block.is_grouped
+
+    def test_view_count_bounded(self):
+        _, queries = random_queries(
+            RandomQueryConfig(seed=3, queries=10, max_views=2)
+        )
+        assert all(len(query.views) <= 2 for query in queries)
