@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples shell all
+.PHONY: test bench bench-opt examples shell all
 
 test:
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-opt:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_optimizer_scaling.py --out BENCH_optimizer_scaling.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,201 @@
+"""Optimizer scaling — bitset connected-subset DP vs the seed enumerator.
+
+Measures optimize-block wall-clock against the number of relations
+(6, 8, 10, 12 leaves) on chain and star join graphs, for both the
+greedy and the traditional DP, comparing the graph enumeration
+(connected subsets over the bitset join graph) with the exhaustive
+enumeration (every subset — the seed enumerator's search space). Both
+must choose plans of identical cost; the graph enumeration just gets
+there visiting O(n²) instead of 2ⁿ subsets on these topologies.
+
+Run directly (``make bench-opt``) to write ``BENCH_optimizer_scaling.json``
+at the repository root and print the scaling table. The tier-1 suite
+runs :func:`run_scaling` at the smallest size only (see
+``tests/test_joingraph.py``) so enumerator regressions surface in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from time import perf_counter
+from typing import Dict, List, Sequence, Tuple
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+
+from repro.optimizer.block import BaseLeaf, BlockOptimizer, GroupingSpec
+from repro.workloads import JoinWorkloadConfig, build_join_workload
+
+SIZES = (6, 8, 10, 12)
+TOPOLOGIES = ("chain", "star")
+MODES = ("greedy", "traditional")
+ENUMERATIONS = ("graph", "exhaustive")
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "BENCH_optimizer_scaling.json"
+)
+
+
+def _measure(
+    workload, mode: str, enumeration: str, repeats: int
+) -> Dict[str, object]:
+    """Best-of-*repeats* wall-clock for one optimize_block call."""
+    spec = GroupingSpec(
+        group_keys=workload.group_keys, aggregates=workload.aggregates
+    )
+    best_seconds = None
+    plan = None
+    stats = None
+    for _ in range(repeats):
+        optimizer = BlockOptimizer(
+            workload.db.catalog,
+            workload.db.params,
+            mode=mode,
+            enumeration=enumeration,
+        )
+        started = perf_counter()
+        plan = optimizer.optimize_block(
+            [BaseLeaf(ref) for ref in workload.relations],
+            workload.predicates,
+            spec,
+            workload.select,
+        )
+        elapsed = perf_counter() - started
+        stats = optimizer.stats
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    assert plan is not None and stats is not None
+    return {
+        "seconds": best_seconds,
+        "cost": plan.props.cost,
+        "subsets_expanded": stats.subsets_expanded,
+        "joinplan_calls": stats.joinplan_calls,
+        "connected_subsets_skipped": stats.connected_subsets_skipped,
+        "predicate_split_cache_hits": stats.predicate_split_cache_hits,
+    }
+
+
+def run_scaling(
+    sizes: Sequence[int] = SIZES,
+    topologies: Sequence[str] = TOPOLOGIES,
+    modes: Sequence[str] = MODES,
+    repeats: int = 3,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """The full measurement matrix, as a JSON-ready dict.
+
+    Every (topology, leaves, mode) cell is measured with both
+    enumerations; costs must match exactly (both enumerators are exact
+    over their plan space on connected graphs) and the ``speedups``
+    list records exhaustive-time / graph-time per cell.
+    """
+    entries: List[Dict[str, object]] = []
+    speedups: List[Dict[str, object]] = []
+    for topology in topologies:
+        for leaves in sizes:
+            workload = build_join_workload(
+                JoinWorkloadConfig(
+                    topology=topology, leaves=leaves, seed=seed
+                )
+            )
+            for mode in modes:
+                cell: Dict[str, Dict[str, object]] = {}
+                for enumeration in ENUMERATIONS:
+                    measured = _measure(
+                        workload, mode, enumeration, repeats
+                    )
+                    cell[enumeration] = measured
+                    entries.append(
+                        {
+                            "topology": topology,
+                            "leaves": leaves,
+                            "mode": mode,
+                            "enumeration": enumeration,
+                            **measured,
+                        }
+                    )
+                graph_cost = cell["graph"]["cost"]
+                exhaustive_cost = cell["exhaustive"]["cost"]
+                if graph_cost != exhaustive_cost:
+                    raise AssertionError(
+                        f"enumerators disagree on {topology}/{leaves}/"
+                        f"{mode}: graph={graph_cost} "
+                        f"exhaustive={exhaustive_cost}"
+                    )
+                speedups.append(
+                    {
+                        "topology": topology,
+                        "leaves": leaves,
+                        "mode": mode,
+                        "speedup": (
+                            cell["exhaustive"]["seconds"]
+                            / max(cell["graph"]["seconds"], 1e-9)
+                        ),
+                    }
+                )
+    return {
+        "config": {
+            "sizes": list(sizes),
+            "topologies": list(topologies),
+            "modes": list(modes),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "entries": entries,
+        "speedups": speedups,
+    }
+
+
+def _print_table(results: Dict[str, object]) -> None:
+    by_key: Dict[Tuple[str, int, str], Dict[str, Dict[str, object]]] = {}
+    for entry in results["entries"]:
+        key = (entry["topology"], entry["leaves"], entry["mode"])
+        by_key.setdefault(key, {})[entry["enumeration"]] = entry
+    header = (
+        f"{'topology':<10} {'leaves':>6} {'mode':>12} "
+        f"{'graph (s)':>10} {'exhaustive (s)':>15} {'speedup':>8} "
+        f"{'subsets g/e':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for speed in results["speedups"]:
+        key = (speed["topology"], speed["leaves"], speed["mode"])
+        graph = by_key[key]["graph"]
+        exhaustive = by_key[key]["exhaustive"]
+        print(
+            f"{speed['topology']:<10} {speed['leaves']:>6} "
+            f"{speed['mode']:>12} {graph['seconds']:>10.4f} "
+            f"{exhaustive['seconds']:>15.4f} {speed['speedup']:>7.1f}x "
+            f"{graph['subsets_expanded']:>5}/"
+            f"{exhaustive['subsets_expanded']}"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per cell"
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    results = run_scaling(repeats=arguments.repeats)
+    arguments.out.write_text(json.dumps(results, indent=1) + "\n")
+    _print_table(results)
+    print(f"\nwrote {arguments.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

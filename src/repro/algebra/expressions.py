@@ -24,10 +24,27 @@ FieldKey = Tuple[Optional[str], str]
 
 
 class Expression:
-    """Base class of all scalar expressions."""
+    """Base class of all scalar expressions.
+
+    ``columns()`` and ``aliases()`` are memoized: expressions are
+    immutable, and the optimizer's enumeration loops ask for them on
+    every connectivity / predicate-placement / projection check, so
+    each expression computes its frozensets exactly once. Subclasses
+    implement :meth:`_compute_columns`; the base class (which has no
+    ``__slots__``, so every instance carries a ``__dict__``) stores the
+    results.
+    """
 
     def columns(self) -> FrozenSet[FieldKey]:
         """All column references appearing in this expression."""
+        try:
+            return self._columns_memo  # type: ignore[attr-defined]
+        except AttributeError:
+            memo = self._compute_columns()
+            self._columns_memo = memo
+            return memo
+
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         raise NotImplementedError
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
@@ -44,9 +61,14 @@ class Expression:
 
     def aliases(self) -> FrozenSet[str]:
         """Table aliases this expression refers to (None excluded)."""
-        return frozenset(
-            alias for alias, _ in self.columns() if alias is not None
-        )
+        try:
+            return self._aliases_memo  # type: ignore[attr-defined]
+        except AttributeError:
+            memo = frozenset(
+                alias for alias, _ in self.columns() if alias is not None
+            )
+            self._aliases_memo = memo
+            return memo
 
     def display(self) -> str:
         raise NotImplementedError
@@ -68,7 +90,7 @@ class ColumnRef(Expression):
     def key(self) -> FieldKey:
         return (self.alias, self.name)
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         return frozenset({self.key})
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
@@ -104,7 +126,7 @@ class Literal(Expression):
     def __init__(self, value: Any):
         self.value = value
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         return frozenset()
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
@@ -158,7 +180,7 @@ class Comparison(Expression):
         self.left = left
         self.right = right
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         return self.left.columns() | self.right.columns()
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
@@ -200,7 +222,7 @@ class And(Expression):
             raise PlanError("AND of zero conjuncts")
         self.items: Tuple[Expression, ...] = tuple(items)
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         result: FrozenSet[FieldKey] = frozenset()
         for item in self.items:
             result |= item.columns()
@@ -236,7 +258,7 @@ class Or(Expression):
             raise PlanError("OR of zero disjuncts")
         self.items: Tuple[Expression, ...] = tuple(items)
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         result: FrozenSet[FieldKey] = frozenset()
         for item in self.items:
             result |= item.columns()
@@ -270,7 +292,7 @@ class Not(Expression):
     def __init__(self, item: Expression):
         self.item = item
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         return self.item.columns()
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
@@ -313,7 +335,7 @@ class Arith(Expression):
         self.left = left
         self.right = right
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         return self.left.columns() | self.right.columns()
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
@@ -367,7 +389,7 @@ class FuncCall(Expression):
         self.func = func
         self.args: Tuple[Expression, ...] = tuple(args)
 
-    def columns(self) -> FrozenSet[FieldKey]:
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
         result: FrozenSet[FieldKey] = frozenset()
         for arg in self.args:
             result |= arg.columns()

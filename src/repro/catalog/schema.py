@@ -66,7 +66,7 @@ class RowSchema:
     schema algebra (concatenation for joins, projection).
     """
 
-    __slots__ = ("fields", "_index")
+    __slots__ = ("fields", "_index", "_width")
 
     def __init__(self, fields: Iterable[Field]):
         self.fields: Tuple[Field, ...] = tuple(fields)
@@ -76,6 +76,7 @@ class RowSchema:
                 raise SchemaError(f"duplicate field {field.display()}")
             index[field.key] = position
         self._index = index
+        self._width = sum(field.dtype.width for field in self.fields)
 
     def __len__(self) -> int:
         return len(self.fields)
@@ -96,7 +97,7 @@ class RowSchema:
     @property
     def width(self) -> int:
         """Payload width in bytes of one row with this schema."""
-        return sum(field.dtype.width for field in self.fields)
+        return self._width
 
     def index_of(self, alias: Optional[str], name: str) -> int:
         """Resolve a column reference to its position.
@@ -124,6 +125,9 @@ class RowSchema:
         return self.fields[self.index_of(alias, name)]
 
     def has(self, alias: Optional[str], name: str) -> bool:
+        if alias is not None:
+            # fast path: qualified lookups are plain dict membership
+            return (alias, name) in self._index
         try:
             self.index_of(alias, name)
         except SchemaError:

@@ -1,8 +1,9 @@
 """Interactive SQL shell over an in-memory repro database.
 
 Run with ``python -m repro`` (add ``--demo`` to preload the paper's
-emp/dept example data). Statements end with ``;``. Besides SQL, the
-shell understands a few backslash commands:
+emp/dept example data, ``--stats`` to print the optimizer's search
+counters after every statement). Statements end with ``;``. Besides
+SQL, the shell understands a few backslash commands:
 
 =============== ====================================================
 ``\\d``          list tables and views
@@ -68,10 +69,12 @@ class Shell:
         self,
         database: Optional[Database] = None,
         out: TextIO = sys.stdout,
+        show_stats: bool = False,
     ):
         self.db = database or Database()
         self.out = out
         self.optimizer = "full"
+        self.show_stats = show_stats
 
     def write(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -124,6 +127,7 @@ class Shell:
             )
             self.write(result.explain())
             self.write(f"estimated cost: {result.estimated_cost:.0f} page IOs")
+            self._write_stats(result)
             return True
         if command == "\\analyze":
             result = self.db.query(argument, optimizer=self.optimizer)
@@ -162,6 +166,21 @@ class Shell:
             f"[{self.optimizer}] estimated {result.estimated_cost:.0f} / "
             f"executed {result.executed_io.total} page IOs"
         )
+        self._write_stats(result)
+
+    def _write_stats(self, result) -> None:
+        """Print every search counter (``--stats``). The field list comes
+        from ``SearchStats.as_dict()``, so new counters show up here
+        without touching the shell."""
+        if not self.show_stats:
+            return
+        parts = []
+        for name, value in result.optimization.stats.as_dict().items():
+            if isinstance(value, float):
+                parts.append(f"{name}={value:.6f}")
+            else:
+                parts.append(f"{name}={value}")
+        self.write("stats: " + " ".join(parts))
 
     def _list_relations(self) -> None:
         tables = self.db.catalog.table_names()
@@ -242,12 +261,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro``; ``--demo`` preloads emp/dept."""
     argv = list(sys.argv[1:] if argv is None else argv)
     database = None
+    show_stats = False
     if "--demo" in argv:
         argv.remove("--demo")
         database = make_demo_database()
+    if "--stats" in argv:
+        argv.remove("--stats")
+        show_stats = True
     if argv:
         print(f"unknown arguments: {argv}", file=sys.stderr)
-        print("usage: python -m repro [--demo]", file=sys.stderr)
+        print("usage: python -m repro [--demo] [--stats]", file=sys.stderr)
         return 2
-    Shell(database).run(sys.stdin)
+    Shell(database, show_stats=show_stats).run(sys.stdin)
     return 0

@@ -9,7 +9,7 @@ V(b))`` for equi-joins, and configurable defaults elsewhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..algebra.expressions import (
@@ -46,7 +46,11 @@ class ColMeta:
 
     def clamped(self, rows: float) -> "ColMeta":
         """Distinct values can never exceed the row count."""
-        return replace(self, ndv=max(1.0, min(self.ndv, rows)))
+        if 1.0 <= self.ndv <= rows:
+            return self
+        return ColMeta(
+            max(1.0, min(self.ndv, rows)), self.min_value, self.max_value
+        )
 
 
 ColMetaMap = Dict[FieldKey, ColMeta]

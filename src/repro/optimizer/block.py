@@ -20,12 +20,22 @@ transformations fall out of one mechanism.
 Blocks are optimized over *leaves*: base tables or derived relations
 (pre-optimized view plans), which is how the two-phase algorithms of
 Sections 5.3/5.4 reuse this module for both phases.
+
+Search-space engineering (see ``joingraph.py``): the DP is keyed on
+integer bitsets over a precomputed :class:`~.joingraph.JoinGraph`, and
+by default (``enumeration="graph"``) materializes only *connected*
+subsets — the classic DPsize restriction. Cross-product plans are
+still produced for disconnected join graphs via the exhaustive
+fallback, and ``enumeration="exhaustive"`` forces the seed's full
+2ⁿ-subset walk (the parity/benchmark reference). Predicate
+classification per (subset, joined alias) and leaf access-path plans
+are memoized so each is computed once, not once per candidate join.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from ..algebra.aggregates import AggregateCall
@@ -51,8 +61,19 @@ from ..cost.model import CostModel
 from ..cost.params import CostParams
 from ..errors import PlanError
 from ..transforms.coalescing import DecomposedAggregates, decompose_aggregates
+from .joingraph import JoinGraph
 from .options import OptimizerOptions
 from .stats import SearchStats
+
+ENUMERATIONS = ("graph", "exhaustive")
+"""DP subset enumeration strategies.
+
+- ``"graph"`` (default) — connected subsets only, via the bitset join
+  graph; falls back to the exhaustive walk when the block's join graph
+  is disconnected (cross products required).
+- ``"exhaustive"`` — every subset, the seed enumerator's search space;
+  kept as the parity reference and benchmark baseline.
+"""
 
 
 @dataclass(frozen=True)
@@ -96,7 +117,8 @@ class _Entry:
 
 
 class BlockOptimizer:
-    """Optimizes one block; reusable across blocks (stats accumulate)."""
+    """Optimizes one block; reusable across blocks (stats accumulate,
+    and identical base-leaf access paths are planned once)."""
 
     def __init__(
         self,
@@ -105,15 +127,30 @@ class BlockOptimizer:
         options: Optional[OptimizerOptions] = None,
         mode: str = "greedy",
         stats: Optional[SearchStats] = None,
+        enumeration: str = "graph",
     ):
         if mode not in ("greedy", "traditional"):
             raise PlanError(f"unknown optimizer mode {mode!r}")
+        if enumeration not in ENUMERATIONS:
+            raise PlanError(
+                f"unknown enumeration {enumeration!r} "
+                f"(choose from {ENUMERATIONS})"
+            )
         self.catalog = catalog
         self.params = params or CostParams()
         self.options = options or OptimizerOptions()
         self.mode = mode
+        self.enumeration = enumeration
         self.stats = stats if stats is not None else SearchStats()
         self.model = CostModel(catalog, self.params)
+        # Annotated access-path plans for identical base-table leaves,
+        # shared across every block this optimizer touches (the shared
+        # DP of Section 5.3 re-plans the same scans for every request
+        # otherwise).
+        self._leaf_plan_cache: Dict[
+            Tuple[str, str, Tuple[Expression, ...], Tuple[str, ...], bool],
+            List[PlanNode],
+        ] = {}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -200,11 +237,23 @@ class BlockOptimizer:
             tuple(base_select),
             extra_needed=frozenset(extra_needed),
         )
+        graph = context.graph
         table = self._dp_table(context)
 
+        # A request's subset is normally connected (it joins the view's
+        # invariant core to a predicate-connected pull-up set), but the
+        # connected-only enumeration offers no such guarantee in
+        # general: re-run exhaustively rather than fail.
+        if any(
+            self._request_mask(graph, subset) not in table
+            for _, subset, _, _ in requests
+        ):
+            table = self._dp_table(context, force_exhaustive=True)
+
+        started = perf_counter()
         results: Dict[object, PlanNode] = {}
         for key, subset, spec, select in requests:
-            entries = table.get(frozenset(subset))
+            entries = table.get(self._request_mask(graph, subset))
             if not entries:
                 raise PlanError(
                     f"shared DP produced no plan for subset {sorted(subset)}"
@@ -218,7 +267,17 @@ class BlockOptimizer:
                         best = candidate
             assert best is not None
             results[key] = best
+        self.stats.add_time("finalize", perf_counter() - started)
         return results
+
+    @staticmethod
+    def _request_mask(graph: JoinGraph, subset: FrozenSet[str]) -> int:
+        mask = graph.strict_mask_of(subset)
+        if mask is None or mask == 0:
+            raise PlanError(
+                f"shared DP request over unknown aliases {sorted(subset)}"
+            )
+        return mask
 
     # ------------------------------------------------------------------
     # DP over subsets
@@ -226,56 +285,81 @@ class BlockOptimizer:
 
     def _run_dp(self, context: "_BlockContext") -> List[_Entry]:
         table = self._dp_table(context)
-        full = table.get(frozenset(leaf.alias for leaf in context.leaves))
+        full = table.get(context.graph.all_mask)
         if not full:
             raise PlanError("the DP produced no plan for the full block")
         return full
 
     def _dp_table(
-        self, context: "_BlockContext"
-    ) -> Dict[FrozenSet[str], List[_Entry]]:
-        table: Dict[FrozenSet[str], List[_Entry]] = {}
+        self, context: "_BlockContext", force_exhaustive: bool = False
+    ) -> Dict[int, List[_Entry]]:
+        graph = context.graph
+        started = perf_counter()
+        table: Dict[int, List[_Entry]] = {}
         for leaf in context.leaves:
             plans = context.leaf_plans(leaf)
-            table[frozenset({leaf.alias})] = self._prune(
+            table[graph.mask_of_alias[leaf.alias]] = self._prune(
                 context, [_Entry(plan, False) for plan in plans]
             )
+        self.stats.add_time("leaf_plans", perf_counter() - started)
 
-        all_aliases = [leaf.alias for leaf in context.leaves]
-        for size in range(2, len(all_aliases) + 1):
-            for combo in itertools.combinations(sorted(all_aliases), size):
-                subset = frozenset(combo)
-                candidates = self._expand_subset(context, table, subset)
-                if candidates:
-                    self.stats.subsets_expanded += 1
-                    table[subset] = self._prune(context, candidates)
+        started = perf_counter()
+        # Connected-only enumeration is sound only when the whole block
+        # is one component; a disconnected join graph needs the seed's
+        # cross-product extensions, i.e. the exhaustive walk.
+        use_graph = (
+            self.enumeration == "graph"
+            and not force_exhaustive
+            and graph.component_count() <= 1
+        )
+        subsets = (
+            graph.connected_subsets() if use_graph else graph.all_subsets()
+        )
+        visited = 0
+        for subset in subsets:
+            visited += 1
+            candidates = self._expand_subset(context, table, subset)
+            if candidates:
+                self.stats.subsets_expanded += 1
+                table[subset] = self._prune(context, candidates)
+        if use_graph:
+            leaf_count = len(graph.aliases)
+            total = (1 << leaf_count) - 1 - leaf_count
+            self.stats.connected_subsets_skipped += total - visited
+        self.stats.add_time("dp", perf_counter() - started)
         return table
 
     def _expand_subset(
         self,
         context: "_BlockContext",
-        table: Dict[FrozenSet[str], List[_Entry]],
-        subset: FrozenSet[str],
+        table: Dict[int, List[_Entry]],
+        subset_mask: int,
     ) -> List[_Entry]:
-        pairs: List[Tuple[FrozenSet[str], str, bool]] = []
-        for alias in sorted(subset):
-            remainder = subset - {alias}
+        graph = context.graph
+        pairs: List[Tuple[int, int, bool]] = []
+        for bit in graph.iter_bits(subset_mask):
+            remainder = subset_mask & ~bit
             if remainder not in table:
                 continue
-            connected = context.connected(remainder, alias)
-            pairs.append((remainder, alias, connected))
+            pairs.append((remainder, bit, graph.connects(remainder, bit)))
         if not pairs:
+            # No remainder has a DP entry (possible once only connected
+            # subsets are materialized): skip cleanly — this subset is
+            # neither expanded nor counted.
             return []
         if any(connected for _, _, connected in pairs):
             pairs = [pair for pair in pairs if pair[2]]
 
         candidates: List[_Entry] = []
-        for remainder, alias, _ in pairs:
+        for remainder, bit, _ in pairs:
+            alias = graph.aliases[bit.bit_length() - 1]
+            right_plans = context.leaf_plans(context.leaf(alias))
             for left_entry in table[remainder]:
-                for right_plan in context.leaf_plans(context.leaf(alias)):
+                for right_plan in right_plans:
                     candidates.extend(
                         self._extend(
-                            context, left_entry, remainder, right_plan, alias
+                            context, left_entry, remainder, right_plan,
+                            alias, bit,
                         )
                     )
         return candidates
@@ -284,16 +368,17 @@ class BlockOptimizer:
         self,
         context: "_BlockContext",
         left_entry: _Entry,
-        left_aliases: FrozenSet[str],
+        left_mask: int,
         right_plan: PlanNode,
         right_alias: str,
+        right_bit: int,
     ) -> List[_Entry]:
         """The greedy conservative step: plan (1) join as-is, plan (2)
         join with an early group-by; keep (2) only if cheaper and no
         wider (Section 5.2)."""
-        subset = left_aliases | {right_alias}
         plan1 = self._joinplans(
-            context, left_entry.plan, left_aliases, right_plan, right_alias
+            context, left_entry.plan, left_mask, right_plan,
+            right_alias, right_bit,
         )
         entries1 = [_Entry(plan, left_entry.grouped) for plan in plan1]
 
@@ -304,26 +389,27 @@ class BlockOptimizer:
         ):
             return entries1
 
-        early_side = context.early_side(left_entry, left_aliases, right_alias)
+        early_side = context.early_side(left_entry, left_mask, right_bit)
         if early_side is None:
             return entries1
         self.stats.early_groupby_considered += 1
 
         if early_side == "left":
             early = context.early_group(
-                left_entry.plan, left_aliases, left_entry.grouped
+                left_entry.plan, left_mask, left_entry.grouped
             )
             if early is None:
                 return entries1
             plan2 = self._joinplans(
-                context, early, left_aliases, right_plan, right_alias
+                context, early, left_mask, right_plan, right_alias, right_bit
             )
         else:
-            early = context.early_group(right_plan, {right_alias}, False)
+            early = context.early_group(right_plan, right_bit, False)
             if early is None:
                 return entries1
             plan2 = self._joinplans(
-                context, left_entry.plan, left_aliases, early, right_alias
+                context, left_entry.plan, left_mask, early,
+                right_alias, right_bit,
             )
         entries2 = [_Entry(plan, True) for plan in plan2]
         if not entries2:
@@ -351,15 +437,17 @@ class BlockOptimizer:
         self,
         context: "_BlockContext",
         left_plan: PlanNode,
-        left_aliases: FrozenSet[str],
+        left_mask: int,
         right_plan: PlanNode,
         right_alias: str,
+        right_bit: int,
     ) -> List[PlanNode]:
-        subset = left_aliases | {right_alias}
         equi, residuals = context.join_predicates(
-            left_plan, left_aliases, right_plan, right_alias
+            left_plan, left_mask, right_plan, right_alias, right_bit
         )
-        projection = context.join_projection(left_plan, right_plan, subset)
+        projection = context.join_projection(
+            left_plan, right_plan, left_mask | right_bit
+        )
 
         methods: List[Tuple[str, Optional[str]]] = []
         if equi:
@@ -398,12 +486,14 @@ class BlockOptimizer:
     def _finalize(
         self, context: "_BlockContext", entries: List[_Entry]
     ) -> PlanNode:
+        started = perf_counter()
         best: Optional[PlanNode] = None
         for entry in entries:
             for candidate in context.final_plans(entry):
                 if best is None or candidate.props.cost < best.props.cost:
                     best = candidate
         assert best is not None
+        self.stats.add_time("finalize", perf_counter() - started)
         return best
 
     # ------------------------------------------------------------------
@@ -431,9 +521,18 @@ class BlockOptimizer:
         return pruned
 
 
+# A cached predicate-classification step: either an oriented equijoin
+# candidate ("equi", left_key, right_key, predicate) still subject to
+# the per-plan schema check, or a definite residual ("res", None, None,
+# predicate). Steps keep the original predicate order so residual
+# tuples come out byte-identical to the seed's.
+_SplitStep = Tuple[str, Optional[FieldKey], Optional[FieldKey], Expression]
+
+
 class _BlockContext:
-    """Per-block precomputation: needed columns, leaf plan variants,
-    connectivity, early-grouping construction, finalization."""
+    """Per-block precomputation: the bitset join graph, needed columns,
+    leaf plan variants, connectivity, early-grouping construction,
+    finalization."""
 
     def __init__(
         self,
@@ -455,6 +554,17 @@ class _BlockContext:
         self._leaf_by_alias = {leaf.alias: leaf for leaf in leaves}
         self._leaf_plan_cache: Dict[str, List[PlanNode]] = {}
 
+        self.graph = JoinGraph(self._leaf_by_alias, predicates)
+        # (predicate, strict mask): mask is None when the predicate
+        # references an alias outside this block (never placeable, its
+        # columns always pending), 0 when it references no alias.
+        self._pred_info: Tuple[Tuple[Expression, Optional[int]], ...] = tuple(
+            (predicate, self.graph.strict_mask_of(predicate.aliases()))
+            for predicate in predicates
+        )
+        self._split_cache: Dict[Tuple[int, int], List[_SplitStep]] = {}
+        self._pending_cache: Dict[int, FrozenSet[FieldKey]] = {}
+
         self.decomposed: Optional[DecomposedAggregates] = None
         if spec is not None and optimizer.options.enable_pushdown:
             self.decomposed = decompose_aggregates(spec.aggregates)
@@ -464,6 +574,11 @@ class _BlockContext:
             for _, call in spec.aggregates:
                 aliases |= call.aliases()
             self.agg_arg_aliases = frozenset(aliases)
+        # None when an aggregate references a foreign alias: then no
+        # side can ever contain all aggregate arguments.
+        self.agg_arg_mask: Optional[int] = self.graph.strict_mask_of(
+            self.agg_arg_aliases
+        )
 
         # Base columns needed anywhere in the block.
         needed: Set[FieldKey] = set()
@@ -515,10 +630,11 @@ class _BlockContext:
         return plans
 
     def _local_predicates(self, alias: str) -> Tuple[Expression, ...]:
+        alias_bit = self.graph.mask_of_alias[alias]
         return tuple(
             predicate
-            for predicate in self.predicates
-            if predicate.aliases() == {alias}
+            for predicate, mask in self._pred_info
+            if mask == alias_bit
         )
 
     def _derived_leaf_plan(self, leaf: DerivedLeaf) -> PlanNode:
@@ -532,17 +648,29 @@ class _BlockContext:
         return plan
 
     def _base_leaf_plans(self, leaf: BaseLeaf) -> List[PlanNode]:
-        table = self.catalog.table(leaf.ref.table)
         alias = leaf.alias
         local = self._local_predicates(alias)
-        wanted = sorted(
-            {
-                key[1]
-                for key in self.needed
-                if key[0] == alias and key[1] != RID_COLUMN
-            }
+        wanted = tuple(
+            sorted(
+                {
+                    key[1]
+                    for key in self.needed
+                    if key[0] == alias and key[1] != RID_COLUMN
+                }
+            )
         )
         include_rid = (alias, RID_COLUMN) in self.needed
+
+        # Identical scans (same table, alias, filters, projection) recur
+        # across the shared DP's requests and the combination loop; plan
+        # and annotate them once per optimizer.
+        cache_key = (leaf.ref.table, alias, local, wanted, include_rid)
+        shared = self.optimizer._leaf_plan_cache.get(cache_key)
+        if shared is not None:
+            self.optimizer.stats.view_plans_reused += 1
+            return shared
+
+        table = self.catalog.table(leaf.ref.table)
         column_types = {column.name: column.dtype for column in table.columns}
         fields = [
             Field(alias, name, column_types[name])
@@ -589,68 +717,99 @@ class _BlockContext:
                 )
                 self.model.annotate(scan)
                 plans.append(scan)
+        self.optimizer._leaf_plan_cache[cache_key] = plans
         return plans
 
     # ------------------------------------------------------------------
     # Predicates / connectivity
     # ------------------------------------------------------------------
 
-    def connected(self, left: FrozenSet[str], alias: str) -> bool:
-        for predicate in self.predicates:
-            aliases = predicate.aliases()
-            if (
-                alias in aliases
-                and aliases & left
-                and aliases <= left | {alias}
-            ):
-                return True
-        return False
+    def _split_predicates(
+        self, left_mask: int, right_bit: int, right_alias: str
+    ) -> List[_SplitStep]:
+        """Classify every predicate for the join (left_mask ⋈
+        right_alias), memoized per (subset, alias) — the classification
+        depends only on the masks, never on the physical plans."""
+        key = (left_mask, right_bit)
+        cached = self._split_cache.get(key)
+        if cached is not None:
+            self.optimizer.stats.predicate_split_cache_hits += 1
+            return cached
 
-    def join_predicates(
-        self,
-        left_plan: PlanNode,
-        left_aliases: FrozenSet[str],
-        right_plan: PlanNode,
-        right_alias: str,
-    ) -> Tuple[
-        List[Tuple[FieldKey, FieldKey]], List[Expression]
-    ]:
-        subset = left_aliases | {right_alias}
-        equi: List[Tuple[FieldKey, FieldKey]] = []
-        residuals: List[Expression] = []
-        for predicate in self.predicates:
-            aliases = predicate.aliases()
-            if not aliases or aliases == {right_alias}:
+        subset = left_mask | right_bit
+        steps: List[_SplitStep] = []
+        for predicate, mask in self._pred_info:
+            if mask is None or mask == 0 or mask == right_bit:
                 continue
-            if right_alias not in aliases or not aliases <= subset:
+            if not (mask & right_bit) or mask & ~subset:
                 continue
             sides = equijoin_sides(predicate)
             if sides is not None:
                 left_key, right_key = sides
                 if right_key[0] != right_alias:
                     left_key, right_key = right_key, left_key
+                left_alias_bit = (
+                    self.graph.mask_of_alias.get(left_key[0])
+                    if left_key[0] is not None
+                    else None
+                )
                 if (
                     right_key[0] == right_alias
-                    and left_key[0] in left_aliases
-                    and left_plan.schema.has(*left_key)
-                    and right_plan.schema.has(*right_key)
+                    and left_alias_bit is not None
+                    and left_alias_bit & left_mask
                 ):
-                    equi.append((left_key, right_key))
+                    steps.append(("equi", left_key, right_key, predicate))
                     continue
-            residuals.append(predicate)
+            steps.append(("res", None, None, predicate))
+        self._split_cache[key] = steps
+        return steps
+
+    def join_predicates(
+        self,
+        left_plan: PlanNode,
+        left_mask: int,
+        right_plan: PlanNode,
+        right_alias: str,
+        right_bit: int,
+    ) -> Tuple[
+        List[Tuple[FieldKey, FieldKey]], List[Expression]
+    ]:
+        equi: List[Tuple[FieldKey, FieldKey]] = []
+        residuals: List[Expression] = []
+        for kind, left_key, right_key, predicate in self._split_predicates(
+            left_mask, right_bit, right_alias
+        ):
+            if (
+                kind == "equi"
+                and left_plan.schema.has(*left_key)
+                and right_plan.schema.has(*right_key)
+            ):
+                equi.append((left_key, right_key))
+            else:
+                residuals.append(predicate)
         return equi, residuals
+
+    def pending_columns(self, subset_mask: int) -> FrozenSet[FieldKey]:
+        """Columns of predicates not yet fully applicable within
+        *subset_mask* — they must survive projections. Memoized."""
+        cached = self._pending_cache.get(subset_mask)
+        if cached is not None:
+            return cached
+        pending: Set[FieldKey] = set()
+        for predicate, mask in self._pred_info:
+            if mask is None or mask & ~subset_mask:
+                pending |= set(predicate.columns())
+        result = frozenset(pending)
+        self._pending_cache[subset_mask] = result
+        return result
 
     def join_projection(
         self,
         left_plan: PlanNode,
         right_plan: PlanNode,
-        subset: FrozenSet[str],
+        subset_mask: int,
     ) -> List[FieldKey]:
-        pending: Set[FieldKey] = set()
-        for predicate in self.predicates:
-            if not predicate.aliases() <= subset:
-                pending |= set(predicate.columns())
-        keep = self.needed | pending
+        keep = self.needed | self.pending_columns(subset_mask)
         combined = left_plan.schema.concat(right_plan.schema)
         projection = [
             field.key
@@ -705,8 +864,8 @@ class _BlockContext:
     def early_side(
         self,
         left_entry: _Entry,
-        left_aliases: FrozenSet[str],
-        right_alias: str,
+        left_mask: int,
+        right_bit: int,
     ) -> Optional[str]:
         """Which side an early group-by may be applied to — the side
         holding all aggregate arguments (one-sided, per the paper)."""
@@ -714,29 +873,27 @@ class _BlockContext:
             return None
         if not self.agg_arg_aliases:
             return "left"  # COUNT(*)-style: either side; prefer the prefix
-        if self.agg_arg_aliases <= left_aliases:
+        if self.agg_arg_mask is None:
+            return None
+        if not (self.agg_arg_mask & ~left_mask):
             return "left"
-        if self.agg_arg_aliases <= {right_alias} and not left_entry.grouped:
+        if not (self.agg_arg_mask & ~right_bit) and not left_entry.grouped:
             return "right"
         return None
 
     def early_group(
         self,
         plan: PlanNode,
-        aliases: Union[FrozenSet[str], Set[str]],
+        subset_mask: int,
         already_grouped: bool,
     ) -> Optional[PlanNode]:
         """Wrap *plan* in an early (partial) group-by, or None when no
         sound grouping keys exist."""
         assert self.decomposed is not None
-        pending: Set[FieldKey] = set()
-        for predicate in self.predicates:
-            if not predicate.aliases() <= aliases:
-                pending |= set(predicate.columns())
         # grouping keys = everything still needed above this point:
         # pending predicate columns, the final grouping columns, output
         # columns, and any columns shared finalizations ask for
-        keep = set(self.extra_needed) | pending
+        keep = set(self.extra_needed) | self.pending_columns(subset_mask)
         if self.spec is not None:
             keep |= set(self.spec.group_keys)
         for _, source in self.select:

@@ -39,6 +39,7 @@ from ..transforms.invariant import split_view
 from ..transforms.propagate import propagate_predicates
 from ..transforms.pullup import pull_up
 from .block import BaseLeaf, BlockOptimizer, DerivedLeaf, GroupingSpec, Leaf
+from .joingraph import JoinGraph
 from .options import OptimizerOptions
 from .stats import SearchStats
 
@@ -223,27 +224,43 @@ def optimize_query(
         candidates[view.alias] = sets
         stats.pullup_sets_enumerated += len(sets)
 
-    # Step 3: consistent combinations.
+    # Step 3: consistent combinations. Disjointness of the pull-up
+    # sets is checked over bitmasks (one bit per base table), so each
+    # combination costs a couple of integer ops instead of building
+    # alias sets.
     view_aliases = [view.alias for view in working.views]
     combos: List[Dict[str, Tuple[str, ...]]] = []
     truncated = 0
     if view_aliases:
-        for choice in itertools.product(
-            *(candidates[alias] for alias in view_aliases)
-        ):
-            used: Set[str] = set()
+        combo_graph = JoinGraph(
+            (ref.alias for ref in working.base_tables), working.predicates
+        )
+        choice_lists = [
+            [
+                (pulled, combo_graph.mask_of(pulled))
+                for pulled in candidates[alias]
+            ]
+            for alias in view_aliases
+        ]
+        for choice in itertools.product(*choice_lists):
+            used = 0
             consistent = True
-            for pulled in choice:
-                if used & set(pulled):
+            for _, mask in choice:
+                if used & mask:
                     consistent = False
                     break
-                used |= set(pulled)
+                used |= mask
             if not consistent:
                 continue
             if len(combos) >= options.max_combinations:
                 truncated += 1
                 continue
-            combos.append(dict(zip(view_aliases, choice)))
+            combos.append(
+                {
+                    alias: pulled
+                    for alias, (pulled, _) in zip(view_aliases, choice)
+                }
+            )
     else:
         combos.append({})
     stats.combinations_enumerated += len(combos)
@@ -403,26 +420,38 @@ def _pullup_candidates(
         return sets
 
     # Connectivity: a candidate W must be connected to the view through
-    # predicates among W ∪ {view}.
-    def neighbors(core: FrozenSet[str]) -> Set[str]:
-        found: Set[str] = set()
-        scope = core | {view_alias}
-        for predicate in query.predicates:
-            aliases = predicate.aliases()
-            if aliases & scope:
-                found |= aliases & set(base_aliases)
-        return found - core
+    # predicates among W ∪ {view}. The BFS runs over the bitset join
+    # graph of base tables plus the view. Edges come from the
+    # *tolerant* per-predicate masks — a predicate may also mention
+    # other views without that stopping it from connecting base tables
+    # here — and bits are assigned in sorted-alias order, so low-to-high
+    # bit iteration preserves the original enumeration (and therefore
+    # tie-breaking) order.
+    graph = JoinGraph([*base_aliases, view_alias], query.predicates)
+    base_mask = graph.mask_of(base_aliases)
+    view_mask = graph.mask_of_alias[view_alias]
+    edge_masks = [
+        mask for mask in graph.pred_masks if mask.bit_count() >= 2
+    ]
 
-    frontier: List[FrozenSet[str]] = [frozenset()]
-    seen: Set[FrozenSet[str]] = {frozenset()}
+    def neighbors(core_mask: int) -> int:
+        scope = core_mask | view_mask
+        found = 0
+        for mask in edge_masks:
+            if mask & scope:
+                found |= mask
+        return found & base_mask & ~core_mask
+
+    frontier: List[int] = [0]
+    seen: Set[int] = {0}
     for _ in range(options.k_level):
-        next_frontier: List[FrozenSet[str]] = []
+        next_frontier: List[int] = []
         for current in frontier:
-            for alias in sorted(neighbors(current)):
-                grown = current | {alias}
+            for bit in graph.iter_bits(neighbors(current)):
+                grown = current | bit
                 if grown not in seen:
                     seen.add(grown)
-                    sets.append(tuple(sorted(grown)))
+                    sets.append(graph.aliases_of(grown))
                     next_frontier.append(grown)
         frontier = next_frontier
     return sets

@@ -14,13 +14,22 @@
 
 from .empdept import EmpDeptConfig, build_empdept
 from .tpcdlike import TpcdConfig, build_tpcd_like
-from .generator import RandomQueryConfig, random_queries
+from .generator import (
+    JoinWorkload,
+    JoinWorkloadConfig,
+    RandomQueryConfig,
+    build_join_workload,
+    random_queries,
+)
 
 __all__ = [
     "EmpDeptConfig",
     "build_empdept",
     "TpcdConfig",
     "build_tpcd_like",
+    "JoinWorkload",
+    "JoinWorkloadConfig",
     "RandomQueryConfig",
+    "build_join_workload",
     "random_queries",
 ]

@@ -21,6 +21,131 @@ from ..db import Database
 
 
 @dataclass(frozen=True)
+class JoinWorkloadConfig:
+    """Shape of a synthetic single-block join workload."""
+
+    topology: str = "chain"  # chain | star | clique | disconnected
+    leaves: int = 6
+    seed: int = 0
+    rows_base: int = 600
+    # A large key domain makes the equijoins selective, so connected
+    # join orders strictly dominate cross products and equal-cost plan
+    # ties are rare.
+    jk_domain: int = 1000
+    # Smaller than most tables, so hash builds spill and sorts go
+    # external: plan costs then depend on the join order.
+    memory_pages: int = 4
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """A single-block join workload for the DP enumerators.
+
+    Everything :meth:`BlockOptimizer.optimize_block` needs, without
+    this module importing the optimizer: callers build the
+    ``GroupingSpec`` from ``group_keys``/``aggregates`` themselves.
+    """
+
+    db: Database
+    relations: Tuple[TableRef, ...]
+    predicates: Tuple[Expression, ...]
+    group_keys: Tuple[Tuple[str, str], ...]
+    aggregates: Tuple[Tuple[str, AggregateCall], ...]
+    select: Tuple[Tuple[str, Expression], ...]
+
+
+def _topology_edges(topology: str, leaves: int) -> List[Tuple[int, int]]:
+    if topology == "chain":
+        return [(i, i + 1) for i in range(leaves - 1)]
+    if topology == "star":
+        return [(0, i) for i in range(1, leaves)]
+    if topology == "clique":
+        return [
+            (i, j) for i in range(leaves) for j in range(i + 1, leaves)
+        ]
+    if topology == "disconnected":
+        # two independent chains (an optimizer must cross-product them)
+        half = max(1, leaves // 2)
+        edges = [(i, i + 1) for i in range(half - 1)]
+        edges += [(i, i + 1) for i in range(half, leaves - 1)]
+        return edges
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def build_join_workload(
+    config: Optional[JoinWorkloadConfig] = None,
+) -> JoinWorkload:
+    """A fresh database of *leaves* relations wired as a chain, star,
+    clique, or disconnected pair of chains, plus the single-block query
+    joining them (grouped on the first relation's join key).
+
+    Relation sizes grow with the position index so plan costs are
+    non-degenerate: distinct join orders get distinct costs, which
+    keeps the enumerator parity tests meaningful (ties would let two
+    correct enumerators pick different equal-cost shapes).
+    """
+    config = config or JoinWorkloadConfig()
+    if config.leaves < 2:
+        raise ValueError("a join workload needs at least two relations")
+    rng = random.Random(config.seed)
+    db = Database(CostParams(memory_pages=config.memory_pages))
+    aliases = [f"r{i}" for i in range(config.leaves)]
+    for i in range(config.leaves):
+        table = f"t{i}_{config.seed}"
+        db.create_table(
+            table,
+            [("id", "int"), ("jk", "int"), ("v", "float")],
+            primary_key=["id"],
+        )
+        rows = config.rows_base * (i + 1) + rng.randrange(config.rows_base)
+        db.insert(
+            table,
+            [
+                (
+                    row,
+                    rng.randrange(config.jk_domain),
+                    float(rng.randint(0, 100)),
+                )
+                for row in range(rows)
+            ],
+        )
+    db.analyze()
+
+    relations = tuple(
+        TableRef(f"t{i}_{config.seed}", aliases[i])
+        for i in range(config.leaves)
+    )
+    predicates: List[Expression] = [
+        Comparison(
+            "=",
+            ColumnRef(aliases[i], "jk"),
+            ColumnRef(aliases[j], "jk"),
+        )
+        for i, j in _topology_edges(config.topology, config.leaves)
+    ]
+    # one local predicate so leaf access paths differ from bare scans
+    predicates.append(
+        Comparison(
+            "<", ColumnRef(aliases[-1], "v"), lit(float(rng.randint(40, 80)))
+        )
+    )
+    first = aliases[0]
+    return JoinWorkload(
+        db=db,
+        relations=relations,
+        predicates=tuple(predicates),
+        group_keys=((first, "jk"),),
+        aggregates=(
+            ("total", AggregateCall("sum", ColumnRef(first, "v"))),
+        ),
+        select=(
+            ("jk", ColumnRef(first, "jk")),
+            ("total", ColumnRef(None, "total")),
+        ),
+    )
+
+
+@dataclass(frozen=True)
 class RandomQueryConfig:
     """Workload shape for the random generator."""
 

@@ -79,10 +79,35 @@ class TestSearchStats:
             combinations_truncated=9,
             blocks_optimized=10,
             view_plans_reused=11,
+            connected_subsets_skipped=12,
+            predicate_split_cache_hits=13,
+            timings={"dp": 0.5, "finalize": 0.25},
         )
         target = SearchStats()
         target.merge(source)
         assert target == source
+
+    def test_merge_accumulates_timings(self):
+        first = SearchStats()
+        first.add_time("dp", 1.0)
+        second = SearchStats()
+        second.add_time("dp", 0.5)
+        second.add_time("leaf_plans", 0.25)
+        first.merge(second)
+        assert first.timings == {"dp": 1.5, "leaf_plans": 0.25}
+
+    def test_as_dict_covers_every_field_and_flattens_timings(self):
+        stats = SearchStats(joinplan_calls=4, connected_subsets_skipped=9)
+        stats.add_time("dp", 0.125)
+        out = stats.as_dict()
+        assert out["joinplan_calls"] == 4
+        assert out["connected_subsets_skipped"] == 9
+        assert out["time_dp_s"] == 0.125
+        assert "timings" not in out
+        from dataclasses import fields
+
+        named = {spec.name for spec in fields(SearchStats)} - {"timings"}
+        assert named <= set(out)
 
     def test_summary_mentions_counters(self):
         stats = SearchStats(joinplan_calls=12, subsets_expanded=3)
