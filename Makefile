@@ -2,7 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-opt examples shell all
+.DEFAULT_GOAL := help
+
+.PHONY: help test bench bench-opt bench-exec bench-exec-smoke examples shell all
+
+help:
+	@echo "repro targets:"
+	@echo "  make test             run the test suite"
+	@echo "  make bench            run pytest-benchmark suites"
+	@echo "  make bench-opt        optimizer scaling -> BENCH_optimizer_scaling.json"
+	@echo "  make bench-exec       executor throughput -> BENCH_executor.json"
+	@echo "  make bench-exec-smoke executor throughput, tiny CI configuration"
+	@echo "  make examples         run the example scripts"
+	@echo "  make shell            interactive SQL shell with demo data"
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +24,12 @@ bench:
 
 bench-opt:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_optimizer_scaling.py --out BENCH_optimizer_scaling.json
+
+bench-exec:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_executor.py --out BENCH_executor.json
+
+bench-exec-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_executor.py --smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,251 @@
+"""Executor throughput — streaming batch pipelines vs the row engine.
+
+Runs optimized plans for chain/star join workloads
+(:func:`build_join_workload`) and a single-table grouped-aggregate
+workload through both executors: the legacy row-at-a-time interpreter
+(``engine.rowexec.execute_plan_rows``, the pre-batching engine kept as
+the differential baseline) and the streaming batch executor
+(``engine.executor.execute_plan``). For every workload the two paths
+must produce byte-identical row lists and charge identical page IO —
+the batching rewrite is a pure execution-speed change — and the
+recorded numbers are wall-clock, rows/second, and the batched/legacy
+speedup.
+
+Run directly (``make bench-exec``) to write ``BENCH_executor.json`` at
+the repository root and print the throughput table; ``--smoke`` runs a
+tiny configuration (used by ``tests/test_batch_engine.py``) so executor
+regressions surface in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+
+import random
+
+from repro.algebra.aggregates import AggregateCall
+from repro.algebra.expressions import ColumnRef
+from repro.algebra.query import TableRef
+from repro.cost.params import CostParams
+from repro.db import Database
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import execute_plan
+from repro.engine.rowexec import execute_plan_rows
+from repro.optimizer.block import BaseLeaf, BlockOptimizer, GroupingSpec
+from repro.workloads import JoinWorkloadConfig, build_join_workload
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+)
+
+
+def _join_plan(topology: str, leaves: int, seed: int = 0):
+    """Optimized plan + database for one join workload."""
+    workload = build_join_workload(
+        JoinWorkloadConfig(topology=topology, leaves=leaves, seed=seed)
+    )
+    optimizer = BlockOptimizer(
+        workload.db.catalog, workload.db.params, mode="traditional"
+    )
+    plan = optimizer.optimize_block(
+        [BaseLeaf(ref) for ref in workload.relations],
+        workload.predicates,
+        GroupingSpec(
+            group_keys=workload.group_keys, aggregates=workload.aggregates
+        ),
+        workload.select,
+    )
+    return plan, workload.db
+
+
+def _grouped_plan(rows: int, groups: int, seed: int = 0):
+    """Optimized single-table grouped-aggregate plan + database."""
+    rng = random.Random(seed)
+    db = Database(CostParams(memory_pages=8))
+    db.create_table(
+        "gagg",
+        [("id", "int"), ("gk", "int"), ("v", "float")],
+        primary_key=["id"],
+    )
+    db.insert(
+        "gagg",
+        [
+            (i, rng.randrange(groups), float(rng.randint(0, 1000)))
+            for i in range(rows)
+        ],
+    )
+    db.analyze()
+    optimizer = BlockOptimizer(db.catalog, db.params, mode="traditional")
+    plan = optimizer.optimize_block(
+        [BaseLeaf(TableRef("gagg", "g"))],
+        (),
+        GroupingSpec(
+            group_keys=(("g", "gk"),),
+            aggregates=(
+                ("total", AggregateCall("sum", ColumnRef("g", "v"))),
+                ("cnt", AggregateCall("count", None)),
+            ),
+        ),
+        (
+            ("gk", ColumnRef("g", "gk")),
+            ("total", ColumnRef(None, "total")),
+            ("cnt", ColumnRef(None, "cnt")),
+        ),
+    )
+    return plan, db
+
+
+def _time_engine(plan, db, runner, repeats: int):
+    """Best-of-*repeats* wall-clock for one executor over one plan.
+
+    Returns (result, io_delta, best_seconds). Every repeat re-executes
+    from scratch; IO deltas are identical across repeats because page
+    charges are deterministic.
+    """
+    best = None
+    result = None
+    delta = None
+    for _ in range(repeats):
+        context = ExecutionContext(db.catalog, db.io, db.params)
+        started = perf_counter()
+        with db.io.measure() as span:
+            result = runner(plan, context)
+        elapsed = perf_counter() - started
+        delta = span.delta
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, delta, best
+
+
+def run_bench(
+    sizes: Sequence[int] = (4, 8),
+    grouped_rows: int = 60_000,
+    grouped_groups: int = 500,
+    repeats: int = 3,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """The full measurement matrix, as a JSON-ready dict.
+
+    Every workload is executed by both engines; rows must be
+    byte-identical (same list, same order) and the page-IO deltas must
+    match read-for-read and write-for-write, or this raises.
+    """
+    workloads = []
+    for topology in ("chain", "star"):
+        for leaves in sizes:
+            plan, db = _join_plan(topology, leaves, seed)
+            workloads.append((f"{topology}-{leaves}", plan, db))
+    plan, db = _grouped_plan(grouped_rows, grouped_groups, seed)
+    workloads.append((f"grouped-agg-{grouped_rows}", plan, db))
+
+    entries: List[Dict[str, object]] = []
+    for name, plan, db in workloads:
+        legacy_result, legacy_io, legacy_seconds = _time_engine(
+            plan, db, execute_plan_rows, repeats
+        )
+        batched_result, batched_io, batched_seconds = _time_engine(
+            plan, db, execute_plan, repeats
+        )
+        if batched_result.rows != legacy_result.rows:
+            raise AssertionError(
+                f"{name}: batched rows differ from legacy rows"
+            )
+        if (
+            batched_io.page_reads != legacy_io.page_reads
+            or batched_io.page_writes != legacy_io.page_writes
+        ):
+            raise AssertionError(
+                f"{name}: IO drift — legacy {legacy_io} vs "
+                f"batched {batched_io}"
+            )
+        rows = len(batched_result.rows)
+        entries.append(
+            {
+                "workload": name,
+                "rows": rows,
+                "page_reads": batched_io.page_reads,
+                "page_writes": batched_io.page_writes,
+                "legacy_seconds": legacy_seconds,
+                "batched_seconds": batched_seconds,
+                "legacy_rows_per_second": rows / max(legacy_seconds, 1e-9),
+                "batched_rows_per_second": rows / max(batched_seconds, 1e-9),
+                "speedup": legacy_seconds / max(batched_seconds, 1e-9),
+            }
+        )
+    return {
+        "config": {
+            "sizes": list(sizes),
+            "grouped_rows": grouped_rows,
+            "grouped_groups": grouped_groups,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "entries": entries,
+    }
+
+
+def _print_table(results: Dict[str, object]) -> None:
+    header = (
+        f"{'workload':<20} {'rows':>8} {'io':>6} "
+        f"{'legacy (s)':>11} {'batched (s)':>12} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in results["entries"]:
+        io_total = entry["page_reads"] + entry["page_writes"]
+        print(
+            f"{entry['workload']:<20} {entry['rows']:>8} {io_total:>6} "
+            f"{entry['legacy_seconds']:>11.4f} "
+            f"{entry['batched_seconds']:>12.4f} "
+            f"{entry['speedup']:>7.2f}x"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per cell"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for CI smoke runs (no JSON written "
+        "unless --out is given explicitly)",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if arguments.smoke:
+        results = run_bench(
+            sizes=(4,), grouped_rows=5_000, grouped_groups=100, repeats=1
+        )
+    else:
+        results = run_bench(repeats=arguments.repeats)
+    if not arguments.smoke or arguments.out != DEFAULT_OUTPUT:
+        arguments.out.write_text(json.dumps(results, indent=1) + "\n")
+        wrote = f"\nwrote {arguments.out}"
+    else:
+        wrote = "\nsmoke mode: no JSON written"
+    _print_table(results)
+    print(wrote)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

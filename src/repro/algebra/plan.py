@@ -30,6 +30,7 @@ class PlanNode:
     def __init__(self) -> None:
         self.props: Any = None  # filled in by the cost annotator
         self.actual_rows: Optional[int] = None  # recorded by the executor
+        self.op_metrics: Any = None  # OperatorMetrics, set by the executor
 
     @property
     def schema(self) -> RowSchema:
@@ -454,7 +455,19 @@ def explain(plan: PlanNode, indent: int = 0, analyze: bool = False) -> str:
             f"cost={props.cost:.0f}]"
         )
     if analyze and plan.actual_rows is not None:
-        line += f"  (actual rows={plan.actual_rows})"
+        line += f"  (actual rows={plan.actual_rows}"
+        metrics = getattr(plan, "op_metrics", None)
+        if metrics is not None:
+            line += (
+                f" batches={metrics.batches}"
+                f" time={metrics.seconds * 1000.0:.2f}ms"
+            )
+            if metrics.spill_reads or metrics.spill_writes:
+                line += (
+                    f" spill={metrics.spill_reads}r/"
+                    f"{metrics.spill_writes}w"
+                )
+        line += ")"
     lines = [line]
     for child in plan.children:
         lines.append(explain(child, indent + 1, analyze))

@@ -169,9 +169,12 @@ class Shell:
         self._write_stats(result)
 
     def _write_stats(self, result) -> None:
-        """Print every search counter (``--stats``). The field list comes
-        from ``SearchStats.as_dict()``, so new counters show up here
-        without touching the shell."""
+        """Print every search counter plus per-operator executor
+        metrics (``--stats``). The search field list comes from
+        ``SearchStats.as_dict()``, so new counters show up here without
+        touching the shell; the executor section comes from
+        ``ExecutionMetrics`` (rows, batches, wall-clock, spill IO per
+        operator)."""
         if not self.show_stats:
             return
         parts = []
@@ -181,6 +184,11 @@ class Shell:
             else:
                 parts.append(f"{name}={value}")
         self.write("stats: " + " ".join(parts))
+        metrics = getattr(result, "exec_metrics", None)
+        if metrics is not None and metrics.operators:
+            self.write("exec:")
+            for line in metrics.lines():
+                self.write("  " + line)
 
     def _list_relations(self) -> None:
         tables = self.db.catalog.table_names()

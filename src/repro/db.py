@@ -31,6 +31,7 @@ from .cost.params import CostParams
 from .datatypes import DataType
 from .engine.context import ExecutionContext, Result
 from .engine.executor import execute_plan
+from .engine.metrics import ExecutionMetrics
 from .engine.reference import evaluate_canonical
 from .errors import CatalogError, ReproError
 from .optimizer.canonical import (
@@ -78,6 +79,7 @@ class QueryResult:
     executed_io: Optional[IOSnapshot]
     optimization: OptimizationResult
     sql: str = ""
+    exec_metrics: Optional[ExecutionMetrics] = None
 
     def explain(self, analyze: bool = False) -> str:
         """The plan as text; ``analyze=True`` adds executed row counts
@@ -243,10 +245,17 @@ class Database:
 
     def execute_plan(self, plan: PlanNode) -> Tuple[Result, IOSnapshot]:
         """Execute an annotated plan, returning rows and its IO delta."""
+        result, delta, _ = self._execute_with_metrics(plan)
+        return result, delta
+
+    def _execute_with_metrics(
+        self, plan: PlanNode
+    ) -> Tuple[Result, IOSnapshot, ExecutionMetrics]:
         context = ExecutionContext(self.catalog, self.io, self.params)
         with self.io.measure() as span:
             result = execute_plan(plan, context)
-        return result, span.delta
+        assert context.metrics is not None  # created by execute_plan
+        return result, span.delta, context.metrics
 
     def query(
         self,
@@ -260,8 +269,9 @@ class Database:
         optimization = self.optimize_bound(bound, optimizer, options)
         plan = optimization.plan
         columns = [field.display() for field in plan.schema]
+        exec_metrics: Optional[ExecutionMetrics] = None
         if execute:
-            result, delta = self.execute_plan(plan)
+            result, delta, exec_metrics = self._execute_with_metrics(plan)
             rows = result.rows
             executed: Optional[IOSnapshot] = delta
         else:
@@ -275,6 +285,7 @@ class Database:
             executed_io=executed,
             optimization=optimization,
             sql=sql,
+            exec_metrics=exec_metrics,
         )
 
     def explain(self, sql: str, optimizer: str = "full") -> str:

@@ -1,19 +1,31 @@
-"""Physical execution: iterator operators, executor, reference evaluator.
+"""Physical execution: streaming batch pipelines, executor, reference
+evaluator, and the legacy row-at-a-time baseline.
 
 Plans produced by the optimizer (or built by hand) execute against the
 stored tables, charging page IO with exactly the formulas the cost model
 estimates with — spills, rescans, and materializations included — so a
-benchmark can put estimated IO and executed IO side by side.
+benchmark can put estimated IO and executed IO side by side. The batch
+executor (:func:`execute_plan`) is the production path; the legacy
+interpreter (:func:`execute_plan_rows`) is kept as the differential and
+performance baseline, and :mod:`repro.engine.reference` remains the
+optimizer-free ground truth.
 """
 
+from .batch import DEFAULT_BATCH_SIZE
 from .context import ExecutionContext, Result
 from .executor import execute_plan
+from .metrics import ExecutionMetrics, OperatorMetrics
 from .reference import evaluate_block, evaluate_canonical, rows_equal_bag
+from .rowexec import execute_plan_rows
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "ExecutionContext",
+    "ExecutionMetrics",
+    "OperatorMetrics",
     "Result",
     "execute_plan",
+    "execute_plan_rows",
     "evaluate_block",
     "evaluate_canonical",
     "rows_equal_bag",

@@ -1,0 +1,105 @@
+"""Shared helpers of the streaming batch pipeline.
+
+Operators exchange *batches* — plain lists of row tuples — through
+generators, so a scan→filter→project (or join→residual→project) chain
+runs as one per-batch loop instead of materializing a full ``Result``
+between operators. The helpers here precompile the per-row work into
+C-speed accessors:
+
+- :func:`projector` turns a position list into an ``itemgetter`` (or
+  ``None`` when the projection is the identity, so callers skip the
+  copy entirely);
+- :func:`keyer` extracts join/group keys, hoisting the single-column
+  case to a scalar so hash probes allocate no key tuple;
+- :func:`tuple_keyer` always produces tuples (index probes need them).
+
+``DEFAULT_BATCH_SIZE`` is the pipeline's batch-size knob; per-execution
+overrides go through ``ExecutionContext.batch_size``.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+DEFAULT_BATCH_SIZE = 1024
+"""Rows per pipeline batch (see DESIGN.md, "Streaming batch execution")."""
+
+RowBatch = List[Tuple[Any, ...]]
+
+
+def projector(
+    positions: Sequence[int], source_width: int
+) -> Optional[Callable[[Tuple[Any, ...]], Tuple[Any, ...]]]:
+    """A compiled projection, or ``None`` for the identity projection.
+
+    ``None`` lets callers skip the per-row copy when an operator's
+    projection keeps every source column in order (common for scans
+    that output the full table row).
+    """
+    positions = list(positions)
+    if positions == list(range(source_width)):
+        return None
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
+
+
+def keyer(positions: Sequence[int]) -> Callable[[Tuple[Any, ...]], Any]:
+    """A compiled key extractor; single-column keys become scalars so
+    dictionary probes and sort keys allocate no tuple per row."""
+    positions = list(positions)
+    if len(positions) == 1:
+        return itemgetter(positions[0])
+    return itemgetter(*positions)
+
+
+def tuple_keyer(
+    positions: Sequence[int],
+) -> Callable[[Tuple[Any, ...]], Tuple[Any, ...]]:
+    """Like :func:`keyer` but always yields a tuple (index probe keys)."""
+    positions = list(positions)
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
+
+
+def filtered(batch: RowBatch, checks) -> RowBatch:
+    """Apply bound predicate conjuncts to one batch."""
+    if not checks:
+        return batch
+    if len(checks) == 1:
+        check = checks[0]
+        return [row for row in batch if check(row)]
+    return [row for row in batch if all(check(row) for check in checks)]
+
+
+class BatchBuilder:
+    """Accumulates rows and hands out full batches.
+
+    Producers ``extend``/``append`` rows and yield :meth:`drain` results
+    whenever :meth:`full` says the target size is reached; a final
+    :meth:`drain` flushes the remainder.
+    """
+
+    __slots__ = ("rows", "size")
+
+    def __init__(self, size: int):
+        self.rows: RowBatch = []
+        self.size = size
+
+    def extend(self, rows: RowBatch) -> None:
+        self.rows.extend(rows)
+
+    def append(self, row: Tuple[Any, ...]) -> None:
+        self.rows.append(row)
+
+    @property
+    def full(self) -> bool:
+        return len(self.rows) >= self.size
+
+    def drain(self) -> RowBatch:
+        batch, self.rows = self.rows, []
+        return batch

@@ -3,22 +3,31 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..catalog.catalog import Catalog
 from ..catalog.schema import RowSchema
 from ..cost.params import CostParams
 from ..storage.iocounter import IOCounter
 from ..storage.page import pages_for
+from .batch import DEFAULT_BATCH_SIZE
+from .metrics import ExecutionMetrics
 
 
 @dataclass
 class ExecutionContext:
-    """Everything a physical operator needs: catalog, IO counter, knobs."""
+    """Everything a physical operator needs: catalog, IO counter, knobs.
+
+    ``batch_size`` is the streaming pipeline's rows-per-batch knob;
+    ``metrics`` collects per-operator counters (created by the executor
+    on first use, accumulating if the context is reused).
+    """
 
     catalog: Catalog
     io: IOCounter
     params: CostParams = field(default_factory=CostParams)
+    batch_size: int = DEFAULT_BATCH_SIZE
+    metrics: Optional[ExecutionMetrics] = None
 
 
 @dataclass
@@ -28,10 +37,22 @@ class Result:
     schema: RowSchema
     rows: List[Tuple[Any, ...]]
 
+    def __post_init__(self) -> None:
+        # cached (row_count, pages) pair; pages_for is hot in the join
+        # spill-charging paths, and a Result's width never changes
+        self._pages_cache: Optional[Tuple[int, int]] = None
+
     @property
     def pages(self) -> int:
-        """Pages this result would occupy if spilled/materialized."""
-        return pages_for(len(self.rows), self.schema.width)
+        """Pages this result would occupy if spilled/materialized.
+
+        Cached per row count (appending rows invalidates the cache)."""
+        count = len(self.rows)
+        cached = self._pages_cache
+        if cached is None or cached[0] != count:
+            cached = (count, pages_for(count, self.schema.width))
+            self._pages_cache = cached
+        return cached[1]
 
     def column(self, alias, name) -> List[Any]:
         """Convenience accessor: all values of one output column."""

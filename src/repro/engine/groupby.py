@@ -1,8 +1,16 @@
-"""Execution of group-by (hash and sort-based), sort, and rename."""
+"""Streaming execution of group-by (hash and sort-based), sort, rename,
+and the pipelined operators (filter, project, limit).
+
+The group-by table and the sort buffer are pipeline breakers; filter,
+project, and rename are pure per-batch loops. ``LimitNode`` drains its
+child completely (the legacy executor materialized the child, so the
+child's page IO was always charged in full — the batch path preserves
+that) while emitting only the first N rows.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 from ..algebra.aggregates import Accumulator
 from ..algebra.plan import (
@@ -13,175 +21,299 @@ from ..algebra.plan import (
     RenameNode,
     SortNode,
 )
-from .context import ExecutionContext, Result
+from ..storage.page import pages_for
+from .batch import BatchBuilder, RowBatch, filtered, keyer, projector
+from .context import ExecutionContext
+from .metrics import OperatorMetrics, charge_spill
 from .spill import external_sort_extra_io, hash_group_extra_io
 
 
-def execute_group_by(
+def group_by_batches(
     plan: GroupByNode,
     context: ExecutionContext,
-    run: Callable[..., Result],
-) -> Result:
-    """Group the child's rows (hash or sorted-run) and apply HAVING."""
-    child = run(plan.child, context)
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Group the child's stream (hash or sorted-run) and apply HAVING."""
+    child_batches = run(plan.child)
     child_schema = plan.child.schema
     key_positions = [
         child_schema.index_of(alias, name) for alias, name in plan.group_keys
     ]
+    single_key = len(key_positions) == 1
+    key_of = keyer(key_positions)
     arg_evaluators = [
         call.arg.bind(child_schema) if call.arg is not None else None
         for _, call in plan.aggregates
     ]
     functions = [call.function() for _, call in plan.aggregates]
 
-    if plan.method == "sort":
-        groups = _sorted_groups(child.rows, key_positions, arg_evaluators, functions)
-    else:
-        groups = _hashed_groups(child.rows, key_positions, arg_evaluators, functions)
-        extra = hash_group_extra_io(
-            child.pages,
-            _group_pages(len(groups), plan.internal_schema.width),
-            context.params.memory_pages,
-        )
-        if extra:
-            context.io.write_pages(extra // 2)
-            context.io.read_pages(extra - extra // 2)
-
     internal = plan.internal_schema
     having_checks = [predicate.bind(internal) for predicate in plan.having]
     out_positions = [
         internal.index_of(alias, name) for alias, name in plan.projection
     ]
-    rows: List[Tuple] = []
-    for key, accumulators in groups:
-        internal_row = key + tuple(acc.value() for acc in accumulators)
-        if all(check(internal_row) for check in having_checks):
-            rows.append(tuple(internal_row[p] for p in out_positions))
-    return Result(schema=plan.schema, rows=rows)
+    project = projector(out_positions, len(internal))
+
+    def generate() -> Iterator[RowBatch]:
+        if plan.method == "sort":
+            rows: List[Tuple[Any, ...]] = []
+            for batch in child_batches:
+                rows.extend(batch)
+            metrics.rows_in = len(rows)
+            groups = _sorted_groups(rows, key_of, arg_evaluators, functions)
+        else:
+            groups, child_count = _hashed_groups_streamed(
+                child_batches, key_of, arg_evaluators, functions, metrics
+            )
+            # hash table larger than memory: partition-to-disk charge,
+            # using the child's total pages (known once it is drained)
+            charge_spill(
+                context.io,
+                metrics,
+                hash_group_extra_io(
+                    pages_for(child_count, child_schema.width),
+                    pages_for(len(groups), internal.width),
+                    context.params.memory_pages,
+                ),
+            )
+
+        out = BatchBuilder(context.batch_size)
+        for key, accumulators in groups:
+            key_part = (key,) if single_key else key
+            internal_row = key_part + tuple(
+                accumulator.value() for accumulator in accumulators
+            )
+            if having_checks and not all(
+                check(internal_row) for check in having_checks
+            ):
+                continue
+            out.append(
+                project(internal_row) if project is not None else internal_row
+            )
+            if out.full:
+                yield out.drain()
+        if out.rows:
+            yield out.drain()
+
+    return generate()
 
 
-def _hashed_groups(rows, key_positions, arg_evaluators, functions):
-    table: Dict[Tuple, List[Accumulator]] = {}
-    order: List[Tuple] = []
-    for row in rows:
-        key = tuple(row[p] for p in key_positions)
-        accumulators = table.get(key)
-        if accumulators is None:
-            accumulators = [function.make_accumulator() for function in functions]
-            table[key] = accumulators
-            order.append(key)
-        for accumulator, evaluate in zip(accumulators, arg_evaluators):
-            accumulator.add(evaluate(row) if evaluate is not None else None)
-    return [(key, table[key]) for key in order]
+def _hashed_groups_streamed(
+    child_batches: Iterator[RowBatch],
+    key_of,
+    arg_evaluators,
+    functions,
+    metrics: OperatorMetrics,
+):
+    """Build the group table batch by batch; group order is first-seen
+    (dict insertion order), matching the legacy executor exactly."""
+    table: Dict[Any, List[Accumulator]] = {}
+    lookup = table.get
+    count = 0
+    if len(functions) == 1:
+        # the common single-aggregate shape: no per-row zip loop
+        make = functions[0].make_accumulator
+        evaluate = arg_evaluators[0]
+        for batch in child_batches:
+            count += len(batch)
+            for row in batch:
+                key = key_of(row)
+                accumulators = lookup(key)
+                if accumulators is None:
+                    accumulators = [make()]
+                    table[key] = accumulators
+                accumulators[0].add(
+                    evaluate(row) if evaluate is not None else None
+                )
+    else:
+        for batch in child_batches:
+            count += len(batch)
+            for row in batch:
+                key = key_of(row)
+                accumulators = lookup(key)
+                if accumulators is None:
+                    accumulators = [
+                        function.make_accumulator() for function in functions
+                    ]
+                    table[key] = accumulators
+                for accumulator, evaluate in zip(accumulators, arg_evaluators):
+                    accumulator.add(
+                        evaluate(row) if evaluate is not None else None
+                    )
+    metrics.rows_in = count
+    return list(table.items()), count
 
 
-def _sorted_groups(rows, key_positions, arg_evaluators, functions):
+def _sorted_groups(rows, key_of, arg_evaluators, functions):
     """Run-based aggregation over input sorted on the group keys.
 
     The planner guarantees the ordering (a SortNode below, or an order-
     producing child); we re-sort defensively if the input is small and
     unsorted, which keeps hand-built plans usable in tests.
     """
-    keyed = [(tuple(row[p] for p in key_positions), row) for row in rows]
+    keyed = [(key_of(row), row) for row in rows]
     if any(keyed[i][0] > keyed[i + 1][0] for i in range(len(keyed) - 1)):
         keyed.sort(key=lambda pair: pair[0])
     groups = []
     current_key = None
+    started = False
     accumulators: List[Accumulator] = []
     for key, row in keyed:
-        if key != current_key:
-            if current_key is not None:
+        if not started or key != current_key:
+            if started:
                 groups.append((current_key, accumulators))
+            started = True
             current_key = key
-            accumulators = [function.make_accumulator() for function in functions]
+            accumulators = [
+                function.make_accumulator() for function in functions
+            ]
         for accumulator, evaluate in zip(accumulators, arg_evaluators):
             accumulator.add(evaluate(row) if evaluate is not None else None)
-    if current_key is not None:
+    if started:
         groups.append((current_key, accumulators))
     return groups
 
 
-def _group_pages(group_count: int, width: int) -> int:
-    from ..storage.page import pages_for
-
-    return pages_for(group_count, width)
-
-
-def execute_sort(
+def sort_batches(
     plan: SortNode,
     context: ExecutionContext,
-    run: Callable[..., Result],
-) -> Result:
-    """Sort the child's rows (stable, per-key direction), charging external-sort IO when the input exceeds memory."""
-    child = run(plan.child, context)
-    child_order = getattr(plan.child.props, "order", ()) if plan.child.props else ()
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Sort the child's stream (stable, per-key direction), charging
+    external-sort IO when the input exceeds memory."""
+    child_batches = run(plan.child)
+    child_order = (
+        getattr(plan.child.props, "order", ()) if plan.child.props else ()
+    )
     ascending_only = not any(plan.descending)
-    if ascending_only and tuple(
+    preordered = ascending_only and tuple(
         child_order[: len(plan.keys)]
-    ) == tuple(plan.keys):
-        return Result(schema=plan.schema, rows=child.rows)
-    extra = external_sort_extra_io(child.pages, context.params.memory_pages)
-    if extra:
-        context.io.write_pages(extra // 2)
-        context.io.read_pages(extra - extra // 2)
+    ) == tuple(plan.keys)
     schema = plan.child.schema
-    rows = list(child.rows)
-    # stable multi-pass sort: apply keys from least to most significant
-    for key, descending in reversed(list(zip(plan.keys, plan.descending))):
-        position = schema.index_of(*key)
-        rows.sort(key=lambda row: row[position], reverse=descending)
-    return Result(schema=plan.schema, rows=rows)
+    key_specs = [
+        (schema.index_of(*key), descending)
+        for key, descending in zip(plan.keys, plan.descending)
+    ]
+
+    def generate() -> Iterator[RowBatch]:
+        if preordered:
+            for batch in child_batches:
+                metrics.rows_in += len(batch)
+                yield batch
+            return
+        rows: List[Tuple[Any, ...]] = []
+        for batch in child_batches:
+            rows.extend(batch)
+        metrics.rows_in = len(rows)
+        charge_spill(
+            context.io,
+            metrics,
+            external_sort_extra_io(
+                pages_for(len(rows), schema.width),
+                context.params.memory_pages,
+            ),
+        )
+        # stable multi-pass sort: apply keys from least to most significant
+        for position, descending in reversed(key_specs):
+            rows.sort(key=lambda row: row[position], reverse=descending)
+        for start in range(0, len(rows), context.batch_size):
+            yield rows[start : start + context.batch_size]
+
+    return generate()
 
 
-def execute_limit(
+def limit_batches(
     plan: LimitNode,
     context: ExecutionContext,
-    run: Callable[..., Result],
-) -> Result:
-    """Keep the first N child rows."""
-    child = run(plan.child, context)
-    return Result(schema=plan.schema, rows=child.rows[: plan.count])
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Emit the first N child rows; the child is drained in full so the
+    IO it charges matches the legacy materializing executor."""
+    child_batches = run(plan.child)
+    count = plan.count
+
+    def generate() -> Iterator[RowBatch]:
+        remaining = count
+        for batch in child_batches:
+            metrics.rows_in += len(batch)
+            if remaining > 0:
+                if len(batch) <= remaining:
+                    remaining -= len(batch)
+                    yield batch
+                else:
+                    head = batch[:remaining]
+                    remaining = 0
+                    yield head
+            # keep draining: child IO and actuals must be complete
+
+    return generate()
 
 
-def execute_filter(
+def filter_batches(
     plan: FilterNode,
     context: ExecutionContext,
-    run: Callable[..., Result],
-) -> Result:
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
     """Drop child rows failing any predicate (pipelined, no IO)."""
-    child = run(plan.child, context)
+    child_batches = run(plan.child)
     schema = plan.child.schema
     checks = [predicate.bind(schema) for predicate in plan.predicates]
-    rows = [
-        row for row in child.rows if all(check(row) for check in checks)
-    ]
-    return Result(schema=plan.schema, rows=rows)
+
+    def generate() -> Iterator[RowBatch]:
+        for batch in child_batches:
+            metrics.rows_in += len(batch)
+            batch = filtered(batch, checks)
+            if batch:
+                yield batch
+
+    return generate()
 
 
-def execute_project(
+def project_batches(
     plan: ProjectNode,
     context: ExecutionContext,
-    run: Callable[..., Result],
-) -> Result:
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
     """Evaluate each output expression per child row."""
-    child = run(plan.child, context)
+    child_batches = run(plan.child)
     schema = plan.child.schema
     evaluators = [
         expression.bind(schema) for _, _, expression in plan.outputs
     ]
-    rows = [
-        tuple(evaluate(row) for evaluate in evaluators) for row in child.rows
-    ]
-    return Result(schema=plan.schema, rows=rows)
+    single = evaluators[0] if len(evaluators) == 1 else None
+
+    def generate() -> Iterator[RowBatch]:
+        for batch in child_batches:
+            metrics.rows_in += len(batch)
+            if single is not None:
+                yield [(single(row),) for row in batch]
+            else:
+                yield [
+                    tuple(evaluate(row) for evaluate in evaluators)
+                    for row in batch
+                ]
+
+    return generate()
 
 
-def execute_rename(
+def rename_batches(
     plan: RenameNode,
     context: ExecutionContext,
-    run: Callable[..., Result],
-) -> Result:
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
     """Permute/rename child columns per the node's mapping."""
-    child = run(plan.child, context)
-    positions = plan.positions
-    rows = [tuple(row[p] for p in positions) for row in child.rows]
-    return Result(schema=plan.schema, rows=rows)
+    child_batches = run(plan.child)
+    project = projector(plan.positions, len(plan.child.schema))
+
+    def generate() -> Iterator[RowBatch]:
+        for batch in child_batches:
+            metrics.rows_in += len(batch)
+            yield [project(row) for row in batch] if project else batch
+
+    return generate()

@@ -1,4 +1,4 @@
-"""Execution of the four join methods.
+"""Streaming execution of the four join methods.
 
 IO discipline (mirrored by the cost model in ``repro.cost.model``):
 
@@ -12,26 +12,46 @@ IO discipline (mirrored by the cost model in ``repro.cost.model``):
   join keys; sorting charges :func:`external_sort_extra_io`.
 - **Hash**: build on the right input; a build side larger than memory
   charges a Grace partitioning pass over both inputs.
+
+Pipeline shape: the build side of a hash join, both sort-merge inputs,
+and a block-NLJ inner are pipeline breakers (fully collected before
+output flows); the probe/outer side always streams. Join output runs
+through a fused residual-filter→project per-batch loop, and spill
+charges whose formulas need the streamed side's total page count are
+applied once that side is exhausted — page totals are identical to the
+legacy executor's, only the charge's position in the run moves.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from ..algebra.plan import JoinNode, ScanNode
-from ..catalog.schema import RowSchema, table_row_schema
+from ..catalog.schema import RowSchema
+from ..catalog.schema import table_row_schema
 from ..errors import ExecutionError
-from .context import ExecutionContext, Result
+from ..storage.page import pages_for
+from .batch import (
+    BatchBuilder,
+    RowBatch,
+    filtered,
+    keyer,
+    projector,
+    tuple_keyer,
+)
+from .context import ExecutionContext
+from .metrics import OperatorMetrics, charge_spill
 from .spill import external_sort_extra_io, hash_spill_extra_io, nlj_blocks
 
 
-def execute_join(
+def join_batches(
     plan: JoinNode,
     context: ExecutionContext,
-    run: Callable[..., Result],
-) -> Result:
-    """Execute *plan*; *run* recursively executes child plans."""
-    left = run(plan.left, context)
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Build the join pipeline: method core fused with the join's
+    residual filter and projection in one per-batch loop."""
     combined = plan.left.schema.concat(plan.right.schema)
     residual_checks = [
         predicate.bind(combined) for predicate in plan.residuals
@@ -39,23 +59,27 @@ def execute_join(
     positions = [
         combined.index_of(alias, name) for alias, name in plan.projection
     ]
+    project = projector(positions, len(combined))
 
     if plan.method == "inlj":
-        joined = _index_nlj(plan, context, left)
+        matched = _index_nlj_batches(plan, context, metrics, run)
+    elif plan.method == "hj":
+        matched = _hash_join_batches(plan, context, metrics, run)
+    elif plan.method == "smj":
+        matched = _sort_merge_join_batches(plan, context, metrics, run)
     else:
-        right = run(plan.right, context)
-        if plan.method == "hj":
-            joined = _hash_join(plan, context, left, right)
-        elif plan.method == "smj":
-            joined = _sort_merge_join(plan, context, left, right)
-        else:
-            joined = _block_nlj(plan, context, left, right)
+        matched = _block_nlj_batches(plan, context, metrics, run)
 
-    rows: List[Tuple] = []
-    for row in joined:
-        if all(check(row) for check in residual_checks):
-            rows.append(tuple(row[position] for position in positions))
-    return Result(schema=plan.schema, rows=rows)
+    def generate() -> Iterator[RowBatch]:
+        for batch in matched:
+            metrics.rows_in += len(batch)
+            batch = filtered(batch, residual_checks)
+            if project is not None:
+                batch = [project(row) for row in batch]
+            if batch:
+                yield batch
+
+    return generate()
 
 
 def _key_positions(
@@ -64,46 +88,162 @@ def _key_positions(
     return [schema.index_of(alias, name) for alias, name in keys]
 
 
-def _block_nlj(
-    plan: JoinNode, context: ExecutionContext, left: Result, right: Result
-) -> List[Tuple]:
-    """Block nested-loop join; equi keys (if any) checked as predicates."""
-    memory = context.params.memory_pages
-    blocks = nlj_blocks(left.pages, memory)
-
-    # Charge the inner side's rescans. The first pass was charged when
-    # the right child executed (base scan) or is free (still in memory).
-    inner_is_scan = (
-        isinstance(plan.right, ScanNode) and plan.right.index_name is None
-    )
-    if inner_is_scan:
-        inner_pages = context.catalog.table(plan.right.table_name).num_pages
-        if inner_pages > max(1, memory - 2) and blocks > 1:
-            context.io.read_pages((blocks - 1) * inner_pages)
-    else:
-        inner_pages = right.pages
-        if inner_pages > max(1, memory - 2):
-            context.io.write_pages(inner_pages)  # materialize the inner
-            context.io.read_pages(blocks * inner_pages)
-
-    left_positions = _key_positions(
-        plan.left.schema, [pair[0] for pair in plan.equi_keys]
-    )
-    right_positions = _key_positions(
-        plan.right.schema, [pair[1] for pair in plan.equi_keys]
-    )
-    rows: List[Tuple] = []
-    for left_row in left.rows:
-        left_key = tuple(left_row[p] for p in left_positions)
-        for right_row in right.rows:
-            if left_key == tuple(right_row[p] for p in right_positions):
-                rows.append(left_row + right_row)
+def _collect(batches: Iterator[RowBatch]) -> List[Tuple[Any, ...]]:
+    rows: List[Tuple[Any, ...]] = []
+    for batch in batches:
+        rows.extend(batch)
     return rows
 
 
-def _index_nlj(
-    plan: JoinNode, context: ExecutionContext, left: Result
-) -> List[Tuple]:
+def _hash_join_batches(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Hash join: build side right (pipeline breaker), probe streams."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
+    left_key = keyer(
+        _key_positions(plan.left.schema, [pair[0] for pair in plan.equi_keys])
+    )
+    right_key = keyer(
+        _key_positions(plan.right.schema, [pair[1] for pair in plan.equi_keys])
+    )
+    left_width = plan.left.schema.width
+    right_width = plan.right.schema.width
+
+    def generate() -> Iterator[RowBatch]:
+        build_rows = _collect(right_batches)
+        buckets: dict = {}
+        setdefault = buckets.setdefault
+        for row in build_rows:
+            setdefault(right_key(row), []).append(row)
+
+        probe_count = 0
+        lookup = buckets.get
+        for batch in left_batches:
+            probe_count += len(batch)
+            out: RowBatch = []
+            append = out.append
+            for left_row in batch:
+                matches = lookup(left_key(left_row))
+                if matches is not None:
+                    for right_row in matches:
+                        append(left_row + right_row)
+            if out:
+                yield out
+
+        # Grace partitioning charge; needs the probe side's total pages,
+        # so it lands after the probe is exhausted (same totals as the
+        # legacy up-front charge).
+        charge_spill(
+            context.io,
+            metrics,
+            hash_spill_extra_io(
+                pages_for(len(build_rows), right_width),
+                pages_for(probe_count, left_width),
+                context.params.memory_pages,
+            ),
+        )
+
+    return generate()
+
+
+def _block_nlj_batches(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Block nested-loop join; equi keys (if any) checked as predicates.
+
+    The inner key list is computed once up front instead of re-deriving
+    a key tuple per (outer, inner) pair."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
+    memory = context.params.memory_pages
+    equi = bool(plan.equi_keys)
+    left_key = (
+        keyer(
+            _key_positions(
+                plan.left.schema, [pair[0] for pair in plan.equi_keys]
+            )
+        )
+        if equi
+        else None
+    )
+    right_key = (
+        keyer(
+            _key_positions(
+                plan.right.schema, [pair[1] for pair in plan.equi_keys]
+            )
+        )
+        if equi
+        else None
+    )
+    left_width = plan.left.schema.width
+
+    def generate() -> Iterator[RowBatch]:
+        inner_rows = _collect(right_batches)
+        inner_keyed = (
+            [(right_key(row), row) for row in inner_rows] if equi else None
+        )
+
+        outer_count = 0
+        for batch in left_batches:
+            outer_count += len(batch)
+            out: RowBatch = []
+            append = out.append
+            if inner_keyed is not None:
+                for left_row in batch:
+                    key = left_key(left_row)
+                    for inner_key, inner_row in inner_keyed:
+                        if key == inner_key:
+                            append(left_row + inner_row)
+            else:
+                for left_row in batch:
+                    out.extend(
+                        left_row + inner_row for inner_row in inner_rows
+                    )
+            if out:
+                yield out
+
+        # Charge the inner side's rescans, block count taken from the
+        # outer's total pages (exactly the legacy charges: the first
+        # inner pass was charged when the right child executed, or is
+        # free while the inner still fits in memory).
+        blocks = nlj_blocks(pages_for(outer_count, left_width), memory)
+        inner_is_scan = (
+            isinstance(plan.right, ScanNode) and plan.right.index_name is None
+        )
+        if inner_is_scan:
+            inner_pages = context.catalog.table(
+                plan.right.table_name
+            ).num_pages
+            if inner_pages > max(1, memory - 2) and blocks > 1:
+                rescans = (blocks - 1) * inner_pages
+                context.io.read_pages(rescans)
+                metrics.spill(rescans, 0)
+        else:
+            inner_pages = pages_for(
+                len(inner_rows), plan.right.schema.width
+            )
+            if inner_pages > max(1, memory - 2):
+                context.io.write_pages(inner_pages)  # materialize the inner
+                rereads = blocks * inner_pages
+                context.io.read_pages(rereads)
+                metrics.spill(rereads, inner_pages)
+
+    return generate()
+
+
+def _index_nlj_batches(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
     """Index nested-loop join: probe the inner table's index per outer
     row, applying the inner scan's filters to fetched rows."""
     inner = plan.right
@@ -124,110 +264,132 @@ def _index_nlj(
             f"{inner_join_columns}"
         )
 
+    left_batches = run(plan.left)
     table = info.table
     inner_full = table_row_schema(inner.alias, table.columns, include_rid=True)
     checks = [predicate.bind(inner_full) for predicate in inner.filters]
     inner_positions = [
         inner_full.index_of(field.alias, field.name) for field in inner.schema
     ]
-    left_positions = _key_positions(
-        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    project_inner = projector(inner_positions, len(inner_full))
+    probe_key = tuple_keyer(
+        _key_positions(plan.left.schema, [pair[0] for pair in plan.equi_keys])
     )
 
-    rows: List[Tuple] = []
-    for left_row in left.rows:
-        probe = tuple(left_row[p] for p in left_positions)
-        for inner_row in index.lookup_rows(context.io, probe, include_rid=True):
-            if all(check(inner_row) for check in checks):
-                projected = tuple(inner_row[p] for p in inner_positions)
-                rows.append(left_row + projected)
-    return rows
-
-
-def _hash_join(
-    plan: JoinNode, context: ExecutionContext, left: Result, right: Result
-) -> List[Tuple]:
-    """Hash join, build side right, probe side left."""
-    extra = hash_spill_extra_io(
-        right.pages, left.pages, context.params.memory_pages
+    # The probe side never goes through the ordinary scan pipeline, so
+    # meter it here — and record its actuals explicitly (the legacy
+    # executor left ``actual_rows`` stale under index NLJ).
+    inner_metrics = OperatorMetrics(
+        label=inner.describe() + " (index probe)", depth=metrics.depth + 1
     )
-    if extra:
-        context.io.write_pages(extra // 2)
-        context.io.read_pages(extra - extra // 2)
+    if context.metrics is not None:
+        context.metrics.register(inner_metrics)
+    inner.op_metrics = inner_metrics
+    metrics.children.append(inner_metrics)
+    lookup = index.lookup_rows
+    io = context.io
 
-    left_positions = _key_positions(
-        plan.left.schema, [pair[0] for pair in plan.equi_keys]
-    )
-    right_positions = _key_positions(
-        plan.right.schema, [pair[1] for pair in plan.equi_keys]
-    )
-    buckets: dict = {}
-    for right_row in right.rows:
-        key = tuple(right_row[p] for p in right_positions)
-        buckets.setdefault(key, []).append(right_row)
-    rows: List[Tuple] = []
-    for left_row in left.rows:
-        key = tuple(left_row[p] for p in left_positions)
-        for right_row in buckets.get(key, ()):
-            rows.append(left_row + right_row)
-    return rows
+    def generate() -> Iterator[RowBatch]:
+        matched = 0
+        probes = 0
+        for batch in left_batches:
+            out: RowBatch = []
+            append = out.append
+            for left_row in batch:
+                probes += 1
+                for inner_row in lookup(
+                    io, probe_key(left_row), include_rid=True
+                ):
+                    if checks and not all(
+                        check(inner_row) for check in checks
+                    ):
+                        continue
+                    matched += 1
+                    append(
+                        left_row + project_inner(inner_row)
+                        if project_inner is not None
+                        else left_row + inner_row
+                    )
+            if out:
+                yield out
+        inner.actual_rows = matched
+        inner_metrics.rows_out = matched
+        inner_metrics.rows_in = probes
+        inner_metrics.batches = probes  # one probe per outer row
+
+    return generate()
 
 
-def _sort_merge_join(
-    plan: JoinNode, context: ExecutionContext, left: Result, right: Result
-) -> List[Tuple]:
-    """Sort-merge join; charges sorts unless an input is pre-ordered."""
+def _sort_merge_join_batches(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Sort-merge join; charges sorts unless an input is pre-ordered.
+
+    Both inputs are pipeline breakers. The collected row lists are
+    owned by this operator, so sorting them cannot corrupt a child's
+    materialized output (the legacy in-place-sort hazard)."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
     memory = context.params.memory_pages
     left_keys = [pair[0] for pair in plan.equi_keys]
     right_keys = [pair[1] for pair in plan.equi_keys]
-    left_positions = _key_positions(plan.left.schema, left_keys)
-    right_positions = _key_positions(plan.right.schema, right_keys)
+    left_key = keyer(_key_positions(plan.left.schema, left_keys))
+    right_key = keyer(_key_positions(plan.right.schema, right_keys))
 
-    for result, child, positions in (
-        (left, plan.left, left_positions),
-        (right, plan.right, right_positions),
-    ):
-        order = getattr(child.props, "order", ()) if child.props else ()
-        keys = left_keys if result is left else right_keys
-        if tuple(order[: len(keys)]) != tuple(keys):
-            extra = external_sort_extra_io(result.pages, memory)
-            if extra:
-                context.io.write_pages(extra // 2)
-                context.io.read_pages(extra - extra // 2)
-            result.rows.sort(key=lambda row: _sort_key(row, positions))
-        # pre-ordered inputs merge for free
+    def generate() -> Iterator[RowBatch]:
+        left_rows = _collect(left_batches)
+        right_rows = _collect(right_batches)
 
-    rows: List[Tuple] = []
-    i = 0
-    j = 0
-    left_rows, right_rows = left.rows, right.rows
-    while i < len(left_rows) and j < len(right_rows):
-        left_key = _sort_key(left_rows[i], left_positions)
-        right_key = _sort_key(right_rows[j], right_positions)
-        if left_key < right_key:
-            i += 1
-        elif left_key > right_key:
-            j += 1
-        else:
-            # collect the equal-key run on each side, emit the product
-            i_end = i
-            while (
-                i_end < len(left_rows)
-                and _sort_key(left_rows[i_end], left_positions) == left_key
-            ):
-                i_end += 1
-            j_end = j
-            while (
-                j_end < len(right_rows)
-                and _sort_key(right_rows[j_end], right_positions) == right_key
-            ):
-                j_end += 1
-            for left_row in left_rows[i:i_end]:
-                for right_row in right_rows[j:j_end]:
-                    rows.append(left_row + right_row)
-            i, j = i_end, j_end
-    return rows
+        for rows, child, keys, key_of in (
+            (left_rows, plan.left, left_keys, left_key),
+            (right_rows, plan.right, right_keys, right_key),
+        ):
+            order = getattr(child.props, "order", ()) if child.props else ()
+            if tuple(order[: len(keys)]) != tuple(keys):
+                charge_spill(
+                    context.io,
+                    metrics,
+                    external_sort_extra_io(
+                        pages_for(len(rows), child.schema.width), memory
+                    ),
+                )
+                rows.sort(key=key_of)
+            # pre-ordered inputs merge for free
 
+        out = BatchBuilder(context.batch_size)
+        i = 0
+        j = 0
+        left_count, right_count = len(left_rows), len(right_rows)
+        while i < left_count and j < right_count:
+            lkey = left_key(left_rows[i])
+            rkey = right_key(right_rows[j])
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                # collect the equal-key run on each side, emit the product
+                i_end = i
+                while i_end < left_count and left_key(left_rows[i_end]) == lkey:
+                    i_end += 1
+                j_end = j
+                while (
+                    j_end < right_count
+                    and right_key(right_rows[j_end]) == rkey
+                ):
+                    j_end += 1
+                run_right = right_rows[j:j_end]
+                for left_row in left_rows[i:i_end]:
+                    out.extend(
+                        [left_row + right_row for right_row in run_right]
+                    )
+                i, j = i_end, j_end
+                if out.full:
+                    yield out.drain()
+        if out.rows:
+            yield out.drain()
 
-def _sort_key(row: Tuple, positions: List[int]) -> Tuple[Any, ...]:
-    return tuple(row[p] for p in positions)
+    return generate()

@@ -1,0 +1,110 @@
+"""Executor observability: per-operator metrics.
+
+Every :func:`repro.engine.executor.execute_plan` call meters each
+operator of the plan: rows and batches produced, inclusive wall-clock
+(the time spent inside the operator *and* its children), and the spill
+IO the operator charged. The metrics are collected on the
+:class:`~repro.engine.context.ExecutionContext` (``context.metrics``)
+and attached to each plan node (``node.op_metrics``) so
+``explain(plan, analyze=True)`` and the CLI's ``--stats`` flag can
+attribute a benchmark regression to a specific operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class OperatorMetrics:
+    """Counters for one physical operator of one execution.
+
+    ``seconds`` is *inclusive* (it contains time spent pulling batches
+    from child operators); :attr:`self_seconds` subtracts the children.
+    """
+
+    label: str
+    depth: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+    spill_reads: int = 0
+    spill_writes: int = 0
+    children: List["OperatorMetrics"] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall-clock spent in this operator excluding its children."""
+        childtime = sum(child.seconds for child in self.children)
+        return max(0.0, self.seconds - childtime)
+
+    def spill(self, reads: int, writes: int) -> None:
+        self.spill_reads += reads
+        self.spill_writes += writes
+
+    def summary(self) -> str:
+        parts = [
+            f"rows={self.rows_out}",
+            f"batches={self.batches}",
+            f"time={self.seconds * 1000.0:.2f}ms",
+            f"self={self.self_seconds * 1000.0:.2f}ms",
+        ]
+        if self.spill_reads or self.spill_writes:
+            parts.append(f"spill={self.spill_reads}r/{self.spill_writes}w")
+        return " ".join(parts)
+
+
+class ExecutionMetrics:
+    """All operator metrics of one (or more) ``execute_plan`` calls.
+
+    Operators register in plan pre-order, so :meth:`lines` renders an
+    indented tree matching ``explain`` output.
+    """
+
+    def __init__(self) -> None:
+        self.operators: List[OperatorMetrics] = []
+
+    def register(self, metrics: OperatorMetrics) -> None:
+        self.operators.append(metrics)
+
+    @property
+    def total_rows(self) -> int:
+        """Rows produced across all operators (interpreter work done)."""
+        return sum(op.rows_out for op in self.operators)
+
+    def lines(self) -> List[str]:
+        return [
+            ("  " * op.depth) + f"{op.label}  [{op.summary()}]"
+            for op in self.operators
+        ]
+
+    def as_dicts(self) -> List[dict]:
+        return [
+            {
+                "label": op.label,
+                "depth": op.depth,
+                "rows_out": op.rows_out,
+                "batches": op.batches,
+                "seconds": op.seconds,
+                "self_seconds": op.self_seconds,
+                "spill_reads": op.spill_reads,
+                "spill_writes": op.spill_writes,
+            }
+            for op in self.operators
+        ]
+
+
+def charge_spill(io, metrics: Optional[OperatorMetrics], extra: int) -> None:
+    """Charge an out-of-memory IO total the way every operator does:
+    half writes (rounding down), the rest reads — the exact split the
+    seed executor used, so executed IO stays formula-identical."""
+    if not extra:
+        return
+    writes = extra // 2
+    reads = extra - writes
+    io.write_pages(writes)
+    io.read_pages(reads)
+    if metrics is not None:
+        metrics.spill(reads, writes)

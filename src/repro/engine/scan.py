@@ -1,28 +1,40 @@
-"""Execution of table scans (heap and index access paths)."""
+"""Streaming execution of table scans (heap and index access paths).
+
+The scan is the canonical fused pipeline stage: one per-batch loop
+applies selection (while scanning, before projection — so a filter may
+reference columns the scan does not output) and projection through
+precompiled accessors, emitting fixed-size row batches. Page IO is
+charged by the storage layer exactly as the legacy row-at-a-time path
+charged it.
+"""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterator
 
 from ..algebra.plan import ScanNode
 from ..catalog.schema import table_row_schema
 from ..errors import ExecutionError
-from .context import ExecutionContext, Result
+from .batch import BatchBuilder, RowBatch, projector
+from .context import ExecutionContext
+from .metrics import OperatorMetrics
 
 
-def execute_scan(plan: ScanNode, context: ExecutionContext) -> Result:
-    """Scan a stored table, apply the scan's filters, project.
-
-    Filters are evaluated against the full table row (selection happens
-    while scanning, before projection), so a filter may reference columns
-    the scan does not output.
-    """
+def scan_batches(
+    plan: ScanNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run,
+) -> Iterator[RowBatch]:
+    """Build the fused scan→filter→project batch generator."""
     table = context.catalog.table(plan.table_name)
     full_schema = table_row_schema(plan.alias, table.columns, include_rid=True)
     checks = [predicate.bind(full_schema) for predicate in plan.filters]
     positions = [
         full_schema.index_of(field.alias, field.name) for field in plan.schema
     ]
+    project = projector(positions, len(full_schema))
+    single_check = checks[0] if len(checks) == 1 else None
 
     if plan.index_name is not None:
         info = context.catalog.info(plan.table_name)
@@ -31,14 +43,36 @@ def execute_scan(plan: ScanNode, context: ExecutionContext) -> Result:
             raise ExecutionError(
                 f"index {plan.index_name!r} not found on {plan.table_name!r}"
             )
-        source = index.lookup_rows(
-            context.io, plan.index_values, include_rid=True
-        )
-    else:
-        source = table.scan(context.io, include_rid=True)
 
-    rows: List[Tuple] = []
-    for row in source:
-        if all(check(row) for check in checks):
-            rows.append(tuple(row[position] for position in positions))
-    return Result(schema=plan.schema, rows=rows)
+        def pages():
+            yield list(
+                index.lookup_rows(
+                    context.io, plan.index_values, include_rid=True
+                )
+            )
+
+        source = pages()
+    else:
+        source = table.scan_pages(context.io, include_rid=True)
+
+    def generate() -> Iterator[RowBatch]:
+        out = BatchBuilder(context.batch_size)
+        for chunk in source:
+            metrics.rows_in += len(chunk)
+            if single_check is not None:
+                chunk = [row for row in chunk if single_check(row)]
+            elif checks:
+                chunk = [
+                    row
+                    for row in chunk
+                    if all(check(row) for check in checks)
+                ]
+            if project is not None:
+                chunk = [project(row) for row in chunk]
+            out.extend(chunk)
+            if out.full:
+                yield out.drain()
+        if out.rows:
+            yield out.drain()
+
+    return generate()
