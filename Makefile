@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .DEFAULT_GOAL := help
 
-.PHONY: help test bench bench-opt bench-exec bench-exec-smoke examples shell all
+.PHONY: help test bench bench-opt bench-exec bench-exec-smoke \
+	bench-views bench-views-smoke examples shell all
 
 help:
 	@echo "repro targets:"
@@ -13,6 +14,8 @@ help:
 	@echo "  make bench-opt        optimizer scaling -> BENCH_optimizer_scaling.json"
 	@echo "  make bench-exec       executor throughput -> BENCH_executor.json"
 	@echo "  make bench-exec-smoke executor throughput, tiny CI configuration"
+	@echo "  make bench-views      materialized-view payoff -> BENCH_views.json"
+	@echo "  make bench-views-smoke view payoff, tiny CI configuration"
 	@echo "  make examples         run the example scripts"
 	@echo "  make shell            interactive SQL shell with demo data"
 
@@ -30,6 +33,12 @@ bench-exec:
 
 bench-exec-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_executor.py --smoke
+
+bench-views:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_views.py --out BENCH_views.json
+
+bench-views-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_views.py --smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py

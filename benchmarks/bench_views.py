@@ -1,0 +1,243 @@
+"""Materialized-view payoff — repeated aggregate queries and refresh.
+
+Two measurement families, both metered in page IO by
+``storage.iocounter``:
+
+- **Answering**: a repeated grouped-aggregate workload over a large
+  base table, run with view rewriting on and off
+  (``OptimizerOptions(enable_view_rewrite=False)``). Each repetition
+  with rewriting on scans only the tiny backing table, so the page-read
+  ratio grows with the base-table size; the run asserts both paths
+  return identical rows and records the ratio (the acceptance bar is
+  >= 5x on at least one workload).
+- **Maintenance**: after inserting a small delta, an incremental
+  refresh (partials over the delta merged via accumulator ``merge()``)
+  vs a forced full recompute, both as ``MaintenanceReport`` page-IO
+  totals.
+
+Run directly (``make bench-views``) to write ``BENCH_views.json`` at
+the repository root and print the tables; ``--smoke`` runs a tiny
+configuration for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+from typing import Dict, List, Optional, Sequence
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+
+from repro.db import Database
+from repro.optimizer.options import OptimizerOptions
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_views.json"
+)
+
+NO_REWRITE = OptimizerOptions(enable_view_rewrite=False)
+
+VIEW_BODY = (
+    "select e.dno as dno, sum(e.sal) as s, count(e.eno) as n, "
+    "avg(e.sal) as a, min(e.sal) as lo, max(e.sal) as hi "
+    "from emp e group by e.dno"
+)
+
+QUERY_WORKLOADS = [
+    (
+        "group-avg",
+        "select e.dno, avg(e.sal) as a from emp e group by e.dno",
+    ),
+    (
+        "group-minmax-filtered",
+        "select e.dno, min(e.sal) as lo, max(e.sal) as hi from emp e "
+        "where e.dno < 10 group by e.dno",
+    ),
+    (
+        "group-having",
+        "select e.dno, sum(e.sal) as s from emp e group by e.dno "
+        "having count(e.eno) > 5",
+    ),
+    (
+        "view-by-name",
+        "select m.dno, m.s, m.n from agg_by_dept m where m.dno >= 3",
+    ),
+]
+
+
+def build_db(rows: int, departments: int, seed: int) -> Database:
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(
+        "emp",
+        [("eno", "int"), ("dno", "int"), ("sal", "float"), ("age", "int")],
+        primary_key=["eno"],
+    )
+    db.insert(
+        "emp",
+        [
+            (
+                e,
+                rng.randrange(departments),
+                float(rng.randint(20_000, 120_000)),
+                rng.randint(18, 65),
+            )
+            for e in range(rows)
+        ],
+    )
+    db.analyze()
+    db.create_materialized_view("agg_by_dept", VIEW_BODY)
+    return db
+
+
+def _measure_reads(db: Database, sql: str, repetitions: int, options):
+    """Total page reads (and the last row list) over the repeated run."""
+    reads = 0
+    rows = None
+    for _ in range(repetitions):
+        result = db.query(sql, options=options)
+        reads += result.executed_io.page_reads
+        rows = result.rows
+    return reads, rows
+
+
+def run_bench(
+    rows: int = 40_000,
+    departments: int = 25,
+    repetitions: int = 10,
+    delta_rows: int = 200,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """The full measurement matrix, as a JSON-ready dict.
+
+    Raises if rewriting changes any answer, and if no workload reaches
+    the 5x page-read reduction the view is supposed to deliver.
+    """
+    db = build_db(rows, departments, seed)
+    entries: List[Dict[str, object]] = []
+    for name, sql in QUERY_WORKLOADS:
+        base_reads, base_rows = _measure_reads(
+            db, sql, repetitions, NO_REWRITE
+        )
+        view_reads, view_rows = _measure_reads(db, sql, repetitions, None)
+        if sorted(map(repr, base_rows)) != sorted(map(repr, view_rows)):
+            raise AssertionError(f"{name}: rewrite changed the answer")
+        entries.append(
+            {
+                "workload": name,
+                "query": sql,
+                "repetitions": repetitions,
+                "result_rows": len(view_rows),
+                "page_reads_no_rewrite": base_reads,
+                "page_reads_rewrite": view_reads,
+                "read_ratio": base_reads / max(view_reads, 1),
+            }
+        )
+    best_ratio = max(entry["read_ratio"] for entry in entries)
+    if best_ratio < 5.0:
+        raise AssertionError(
+            f"expected a >=5x page-read reduction; best was {best_ratio:.2f}x"
+        )
+
+    # Maintenance: incremental refresh over a small delta vs a full
+    # recompute of the same state.
+    rng = random.Random(seed + 1)
+    db.insert(
+        "emp",
+        [
+            (
+                rows + i,
+                rng.randrange(departments),
+                float(rng.randint(20_000, 120_000)),
+                rng.randint(18, 65),
+            )
+            for i in range(delta_rows)
+        ],
+    )
+    incremental = db.refresh_materialized_view("agg_by_dept")
+    if incremental.mode != "incremental":
+        raise AssertionError(
+            f"expected an incremental refresh, got {incremental.mode!r}"
+        )
+    full = db.refresh_materialized_view("agg_by_dept", mode="full")
+    maintenance = {
+        "delta_rows": delta_rows,
+        "incremental_io": incremental.io.total,
+        "full_io": full.io.total,
+        "io_ratio": full.io.total / max(incremental.io.total, 1),
+    }
+    return {
+        "config": {
+            "rows": rows,
+            "departments": departments,
+            "repetitions": repetitions,
+            "delta_rows": delta_rows,
+            "seed": seed,
+        },
+        "entries": entries,
+        "maintenance": maintenance,
+    }
+
+
+def _print_tables(results: Dict[str, object]) -> None:
+    header = (
+        f"{'workload':<24} {'rows':>6} {'reads off':>10} "
+        f"{'reads on':>9} {'ratio':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in results["entries"]:
+        print(
+            f"{entry['workload']:<24} {entry['result_rows']:>6} "
+            f"{entry['page_reads_no_rewrite']:>10} "
+            f"{entry['page_reads_rewrite']:>9} "
+            f"{entry['read_ratio']:>6.1f}x"
+        )
+    maintenance = results["maintenance"]
+    print(
+        f"\nrefresh after {maintenance['delta_rows']} inserts: "
+        f"incremental {maintenance['incremental_io']} IOs vs "
+        f"full {maintenance['full_io']} IOs "
+        f"({maintenance['io_ratio']:.1f}x)"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for CI smoke runs (no JSON written "
+        "unless --out is given explicitly)",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.smoke:
+        results = run_bench(
+            rows=5_000, departments=10, repetitions=3, delta_rows=25
+        )
+    else:
+        results = run_bench()
+    if not arguments.smoke or arguments.out != DEFAULT_OUTPUT:
+        arguments.out.write_text(json.dumps(results, indent=1) + "\n")
+        wrote = f"\nwrote {arguments.out}"
+    else:
+        wrote = "\nsmoke mode: no JSON written"
+    _print_tables(results)
+    print(wrote)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

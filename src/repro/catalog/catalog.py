@@ -61,6 +61,13 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, TableInfo] = {}
         self._views: Dict[str, Any] = {}
+        # Materialized views (records are opaque here, like view
+        # definitions; src/repro/views owns their structure). Backing
+        # tables are kept in a side map so info()/table()/stats()
+        # resolve them for scans and costing without the backing ever
+        # appearing in table_names().
+        self._matviews: Dict[str, Any] = {}
+        self._matview_backings: Dict[str, TableInfo] = {}
 
     # ------------------------------------------------------------------
     # Tables
@@ -86,6 +93,18 @@ class Catalog:
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
+        dependents = sorted(
+            view_name
+            for view_name, view in self._matviews.items()
+            if name in view.deps
+        )
+        if dependents:
+            raise CatalogError(
+                f"cannot drop table {name!r}: materialized view"
+                f"{'s' if len(dependents) > 1 else ''} "
+                f"{', '.join(dependents)} depend"
+                f"{'' if len(dependents) > 1 else 's'} on it"
+            )
         del self._tables[name]
 
     def has_table(self, name: str) -> bool:
@@ -96,6 +115,8 @@ class Catalog:
 
     def info(self, name: str) -> TableInfo:
         info = self._tables.get(name)
+        if info is None:
+            info = self._matview_backings.get(name)
         if info is None:
             raise CatalogError(f"unknown table {name!r}")
         return info
@@ -147,6 +168,13 @@ class Catalog:
         for index in self.info(table).indexes.values():
             index.build()
 
+    def drop_index(self, index_name: str) -> None:
+        for info in self._tables.values():
+            if index_name in info.indexes:
+                del info.indexes[index_name]
+                return
+        raise CatalogError(f"unknown index {index_name!r}")
+
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
@@ -183,3 +211,47 @@ class Catalog:
 
     def view_names(self) -> List[str]:
         return sorted(self._views)
+
+    # ------------------------------------------------------------------
+    # Materialized views (records built by src/repro/views; the catalog
+    # stores them, routes insert notifications, and serves the backing
+    # tables through info()/table()/stats())
+    # ------------------------------------------------------------------
+
+    def register_materialized_view(
+        self, view: Any, backing_info: TableInfo
+    ) -> None:
+        name = view.name
+        if name in self._matviews or name in self._tables:
+            raise CatalogError(f"table or view {name!r} already exists")
+        self._matviews[name] = view
+        self._matview_backings[view.backing_name] = backing_info
+
+    def drop_materialized_view(self, name: str) -> None:
+        view = self._matviews.pop(name, None)
+        if view is None:
+            raise CatalogError(f"unknown materialized view {name!r}")
+        self._matview_backings.pop(view.backing_name, None)
+
+    def has_materialized_view(self, name: str) -> bool:
+        return name in self._matviews
+
+    def materialized_view(self, name: str) -> Any:
+        view = self._matviews.get(name)
+        if view is None:
+            raise CatalogError(f"unknown materialized view {name!r}")
+        return view
+
+    def materialized_views(self) -> List[Any]:
+        return [self._matviews[name] for name in sorted(self._matviews)]
+
+    def materialized_view_names(self) -> List[str]:
+        return sorted(self._matviews)
+
+    def record_insert(
+        self, table: str, rows: Sequence[Tuple[Any, ...]]
+    ) -> None:
+        """Tell every dependent materialized view about new base rows
+        (stale flag + delta log); called by the INSERT path."""
+        for view in self._matviews.values():
+            view.notify_insert(table, rows)

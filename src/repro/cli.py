@@ -2,12 +2,15 @@
 
 Run with ``python -m repro`` (add ``--demo`` to preload the paper's
 emp/dept example data, ``--stats`` to print the optimizer's search
-counters after every statement). Statements end with ``;``. Besides
-SQL, the shell understands a few backslash commands:
+counters after every statement, ``--no-view-rewrite`` to stop the
+optimizer answering queries from materialized views). Statements end
+with ``;``. Besides SQL, the shell understands a few backslash
+commands:
 
 =============== ====================================================
 ``\\d``          list tables and views
 ``\\d name``     describe one table (columns, keys, stats)
+``\\dv``         list materialized views (state, groups, deps)
 ``\\e [level]``  set the optimizer level (traditional/greedy/full)
 ``\\explain sql`` show the chosen plan without executing
 ``\\analyze sql`` run and show the plan with actual row counts
@@ -22,6 +25,7 @@ from typing import Iterable, List, Optional, TextIO
 
 from .db import OPTIMIZERS, Database
 from .errors import ReproError
+from .optimizer.options import OptimizerOptions
 from .workloads import EmpDeptConfig, build_empdept
 
 PROMPT = "repro> "
@@ -70,11 +74,17 @@ class Shell:
         database: Optional[Database] = None,
         out: TextIO = sys.stdout,
         show_stats: bool = False,
+        view_rewrite: bool = True,
     ):
         self.db = database or Database()
         self.out = out
         self.optimizer = "full"
         self.show_stats = show_stats
+        self.options: Optional[OptimizerOptions] = (
+            None
+            if view_rewrite
+            else OptimizerOptions(enable_view_rewrite=False)
+        )
 
     def write(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -107,6 +117,9 @@ class Shell:
             else:
                 self._list_relations()
             return True
+        if command == "\\dv":
+            self._list_materialized_views()
+            return True
         if command == "\\e":
             if argument:
                 if argument not in OPTIMIZERS:
@@ -123,21 +136,28 @@ class Shell:
             return True
         if command == "\\explain":
             result = self.db.query(
-                argument, optimizer=self.optimizer, execute=False
+                argument,
+                optimizer=self.optimizer,
+                options=self.options,
+                execute=False,
             )
             self.write(result.explain())
             self.write(f"estimated cost: {result.estimated_cost:.0f} page IOs")
             self._write_stats(result)
             return True
         if command == "\\analyze":
-            result = self.db.query(argument, optimizer=self.optimizer)
+            result = self.db.query(
+                argument, optimizer=self.optimizer, options=self.options
+            )
             self.write(result.explain(analyze=True))
             self.write(
                 f"estimated {result.estimated_cost:.0f} / executed "
                 f"{result.executed_io.total} page IOs"
             )
             return True
-        self.write(f"unknown command {command!r} (try \\d, \\e, \\i, \\q)")
+        self.write(
+            f"unknown command {command!r} (try \\d, \\dv, \\e, \\i, \\q)"
+        )
         return True
 
     def _run_script(self, path: str) -> None:
@@ -156,7 +176,9 @@ class Shell:
                 self.handle(statement)
 
     def _run_sql(self, sql: str) -> None:
-        result = self.db.execute(sql, optimizer=self.optimizer)
+        result = self.db.execute(
+            sql, optimizer=self.optimizer, options=self.options
+        )
         if result is None:
             self.write("ok")
             return
@@ -193,6 +215,7 @@ class Shell:
     def _list_relations(self) -> None:
         tables = self.db.catalog.table_names()
         views = self.db.catalog.view_names()
+        materialized = set(self.db.catalog.materialized_view_names())
         if not tables and not views:
             self.write("no tables (start with --demo for sample data)")
         for name in tables:
@@ -202,7 +225,18 @@ class Shell:
                 f"{table.num_pages} pages)"
             )
         for name in views:
-            self.write(f"view {name}")
+            if name in materialized:
+                self.write(f"materialized view {name}")
+            else:
+                self.write(f"view {name}")
+
+    def _list_materialized_views(self) -> None:
+        views = self.db.catalog.materialized_views()
+        if not views:
+            self.write("no materialized views")
+            return
+        for view in views:
+            self.write(view.describe())
 
     def _describe_table(self, name: str) -> None:
         if not self.db.catalog.has_table(name):
@@ -270,15 +304,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     database = None
     show_stats = False
+    view_rewrite = True
     if "--demo" in argv:
         argv.remove("--demo")
         database = make_demo_database()
     if "--stats" in argv:
         argv.remove("--stats")
         show_stats = True
+    if "--no-view-rewrite" in argv:
+        argv.remove("--no-view-rewrite")
+        view_rewrite = False
     if argv:
         print(f"unknown arguments: {argv}", file=sys.stderr)
-        print("usage: python -m repro [--demo] [--stats]", file=sys.stderr)
+        print(
+            "usage: python -m repro [--demo] [--stats] [--no-view-rewrite]",
+            file=sys.stderr,
+        )
         return 2
-    Shell(database, show_stats=show_stats).run(sys.stdin)
+    Shell(database, show_stats=show_stats, view_rewrite=view_rewrite).run(
+        sys.stdin
+    )
     return 0

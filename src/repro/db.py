@@ -58,6 +58,34 @@ _TYPE_NAMES = {
     "date": DataType.DATE,
 }
 
+def _derive_view_columns(view_name: str, body) -> List[str]:
+    """Output column names for CREATE MATERIALIZED VIEW: the AS alias,
+    else the bare column name, else ``func_arg`` for aggregates."""
+    from .algebra.expressions import ColumnRef
+    from .sql.ast import AggregateExpr
+
+    names: List[str] = []
+    for position, item in enumerate(body.select_items):
+        name = item.output_name
+        expression = item.expression
+        if name is None and isinstance(expression, ColumnRef):
+            name = expression.name
+        if name is None and isinstance(expression, AggregateExpr):
+            if isinstance(expression.arg, ColumnRef):
+                name = f"{expression.func_name}_{expression.arg.name}"
+            else:
+                name = expression.func_name
+        if name is None:
+            name = f"column_{position}"
+        if name in names:
+            raise CatalogError(
+                f"materialized view {view_name!r} has duplicate output "
+                f"column {name!r}; disambiguate with AS aliases"
+            )
+        names.append(name)
+    return names
+
+
 OPTIMIZERS = ("full", "greedy", "traditional")
 """Available optimizer levels.
 
@@ -130,8 +158,13 @@ class Database:
         self.catalog.create_table(name, resolved, primary_key=primary_key)
 
     def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> None:
-        self.catalog.table(table).insert_many(rows)
+        heap = self.catalog.table(table)
+        before = heap.num_rows
+        heap.insert_many(rows)
         self.catalog.rebuild_indexes(table)
+        # Dependent materialized views go stale and log the delta; the
+        # canonical (validated) row forms are what the table stored.
+        self.catalog.record_insert(table, heap.rows[before:])
 
     def create_index(
         self, index_name: str, table: str, columns: Sequence[str]
@@ -161,6 +194,50 @@ class Database:
             ),
         )
 
+    def create_materialized_view(self, name: str, body_sql: str):
+        """Create and populate a materialized aggregate view; it is also
+        registered as a logical view, so queries reference it by name.
+        Returns the populate's :class:`~repro.views.maintain.MaintenanceReport`."""
+        from .views.maintain import create_materialized_view
+
+        if (
+            self.catalog.has_table(name)
+            or self.catalog.has_view(name)
+            or self.catalog.has_materialized_view(name)
+        ):
+            raise CatalogError(f"table or view {name!r} already exists")
+        body = parse_select(body_sql)
+        definition = ViewDefAst(
+            name=name,
+            column_names=tuple(_derive_view_columns(name, body)),
+            body=body,
+        )
+        view, report = create_materialized_view(
+            self.catalog, self.io, self.params, definition
+        )
+        self.catalog.register_view(name, definition)
+        self.catalog.register_materialized_view(view, view.backing_info)
+        return report
+
+    def refresh_materialized_view(self, name: str, mode: str = "auto"):
+        """Freshen one view: incremental merge when legal, full
+        recompute otherwise (``mode="full"`` forces the latter)."""
+        from .views.maintain import refresh_materialized_view
+
+        return refresh_materialized_view(
+            self.catalog, self.io, self.params, name, mode=mode
+        )
+
+    def drop_materialized_view(self, name: str) -> None:
+        self.catalog.drop_materialized_view(name)
+        self.catalog.drop_view(name)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def drop_index(self, name: str) -> None:
+        self.catalog.drop_index(name)
+
     def analyze(self) -> None:
         """Refresh statistics for all tables."""
         self.catalog.analyze_all()
@@ -178,8 +255,13 @@ class Database:
         """
         from .sql.ddl import (
             CreateIndexStmt,
+            CreateMaterializedViewStmt,
             CreateTableStmt,
+            DropIndexStmt,
+            DropMaterializedViewStmt,
+            DropTableStmt,
             InsertStmt,
+            RefreshMaterializedViewStmt,
             maybe_parse_ddl,
         )
 
@@ -197,6 +279,21 @@ class Database:
             self.create_index(
                 statement.name, statement.table, list(statement.columns)
             )
+            return None
+        if isinstance(statement, CreateMaterializedViewStmt):
+            self.create_materialized_view(statement.name, statement.body_sql)
+            return None
+        if isinstance(statement, RefreshMaterializedViewStmt):
+            self.refresh_materialized_view(statement.name)
+            return None
+        if isinstance(statement, DropMaterializedViewStmt):
+            self.drop_materialized_view(statement.name)
+            return None
+        if isinstance(statement, DropTableStmt):
+            self.drop_table(statement.name)
+            return None
+        if isinstance(statement, DropIndexStmt):
+            self.drop_index(statement.name)
             return None
         assert isinstance(statement, InsertStmt)
         self.insert(statement.table, list(statement.rows))
@@ -226,13 +323,21 @@ class Database:
         optimizer: str = "full",
         options: Optional[OptimizerOptions] = None,
     ) -> OptimizationResult:
+        self._refresh_relevant_views(query, options)
         if optimizer == "traditional":
-            return optimize_traditional(query, self.catalog, self.params)
+            return optimize_traditional(
+                query, self.catalog, self.params, options=options
+            )
         if optimizer == "greedy":
             greedy_options = OptimizerOptions(
                 enable_pullup=False,
                 enable_invariant_split=False,
                 enable_pushdown=True,
+                enable_view_rewrite=(
+                    options.enable_view_rewrite
+                    if options is not None
+                    else True
+                ),
             )
             return optimize_query(
                 query, self.catalog, self.params, greedy_options
@@ -242,6 +347,25 @@ class Database:
         raise ReproError(
             f"unknown optimizer {optimizer!r} (choose from {OPTIMIZERS})"
         )
+
+    def _refresh_relevant_views(
+        self,
+        query: CanonicalQuery,
+        options: Optional[OptimizerOptions],
+    ) -> None:
+        """Lazy refresh on first stale read: before optimizing, freshen
+        stale decomposable views whose base tables the query touches, so
+        the matcher sees (and costs) up-to-date backing tables."""
+        if options is not None and not options.enable_view_rewrite:
+            return
+        if not self.catalog.materialized_view_names():
+            return
+        from .views.maintain import refresh_stale_views
+
+        tables = {ref.table for ref in query.base_tables}
+        for view in query.views:
+            tables.update(ref.table for ref in view.block.relations)
+        refresh_stale_views(self.catalog, self.io, self.params, tables)
 
     def execute_plan(self, plan: PlanNode) -> Tuple[Result, IOSnapshot]:
         """Execute an annotated plan, returning rows and its IO delta."""

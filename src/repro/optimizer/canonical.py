@@ -38,6 +38,8 @@ from ..errors import PlanError
 from ..transforms.invariant import split_view
 from ..transforms.propagate import propagate_predicates
 from ..transforms.pullup import pull_up
+from ..views.matcher import match_view
+from ..views.rewrite import build_rewrite_plan
 from .block import BaseLeaf, BlockOptimizer, DerivedLeaf, GroupingSpec, Leaf
 from .joingraph import JoinGraph
 from .options import OptimizerOptions
@@ -87,6 +89,33 @@ def _query_spec(query: CanonicalQuery) -> Optional[GroupingSpec]:
     )
 
 
+def _maybe_rewrite_block(
+    block: QueryBlock, plan: PlanNode, optimizer: BlockOptimizer
+) -> PlanNode:
+    """Cost-based adoption of materialized-view rewrites: each legal
+    match (``views.matcher``) yields an alternative backing-table plan
+    for the same block (``views.rewrite``), kept only if cheaper under
+    the cost model — the rewrite is an extra leaf alternative, never a
+    forced substitution."""
+    if not optimizer.options.enable_view_rewrite:
+        return plan
+    views = optimizer.catalog.materialized_views()
+    if not views:
+        return plan
+    best = plan
+    for view in views:
+        match = match_view(block, view)
+        if match is None:
+            continue
+        optimizer.stats.view_rewrites_considered += 1
+        candidate = build_rewrite_plan(match, block, optimizer.model)
+        if candidate.props.cost < best.props.cost:
+            best = candidate
+    if best is not plan:
+        optimizer.stats.view_rewrites_adopted += 1
+    return best
+
+
 def _optimize_view(
     view: AggregateView, optimizer: BlockOptimizer
 ) -> DerivedLeaf:
@@ -98,6 +127,7 @@ def _optimize_view(
         spec=_block_spec(block),
         select=block.select,
     )
+    plan = _maybe_rewrite_block(block, plan, optimizer)
     rename = RenameNode(
         plan,
         [
@@ -122,6 +152,18 @@ def _optimize_outer(
         spec=_query_spec(query),
         select=query.select,
     )
+    if not derived and query.base_tables and query.is_grouped:
+        # A grouped query over base tables only is itself a candidate
+        # for answering from a materialized view.
+        outer_block = QueryBlock(
+            relations=query.base_tables,
+            predicates=query.predicates,
+            group_by=query.group_by,
+            aggregates=query.aggregates,
+            having=query.having,
+            select=query.select,
+        )
+        plan = _maybe_rewrite_block(outer_block, plan, optimizer)
     return _apply_presentation(plan, query, optimizer)
 
 
@@ -147,18 +189,26 @@ def optimize_traditional(
     catalog: Catalog,
     params: Optional[CostParams] = None,
     propagate: bool = True,
+    options: Optional[OptimizerOptions] = None,
 ) -> OptimizationResult:
     """The Section 5.1 baseline: local view optimization, then a linear
     join order treating the views as base relations, group-bys last.
 
     Predicate propagation across blocks runs first — the paper's
     premise is that traditional optimizers already do that much
-    ([MFPR90, LMS94], Section 1); ``propagate=False`` ablates it."""
+    ([MFPR90, LMS94], Section 1); ``propagate=False`` ablates it.
+    Only the ``enable_view_rewrite`` knob is honored from *options*:
+    the rest of the baseline's behavior is fixed by definition."""
     if propagate:
         query = propagate_predicates(query)
     stats = SearchStats()
+    baseline_options = OptimizerOptions(
+        enable_view_rewrite=(
+            options.enable_view_rewrite if options is not None else True
+        )
+    )
     optimizer = BlockOptimizer(
-        catalog, params, OptimizerOptions(), mode="traditional", stats=stats
+        catalog, params, baseline_options, mode="traditional", stats=stats
     )
     derived = [_optimize_view(view, optimizer) for view in query.views]
     plan = _optimize_outer(query, derived, optimizer)
@@ -319,7 +369,7 @@ def optimize_query(
     assert best_plan is not None
 
     # Guarantee: never worse than the traditional optimizer.
-    traditional = optimize_traditional(query, catalog, params)
+    traditional = optimize_traditional(query, catalog, params, options=options)
     stats.merge(traditional.stats)
     if traditional.cost < best_plan.props.cost:
         best_plan = traditional.plan
@@ -387,6 +437,7 @@ def _shared_view_plans(
     leaves: Dict[Tuple[str, Tuple[str, ...]], DerivedLeaf] = {}
     for pulled, plan in plans.items():
         block = per_request_blocks[pulled]
+        plan = _maybe_rewrite_block(block, plan, optimizer)
         rename = RenameNode(
             plan,
             [(view_alias, name, (None, name)) for name, _ in block.select],

@@ -56,6 +56,12 @@ class OptimizerOptions:
     grouping-column view outputs inside the view. The paper assumes
     every optimizer does this; off only for the propagation ablation."""
 
+    enable_view_rewrite: bool = True
+    """Consider answering blocks from materialized aggregate views
+    (Cohen & Nutt-style matching + coalescing rewrite); each rewrite is
+    adopted only when cheaper under the cost model. ``--no-view-rewrite``
+    in the CLI and the differential tests turn this off."""
+
     def __post_init__(self) -> None:
         if self.k_level < 0:
             raise ValueError("k_level must be non-negative")

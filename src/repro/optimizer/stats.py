@@ -36,6 +36,12 @@ class SearchStats:
     predicate_split_cache_hits: int = 0
     """Joins whose per-(subset, alias) predicate classification was
     served from the memo instead of re-scanning every predicate."""
+    view_rewrites_considered: int = 0
+    """Materialized-view rewrites that matched a block (legal answers
+    from a backing table) and were costed as alternative plans."""
+    view_rewrites_adopted: int = 0
+    """Blocks whose final plan reads a materialized view's backing
+    table because it costed cheaper than the computed plan."""
     timings: Dict[str, float] = field(default_factory=dict)
     """Per-phase elapsed seconds (``leaf_plans``, ``dp``, ``finalize``)."""
 

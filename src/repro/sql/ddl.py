@@ -1,4 +1,5 @@
-"""DDL and DML statements: CREATE TABLE / CREATE INDEX / INSERT.
+"""DDL and DML statements: CREATE/DROP TABLE, CREATE/DROP INDEX,
+INSERT, and the materialized-view statements.
 
 The paper's scope is query optimization, so the data-definition layer
 is deliberately small: enough to build and populate a database from SQL
@@ -12,10 +13,19 @@ Grammar::
     create_index := CREATE INDEX name ON table "(" names ")"
     insert       := INSERT INTO name VALUES row ("," row)*
     row          := "(" literal ("," literal)* ")"
+    create_mview := CREATE MATERIALIZED VIEW name AS select
+    refresh      := REFRESH MATERIALIZED VIEW name
+    drop         := DROP (TABLE | INDEX | MATERIALIZED VIEW) name
+
+CREATE MATERIALIZED VIEW is split by a regular expression rather than
+the token stream: everything after AS is handed to the SELECT parser
+verbatim (the lexer drops absolute offsets, so re-slicing tokens would
+lose the original spelling).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
@@ -54,16 +64,71 @@ class InsertStmt:
     rows: Tuple[Tuple[Any, ...], ...]
 
 
-DdlStatement = object  # union of the three statement dataclasses
+@dataclass(frozen=True)
+class CreateMaterializedViewStmt:
+    """Parsed CREATE MATERIALIZED VIEW name AS <select>.
+
+    The body stays SQL text; binding happens against the catalog when
+    the statement executes (the view subsystem owns that)."""
+
+    name: str
+    body_sql: str
+
+
+@dataclass(frozen=True)
+class RefreshMaterializedViewStmt:
+    """Parsed REFRESH MATERIALIZED VIEW name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropMaterializedViewStmt:
+    """Parsed DROP MATERIALIZED VIEW name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropTableStmt:
+    """Parsed DROP TABLE name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DropIndexStmt:
+    """Parsed DROP INDEX name."""
+
+    name: str
+
+
+DdlStatement = object  # union of the statement dataclasses
+
+_MATVIEW_RE = re.compile(
+    r"create\s+materialized\s+view\s+(?P<name>[A-Za-z_]\w*)\s+as\s+"
+    r"(?P<body>.+)\Z",
+    re.IGNORECASE | re.DOTALL,
+)
 
 
 def maybe_parse_ddl(sql: str) -> Optional[DdlStatement]:
     """Parse *sql* as a DDL/DML statement, or return None if it does
-    not start with CREATE/INSERT (i.e. it is a query)."""
+    not start with CREATE/INSERT/DROP/REFRESH (i.e. it is a query)."""
     head = sql.lstrip().lower()
-    if head.startswith("create") or head.startswith("insert"):
-        return _DdlParser(tokenize(sql)).parse()
-    return None
+    if not (
+        head.startswith("create")
+        or head.startswith("insert")
+        or head.startswith("drop")
+        or head.startswith("refresh")
+    ):
+        return None
+    matview = _MATVIEW_RE.match(sql.strip())
+    if matview is not None:
+        return CreateMaterializedViewStmt(
+            name=matview.group("name"), body_sql=matview.group("body")
+        )
+    return _DdlParser(tokenize(sql)).parse()
 
 
 class _DdlParser:
@@ -135,7 +200,38 @@ class _DdlParser:
                 return self._create_table()
             if self.accept_word("index"):
                 return self._create_index()
-            raise self.error("expected TABLE or INDEX after CREATE")
+            if self.accept_word("materialized"):
+                # The regex in maybe_parse_ddl handles the well-formed
+                # statement; reaching here means a malformed one.
+                raise self.error(
+                    "expected CREATE MATERIALIZED VIEW <name> AS <select>"
+                )
+            raise self.error(
+                "expected TABLE, INDEX, or MATERIALIZED VIEW after CREATE"
+            )
+        if self.accept_word("drop"):
+            if self.accept_word("table"):
+                name = self.expect_name()
+                self.expect_eof()
+                return DropTableStmt(name=name)
+            if self.accept_word("index"):
+                name = self.expect_name()
+                self.expect_eof()
+                return DropIndexStmt(name=name)
+            if self.accept_word("materialized"):
+                self.expect_word("view")
+                name = self.expect_name()
+                self.expect_eof()
+                return DropMaterializedViewStmt(name=name)
+            raise self.error(
+                "expected TABLE, INDEX, or MATERIALIZED VIEW after DROP"
+            )
+        if self.accept_word("refresh"):
+            self.expect_word("materialized")
+            self.expect_word("view")
+            name = self.expect_name()
+            self.expect_eof()
+            return RefreshMaterializedViewStmt(name=name)
         self.expect_word("insert")
         self.expect_word("into")
         return self._insert()

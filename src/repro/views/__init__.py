@@ -1,0 +1,11 @@
+"""Materialized aggregate views: registry, matching, rewrite, and
+incremental maintenance.
+
+Kept import-light on purpose: ``optimizer.canonical`` pulls in
+``matcher``/``rewrite`` and ``db`` pulls in ``maintain``; importing the
+heavy modules here would close an import cycle through the optimizer.
+"""
+
+from .registry import MaterializedView, backing_table_name
+
+__all__ = ["MaterializedView", "backing_table_name"]

@@ -1,0 +1,117 @@
+"""Materialized-view records: what the catalog stores per view.
+
+A :class:`MaterializedView` ties together the view's bound definition,
+the backing heap table holding its *partial* aggregates, the base-table
+dependency set, and the staleness bookkeeping (an epoch counter plus a
+per-base-table delta log) that drives incremental maintenance.
+
+The backing table stores one row per group: the grouping columns first
+(in GROUP BY order), then one column per partial aggregate from
+``decompose_aggregates`` — e.g. an AVG view stores ``(key..., sum,
+count)``, never the finished average. Storing partials is what makes
+both rewrite-time coalescing (re-grouping to a coarser grain) and
+merge-based incremental refresh possible. Views whose aggregates do not
+decompose (holistic, e.g. MEDIAN) store finished values instead and are
+flagged by ``partials is None``; they can be refreshed (always fully)
+but never answer queries through the rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..algebra.aggregates import AggregateCall
+from ..algebra.expressions import Expression
+from ..algebra.query import QueryBlock
+from ..catalog.catalog import TableInfo
+
+BACKING_PREFIX = "__mv__"
+"""Backing tables live under this reserved prefix; the catalog resolves
+them for scans and statistics but keeps them out of ``table_names()``."""
+
+
+def backing_table_name(view_name: str) -> str:
+    return BACKING_PREFIX + view_name
+
+
+@dataclass
+class MaterializedView:
+    """One materialized aggregate view registered in the catalog."""
+
+    name: str
+    definition: Any
+    """The ``ViewDefAst`` (opaque here; the binder owns its meaning)."""
+    block: QueryBlock
+    """The bound definition. Relation aliases are uniquified to
+    ``{name}__{inner_alias}`` by ``Binder.bind_view_block``, the same
+    spelling queries get when they reference the view by name — so the
+    matcher's common case is an exact alias match."""
+    key_columns: Tuple[Tuple[str, Any], ...]
+    """``(backing_column, group_ref)`` per GROUP BY item, in order."""
+    partials: Optional[Tuple[Tuple[str, AggregateCall], ...]]
+    """``(backing_column, partial_call)`` per decomposed partial, or
+    ``None`` when some aggregate is holistic."""
+    coalescers: Tuple[Tuple[str, str], ...]
+    """``(backing_column, coalescer_function)`` aligned with
+    ``partials`` — how two partial values for the same group merge."""
+    value_columns: Tuple[str, ...]
+    """Holistic fallback: finished-aggregate column names (empty when
+    ``partials`` is set)."""
+    backing_info: TableInfo
+    """The stored table (plus lazily computed statistics) the catalog
+    serves under :func:`backing_table_name`."""
+    deps: FrozenSet[str]
+    """Base tables the view reads; inserts into any of them stale it."""
+    spec_aggregates: Tuple[Tuple[str, AggregateCall], ...]
+    """Aggregate list for the populate/refresh plan: partial calls when
+    decomposable, the original calls otherwise."""
+    backing_select: Tuple[Tuple[str, Expression], ...]
+    """Select list producing backing-table rows from the grouped plan."""
+    epoch: int = 0
+    fresh_epoch: int = 0
+    deltas: Dict[str, List[Tuple[Any, ...]]] = dataclass_field(
+        default_factory=dict
+    )
+
+    @property
+    def backing_name(self) -> str:
+        return backing_table_name(self.name)
+
+    @property
+    def stale(self) -> bool:
+        return self.epoch > self.fresh_epoch
+
+    @property
+    def is_decomposable(self) -> bool:
+        return self.partials is not None
+
+    def notify_insert(self, table: str, rows: Sequence[Tuple[Any, ...]]) -> None:
+        """Record base-table inserts: bump the epoch and log the delta."""
+        if table not in self.deps or not rows:
+            return
+        self.epoch += 1
+        self.deltas.setdefault(table, []).extend(
+            tuple(row) for row in rows
+        )
+
+    def mark_fresh(self) -> None:
+        """After a refresh: drop the delta log and catch the epoch up."""
+        self.fresh_epoch = self.epoch
+        self.deltas.clear()
+        self.invalidate_backing_stats()
+
+    def invalidate_backing_stats(self) -> None:
+        """Force statistics recomputation even when the refresh left the
+        row count unchanged (``TableInfo.stats`` only watches counts)."""
+        self.backing_info._stats = None
+        self.backing_info._stats_row_count = -1
+
+    def describe(self) -> str:
+        kind = "decomposable" if self.is_decomposable else "holistic"
+        state = "stale" if self.stale else "fresh"
+        return (
+            f"materialized view {self.name} ({kind}, {state}, "
+            f"{self.backing_info.table.num_rows} groups, "
+            f"deps: {', '.join(sorted(self.deps))})"
+        )

@@ -113,3 +113,48 @@ class TestExecute:
         text = out.getvalue()
         assert text.count("ok") >= 2
         assert "(2 rows)" in text
+
+
+class TestDrop:
+    def test_drop_table_parse(self):
+        from repro.sql.ddl import DropIndexStmt, DropTableStmt
+
+        assert maybe_parse_ddl("DROP TABLE emp") == DropTableStmt(name="emp")
+        assert maybe_parse_ddl("drop index i1") == DropIndexStmt(name="i1")
+
+    def test_drop_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            maybe_parse_ddl("drop table emp cascade")
+        with pytest.raises(SqlSyntaxError):
+            maybe_parse_ddl("drop")
+
+    def test_drop_table_lifecycle(self):
+        db = Database()
+        db.execute("create table t (a int)")
+        db.execute("insert into t values (1)")
+        db.execute("drop table t")
+        assert not db.catalog.has_table("t")
+        # The name is reusable afterwards.
+        db.execute("create table t (b float)")
+        assert db.catalog.has_table("t")
+
+    def test_drop_unknown_table(self):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            Database().execute("drop table ghost")
+
+    def test_drop_index_lifecycle(self):
+        db = Database()
+        db.execute("create table t (k int primary key, g int)")
+        db.execute("create index t_g on t (g)")
+        db.execute("drop index t_g")
+        assert "t_g" not in db.catalog.info("t").indexes
+
+    def test_drop_unknown_index(self):
+        from repro.errors import CatalogError
+
+        db = Database()
+        db.execute("create table t (a int)")
+        with pytest.raises(CatalogError):
+            db.execute("drop index ghost")

@@ -1,0 +1,166 @@
+"""Differential harness: every query in a seeded corpus must return
+identical rows with view rewriting on and off.
+
+The corpus mixes query shapes that should rewrite (exact grouping,
+coalescing, residual filters, HAVING, view-by-name) with shapes that
+must stay on the base plan (non-group-column predicates, holistic
+aggregates, extra grouping columns), interleaved with inserts so the
+lazy-refresh path is exercised too. Soundness is "never wrong":
+whatever the matcher decides, the answer cannot change.
+"""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.optimizer.options import OptimizerOptions
+
+NO_REWRITE = OptimizerOptions(enable_view_rewrite=False)
+
+CORPUS_SEEDS = [3, 17, 42]
+
+QUERIES = [
+    # Rewritable: exact grouping, coalescing, residuals, having.
+    "select e.dno, sum(e.sal) as s from emp e group by e.dno",
+    "select e.dno, avg(e.sal) as a, count(e.eno) as n from emp e "
+    "group by e.dno",
+    "select e.dno, min(e.sal) as lo, max(e.sal) as hi from emp e "
+    "group by e.dno",
+    "select e.dno, stddev(e.sal) as sd from emp e group by e.dno",
+    "select e.dno, sum(e.sal) as s from emp e where e.dno < 5 "
+    "group by e.dno",
+    "select e.dno, count(e.age) as n from emp e group by e.dno "
+    "having count(e.eno) > 2",
+    "select e.dno, sum(e.sal) as s from emp e group by e.dno "
+    "having sum(e.sal) > 1000 and e.dno >= 1",
+    "select x.dno, avg(x.sal) as a from emp x where x.dno != 3 "
+    "group by x.dno",
+    # Coalescing over the finer-grained view.
+    "select e.age, sum(e.sal) as s from emp e group by e.age",
+    # View referenced by name.
+    "select m.dno, m.s from mv_sum m",
+    "select m.s from mv_sum m where m.dno < 4",
+    "select m.dno, m.a from mv_fine m where m.age > 30",
+    # Must NOT rewrite (and must still be right).
+    "select e.dno, sum(e.sal) as s from emp e where e.sal > 500 "
+    "group by e.dno",
+    "select e.dno, median(e.sal) as m from emp e group by e.dno",
+    "select e.dno, e.age, count(e.eno) as n from emp e "
+    "group by e.dno, e.age",
+    "select e.eno, e.sal from emp e where e.dno = 2",
+    # Join queries around the view's scope.
+    "select e.dno, sum(d.budget) as b from emp e, dept d "
+    "where e.dno = d.dno group by e.dno",
+]
+
+
+def build_corpus_db(seed):
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(
+        "emp",
+        [("eno", "int"), ("dno", "int"), ("sal", "float"), ("age", "int")],
+        primary_key=["eno"],
+    )
+    db.create_table(
+        "dept",
+        [("dno", "int"), ("budget", "float")],
+        primary_key=["dno"],
+    )
+    rows = rng.randint(300, 600)
+    dnos = rng.randint(5, 9)
+    db.insert(
+        "emp",
+        [
+            (
+                e,
+                rng.randrange(dnos),
+                float(rng.randint(100, 999)),
+                rng.randint(20, 60),
+            )
+            for e in range(rows)
+        ],
+    )
+    db.insert(
+        "dept",
+        [(d, float(rng.randint(1_000, 9_000))) for d in range(dnos)],
+    )
+    db.analyze()
+    db.create_materialized_view(
+        "mv_sum",
+        "select e.dno as dno, sum(e.sal) as s, count(e.eno) as n "
+        "from emp e group by e.dno",
+    )
+    db.create_materialized_view(
+        "mv_stats",
+        "select e.dno as dno, avg(e.sal) as a, min(e.sal) as lo, "
+        "max(e.sal) as hi, count(e.eno) as n, stddev(e.sal) as sd "
+        "from emp e group by e.dno",
+    )
+    db.create_materialized_view(
+        "mv_fine",
+        "select e.dno as dno, e.age as age, sum(e.sal) as s, "
+        "avg(e.sal) as a, count(e.eno) as n from emp e "
+        "group by e.dno, e.age",
+    )
+    return db, rng, dnos
+
+
+def assert_same_answer(db, sql, optimizer="full"):
+    on = db.query(sql, optimizer=optimizer)
+    off = db.query(sql, optimizer=optimizer, options=NO_REWRITE)
+    assert on.columns == off.columns, sql
+    assert sorted(map(repr, on.rows)) == sorted(map(repr, off.rows)), sql
+
+
+class TestRewriteDifferential:
+    @pytest.mark.parametrize("seed", CORPUS_SEEDS)
+    def test_corpus_matches_with_and_without_rewrite(self, seed):
+        db, rng, dnos = build_corpus_db(seed)
+        next_eno = 10_000
+        for round_number in range(3):
+            for sql in QUERIES:
+                assert_same_answer(db, sql)
+            # Mutate between rounds so lazy refresh has work to do.
+            delta = [
+                (
+                    next_eno + i,
+                    rng.randrange(dnos + 1),
+                    float(rng.randint(100, 999)),
+                    rng.randint(20, 60),
+                )
+                for i in range(rng.randint(5, 20))
+            ]
+            next_eno += len(delta)
+            db.insert("emp", delta)
+
+    @pytest.mark.parametrize("optimizer", ["traditional", "greedy"])
+    def test_corpus_under_other_optimizers(self, optimizer):
+        db, _, _ = build_corpus_db(CORPUS_SEEDS[0])
+        for sql in QUERIES:
+            assert_same_answer(db, sql, optimizer=optimizer)
+
+    def test_corpus_is_big_enough(self):
+        assert len(QUERIES) * len(CORPUS_SEEDS) * 3 >= 100
+
+
+class TestRewriteAgainstReference:
+    """The rewritten plans must also agree with the brute-force
+    evaluator, not just with the unrewritten optimizer."""
+
+    REFERENCE_QUERIES = [
+        "select e.dno, sum(e.sal) as s from emp e group by e.dno",
+        "select e.dno, avg(e.sal) as a, count(e.eno) as n from emp e "
+        "group by e.dno",
+        "select e.dno, sum(e.sal) as s from emp e where e.dno < 5 "
+        "group by e.dno",
+        "select e.age, sum(e.sal) as s from emp e group by e.age",
+    ]
+
+    def test_rewrites_match_reference(self):
+        db, _, _ = build_corpus_db(CORPUS_SEEDS[1])
+        for sql in self.REFERENCE_QUERIES:
+            expected = sorted(map(repr, db.reference(sql).rows))
+            actual = sorted(map(repr, db.query(sql).rows))
+            assert actual == expected, sql
