@@ -4,12 +4,18 @@ PYTHON ?= python
 
 .DEFAULT_GOAL := help
 
-.PHONY: help test bench bench-opt bench-exec bench-exec-smoke \
-	bench-views bench-views-smoke examples shell all
+FUZZ_SEEDS ?= 50
+FUZZ_PROFILE ?= default
+FUZZ_ARGS ?=
+
+.PHONY: help test fuzz fuzz-smoke bench bench-opt bench-exec \
+	bench-exec-smoke bench-views bench-views-smoke examples shell all
 
 help:
 	@echo "repro targets:"
 	@echo "  make test             run the test suite"
+	@echo "  make fuzz             differential fuzz run (FUZZ_SEEDS, FUZZ_PROFILE)"
+	@echo "  make fuzz-smoke       bounded fuzz smoke for CI (~60s, fixed seeds)"
 	@echo "  make bench            run pytest-benchmark suites"
 	@echo "  make bench-opt        optimizer scaling -> BENCH_optimizer_scaling.json"
 	@echo "  make bench-exec       executor throughput -> BENCH_executor.json"
@@ -21,6 +27,14 @@ help:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seeds $(FUZZ_SEEDS) \
+		--profile $(FUZZ_PROFILE) --report FUZZ_report.json $(FUZZ_ARGS)
+
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seeds 30 --profile smoke \
+		--duration 60 --quiet --report FUZZ_report.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

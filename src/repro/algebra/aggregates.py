@@ -132,7 +132,8 @@ class _CountAccumulator(Accumulator):
         self.count = 0
 
     def add(self, value: object) -> None:
-        self.count += 1
+        if value is not None:  # COUNT skips NULLs; COUNT(*) feeds True
+            self.count += 1
 
     def merge(self, other: Accumulator) -> None:
         assert isinstance(other, _CountAccumulator)
@@ -148,6 +149,8 @@ class _SumAccumulator(Accumulator):
         self.seen = False
 
     def add(self, value: object) -> None:
+        if value is None:
+            return
         self.total += value  # type: ignore[operator]
         self.seen = True
 
@@ -159,7 +162,7 @@ class _SumAccumulator(Accumulator):
 
     def value(self) -> object:
         if not self.seen:
-            raise PlanError("SUM over an empty group (no NULLs in scope)")
+            return None  # SQL: SUM over no non-NULL input is NULL
         return self.total
 
 
@@ -169,6 +172,8 @@ class _AvgAccumulator(Accumulator):
         self.count = 0
 
     def add(self, value: object) -> None:
+        if value is None:
+            return
         self.total += value  # type: ignore[operator]
         self.count += 1
 
@@ -179,7 +184,7 @@ class _AvgAccumulator(Accumulator):
 
     def value(self) -> object:
         if not self.count:
-            raise PlanError("AVG over an empty group (no NULLs in scope)")
+            return None  # SQL: AVG over no non-NULL input is NULL
         return self.total / self.count
 
 
@@ -190,6 +195,8 @@ class _MinMaxAccumulator(Accumulator):
         self.seen = False
 
     def add(self, value: object) -> None:
+        if value is None:
+            return
         if not self.seen:
             self.best = value
             self.seen = True
@@ -203,7 +210,7 @@ class _MinMaxAccumulator(Accumulator):
 
     def value(self) -> object:
         if not self.seen:
-            raise PlanError("MIN/MAX over an empty group (no NULLs in scope)")
+            return None  # SQL: MIN/MAX over no non-NULL input is NULL
         return self.best
 
 
@@ -216,6 +223,8 @@ class _StddevAccumulator(Accumulator):
         self.total_sq = 0.0
 
     def add(self, value: object) -> None:
+        if value is None:
+            return
         self.count += 1
         self.total += value  # type: ignore[operator]
         self.total_sq += value * value  # type: ignore[operator]
@@ -228,7 +237,7 @@ class _StddevAccumulator(Accumulator):
 
     def value(self) -> object:
         if not self.count:
-            raise PlanError("STDDEV over an empty group")
+            return None  # SQL: no non-NULL input makes the result NULL
         mean = self.total / self.count
         variance = max(0.0, self.total_sq / self.count - mean * mean)
         return math.sqrt(variance)
@@ -242,6 +251,8 @@ class _MedianAccumulator(Accumulator):
         self.values: List = []
 
     def add(self, value: object) -> None:
+        if value is None:
+            return
         self.values.append(value)
 
     def merge(self, other: Accumulator) -> None:
@@ -250,7 +261,7 @@ class _MedianAccumulator(Accumulator):
 
     def value(self) -> object:
         if not self.values:
-            raise PlanError("MEDIAN over an empty group")
+            return None  # SQL: no non-NULL input makes the result NULL
         ordered = sorted(self.values)
         middle = len(ordered) // 2
         if len(ordered) % 2:

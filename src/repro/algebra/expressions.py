@@ -149,13 +149,25 @@ class Literal(Expression):
         return hash(("lit", self.value))
 
 
-_COMPARISON_OPS: Dict[str, Callable[[Any, Any], bool]] = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
+def _null_guarded(op: Callable[[Any, Any], bool]) -> Callable[[Any, Any], Any]:
+    """SQL comparison semantics: any NULL operand makes the result
+    UNKNOWN (represented as ``None``), never True or False."""
+
+    def compare(a: Any, b: Any) -> Any:
+        if a is None or b is None:
+            return None
+        return op(a, b)
+
+    return compare
+
+
+_COMPARISON_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "=": _null_guarded(lambda a, b: a == b),
+    "!=": _null_guarded(lambda a, b: a != b),
+    "<": _null_guarded(lambda a, b: a < b),
+    "<=": _null_guarded(lambda a, b: a <= b),
+    ">": _null_guarded(lambda a, b: a > b),
+    ">=": _null_guarded(lambda a, b: a >= b),
 }
 
 COMPARISON_FLIP = {
@@ -230,7 +242,19 @@ class And(Expression):
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
         bound = [item.bind(schema) for item in self.items]
-        return lambda row: all(check(row) for check in bound)
+
+        def evaluate(row: Tuple[Any, ...]) -> Any:
+            # Kleene AND: False dominates, else UNKNOWN (None) sticks.
+            unknown = False
+            for check in bound:
+                value = check(row)
+                if value is None:
+                    unknown = True
+                elif not value:
+                    return False
+            return None if unknown else True
+
+        return evaluate
 
     def dtype(self, schema: RowSchema) -> DataType:
         return DataType.BOOL
@@ -266,7 +290,19 @@ class Or(Expression):
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
         bound = [item.bind(schema) for item in self.items]
-        return lambda row: any(check(row) for check in bound)
+
+        def evaluate(row: Tuple[Any, ...]) -> Any:
+            # Kleene OR: True dominates, else UNKNOWN (None) sticks.
+            unknown = False
+            for check in bound:
+                value = check(row)
+                if value is None:
+                    unknown = True
+                elif value:
+                    return True
+            return None if unknown else False
+
+        return evaluate
 
     def dtype(self, schema: RowSchema) -> DataType:
         return DataType.BOOL
@@ -297,7 +333,12 @@ class Not(Expression):
 
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
         bound = self.item.bind(schema)
-        return lambda row: not bound(row)
+
+        def evaluate(row: Tuple[Any, ...]) -> Any:
+            value = bound(row)  # NOT UNKNOWN stays UNKNOWN (Kleene)
+            return None if value is None else not value
+
+        return evaluate
 
     def dtype(self, schema: RowSchema) -> DataType:
         return DataType.BOOL
@@ -315,12 +356,63 @@ class Not(Expression):
         return hash(("not", self.item))
 
 
+def _null_arith(op: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """SQL arithmetic: any NULL operand makes the result NULL."""
+
+    def apply(a: Any, b: Any) -> Any:
+        if a is None or b is None:
+            return None
+        return op(a, b)
+
+    return apply
+
+
 _ARITH_OPS: Dict[str, Callable[[Any, Any], Any]] = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "/": lambda a, b: a / b,
+    "+": _null_arith(lambda a, b: a + b),
+    "-": _null_arith(lambda a, b: a - b),
+    "*": _null_arith(lambda a, b: a * b),
+    "/": _null_arith(lambda a, b: a / b),
 }
+
+
+class IsNull(Expression):
+    """``expr IS NULL`` / ``expr IS NOT NULL`` — the only predicates
+    that are never UNKNOWN, so NULL-bearing rows stay reachable."""
+
+    __slots__ = ("item", "negate")
+
+    def __init__(self, item: Expression, negate: bool = False):
+        self.item = item
+        self.negate = negate
+
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
+        return self.item.columns()
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        bound = self.item.bind(schema)
+        if self.negate:
+            return lambda row: bound(row) is not None
+        return lambda row: bound(row) is None
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return DataType.BOOL
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return IsNull(self.item.substitute(mapping), self.negate)
+
+    def display(self) -> str:
+        suffix = "IS NOT NULL" if self.negate else "IS NULL"
+        return f"({self.item.display()} {suffix})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IsNull)
+            and self.item == other.item
+            and self.negate == other.negate
+        )
+
+    def __hash__(self) -> int:
+        return hash(("isnull", self.item, self.negate))
 
 
 class Arith(Expression):
@@ -398,7 +490,14 @@ class FuncCall(Expression):
     def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
         func = self.func
         bound = [arg.bind(schema) for arg in self.args]
-        return lambda row: func(*(evaluate(row) for evaluate in bound))
+
+        def evaluate(row: Tuple[Any, ...]) -> Any:
+            values = [e(row) for e in bound]
+            if any(value is None for value in values):
+                return None  # SQL scalar functions are NULL-propagating
+            return func(*values)
+
+        return evaluate
 
     def dtype(self, schema: RowSchema) -> DataType:
         return DataType.FLOAT

@@ -28,10 +28,16 @@ internal tuple id as a key" (Section 3). This is that tuple id.
 
 @dataclass(frozen=True)
 class Column:
-    """A column of a stored table."""
+    """A column of a stored table.
+
+    ``nullable`` is opt-in (``CREATE TABLE t (x int null)``): the paper
+    assumes a NULL-free database, so only explicitly nullable columns
+    accept NULL values.
+    """
 
     name: str
     dtype: DataType
+    nullable: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -299,9 +299,116 @@ class Shell:
         self.write("bye")
 
 
+def fuzz_main(argv: List[str]) -> int:
+    """``python -m repro fuzz`` — run the differential fuzz loop.
+
+    Exit codes: 0 clean, 1 divergences found, 2 bad arguments."""
+    import argparse
+    from pathlib import Path
+
+    from .testing import PROFILES, FuzzConfigError, run_fuzz
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description=(
+            "Differential fuzzing: generate seeded SQL scripts, replay "
+            "them across the plan-space config matrix, and compare every "
+            "query against the SQLite / reference oracles."
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=20,
+        help="number of consecutive seeds to run (default 20)",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed (default 0)",
+    )
+    parser.add_argument(
+        "--profile", default="default",
+        help=f"generation profile: {', '.join(sorted(PROFILES))}",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cap; stop starting new seeds after this long",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write the JSON run report to PATH",
+    )
+    parser.add_argument(
+        "--corpus", type=Path, default=None, metavar="DIR",
+        help="write shrunk repros for any divergence into DIR",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep full diverging scripts instead of delta-debugging",
+    )
+    parser.add_argument(
+        "--max-shrink-checks", type=int, default=200,
+        help="budget of re-checks per shrink session (default 200)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-seed progress output",
+    )
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as stop:
+        return int(stop.code or 0)
+
+    def progress(seed, check):
+        if options.quiet:
+            return
+        status = "ok" if check.ok else f"{len(check.divergences)} DIVERGENCES"
+        print(
+            f"seed {seed}: {check.queries_checked} queries "
+            f"x {check.configs_run} configs: {status}"
+        )
+
+    try:
+        report = run_fuzz(
+            seeds=options.seeds,
+            seed_base=options.seed_base,
+            profile=options.profile,
+            duration=options.duration,
+            corpus_dir=options.corpus,
+            shrink=not options.no_shrink,
+            max_shrink_checks=options.max_shrink_checks,
+            progress=progress,
+        )
+    except FuzzConfigError as error:
+        print(f"fuzz: {error}", file=sys.stderr)
+        return 2
+
+    if options.report is not None:
+        options.report.parent.mkdir(parents=True, exist_ok=True)
+        options.report.write_text(report.to_json() + "\n")
+    stopped = " (stopped by --duration)" if report.stopped_by_duration else ""
+    print(
+        f"fuzz[{report.profile}]: {report.seeds_run}/{report.seeds_planned} "
+        f"seeds, {report.queries_checked} queries across {report.configs} "
+        f"configs in {report.duration_seconds:.1f}s{stopped}"
+    )
+    if report.ok:
+        print("no divergences")
+        return 0
+    for record in report.divergences:
+        where = f" -> {record.corpus_path}" if record.corpus_path else ""
+        print(
+            f"DIVERGENCE seed={record.seed} kind={record.kind} "
+            f"config={record.config}: {record.detail} "
+            f"(shrunk {record.original_statements} -> "
+            f"{record.shrunk_statements} statements){where}"
+        )
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro``; ``--demo`` preloads emp/dept."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     database = None
     show_stats = False
     view_rewrite = True

@@ -29,15 +29,21 @@ class DataType(enum.Enum):
         """Physical width in bytes used for page-count estimation."""
         return _WIDTHS[self]
 
-    def validate(self, value: Any) -> Any:
+    def validate(self, value: Any, nullable: bool = False) -> Any:
         """Check *value* against this type, returning the canonical form.
 
-        Raises :class:`SchemaError` on a mismatch. ``None`` is rejected:
-        the paper assumes a NULL-free database (Section 2).
+        Raises :class:`SchemaError` on a mismatch. ``None`` is rejected
+        unless the column is declared *nullable*: the paper assumes a
+        NULL-free database (Section 2), so NULL-bearing columns are
+        opt-in (``CREATE TABLE t (x int null)``).
         """
         if value is None:
+            if nullable:
+                return None
             raise SchemaError(
-                "NULL values are outside the paper's scope (Section 2)"
+                "NULL in a NOT NULL column (declare the column with "
+                "NULL to allow it; the paper assumes a NULL-free "
+                "database, Section 2)"
             )
         checker = _CHECKERS[self]
         converted = checker(value)
@@ -92,6 +98,44 @@ _CHECKERS = {
     DataType.BOOL: _check_bool,
     DataType.DATE: _check_int,
 }
+
+
+class NullOrdered:
+    """Total-order wrapper placing NULL (None) before every value.
+
+    Python refuses ``None < 3``, but sort operators and merge joins must
+    order rows whose keys contain NULLs. SQL leaves NULL placement to
+    the implementation; NULLS FIRST is this engine's convention (it also
+    matches SQLite's default ASC ordering, which the differential oracle
+    relies on).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "NullOrdered") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return b is not None
+        if b is None:
+            return False
+        return a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullOrdered) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NullOrdered({self.value!r})"
+
+
+def null_ordered_key(values: Any) -> Any:
+    """A sort key for a tuple of possibly-NULL values (NULLS FIRST)."""
+    return tuple(NullOrdered(value) for value in values)
 
 
 def infer_type(value: Any) -> DataType:

@@ -139,12 +139,18 @@ class Database:
         name: str,
         columns: Sequence[Union[Column, Tuple[str, str]]],
         primary_key: Optional[Sequence[str]] = None,
+        nullable: Optional[Sequence[str]] = None,
     ) -> None:
         """Create a table. Columns are ``Column`` objects or
-        ``(name, type_name)`` pairs with types int/float/str/bool/date."""
+        ``(name, type_name)`` pairs with types int/float/str/bool/date.
+        Columns named in *nullable* accept NULL values (columns are
+        NOT NULL by default, matching the paper's NULL-free setting)."""
+        nullable_set = set(nullable or ())
         resolved: List[Column] = []
         for column in columns:
             if isinstance(column, Column):
+                if column.name in nullable_set and not column.nullable:
+                    column = Column(column.name, column.dtype, nullable=True)
                 resolved.append(column)
             else:
                 column_name, type_name = column
@@ -154,7 +160,13 @@ class Database:
                         f"unknown column type {type_name!r} "
                         f"(known: {sorted(_TYPE_NAMES)})"
                     )
-                resolved.append(Column(column_name, dtype))
+                resolved.append(
+                    Column(
+                        column_name,
+                        dtype,
+                        nullable=column_name in nullable_set,
+                    )
+                )
         self.catalog.create_table(name, resolved, primary_key=primary_key)
 
     def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> None:
@@ -247,6 +259,7 @@ class Database:
         sql: str,
         optimizer: str = "full",
         options: Optional[OptimizerOptions] = None,
+        engine: str = "batch",
     ) -> Optional[QueryResult]:
         """Run any supported statement.
 
@@ -267,12 +280,15 @@ class Database:
 
         statement = maybe_parse_ddl(sql)
         if statement is None:
-            return self.query(sql, optimizer=optimizer, options=options)
+            return self.query(
+                sql, optimizer=optimizer, options=options, engine=engine
+            )
         if isinstance(statement, CreateTableStmt):
             self.create_table(
                 statement.name,
                 list(statement.columns),
                 primary_key=list(statement.primary_key) or None,
+                nullable=list(statement.nullable) or None,
             )
             return None
         if isinstance(statement, CreateIndexStmt):
@@ -373,13 +389,23 @@ class Database:
         return result, delta
 
     def _execute_with_metrics(
-        self, plan: PlanNode
-    ) -> Tuple[Result, IOSnapshot, ExecutionMetrics]:
+        self, plan: PlanNode, engine: str = "batch"
+    ) -> Tuple[Result, IOSnapshot, Optional[ExecutionMetrics]]:
         context = ExecutionContext(self.catalog, self.io, self.params)
-        with self.io.measure() as span:
-            result = execute_plan(plan, context)
-        assert context.metrics is not None  # created by execute_plan
-        return result, span.delta, context.metrics
+        if engine == "batch":
+            with self.io.measure() as span:
+                result = execute_plan(plan, context)
+            assert context.metrics is not None  # created by execute_plan
+            return result, span.delta, context.metrics
+        if engine == "rowexec":
+            from .engine.rowexec import execute_plan_rows
+
+            with self.io.measure() as span:
+                result = execute_plan_rows(plan, context)
+            return result, span.delta, context.metrics
+        raise ReproError(
+            f"unknown engine {engine!r} (choose from 'batch', 'rowexec')"
+        )
 
     def query(
         self,
@@ -387,15 +413,23 @@ class Database:
         optimizer: str = "full",
         options: Optional[OptimizerOptions] = None,
         execute: bool = True,
+        engine: str = "batch",
     ) -> QueryResult:
-        """Bind, optimize, and (by default) execute one SQL query."""
+        """Bind, optimize, and (by default) execute one SQL query.
+
+        ``engine`` selects the executor: the streaming batch pipeline
+        (default) or the legacy row-at-a-time interpreter
+        (``"rowexec"``), which the differential tests cross-check.
+        """
         bound = self.bind(sql)
         optimization = self.optimize_bound(bound, optimizer, options)
         plan = optimization.plan
         columns = [field.display() for field in plan.schema]
         exec_metrics: Optional[ExecutionMetrics] = None
         if execute:
-            result, delta, exec_metrics = self._execute_with_metrics(plan)
+            result, delta, exec_metrics = self._execute_with_metrics(
+                plan, engine=engine
+            )
             rows = result.rows
             executed: Optional[IOSnapshot] = delta
         else:

@@ -21,6 +21,7 @@ from ..algebra.plan import (
     RenameNode,
     SortNode,
 )
+from ..datatypes import NullOrdered, null_ordered_key
 from ..storage.page import pages_for
 from .batch import BatchBuilder, RowBatch, filtered, keyer, projector
 from .context import ExecutionContext
@@ -124,7 +125,7 @@ def _hashed_groups_streamed(
                     accumulators = [make()]
                     table[key] = accumulators
                 accumulators[0].add(
-                    evaluate(row) if evaluate is not None else None
+                    evaluate(row) if evaluate is not None else True
                 )
     else:
         for batch in child_batches:
@@ -139,7 +140,7 @@ def _hashed_groups_streamed(
                     table[key] = accumulators
                 for accumulator, evaluate in zip(accumulators, arg_evaluators):
                     accumulator.add(
-                        evaluate(row) if evaluate is not None else None
+                        evaluate(row) if evaluate is not None else True
                     )
     metrics.rows_in = count
     return list(table.items()), count
@@ -153,8 +154,11 @@ def _sorted_groups(rows, key_of, arg_evaluators, functions):
     unsorted, which keeps hand-built plans usable in tests.
     """
     keyed = [(key_of(row), row) for row in rows]
-    if any(keyed[i][0] > keyed[i + 1][0] for i in range(len(keyed) - 1)):
-        keyed.sort(key=lambda pair: pair[0])
+    if any(
+        _order_key(keyed[i + 1][0]) < _order_key(keyed[i][0])
+        for i in range(len(keyed) - 1)
+    ):
+        keyed.sort(key=lambda pair: _order_key(pair[0]))
     groups = []
     current_key = None
     started = False
@@ -169,10 +173,17 @@ def _sorted_groups(rows, key_of, arg_evaluators, functions):
                 function.make_accumulator() for function in functions
             ]
         for accumulator, evaluate in zip(accumulators, arg_evaluators):
-            accumulator.add(evaluate(row) if evaluate is not None else None)
+            accumulator.add(evaluate(row) if evaluate is not None else True)
     if started:
         groups.append((current_key, accumulators))
     return groups
+
+
+def _order_key(key):
+    """NULL-safe ordering wrapper for a group key (scalar or tuple)."""
+    if type(key) is tuple:
+        return null_ordered_key(key)
+    return NullOrdered(key)
 
 
 def sort_batches(
@@ -216,8 +227,13 @@ def sort_batches(
             ),
         )
         # stable multi-pass sort: apply keys from least to most significant
+        # NullOrdered sorts NULLs first ascending (so last descending),
+        # matching SQLite's default NULL placement.
         for position, descending in reversed(key_specs):
-            rows.sort(key=lambda row: row[position], reverse=descending)
+            rows.sort(
+                key=lambda row: NullOrdered(row[position]),
+                reverse=descending,
+            )
         for start in range(0, len(rows), context.batch_size):
             yield rows[start : start + context.batch_size]
 

@@ -88,6 +88,17 @@ def _key_positions(
     return [schema.index_of(alias, name) for alias, name in keys]
 
 
+def _null_key(key: Any) -> bool:
+    """True when a join key (scalar or tuple) contains a SQL NULL.
+
+    NULL = NULL is unknown, so a NULL-keyed row can never satisfy an
+    equi-join; every join method drops such rows before matching (and
+    before sorting — NULL has no place in a total order)."""
+    if type(key) is tuple:
+        return None in key
+    return key is None
+
+
 def _collect(batches: Iterator[RowBatch]) -> List[Tuple[Any, ...]]:
     rows: List[Tuple[Any, ...]] = []
     for batch in batches:
@@ -127,7 +138,10 @@ def _hash_join_batches(
             out: RowBatch = []
             append = out.append
             for left_row in batch:
-                matches = lookup(left_key(left_row))
+                key = left_key(left_row)
+                if _null_key(key):
+                    continue
+                matches = lookup(key)
                 if matches is not None:
                     for right_row in matches:
                         append(left_row + right_row)
@@ -198,6 +212,8 @@ def _block_nlj_batches(
             if inner_keyed is not None:
                 for left_row in batch:
                     key = left_key(left_row)
+                    if _null_key(key):
+                        continue
                     for inner_key, inner_row in inner_keyed:
                         if key == inner_key:
                             append(left_row + inner_row)
@@ -297,9 +313,10 @@ def _index_nlj_batches(
             append = out.append
             for left_row in batch:
                 probes += 1
-                for inner_row in lookup(
-                    io, probe_key(left_row), include_rid=True
-                ):
+                probe = probe_key(left_row)
+                if None in probe:
+                    continue
+                for inner_row in lookup(io, probe, include_rid=True):
                     if checks and not all(
                         check(inner_row) for check in checks
                     ):
@@ -348,7 +365,10 @@ def _sort_merge_join_batches(
             (right_rows, plan.right, right_keys, right_key),
         ):
             order = getattr(child.props, "order", ()) if child.props else ()
-            if tuple(order[: len(keys)]) != tuple(keys):
+            needs_sort = tuple(order[: len(keys)]) != tuple(keys)
+            if needs_sort:
+                # Charge by the collected (pre-filter) page count so IO
+                # totals match the legacy executor's.
                 charge_spill(
                     context.io,
                     metrics,
@@ -356,6 +376,8 @@ def _sort_merge_join_batches(
                         pages_for(len(rows), child.schema.width), memory
                     ),
                 )
+            rows[:] = [row for row in rows if not _null_key(key_of(row))]
+            if needs_sort:
                 rows.sort(key=key_of)
             # pre-ordered inputs merge for free
 

@@ -18,6 +18,7 @@ from ..algebra.aggregates import Accumulator
 from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock
 from ..catalog.catalog import Catalog
 from ..catalog.schema import Field, RowSchema, table_row_schema
+from ..datatypes import NullOrdered
 from .context import Result
 
 
@@ -70,7 +71,10 @@ def evaluate_canonical(query: CanonicalQuery, catalog: Catalog) -> Result:
         rows = list(result.rows)
         for name, descending in reversed(query.order_by):
             position = result.schema.index_of(None, name)
-            rows.sort(key=lambda row: row[position], reverse=descending)
+            rows.sort(
+                key=lambda row: NullOrdered(row[position]),
+                reverse=descending,
+            )
         result = Result(schema=result.schema, rows=rows)
     if query.limit is not None:
         result = Result(
@@ -128,7 +132,7 @@ def _evaluate_over(
             groups[key] = accumulators
             order.append(key)
         for accumulator, evaluate in zip(accumulators, arg_evaluators):
-            accumulator.add(evaluate(row) if evaluate is not None else None)
+            accumulator.add(evaluate(row) if evaluate is not None else True)
 
     internal_fields = [schema.fields[p] for p in key_positions]
     internal_fields += [
@@ -179,7 +183,10 @@ def rows_equal_bag(
         if len(row_a) != len(row_b):
             return False
         for a, b in zip(row_a, row_b):
-            if isinstance(a, float) or isinstance(b, float):
+            if a is None or b is None:
+                if a is not b:
+                    return False
+            elif isinstance(a, float) or isinstance(b, float):
                 if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-9):
                     return False
             elif a != b:

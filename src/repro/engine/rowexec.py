@@ -28,6 +28,7 @@ from ..algebra.plan import (
     SortNode,
 )
 from ..catalog.schema import RowSchema, table_row_schema
+from ..datatypes import NullOrdered, null_ordered_key
 from ..errors import ExecutionError
 from .context import ExecutionContext, Result
 from .spill import (
@@ -178,6 +179,8 @@ def _block_nlj(
     rows: List[Tuple] = []
     for left_row in left.rows:
         left_key = tuple(left_row[p] for p in left_positions)
+        if None in left_key:
+            continue  # NULL keys never equi-join
         for right_row in right.rows:
             if left_key == tuple(right_row[p] for p in right_positions):
                 rows.append(left_row + right_row)
@@ -220,6 +223,8 @@ def _index_nlj(
     rows: List[Tuple] = []
     for left_row in left.rows:
         probe = tuple(left_row[p] for p in left_positions)
+        if None in probe:
+            continue  # NULL keys never equi-join
         for inner_row in index.lookup_rows(context.io, probe, include_rid=True):
             if all(check(inner_row) for check in checks):
                 projected = tuple(inner_row[p] for p in inner_positions)
@@ -251,6 +256,8 @@ def _hash_join(
     rows: List[Tuple] = []
     for left_row in left.rows:
         key = tuple(left_row[p] for p in left_positions)
+        if None in key:
+            continue  # NULL keys never equi-join
         for right_row in buckets.get(key, ()):
             rows.append(left_row + right_row)
     return rows
@@ -271,7 +278,19 @@ def _sort_merge_join(
     left_positions = _key_positions(plan.left.schema, left_keys)
     right_positions = _key_positions(plan.right.schema, right_keys)
 
-    left_rows, right_rows = left.rows, right.rows
+    # NULL-keyed rows never equi-join and have no place in the key
+    # order, so both sides drop them up front (charges stay based on
+    # the child's full page count, matching the batch executor).
+    left_rows = [
+        row
+        for row in left.rows
+        if None not in _sort_key(row, left_positions)
+    ]
+    right_rows = [
+        row
+        for row in right.rows
+        if None not in _sort_key(row, right_positions)
+    ]
     for result, child, positions in (
         (left, plan.left, left_positions),
         (right, plan.right, right_positions),
@@ -283,13 +302,10 @@ def _sort_merge_join(
             if extra:
                 context.io.write_pages(extra // 2)
                 context.io.read_pages(extra - extra // 2)
-            sorted_rows = sorted(
-                result.rows, key=lambda row: _sort_key(row, positions)
-            )
             if result is left:
-                left_rows = sorted_rows
+                left_rows.sort(key=lambda row: _sort_key(row, positions))
             else:
-                right_rows = sorted_rows
+                right_rows.sort(key=lambda row: _sort_key(row, positions))
         # pre-ordered inputs merge for free
 
     rows: List[Tuple] = []
@@ -386,7 +402,7 @@ def _hashed_groups(rows, key_positions, arg_evaluators, functions):
             table[key] = accumulators
             order.append(key)
         for accumulator, evaluate in zip(accumulators, arg_evaluators):
-            accumulator.add(evaluate(row) if evaluate is not None else None)
+            accumulator.add(evaluate(row) if evaluate is not None else True)
     return [(key, table[key]) for key in order]
 
 
@@ -398,8 +414,11 @@ def _sorted_groups(rows, key_positions, arg_evaluators, functions):
     unsorted, which keeps hand-built plans usable in tests.
     """
     keyed = [(tuple(row[p] for p in key_positions), row) for row in rows]
-    if any(keyed[i][0] > keyed[i + 1][0] for i in range(len(keyed) - 1)):
-        keyed.sort(key=lambda pair: pair[0])
+    if any(
+        null_ordered_key(keyed[i + 1][0]) < null_ordered_key(keyed[i][0])
+        for i in range(len(keyed) - 1)
+    ):
+        keyed.sort(key=lambda pair: null_ordered_key(pair[0]))
     groups = []
     current_key = None
     accumulators: List[Accumulator] = []
@@ -410,7 +429,7 @@ def _sorted_groups(rows, key_positions, arg_evaluators, functions):
             current_key = key
             accumulators = [function.make_accumulator() for function in functions]
         for accumulator, evaluate in zip(accumulators, arg_evaluators):
-            accumulator.add(evaluate(row) if evaluate is not None else None)
+            accumulator.add(evaluate(row) if evaluate is not None else True)
     if current_key is not None:
         groups.append((current_key, accumulators))
     return groups
@@ -445,7 +464,11 @@ def _execute_sort(
     # stable multi-pass sort: apply keys from least to most significant
     for key, descending in reversed(list(zip(plan.keys, plan.descending))):
         position = schema.index_of(*key)
-        rows.sort(key=lambda row: row[position], reverse=descending)
+        # NullOrdered sorts NULLs first ascending (so last descending),
+        # matching SQLite's default NULL placement.
+        rows.sort(
+            key=lambda row: NullOrdered(row[position]), reverse=descending
+        )
     return Result(schema=plan.schema, rows=rows)
 
 

@@ -9,7 +9,7 @@ Grammar::
 
     create_table := CREATE TABLE name "(" column ("," column)*
                     ["," PRIMARY KEY "(" names ")"] ")"
-    column       := name type [PRIMARY KEY]
+    column       := name type [NULL | NOT NULL | PRIMARY KEY]
     create_index := CREATE INDEX name ON table "(" names ")"
     insert       := INSERT INTO name VALUES row ("," row)*
     row          := "(" literal ("," literal)* ")"
@@ -40,11 +40,16 @@ _TYPE_WORDS = {
 
 @dataclass(frozen=True)
 class CreateTableStmt:
-    """Parsed CREATE TABLE."""
+    """Parsed CREATE TABLE.
+
+    ``nullable`` lists the columns declared with an explicit NULL
+    marker; every other column is NOT NULL (the paper's default).
+    """
 
     name: str
     columns: Tuple[Tuple[str, str], ...]  # (column, type name)
     primary_key: Tuple[str, ...] = ()
+    nullable: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -241,6 +246,7 @@ class _DdlParser:
         self.expect_punct("(")
         columns: List[Tuple[str, str]] = []
         primary_key: List[str] = []
+        nullable: List[str] = []
         while True:
             if self.accept_word("primary"):
                 self.expect_word("key")
@@ -262,7 +268,11 @@ class _DdlParser:
                         f"({', '.join(sorted(_TYPE_WORDS))})"
                     )
                 self.advance()
-                if self.accept_word("primary"):
+                if self.accept_word("null"):
+                    nullable.append(column)
+                elif self.accept_word("not"):
+                    self.expect_word("null")  # NOT NULL is the default
+                elif self.accept_word("primary"):
                     self.expect_word("key")
                     primary_key.append(column)
                 columns.append((column, type_name))
@@ -276,6 +286,7 @@ class _DdlParser:
             name=name,
             columns=tuple(columns),
             primary_key=tuple(primary_key),
+            nullable=tuple(nullable),
         )
 
     def _create_index(self) -> CreateIndexStmt:
@@ -323,6 +334,9 @@ class _DdlParser:
         if token.kind == "string":
             self.advance()
             return token.text
+        if token.is_keyword("null"):
+            self.advance()
+            return None
         if token.is_keyword("true"):
             self.advance()
             return True

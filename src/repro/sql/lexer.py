@@ -30,6 +30,8 @@ KEYWORDS = {
     "limit",
     "true",
     "false",
+    "is",
+    "null",
 }
 
 _PUNCTUATION = {

@@ -31,6 +31,7 @@ from ..algebra.expressions import (
     ColumnRef,
     Comparison,
     Expression,
+    IsNull,
     Literal,
     Not,
     Or,
@@ -247,6 +248,10 @@ class _Parser:
 
     def parse_comparison(self) -> Expression:
         left = self.parse_additive()
+        if self.accept_keyword("is"):
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNull(left, negate=negated)
         negate = False
         if self.current.is_keyword("not"):
             following = self._tokens[self._position + 1]

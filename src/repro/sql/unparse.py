@@ -18,6 +18,7 @@ from ..algebra.expressions import (
     Comparison,
     Expression,
     FuncCall,
+    IsNull,
     Literal,
     Not,
     Or,
@@ -65,6 +66,9 @@ def expression_to_sql(expression: Expression) -> str:
         )
     if isinstance(expression, Not):
         return f"not {expression_to_sql(expression.item)}"
+    if isinstance(expression, IsNull):
+        suffix = "is not null" if expression.negate else "is null"
+        return f"({expression_to_sql(expression.item)} {suffix})"
     if isinstance(expression, _AggregatePlaceholder):
         return aggregate_to_sql(expression.call)
     if isinstance(expression, FuncCall):

@@ -50,8 +50,14 @@ class OrderedIndex:
 
     def build(self) -> None:
         """(Re)build the index from the table's current rows."""
+        # NULL never compares equal to anything, so NULL-keyed rows can
+        # never satisfy an index probe; leaving them out keeps the key
+        # list totally ordered for bisect.
         pairs = sorted(
-            (self._key_of(row), rid) for rid, row in enumerate(self.table.rows)
+            (key, rid)
+            for rid, row in enumerate(self.table.rows)
+            for key in (self._key_of(row),)
+            if None not in key
         )
         self._keys = [key for key, _ in pairs]
         self._rids = [rid for _, rid in pairs]

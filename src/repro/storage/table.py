@@ -71,7 +71,7 @@ class HeapTable:
                 f"got {len(row)}"
             )
         validated = tuple(
-            column.dtype.validate(value)
+            column.dtype.validate(value, nullable=column.nullable)
             for column, value in zip(self.columns, row)
         )
         self.rows.append(validated)

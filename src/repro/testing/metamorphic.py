@@ -1,0 +1,312 @@
+"""Metamorphic plan-space cross-checks.
+
+A fuzz script is replayed through several *engine configurations* —
+points in the plan space that must all produce the same bags of rows:
+
+- the three optimizer levels (``full`` / ``greedy`` / ``traditional``);
+- the paper's transformations on vs. off (pull-up, push-down,
+  invariant grouping split);
+- answering from materialized views on vs. off;
+- the streaming batch executor vs. the legacy row-at-a-time executor.
+
+Each configuration replays the *entire* script in its own database, so
+interleaved inserts, matview staleness, and lazy refreshes are
+exercised under every plan shape — the state mutations are identical,
+only the query plans differ.
+
+On top of row agreement, the harness checks the paper's **no-worse
+guarantee**: the full optimizer's estimated cost never exceeds the
+traditional optimizer's for the same query (Section 5's safety
+property; ``tests/test_property_optimizer.py`` pins the same invariant
+on curated workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..db import Database
+from ..engine.reference import rows_equal_bag
+from ..errors import ReproError
+from ..optimizer.options import OptimizerOptions
+from .oracle import OracleError, SqliteOracle, oracle_rows
+from .sqlgen import Stmt
+
+COST_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One point in the plan space."""
+
+    name: str
+    optimizer: str = "full"
+    options: Optional[OptimizerOptions] = None
+    engine: str = "batch"
+
+
+#: The cross-check matrix. The first entry is the baseline.
+CONFIGS: Tuple[EngineConfig, ...] = (
+    EngineConfig("full-batch"),
+    EngineConfig("full-rowexec", engine="rowexec"),
+    EngineConfig(
+        "full-norewrite",
+        options=OptimizerOptions(enable_view_rewrite=False),
+    ),
+    EngineConfig(
+        "full-notransforms",
+        options=OptimizerOptions(
+            enable_pullup=False,
+            enable_pushdown=False,
+            enable_invariant_split=False,
+        ),
+    ),
+    EngineConfig("greedy-batch", optimizer="greedy"),
+    EngineConfig("traditional-batch", optimizer="traditional"),
+    EngineConfig(
+        "traditional-rowexec-norewrite",
+        optimizer="traditional",
+        options=OptimizerOptions(enable_view_rewrite=False),
+        engine="rowexec",
+    ),
+)
+
+
+@dataclass
+class QueryOutcome:
+    """What one configuration produced for one query."""
+
+    rows: Optional[List[Tuple[Any, ...]]] = None
+    error: Optional[str] = None
+    cost: Optional[float] = None
+
+
+@dataclass
+class Divergence:
+    """One disagreement the harness found."""
+
+    kind: str
+    """``rows`` (config vs oracle), ``error`` (a config raised),
+    ``oracle-error`` (the oracle raised), ``cost`` (no-worse guarantee
+    violated), ``setup-error`` (a non-query statement failed)."""
+    stmt_index: int
+    config: str
+    detail: str
+
+    @property
+    def signature(self) -> Tuple[str, str]:
+        """What the shrinker must preserve: same check, same config."""
+        return (self.kind, self.config)
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] statement #{self.stmt_index} "
+            f"config={self.config}: {self.detail}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Everything one script check produced."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+    queries_checked: int = 0
+    configs_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _replay_config(
+    script: Sequence[Stmt], config: EngineConfig
+) -> Tuple[Dict[int, QueryOutcome], Optional[Divergence], Database]:
+    """Replay the whole script under one configuration."""
+    db = Database()
+    outcomes: Dict[int, QueryOutcome] = {}
+    for position, stmt in enumerate(script):
+        if stmt.kind == "query":
+            outcome = QueryOutcome()
+            try:
+                result = db.query(
+                    stmt.render(),
+                    optimizer=config.optimizer,
+                    options=config.options,
+                    engine=config.engine,
+                )
+                outcome.rows = [tuple(row) for row in result.rows]
+                outcome.cost = result.estimated_cost
+            except ReproError as error:
+                outcome.error = f"{type(error).__name__}: {error}"
+            outcomes[position] = outcome
+        else:
+            try:
+                db.execute(stmt.render())
+            except ReproError as error:
+                return (
+                    outcomes,
+                    Divergence(
+                        kind="setup-error",
+                        stmt_index=position,
+                        config=config.name,
+                        detail=f"{type(error).__name__}: {error}",
+                    ),
+                    db,
+                )
+    return outcomes, None, db
+
+
+def _summarize(rows: Sequence[Tuple[Any, ...]]) -> str:
+    shown = ", ".join(repr(row) for row in list(rows)[:4])
+    suffix = ", ..." if len(rows) > 4 else ""
+    return f"{len(rows)} rows [{shown}{suffix}]"
+
+
+def check_script(
+    script: Sequence[Stmt],
+    configs: Sequence[EngineConfig] = CONFIGS,
+    rel_tol: float = 1e-6,
+) -> CheckReport:
+    """Cross-check one script across the config matrix and the oracles.
+
+    Query comparisons use bag equality with *rel_tol* float tolerance;
+    the generator's dyadic-rational data keeps true answers exact, so
+    the tolerance only absorbs display-level float noise (e.g. AVG's
+    final division).
+    """
+    report = CheckReport()
+
+    # Baseline replay also serves the reference-evaluator oracle.
+    baseline = configs[0]
+    base_outcomes, setup_error, _ = _replay_config(script, baseline)
+    report.configs_run += 1
+    if setup_error is not None:
+        report.divergences.append(setup_error)
+        return report
+
+    # Oracle replay: statements in order, queries captured. A separate
+    # reference database replays alongside SQLite so brute-force oracle
+    # answers reflect the state *at each query's position* (the
+    # baseline database above has already run to the end).
+    oracle_results: Dict[int, Tuple[str, Any]] = {}
+    reference_db = Database()
+    try:
+        sqlite_oracle: Optional[SqliteOracle] = SqliteOracle()
+    except OracleError as error:  # pragma: no cover - env-specific
+        sqlite_oracle = None
+        report.divergences.append(
+            Divergence("oracle-error", -1, "sqlite", str(error))
+        )
+    try:
+        for position, stmt in enumerate(script):
+            if stmt.kind == "query":
+                try:
+                    oracle_results[position] = oracle_rows(
+                        sqlite_oracle, reference_db, stmt.render()
+                    )
+                except (OracleError, ReproError) as error:
+                    report.divergences.append(
+                        Divergence(
+                            "oracle-error",
+                            position,
+                            "sqlite",
+                            f"{type(error).__name__}: {error}",
+                        )
+                    )
+                continue
+            try:
+                reference_db.execute(stmt.render())
+            except ReproError:
+                pass  # the baseline replay already reported this
+            if sqlite_oracle is not None:
+                try:
+                    sqlite_oracle.apply(stmt)
+                except OracleError as error:
+                    report.divergences.append(
+                        Divergence(
+                            "oracle-error", position, "sqlite", str(error)
+                        )
+                    )
+                    sqlite_oracle = None
+    finally:
+        if sqlite_oracle is not None:
+            sqlite_oracle.close()
+
+    # Every config (baseline included) must match the oracle.
+    all_outcomes: Dict[str, Dict[int, QueryOutcome]] = {
+        baseline.name: base_outcomes
+    }
+    for config in configs[1:]:
+        outcomes, setup_error, _ = _replay_config(script, config)
+        report.configs_run += 1
+        if setup_error is not None:
+            report.divergences.append(setup_error)
+            continue
+        all_outcomes[config.name] = outcomes
+
+    for position, stmt in enumerate(script):
+        if stmt.kind != "query":
+            continue
+        report.queries_checked += 1
+        oracle = oracle_results.get(position)
+        for config_name, outcomes in all_outcomes.items():
+            outcome = outcomes.get(position)
+            if outcome is None:
+                continue
+            if outcome.error is not None:
+                report.divergences.append(
+                    Divergence(
+                        "error", position, config_name, outcome.error
+                    )
+                )
+                continue
+            if oracle is None:
+                continue
+            oracle_name, expected = oracle
+            assert outcome.rows is not None
+            if not rows_equal_bag(
+                outcome.rows, expected, rel_tol=rel_tol
+            ):
+                report.divergences.append(
+                    Divergence(
+                        "rows",
+                        position,
+                        config_name,
+                        f"vs {oracle_name}: got "
+                        f"{_summarize(outcome.rows)}, expected "
+                        f"{_summarize(expected)}",
+                    )
+                )
+
+        # No-worse guarantee: full cost <= traditional cost.
+        full = all_outcomes.get("full-batch", {}).get(position)
+        trad = all_outcomes.get("traditional-batch", {}).get(position)
+        if (
+            full is not None
+            and trad is not None
+            and full.cost is not None
+            and trad.cost is not None
+            and full.cost > trad.cost + COST_SLACK
+        ):
+            report.divergences.append(
+                Divergence(
+                    "cost",
+                    position,
+                    "full-batch",
+                    f"full cost {full.cost:.6f} > traditional "
+                    f"{trad.cost:.6f}",
+                )
+            )
+    return report
+
+
+__all__ = [
+    "CONFIGS",
+    "COST_SLACK",
+    "CheckReport",
+    "Divergence",
+    "EngineConfig",
+    "QueryOutcome",
+    "check_script",
+]

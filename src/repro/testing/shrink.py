@@ -1,0 +1,251 @@
+"""Delta-debugging minimizer for diverging fuzz scripts.
+
+Given a script and a *check* (any callable returning the divergence
+signature to preserve, or ``None`` when the script no longer fails),
+the shrinker greedily reduces the script while keeping the failure:
+
+1. **Explode inserts** — multi-row INSERTs become single-row ones, so
+   statement-level deletion can bisect the data.
+2. **ddmin over statements** — classic delta debugging on the
+   statement list (chunks of halving size). Removing a statement the
+   failure depends on (e.g. the CREATE TABLE a later query scans)
+   makes the replay error with a *different* signature, so the
+   candidate is simply rejected — no dependency tracking needed.
+3. **Structured query reduction** — for statements that kept their
+   :class:`QuerySpec`, drop WHERE/HAVING conjuncts, select items,
+   grouping keys, WITH views, and joined relations one at a time.
+
+The result is re-checked after every accepted step, so the returned
+script is guaranteed to still fail with the original signature. A
+``max_checks`` budget bounds the work (each check replays the script
+across the whole config matrix); hitting the budget returns the best
+reduction so far — shrinking is best-effort, never required for
+soundness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..sql.ddl import InsertStmt, maybe_parse_ddl
+from .sqlgen import QuerySpec, Stmt
+
+Signature = object
+CheckFn = Callable[[List[Stmt]], Optional[Signature]]
+
+
+class ShrinkBudgetExceeded(Exception):
+    """Internal: the check budget ran out mid-pass."""
+
+
+class Shrinker:
+    """One shrink session: a script, a check, and a budget."""
+
+    def __init__(
+        self,
+        script: Sequence[Stmt],
+        check: CheckFn,
+        max_checks: int = 400,
+    ):
+        self.check = check
+        self.max_checks = max_checks
+        self.checks_used = 0
+        self.budget_exhausted = False
+        self.script: List[Stmt] = list(script)
+        self.signature = self._run_check(self.script)
+        if self.signature is None:
+            raise ValueError(
+                "the input script does not fail the given check"
+            )
+
+    # -- plumbing ------------------------------------------------------
+
+    def _run_check(self, candidate: List[Stmt]) -> Optional[Signature]:
+        if self.checks_used >= self.max_checks:
+            raise ShrinkBudgetExceeded()
+        self.checks_used += 1
+        return self.check(candidate)
+
+    def _try(self, candidate: List[Stmt]) -> bool:
+        """Adopt *candidate* if it still fails with the signature."""
+        if self._run_check(candidate) == self.signature:
+            self.script = candidate
+            return True
+        return False
+
+    # -- passes --------------------------------------------------------
+
+    def explode_inserts(self) -> None:
+        """Split multi-row INSERTs into single-row statements."""
+        exploded: List[Stmt] = []
+        changed = False
+        for stmt in self.script:
+            if stmt.kind != "insert":
+                exploded.append(stmt)
+                continue
+            parsed = maybe_parse_ddl(stmt.sql)
+            if not isinstance(parsed, InsertStmt) or len(parsed.rows) <= 1:
+                exploded.append(stmt)
+                continue
+            changed = True
+            for row in parsed.rows:
+                values = ", ".join(_render_literal(v) for v in row)
+                exploded.append(
+                    Stmt(
+                        "insert",
+                        f"insert into {parsed.table} values ({values})",
+                    )
+                )
+        if changed:
+            self._try(exploded)
+
+    def ddmin_statements(self) -> None:
+        """Classic ddmin over the statement list."""
+        chunk = max(1, len(self.script) // 2)
+        while chunk >= 1:
+            position = 0
+            removed_any = False
+            while position < len(self.script):
+                candidate = (
+                    self.script[:position]
+                    + self.script[position + chunk :]
+                )
+                if candidate and self._try(candidate):
+                    removed_any = True
+                    # stay at the same position: the next chunk slid in
+                else:
+                    position += chunk
+            if chunk == 1 and not removed_any:
+                break
+            chunk = chunk // 2 if chunk > 1 else (1 if removed_any else 0)
+
+    def reduce_queries(self) -> None:
+        """Structured reductions on every remaining QuerySpec."""
+        progress = True
+        while progress:
+            progress = False
+            for position, stmt in enumerate(self.script):
+                if stmt.query is None:
+                    continue
+                for reduced in _query_reductions(stmt.query):
+                    candidate = list(self.script)
+                    candidate[position] = Stmt(
+                        "query", reduced.to_sql(), query=reduced
+                    )
+                    if self._try(candidate):
+                        progress = True
+                        break
+
+    # -- entry ---------------------------------------------------------
+
+    def run(self) -> List[Stmt]:
+        try:
+            self.explode_inserts()
+            self.ddmin_statements()
+            self.reduce_queries()
+            self.ddmin_statements()
+        except ShrinkBudgetExceeded:
+            self.budget_exhausted = True
+        return self.script
+
+
+def _render_literal(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value)
+
+
+def _query_reductions(query: QuerySpec):
+    """Yield one-step-smaller variants of a query, most aggressive
+    first. Variants may be invalid (e.g. empty select) — the checker
+    rejects those via signature mismatch."""
+    # drop a joined relation and every piece that mentions it
+    if len(query.relations) > 1:
+        for rel in query.relations:
+            keep_select = [
+                item
+                for item in query.select
+                if rel.alias not in item.aliases
+            ]
+            if not keep_select:
+                continue
+            yield QuerySpec(
+                relations=[
+                    r for r in query.relations if r.alias != rel.alias
+                ],
+                select=keep_select,
+                where=[
+                    p for p in query.where if rel.alias not in p.aliases
+                ],
+                group_by=[
+                    key
+                    for key in query.group_by
+                    if not key.startswith(rel.alias + ".")
+                ],
+                having=[
+                    p
+                    for p in query.having
+                    if rel.alias not in p.aliases
+                ],
+                views=[
+                    v for v in query.views if v.name != rel.table
+                ],
+            )
+    # drop one WHERE conjunct
+    for index in range(len(query.where)):
+        yield _with(query, where=_without(query.where, index))
+    # drop HAVING entirely, then one conjunct at a time
+    if query.having:
+        yield _with(query, having=[])
+        for index in range(len(query.having)):
+            yield _with(query, having=_without(query.having, index))
+    # drop one select item (keep at least one)
+    if len(query.select) > 1:
+        for index in range(len(query.select)):
+            yield _with(query, select=_without(query.select, index))
+    # drop one grouping key (legal only when its select item is gone
+    # or also dropped — the checker sorts that out)
+    if len(query.group_by) > 1:
+        for index in range(len(query.group_by)):
+            yield _with(query, group_by=_without(query.group_by, index))
+    # ungroup entirely: drop group_by + aggregates + having
+    if query.group_by:
+        plain = [item for item in query.select if not item.is_aggregate]
+        if plain:
+            yield _with(
+                query, select=plain, group_by=[], having=[]
+            )
+
+
+def _without(items, index):
+    return list(items[:index]) + list(items[index + 1 :])
+
+
+def _with(query: QuerySpec, **changes) -> QuerySpec:
+    merged = dict(
+        relations=list(query.relations),
+        select=list(query.select),
+        where=list(query.where),
+        group_by=list(query.group_by),
+        having=list(query.having),
+        views=list(query.views),
+    )
+    merged.update(changes)
+    return QuerySpec(**merged)
+
+
+def shrink_script(
+    script: Sequence[Stmt],
+    check: CheckFn,
+    max_checks: int = 400,
+) -> List[Stmt]:
+    """Minimize *script* while ``check`` keeps returning the same
+    signature it returns for the full script."""
+    return Shrinker(script, check, max_checks=max_checks).run()
+
+
+__all__ = ["Shrinker", "ShrinkBudgetExceeded", "shrink_script"]

@@ -1,0 +1,735 @@
+"""Seeded grammar-driven SQL script generator for differential fuzzing.
+
+A *script* is a list of :class:`Stmt` — DDL, INSERTs, materialized-view
+statements, and canonical queries — that exercises the whole stack
+through the SQL front door. Generation is deterministic per seed.
+
+Queries keep their grammar-level structure (:class:`QuerySpec`) so the
+shrinker can apply semantic reductions (drop a predicate, drop an
+aggregate, drop a joined relation) instead of fumbling with text.
+
+The generator stays inside the intersection of this engine's dialect
+and SQLite's so results are directly comparable:
+
+- every query is a bag (no ORDER BY/LIMIT) — comparison sorts rows;
+- no scalar aggregation without GROUP BY (rejected at bind time here,
+  and SQLite's one-NULL-row answer would diverge anyway);
+- no ``/`` on integer columns (SQLite division truncates, ours does
+  not);
+- float data is restricted to multiples of 0.25 (dyadic rationals), so
+  sums are exact in binary and immune to association order — plan
+  changes and partial-aggregate merges cannot introduce float noise;
+- no bool/date columns (SQLite has neither type).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+# ----------------------------------------------------------------------
+# Script model
+# ----------------------------------------------------------------------
+
+HOLISTIC_AGGREGATES = ("stddev", "median")
+
+
+@dataclass(frozen=True)
+class PredSpec:
+    """One WHERE/HAVING conjunct with the relation aliases it touches."""
+
+    sql: str
+    aliases: frozenset
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: ``sql AS name``."""
+
+    name: str
+    sql: str
+    aliases: frozenset
+    is_aggregate: bool = False
+
+
+@dataclass(frozen=True)
+class RelRef:
+    """One FROM-list entry: a base table, matview, or WITH view."""
+
+    table: str
+    alias: str
+
+
+@dataclass
+class QuerySpec:
+    """Structured form of one generated query."""
+
+    relations: List[RelRef]
+    select: List[SelectItem]
+    where: List[PredSpec] = field(default_factory=list)
+    group_by: List[str] = field(default_factory=list)
+    having: List[PredSpec] = field(default_factory=list)
+    views: List["ViewSpec"] = field(default_factory=list)
+
+    @property
+    def is_grouped(self) -> bool:
+        return bool(self.group_by)
+
+    def uses_holistic(self) -> bool:
+        text = self.to_sql().lower()
+        return any(f"{name}(" in text for name in HOLISTIC_AGGREGATES)
+
+    def to_sql(self) -> str:
+        parts: List[str] = []
+        if self.views:
+            defs = ", ".join(view.to_sql() for view in self.views)
+            parts.append(f"with {defs}")
+        select = ", ".join(
+            f"{item.sql} as {item.name}" for item in self.select
+        )
+        parts.append(f"select {select}")
+        from_list = ", ".join(
+            f"{rel.table} {rel.alias}" for rel in self.relations
+        )
+        parts.append(f"from {from_list}")
+        if self.where:
+            parts.append(
+                "where " + " and ".join(pred.sql for pred in self.where)
+            )
+        if self.group_by:
+            parts.append("group by " + ", ".join(self.group_by))
+        if self.having:
+            parts.append(
+                "having " + " and ".join(pred.sql for pred in self.having)
+            )
+        return " ".join(parts)
+
+
+@dataclass
+class ViewSpec:
+    """One WITH-clause view: ``name(columns) as (body)``."""
+
+    name: str
+    columns: List[str]
+    body: QuerySpec
+
+    def to_sql(self) -> str:
+        names = ", ".join(self.columns)
+        return f"{self.name}({names}) as ({self.body.to_sql()})"
+
+
+@dataclass
+class Stmt:
+    """One statement of a fuzz script."""
+
+    kind: str
+    """``create`` | ``insert`` | ``index`` | ``matview`` | ``refresh``
+    | ``query``."""
+    sql: str
+    query: Optional[QuerySpec] = None
+
+    def render(self) -> str:
+        if self.query is not None:
+            return self.query.to_sql()
+        return self.sql
+
+
+@dataclass(frozen=True)
+class GenColumn:
+    name: str
+    dtype: str  # "int" | "float" | "str"
+    nullable: bool
+
+
+@dataclass(frozen=True)
+class GenTable:
+    name: str
+    columns: Tuple[GenColumn, ...]
+
+    def columns_of_type(self, dtype: str) -> List[GenColumn]:
+        return [c for c in self.columns if c.dtype == dtype]
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenProfile:
+    """Size/shape knobs for one generation run."""
+
+    name: str = "default"
+    max_tables: int = 3
+    min_rows: int = 10
+    max_rows: int = 60
+    queries: int = 6
+    matview_prob: float = 0.6
+    index_prob: float = 0.5
+    with_view_prob: float = 0.25
+    holistic_prob: float = 0.08
+    null_prob: float = 0.25
+    refresh_prob: float = 0.5
+    late_insert_prob: float = 0.8
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+
+
+class ScriptGenerator:
+    """Deterministic script generator: same seed, same script."""
+
+    STR_POOL = ("a", "b", "c", "d", "e")
+    COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+    def __init__(self, seed: int, profile: Optional[GenProfile] = None):
+        self.rng = random.Random(seed)
+        self.profile = profile or GenProfile()
+        self.tables: List[GenTable] = []
+        self.matviews: List[GenTable] = []
+        self._names = 0
+
+    # -- naming --------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._names += 1
+        return f"{prefix}{self._names}"
+
+    # -- values --------------------------------------------------------
+
+    def _value(self, column: GenColumn, allow_null: bool = True):
+        rng = self.rng
+        if (
+            column.nullable
+            and allow_null
+            and rng.random() < self.profile.null_prob
+        ):
+            return None
+        if column.dtype == "int":
+            return rng.randint(-4, 12)
+        if column.dtype == "float":
+            # dyadic rationals: exact in binary, sums re-associate freely
+            return rng.randint(-8, 40) * 0.25
+        return rng.choice(self.STR_POOL)
+
+    def _literal(self, column: GenColumn) -> str:
+        value = self._value(column, allow_null=False)
+        if column.dtype == "str":
+            return f"'{value}'"
+        return repr(value)
+
+    # -- schema --------------------------------------------------------
+
+    def _gen_table(self) -> GenTable:
+        rng = self.rng
+        name = self._fresh("t")
+        columns: List[GenColumn] = [GenColumn("c0", "int", False)]
+        for position in range(1, rng.randint(2, 5)):
+            dtype = rng.choice(("int", "int", "float", "str"))
+            nullable = rng.random() < 0.5
+            columns.append(GenColumn(f"c{position}", dtype, nullable))
+        return GenTable(name, tuple(columns))
+
+    def _create_sql(self, table: GenTable) -> str:
+        parts = []
+        for column in table.columns:
+            suffix = " null" if column.nullable else ""
+            parts.append(f"{column.name} {column.dtype}{suffix}")
+        return f"create table {table.name} ({', '.join(parts)})"
+
+    def _insert_sql(self, table: GenTable, count: int) -> str:
+        rows = []
+        for _ in range(count):
+            values = []
+            for column in table.columns:
+                value = self._value(column)
+                if value is None:
+                    values.append("null")
+                elif column.dtype == "str":
+                    values.append(f"'{value}'")
+                else:
+                    values.append(repr(value))
+            rows.append("(" + ", ".join(values) + ")")
+        return f"insert into {table.name} values {', '.join(rows)}"
+
+    # -- expressions ---------------------------------------------------
+
+    def _column_ref(self, rel: RelRef, column: GenColumn) -> str:
+        return f"{rel.alias}.{column.name}"
+
+    def _numeric_expr(
+        self, rels: Sequence[Tuple[RelRef, GenTable]]
+    ) -> Optional[Tuple[str, frozenset]]:
+        """A small arithmetic expression over numeric columns, or None
+        when no numeric column exists. Division is never emitted: SQLite
+        truncates integer division, this engine does not."""
+        rng = self.rng
+        numeric: List[Tuple[RelRef, GenColumn]] = [
+            (rel, column)
+            for rel, table in rels
+            for column in table.columns
+            if column.dtype in ("int", "float")
+        ]
+        if not numeric:
+            return None
+        rel, column = rng.choice(numeric)
+        ref = self._column_ref(rel, column)
+        op = rng.choice(("+", "-", "*"))
+        if rng.random() < 0.5 or len(numeric) == 1:
+            operand = str(rng.randint(-3, 6))
+            return f"{ref} {op} {operand}", frozenset([rel.alias])
+        other_rel, other_column = rng.choice(numeric)
+        other_ref = self._column_ref(other_rel, other_column)
+        return (
+            f"{ref} {op} {other_ref}",
+            frozenset([rel.alias, other_rel.alias]),
+        )
+
+    def _predicate(
+        self, rels: Sequence[Tuple[RelRef, GenTable]]
+    ) -> PredSpec:
+        """One filter conjunct over the available relations."""
+        rng = self.rng
+        if rng.random() < 0.15:
+            expr = self._numeric_expr(rels)
+            if expr is not None:
+                sql, aliases = expr
+                op = rng.choice(self.COMPARISONS)
+                return PredSpec(
+                    f"{sql} {op} {rng.randint(-6, 18)}", aliases
+                )
+        rel, table = rng.choice(list(rels))
+        column = rng.choice(table.columns)
+        ref = self._column_ref(rel, column)
+        roll = rng.random()
+        if column.nullable and roll < 0.25:
+            negate = " not" if rng.random() < 0.5 else ""
+            return PredSpec(
+                f"{ref} is{negate} null", frozenset([rel.alias])
+            )
+        if roll < 0.45 and column.dtype != "str":
+            low = self._literal(column)
+            high = self._literal(column)
+            return PredSpec(
+                f"{ref} between {low} and {high}", frozenset([rel.alias])
+            )
+        if roll < 0.6:
+            values = ", ".join(
+                self._literal(column) for _ in range(rng.randint(1, 3))
+            )
+            negate = "not " if rng.random() < 0.3 else ""
+            return PredSpec(
+                f"{ref} {negate}in ({values})", frozenset([rel.alias])
+            )
+        op = (
+            rng.choice(("=", "!="))
+            if column.dtype == "str"
+            else rng.choice(self.COMPARISONS)
+        )
+        if rng.random() < 0.7:
+            return PredSpec(
+                f"{ref} {op} {self._literal(column)}",
+                frozenset([rel.alias]),
+            )
+        # column-vs-column, same type, possibly cross-relation
+        other_rel, other_table = rng.choice(list(rels))
+        candidates = other_table.columns_of_type(column.dtype)
+        if not candidates:
+            return PredSpec(
+                f"{ref} {op} {self._literal(column)}",
+                frozenset([rel.alias]),
+            )
+        other = rng.choice(candidates)
+        return PredSpec(
+            f"{ref} {op} {self._column_ref(other_rel, other)}",
+            frozenset([rel.alias, other_rel.alias]),
+        )
+
+    def _join_chain(
+        self, rels: Sequence[Tuple[RelRef, GenTable]]
+    ) -> List[PredSpec]:
+        """Equality predicates connecting consecutive relations."""
+        rng = self.rng
+        preds: List[PredSpec] = []
+        for (rel_a, table_a), (rel_b, table_b) in zip(rels, rels[1:]):
+            for dtype in ("int", "float", "str"):
+                left = table_a.columns_of_type(dtype)
+                right = table_b.columns_of_type(dtype)
+                if left and right:
+                    col_a = rng.choice(left)
+                    col_b = rng.choice(right)
+                    preds.append(
+                        PredSpec(
+                            f"{self._column_ref(rel_a, col_a)} = "
+                            f"{self._column_ref(rel_b, col_b)}",
+                            frozenset([rel_a.alias, rel_b.alias]),
+                        )
+                    )
+                    break
+            # no shared column type: leave the pair cross-joined (rare;
+            # tables are small, and both systems agree on cross joins)
+        return preds
+
+    def _aggregate(
+        self, rels: Sequence[Tuple[RelRef, GenTable]], allow_holistic: bool
+    ) -> Tuple[str, str, frozenset]:
+        """(sql, result type, aliases) of one aggregate call."""
+        rng = self.rng
+        if rng.random() < 0.15:
+            return "count(*)", "int", frozenset()
+        rel, table = rng.choice(list(rels))
+        numeric = [
+            c for c in table.columns if c.dtype in ("int", "float")
+        ]
+        column = rng.choice(numeric) if numeric else table.columns[0]
+        ref = self._column_ref(rel, column)
+        aliases = frozenset([rel.alias])
+        if column.dtype == "str":
+            func = rng.choice(("count", "min", "max"))
+            result = "int" if func == "count" else "str"
+            return f"{func}({ref})", result, aliases
+        if allow_holistic and rng.random() < self.profile.holistic_prob:
+            func = rng.choice(HOLISTIC_AGGREGATES)
+            return f"{func}({ref})", "float", aliases
+        if rng.random() < 0.25:
+            expr = self._numeric_expr(rels)
+            if expr is not None:
+                arg, arg_aliases = expr
+                func = rng.choice(("sum", "avg", "min", "max"))
+                result = "float" if func == "avg" else "int"
+                return f"{func}({arg})", result, arg_aliases
+        func = rng.choice(("count", "sum", "avg", "min", "max"))
+        if func == "count":
+            result = "int"
+        elif func == "avg":
+            result = "float"
+        else:
+            result = column.dtype
+        return f"{func}({ref})", result, aliases
+
+    # -- queries -------------------------------------------------------
+
+    def _relation_pool(self) -> List[GenTable]:
+        return self.tables + self.matviews
+
+    def _gen_query(
+        self,
+        allow_views: bool = True,
+        allow_holistic: bool = True,
+        source_tables: Optional[Sequence[GenTable]] = None,
+        max_relations: int = 3,
+    ) -> QuerySpec:
+        rng = self.rng
+        pool = (
+            list(source_tables)
+            if source_tables is not None
+            else self._relation_pool()
+        )
+        views: List[ViewSpec] = []
+        rel_count = rng.randint(1, min(max_relations, max(1, len(pool))))
+        chosen = [rng.choice(pool) for _ in range(rel_count)]
+        rels: List[Tuple[RelRef, GenTable]] = []
+        for table in chosen:
+            alias = self._fresh("r")
+            rels.append((RelRef(table.name, alias), table))
+
+        if (
+            allow_views
+            and self.tables
+            and rng.random() < self.profile.with_view_prob
+        ):
+            view = self._gen_with_view()
+            views.append(view)
+            view_table = GenTable(
+                view.name,
+                tuple(
+                    GenColumn(name, dtype, True)
+                    for name, dtype in zip(
+                        view.columns, view_column_types(view)
+                    )
+                ),
+            )
+            alias = self._fresh("r")
+            rels.append((RelRef(view.name, alias), view_table))
+
+        where: List[PredSpec] = []
+        if len(rels) > 1:
+            where.extend(self._join_chain(rels))
+        for _ in range(rng.randint(0, 2)):
+            where.append(self._predicate(rels))
+
+        grouped = rng.random() < 0.6
+        select: List[SelectItem] = []
+        group_by: List[str] = []
+        having: List[PredSpec] = []
+        if grouped:
+            key_count = rng.randint(1, 2)
+            for _ in range(key_count):
+                rel, table = rng.choice(rels)
+                column = rng.choice(table.columns)
+                ref = self._column_ref(rel, column)
+                if ref not in group_by:
+                    group_by.append(ref)
+                    select.append(
+                        SelectItem(
+                            self._fresh("x"),
+                            ref,
+                            frozenset([rel.alias]),
+                        )
+                    )
+            seen_aggregates = set()
+            for _ in range(rng.randint(1, 3)):
+                sql, _, aliases = self._aggregate(rels, allow_holistic)
+                if sql in seen_aggregates:
+                    continue  # the binder rejects duplicate aggregates
+                seen_aggregates.add(sql)
+                select.append(
+                    SelectItem(
+                        self._fresh("x"), sql, aliases, is_aggregate=True
+                    )
+                )
+            if rng.random() < 0.35:
+                aggregates = [
+                    item for item in select if item.is_aggregate
+                ]
+                target = rng.choice(aggregates)
+                op = rng.choice(self.COMPARISONS)
+                bound = (
+                    rng.randint(-2, 8)
+                    if "count" in target.sql
+                    else rng.randint(-10, 30)
+                )
+                having.append(
+                    PredSpec(
+                        f"{target.sql} {op} {bound}", target.aliases
+                    )
+                )
+        else:
+            for _ in range(rng.randint(1, 4)):
+                if rng.random() < 0.2:
+                    expr = self._numeric_expr(rels)
+                    if expr is not None:
+                        sql, aliases = expr
+                        select.append(
+                            SelectItem(self._fresh("x"), sql, aliases)
+                        )
+                        continue
+                rel, table = rng.choice(rels)
+                column = rng.choice(table.columns)
+                select.append(
+                    SelectItem(
+                        self._fresh("x"),
+                        self._column_ref(rel, column),
+                        frozenset([rel.alias]),
+                    )
+                )
+
+        return QuerySpec(
+            relations=[rel for rel, _ in rels],
+            select=select,
+            where=where,
+            group_by=group_by,
+            having=having,
+            views=views,
+        )
+
+    def _gen_with_view(self) -> ViewSpec:
+        """A simple grouped WITH view over one base table."""
+        rng = self.rng
+        table = rng.choice(self.tables)
+        alias = self._fresh("r")
+        rel = RelRef(table.name, alias)
+        rels = [(rel, table)]
+        key = rng.choice(table.columns)
+        select = [
+            SelectItem(
+                "k0", self._column_ref(rel, key), frozenset([alias])
+            )
+        ]
+        types = [key.dtype]
+        seen_aggregates = set()
+        for position in range(rng.randint(1, 2)):
+            sql, dtype, aliases = self._aggregate(rels, False)
+            if sql in seen_aggregates:
+                continue
+            seen_aggregates.add(sql)
+            select.append(
+                SelectItem(f"v{position}", sql, aliases, True)
+            )
+            types.append(dtype)
+        where = [self._predicate(rels)] if rng.random() < 0.5 else []
+        body = QuerySpec(
+            relations=[rel],
+            select=select,
+            where=where,
+            group_by=[self._column_ref(rel, key)],
+        )
+        view = ViewSpec(
+            name=self._fresh("v"),
+            columns=[item.name for item in select],
+            body=body,
+        )
+        view._types = types  # stashed for view_column_types
+        return view
+
+    def _gen_matview(self) -> Tuple[Stmt, GenTable]:
+        """CREATE MATERIALIZED VIEW over one or two base tables.
+
+        Holistic aggregates are kept out of matview bodies: a query
+        referencing the view by name would hide them from the oracle's
+        holistic-SQL detection."""
+        rng = self.rng
+        count = 1 if rng.random() < 0.7 else 2
+        body = self._gen_query(
+            allow_views=False,
+            allow_holistic=False,
+            source_tables=self.tables,
+            max_relations=count,
+        )
+        # matview bodies must group and must not HAVING
+        if not body.group_by:
+            rel = body.relations[0]
+            key = f"{rel.alias}.c0"
+            body.group_by = [key]
+            body.select = [
+                SelectItem(self._fresh("x"), key, frozenset([rel.alias]))
+            ] + [item for item in body.select if item.is_aggregate]
+            if len(body.select) == 1:
+                body.select.append(
+                    SelectItem(
+                        self._fresh("x"),
+                        "count(*)",
+                        frozenset(),
+                        is_aggregate=True,
+                    )
+                )
+        body.having = []
+        name = self._fresh("mv")
+        sql = f"create materialized view {name} as {body.to_sql()}"
+        by_alias = {
+            rel.alias: next(
+                table for table in self.tables if table.name == rel.table
+            )
+            for rel in body.relations
+        }
+        columns = tuple(
+            GenColumn(item.name, _output_type(item, by_alias), True)
+            for item in body.select
+        )
+        return Stmt("matview", sql), GenTable(name, columns)
+
+    # -- whole scripts -------------------------------------------------
+
+    def generate(self) -> List[Stmt]:
+        rng = self.rng
+        profile = self.profile
+        script: List[Stmt] = []
+
+        for _ in range(rng.randint(1, profile.max_tables)):
+            table = self._gen_table()
+            self.tables.append(table)
+            script.append(Stmt("create", self._create_sql(table)))
+            rows = rng.randint(profile.min_rows, profile.max_rows)
+            script.append(Stmt("insert", self._insert_sql(table, rows)))
+
+        for table in self.tables:
+            if rng.random() < profile.index_prob:
+                column = rng.choice(table.columns)
+                script.append(
+                    Stmt(
+                        "index",
+                        f"create index {self._fresh('ix')} on "
+                        f"{table.name} ({column.name})",
+                    )
+                )
+
+        if rng.random() < profile.matview_prob:
+            for _ in range(rng.randint(1, 2)):
+                stmt, view_table = self._gen_matview()
+                script.append(stmt)
+                self.matviews.append(view_table)
+
+        for _ in range(profile.queries):
+            roll = rng.random()
+            if roll < 0.2 and rng.random() < profile.late_insert_prob:
+                table = rng.choice(self.tables)
+                script.append(
+                    Stmt(
+                        "insert",
+                        self._insert_sql(table, rng.randint(1, 8)),
+                    )
+                )
+                if self.matviews and rng.random() < profile.refresh_prob:
+                    view = rng.choice(self.matviews)
+                    script.append(
+                        Stmt(
+                            "refresh",
+                            f"refresh materialized view {view.name}",
+                        )
+                    )
+            query = self._gen_query()
+            script.append(Stmt("query", query.to_sql(), query=query))
+        return script
+
+
+def _output_type(item: SelectItem, by_alias) -> str:
+    """The result type of one select item, given alias → GenTable.
+
+    Exact for key columns and MIN/MAX (which preserve their argument's
+    type — getting ``str`` right matters because only =/!= are safe on
+    strings); numeric aggregates approximate to float, which any
+    numeric literal compares against safely."""
+
+    def resolve(ref: str) -> str:
+        alias, column_name = ref.split(".", 1)
+        table = by_alias[alias]
+        for column in table.columns:
+            if column.name == column_name:
+                return column.dtype
+        return "int"
+
+    sql = item.sql
+    if not item.is_aggregate:
+        return resolve(sql)
+    if sql == "count(*)" or sql.startswith("count("):
+        return "int"
+    func, _, rest = sql.partition("(")
+    arg = rest.rstrip(")")
+    if func in ("min", "max"):
+        return resolve(arg)
+    return "float"
+
+
+def view_column_types(view: ViewSpec) -> List[str]:
+    """Column types of a WITH view (stashed by the generator)."""
+    return getattr(view, "_types", ["int"] * len(view.columns))
+
+
+def generate_script(
+    seed: int, profile: Optional[GenProfile] = None
+) -> List[Stmt]:
+    """The deterministic fuzz script for *seed*."""
+    return ScriptGenerator(seed, profile).generate()
+
+
+def render_script(script: Sequence[Stmt]) -> str:
+    """Self-contained ``;``-separated SQL text of a script."""
+    return ";\n".join(stmt.render() for stmt in script) + ";\n"
+
+
+__all__ = [
+    "GenProfile",
+    "PredSpec",
+    "QuerySpec",
+    "RelRef",
+    "ScriptGenerator",
+    "SelectItem",
+    "Stmt",
+    "ViewSpec",
+    "generate_script",
+    "render_script",
+    "view_column_types",
+]

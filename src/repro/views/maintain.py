@@ -34,6 +34,7 @@ from ..algebra.query import QueryBlock, TableRef
 from ..catalog.catalog import Catalog, TableInfo
 from ..catalog.schema import Column
 from ..cost.params import CostParams
+from ..datatypes import null_ordered_key
 from ..engine.context import ExecutionContext
 from ..engine.executor import execute_plan
 from ..engine.metrics import ExecutionMetrics
@@ -114,8 +115,14 @@ def create_materialized_view(
     with io.measure() as span:
         context = ExecutionContext(catalog, io, params or CostParams())
         result = execute_plan(plan, context)
-        rows = sorted(result.rows, key=lambda row: row[: len(key_columns)])
-        columns = [Column(f.name, f.dtype) for f in plan.schema]
+        rows = sorted(
+            result.rows,
+            key=lambda row: null_ordered_key(row[: len(key_columns)]),
+        )
+        # Backing columns are nullable throughout: group keys may come
+        # from nullable base columns and partial aggregates of all-NULL
+        # groups are themselves NULL.
+        columns = [Column(f.name, f.dtype, nullable=True) for f in plan.schema]
         table = HeapTable(backing_table_name(name), columns)
         table.insert_many(rows)
         io.write_pages(table.num_pages)
@@ -376,7 +383,8 @@ def _refresh_full(
         context = ExecutionContext(catalog, io, params or CostParams())
         result = execute_plan(plan, context)
         rows = sorted(
-            result.rows, key=lambda row: row[: len(view.key_columns)]
+            result.rows,
+            key=lambda row: null_ordered_key(row[: len(view.key_columns)]),
         )
         _replace_backing(view, rows, io)
     view.mark_fresh()
@@ -418,7 +426,7 @@ def _merge_groups(
             stored.merge(incoming)
             current[slot] = stored.value()
     rows = [tuple(row) for row in merged.values()]
-    rows.sort(key=lambda row: row[:width])
+    rows.sort(key=lambda row: null_ordered_key(row[:width]))
     return rows
 
 

@@ -156,25 +156,50 @@ class RandomQueryConfig:
     categories: int = 6
     max_views: int = 2
     memory_pages: int = 16
+    # NULL / empty-group shapes (0.0 / 0 keeps the paper's NULL-free
+    # setting that the optimizer experiments assume).
+    null_fraction: float = 0.0
+    """Probability that a measure (``val``/``qty``/``price``) or a
+    dim ``cat`` key is NULL. Any value > 0 also forces every fact row
+    with ``flag = 2`` to carry a NULL ``qty``, so grouping by ``flag``
+    always contains an all-NULL aggregate input group."""
+    empty_categories: int = 0
+    """Reserve the highest N ``cat`` values: no row ever lands there,
+    so group-bys over ``cat`` see absent groups."""
 
 
 _AGG_FUNCS = ("sum", "avg", "min", "max", "count")
 _FACT_MEASURES = ("qty", "price")
 
 
+def _maybe_null(rng: random.Random, value, fraction: float):
+    return None if fraction > 0 and rng.random() < fraction else value
+
+
 def build_star_database(config: RandomQueryConfig) -> Database:
-    """A small star schema: fact(f) referencing dim1/dim2."""
+    """A small star schema: fact(f) referencing dim1/dim2.
+
+    With ``null_fraction > 0`` the measure columns and the dim ``cat``
+    keys carry NULLs (and fact rows with ``flag = 2`` always have a
+    NULL ``qty``); ``empty_categories`` keeps the top of the ``cat``
+    domain unpopulated. Both knobs default off."""
     rng = random.Random(config.seed)
+    populated = max(1, config.categories - config.empty_categories)
+    nullable = (
+        ["cat", "val"] if config.null_fraction > 0 else None
+    )
     db = Database(CostParams(memory_pages=config.memory_pages))
     db.create_table(
         "dim1",
         [("d1_id", "int"), ("cat", "int"), ("val", "float")],
         primary_key=["d1_id"],
+        nullable=nullable,
     )
     db.create_table(
         "dim2",
         [("d2_id", "int"), ("cat", "int"), ("val", "float")],
         primary_key=["d2_id"],
+        nullable=nullable,
     )
     db.create_table(
         "fact",
@@ -187,35 +212,41 @@ def build_star_database(config: RandomQueryConfig) -> Database:
             ("flag", "int"),
         ],
         primary_key=["f_id"],
+        nullable=["qty", "price"] if config.null_fraction > 0 else None,
     )
-    db.insert(
-        "dim1",
-        [
-            (i, rng.randrange(config.categories), float(rng.randint(0, 100)))
-            for i in range(config.dim_rows)
-        ],
-    )
-    db.insert(
-        "dim2",
-        [
-            (i, rng.randrange(config.categories), float(rng.randint(0, 100)))
-            for i in range(config.dim_rows)
-        ],
-    )
-    db.insert(
-        "fact",
-        [
-            (
-                i,
-                rng.randrange(config.dim_rows),
-                rng.randrange(config.dim_rows),
-                float(rng.randint(1, 50)),
-                float(rng.randint(10, 500)),
-                rng.randrange(3),
-            )
-            for i in range(config.fact_rows)
-        ],
-    )
+    for dim in ("dim1", "dim2"):
+        db.insert(
+            dim,
+            [
+                (
+                    i,
+                    _maybe_null(
+                        rng, rng.randrange(populated), config.null_fraction
+                    ),
+                    _maybe_null(
+                        rng,
+                        float(rng.randint(0, 100)),
+                        config.null_fraction,
+                    ),
+                )
+                for i in range(config.dim_rows)
+            ],
+        )
+    fact_rows = []
+    for i in range(config.fact_rows):
+        d1 = rng.randrange(config.dim_rows)
+        d2 = rng.randrange(config.dim_rows)
+        qty = _maybe_null(
+            rng, float(rng.randint(1, 50)), config.null_fraction
+        )
+        price = _maybe_null(
+            rng, float(rng.randint(10, 500)), config.null_fraction
+        )
+        flag = rng.randrange(3)
+        if flag == 2 and config.null_fraction > 0:
+            qty = None  # guaranteed all-NULL qty group under flag
+        fact_rows.append((i, d1, d2, qty, price, flag))
+    db.insert("fact", fact_rows)
     db.create_index("fact_d1_idx", "fact", ["d1_id"])
     db.create_index("fact_d2_idx", "fact", ["d2_id"])
     db.add_foreign_key("fact", ["d1_id"], "dim1", ["d1_id"])

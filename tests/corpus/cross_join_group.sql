@@ -1,0 +1,9 @@
+-- corpus regression: cross_join_group.sql
+-- pins: relations with no shared column type stay cross-joined
+-- (the generator's old fallback invented invalid join predicates);
+-- grouped aggregation over a cross product agrees everywhere.
+create table t1 (c0 int);
+create table t2 (c1 str);
+insert into t1 values (1), (2), (3);
+insert into t2 values ('a'), ('b');
+select r2.c1 as x1, count(*) as x2, sum(r1.c0) as x3 from t1 r1, t2 r2 group by r2.c1;

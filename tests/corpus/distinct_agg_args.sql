@@ -1,0 +1,7 @@
+-- corpus regression: distinct_agg_args.sql
+-- pins: several aggregates over the same column (and arithmetic
+-- variants of it) coexist in one grouped select -- the binder
+-- rejects exact duplicates, so near-duplicates must all bind.
+create table t1 (c0 int, c1 int);
+insert into t1 values (1, 3), (1, 5), (2, 7), (2, 9), (2, 11);
+select r1.c0 as x1, sum(r1.c1) as x2, avg(r1.c1) as x3, min(r1.c1) as x4, max(r1.c1) as x5, count(r1.c1) as x6, sum(r1.c1 + 0) as x7 from t1 r1 group by r1.c0;

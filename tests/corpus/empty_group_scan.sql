@@ -1,0 +1,8 @@
+-- corpus regression: empty_group_scan.sql
+-- pins: grouped aggregation over an empty input produces zero
+-- groups; a WHERE that filters everything behaves the same.
+create table t1 (c0 int, c1 int);
+create table t2 (c0 int, c1 int);
+insert into t2 values (1, 2), (3, 4);
+select r1.c0 as x1, count(*) as x2 from t1 r1 group by r1.c0;
+select r2.c0 as x1, sum(r2.c1) as x2 from t2 r2 where r2.c0 > 100 group by r2.c0;

@@ -1,0 +1,7 @@
+-- corpus regression: having_null_aggregate.sql
+-- pins: HAVING compares against a NULL aggregate (all-NULL group)
+-- with three-valued logic -- the group is dropped, not errored.
+create table t1 (c0 int, c1 int null);
+insert into t1 values (1, null), (1, null), (2, 5), (2, 7), (3, 1);
+select r1.c0 as x1, sum(r1.c1) as x2 from t1 r1 group by r1.c0 having sum(r1.c1) > 0;
+select r1.c0 as x1, count(r1.c1) as x2 from t1 r1 group by r1.c0 having count(r1.c1) = 0;

@@ -1,0 +1,9 @@
+-- corpus regression: matview_join_query.sql
+-- pins: joining a materialized view to its base table binds the
+-- view's output columns (the generator once emitted c0-named join
+-- keys against views that only expose xN columns).
+create table t1 (c0 int, c1 int);
+insert into t1 values (1, 10), (2, 20), (1, 30), (2, 40), (10, 5);
+create materialized view mv1 as select r1.c0 as x1, count(*) as x2 from t1 r1 group by r1.c0;
+select r2.x1 as x3, r3.c1 as x4 from mv1 r2, t1 r3 where r2.x2 = r3.c0;
+select r2.x1 as x5, sum(r3.c1) as x6 from mv1 r2, t1 r3 where r2.x1 = r3.c0 group by r2.x1;

@@ -1,0 +1,11 @@
+-- corpus regression: matview_null_groups.sql
+-- pins: materialized views group NULL keys like queries do; the
+-- view's backing table stores NULL keys and NULL partials (backing
+-- columns used to be declared NOT NULL and refresh crashed).
+create table t1 (c0 int null, c1 int null);
+insert into t1 values (1, 10), (null, 20), (2, null), (null, 30), (2, null);
+create materialized view mv1 as select r1.c0 as x1, count(*) as x2, sum(r1.c1) as x3 from t1 r1 group by r1.c0;
+select r2.x1 as x4, r2.x2 as x5, r2.x3 as x6 from mv1 r2;
+insert into t1 values (null, 40), (2, 5);
+refresh materialized view mv1;
+select r3.x1 as x7, r3.x3 as x8 from mv1 r3;

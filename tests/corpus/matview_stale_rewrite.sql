@@ -1,0 +1,11 @@
+-- corpus regression: matview_stale_rewrite.sql
+-- pins: a query between insert and refresh must not be answered
+-- from the stale view snapshot -- rewrite on/off configs and the
+-- oracle all see the post-insert rows.
+create table t1 (c0 int, c1 int);
+insert into t1 values (1, 10), (2, 20), (1, 30);
+create materialized view mv1 as select r1.c0 as x1, sum(r1.c1) as x2, count(*) as x3 from t1 r1 group by r1.c0;
+insert into t1 values (1, 40), (3, 50);
+select r2.c0 as x4, sum(r2.c1) as x5, count(*) as x6 from t1 r2 group by r2.c0;
+refresh materialized view mv1;
+select r3.c0 as x7, sum(r3.c1) as x8 from t1 r3 group by r3.c0;

@@ -1,0 +1,7 @@
+-- corpus regression: null_group_key.sql
+-- pins: NULL grouping keys form their own single group in every
+-- executor (hash groups, sorted groups) and match SQLite.
+create table t1 (c0 int null, c1 int);
+insert into t1 values (1, 10), (null, 20), (null, 30), (2, 40), (1, 50);
+select r1.c0 as x1, count(*) as x2, sum(r1.c1) as x3 from t1 r1 group by r1.c0;
+select r1.c0 as x1, min(r1.c1) as x2 from t1 r1 group by r1.c0 having count(*) > 1;

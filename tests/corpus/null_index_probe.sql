@@ -1,0 +1,10 @@
+-- corpus regression: null_index_probe.sql
+-- pins: ordered indexes exclude NULL keys (a NULL never satisfies
+-- an equality probe) while IS NULL predicates still see the NULL
+-- rows via scans; index-nested-loop probes skip NULL outer keys.
+create table t1 (c0 int null, c1 int);
+insert into t1 values (1, 10), (null, 20), (1, 30), (2, 40), (null, 50);
+create index ix1 on t1 (c0);
+select r1.c1 as x1 from t1 r1 where r1.c0 = 1;
+select r1.c1 as x1 from t1 r1 where r1.c0 is null;
+select r1.c1 as x1 from t1 r1 where r1.c0 is not null;

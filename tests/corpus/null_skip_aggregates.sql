@@ -1,0 +1,7 @@
+-- corpus regression: null_skip_aggregates.sql
+-- pins: aggregates skip NULL inputs; count(col) vs count(*) differ;
+-- an all-NULL group yields NULL for sum/avg/min/max (not 0, not an
+-- error -- the seed engine raised PlanError on empty aggregate input).
+create table t1 (c0 int, c1 int null, c2 float null);
+insert into t1 values (1, null, null), (1, null, null), (2, 5, 1.25), (2, null, 0.5), (3, 7, null);
+select r1.c0 as x1, count(*) as x2, count(r1.c1) as x3, sum(r1.c1) as x4, avg(r1.c2) as x5, min(r1.c1) as x6, max(r1.c2) as x7 from t1 r1 group by r1.c0;

@@ -1,0 +1,10 @@
+-- corpus regression: three_valued_logic.sql
+-- pins: SQL three-valued logic -- comparisons with NULL are
+-- unknown, so WHERE drops those rows; BETWEEN and IN over NULL
+-- operands behave the same as SQLite.
+create table t1 (c0 int null, c1 int null);
+insert into t1 values (1, 2), (null, 3), (4, null), (null, null), (5, 6);
+select r1.c1 as x1 from t1 r1 where r1.c0 > 0;
+select r1.c0 as x1 from t1 r1 where r1.c0 between 1 and 4;
+select r1.c0 as x1 from t1 r1 where r1.c1 in (2, 6);
+select r1.c0 as x1, r1.c1 as x2 from t1 r1 where r1.c0 = r1.c1;

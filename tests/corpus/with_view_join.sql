@@ -1,0 +1,7 @@
+-- corpus regression: with_view_join.sql
+-- pins: WITH-view outputs join against base tables and group
+-- correctly under every optimizer level and both executors.
+create table t1 (c0 int, c1 int);
+insert into t1 values (1, 10), (2, 20), (1, 30), (3, 2);
+with v1(k0, v0) as (select r1.c0 as k0, sum(r1.c1) as v0 from t1 r1 group by r1.c0) select r2.k0 as x1, r3.c1 as x2 from v1 r2, t1 r3 where r2.k0 = r3.c0;
+with v2(k0, v0) as (select r1.c0 as k0, count(*) as v0 from t1 r1 group by r1.c0) select r2.v0 as x1, count(*) as x2 from v2 r2 group by r2.v0;

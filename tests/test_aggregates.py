@@ -51,10 +51,20 @@ class TestBuiltins:
     def test_median_even(self):
         assert run("median", [1, 2, 3, 4]) == 2.5
 
-    def test_empty_group_raises(self):
+    def test_empty_group_is_null(self):
+        # SQL semantics: every aggregate but COUNT is NULL over an
+        # empty (or all-NULL) input.
         for name in ("sum", "avg", "min", "max", "stddev", "median"):
-            with pytest.raises(PlanError):
-                run(name, [])
+            assert run(name, []) is None
+            assert run(name, [None, None]) is None
+
+    def test_null_values_are_skipped(self):
+        assert run("count", [1, None, 2]) == 2
+        assert run("sum", [1, None, 2]) == 3
+        assert run("avg", [1, None, 3]) == 2
+        assert run("min", [None, 4, 2]) == 2
+        assert run("max", [None, 4, 2]) == 4
+        assert run("median", [None, 1, 2, 3]) == 2
 
     def test_empty_count_is_zero(self):
         assert run("count", []) == 0

@@ -134,3 +134,72 @@ class TestShell:
         )
         interpreter.run(source)
         assert "(1 row)" in out.getvalue()
+
+
+class TestFuzzCommand:
+    """Exit codes and outputs of ``python -m repro fuzz``."""
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "fuzz",
+                "--seeds", "1",
+                "--profile", "smoke",
+                "--quiet",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no divergences" in out
+        decoded = __import__("json").loads(report_path.read_text())
+        assert decoded["seeds_run"] == 1
+
+    def test_unknown_profile_exits_two(self, capsys):
+        from repro.cli import main
+
+        code = main(["fuzz", "--profile", "warp-speed", "--quiet"])
+        assert code == 2
+        assert "unknown fuzz profile" in capsys.readouterr().err
+
+    def test_bad_flag_exits_two(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--bogus"]) == 2
+
+    def test_help_exits_zero(self, capsys):
+        from repro.cli import fuzz_main
+
+        assert fuzz_main(["--help"]) == 0
+        assert "--seeds" in capsys.readouterr().out
+
+    def test_divergences_exit_one(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        from repro.testing import CONFIGS, metamorphic, runner
+        from repro.testing.metamorphic import EngineConfig
+
+        bogus = EngineConfig("bogus", optimizer="nosuch")
+
+        def patched_check(script, **kwargs):
+            return metamorphic.check_script(
+                script, configs=(CONFIGS[0], bogus)
+            )
+
+        monkeypatch.setattr(runner, "check_script", patched_check)
+        code = main(
+            [
+                "fuzz",
+                "--seeds", "1",
+                "--profile", "smoke",
+                "--quiet",
+                "--no-shrink",
+                "--corpus", str(tmp_path / "corpus"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert list((tmp_path / "corpus").glob("*.sql"))

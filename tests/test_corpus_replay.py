@@ -1,0 +1,47 @@
+"""Replay the pinned fuzz regression corpus.
+
+Every ``tests/corpus/*.sql`` file is a shrunk, self-contained repro of
+a divergence class found (and fixed) by the differential fuzzer.  Each
+is replayed through the full metamorphic config matrix and compared
+against the SQLite / reference oracles — any divergence is a
+regression of a previously fixed bug.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import check_script, load_corpus_script
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.sql"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS_FILES) >= 10, (
+        "the regression corpus must keep at least 10 pinned cases"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_case_replays_clean(path):
+    script = load_corpus_script(path)
+    assert any(stmt.kind == "query" for stmt in script), (
+        f"{path.name} contains no query — nothing to cross-check"
+    )
+    report = check_script(script)
+    assert report.ok, f"{path.name} regressed:\n" + "\n".join(
+        divergence.describe() for divergence in report.divergences
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_case_is_documented(path):
+    first = path.read_text().splitlines()[0]
+    assert first.startswith("--"), (
+        f"{path.name} must open with a comment naming what it pins"
+    )

@@ -190,3 +190,81 @@ class TestTransformErrors:
         )
         with pytest.raises(TransformError):
             pull_up(query, "v", ["ghost"], emp_dept_db.catalog)
+
+
+class TestFuzzErrors:
+    """The fuzzing subsystem fails loudly on bad inputs too."""
+
+    def test_unknown_profile(self):
+        from repro.testing import FuzzConfigError, run_fuzz
+        from repro.testing.runner import resolve_profile
+
+        with pytest.raises(FuzzConfigError, match="unknown fuzz profile"):
+            resolve_profile("warp-speed")
+        with pytest.raises(FuzzConfigError):
+            run_fuzz(seeds=1, profile="warp-speed")
+
+    def test_bad_seed_count(self):
+        from repro.testing import FuzzConfigError, run_fuzz
+
+        with pytest.raises(FuzzConfigError, match="seeds"):
+            run_fuzz(seeds=0)
+
+    def test_fuzz_config_error_is_repro_error(self):
+        from repro.testing import FuzzConfigError, OracleError
+
+        assert issubclass(FuzzConfigError, ReproError)
+        assert issubclass(OracleError, ReproError)
+
+    def test_oracle_rejects_unknown_statement_kind(self):
+        from repro.testing import OracleError, SqliteOracle
+        from repro.testing.sqlgen import Stmt
+
+        oracle = SqliteOracle()
+        try:
+            with pytest.raises(OracleError, match="cannot replay"):
+                oracle.apply(Stmt("vacuum", "vacuum"))
+        finally:
+            oracle.close()
+
+    def test_oracle_rejects_malformed_create(self):
+        from repro.testing import OracleError, SqliteOracle
+        from repro.testing.sqlgen import Stmt
+
+        oracle = SqliteOracle()
+        try:
+            with pytest.raises(OracleError):
+                oracle.apply(Stmt("create", "create garbage"))
+        finally:
+            oracle.close()
+
+    def test_oracle_surfaces_sqlite_errors(self):
+        from repro.testing import OracleError, SqliteOracle
+        from repro.testing.sqlgen import Stmt
+
+        oracle = SqliteOracle()
+        try:
+            with pytest.raises(OracleError, match="failed on insert"):
+                oracle.apply(
+                    Stmt("insert", "insert into ghost values (1)")
+                )
+            with pytest.raises(OracleError, match="failed on query"):
+                oracle.query("select nothing from nowhere")
+        finally:
+            oracle.close()
+
+    def test_oracle_failure_becomes_divergence_not_crash(self):
+        """A statement SQLite rejects must surface as an oracle-error
+        divergence; the harness itself must not raise."""
+        from repro.testing import check_script
+        from repro.testing.sqlgen import Stmt
+
+        script = [
+            Stmt("create", "create table t (a int)"),
+            # valid for the engine replay, but duplicated for SQLite
+            Stmt("create", "create table t (a int)"),
+            Stmt("query", "select t.a as x from t t"),
+        ]
+        report = check_script(script)
+        kinds = {d.kind for d in report.divergences}
+        assert kinds  # duplicate create fails everywhere, loudly

@@ -1,0 +1,224 @@
+"""Unit tests for the differential fuzzing subsystem itself."""
+
+import json
+
+import pytest
+
+from repro.testing import (
+    CONFIGS,
+    PROFILES,
+    check_script,
+    generate_script,
+    load_corpus_script,
+    needs_reference,
+    render_script,
+    run_fuzz,
+    shrink_script,
+)
+from repro.testing.metamorphic import EngineConfig
+from repro.testing.runner import (
+    classify_statement,
+    parse_corpus_sql,
+    write_corpus_case,
+)
+from repro.testing.shrink import Shrinker
+from repro.testing.sqlgen import Stmt
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        first = render_script(generate_script(11, PROFILES["smoke"]))
+        second = render_script(generate_script(11, PROFILES["smoke"]))
+        assert first == second
+
+    def test_seeds_differ(self):
+        scripts = {
+            render_script(generate_script(seed, PROFILES["smoke"]))
+            for seed in range(5)
+        }
+        assert len(scripts) == 5
+
+    def test_script_shape(self):
+        script = generate_script(0, PROFILES["smoke"])
+        kinds = [stmt.kind for stmt in script]
+        assert kinds[0] == "create"
+        assert "insert" in kinds
+        assert kinds.count("query") == PROFILES["smoke"].queries
+        # every statement classifies back to its own kind
+        for stmt in script:
+            assert classify_statement(stmt.render()) == stmt.kind
+
+    def test_render_parse_roundtrip(self, tmp_path):
+        script = generate_script(3, PROFILES["smoke"])
+        path = write_corpus_case(
+            tmp_path, 3, "smoke", script, "rows", "full-batch", "detail\nx"
+        )
+        loaded = load_corpus_script(path)
+        assert [s.kind for s in loaded] == [s.kind for s in script]
+        assert [s.render() for s in loaded] == [
+            s.render() for s in script
+        ]
+
+    def test_parse_corpus_strips_comments(self):
+        statements = parse_corpus_sql(
+            "-- header\ncreate table t (a int);\n-- note\nselect 1"
+        )
+        assert statements == ["create table t (a int)", "select 1"]
+
+
+class TestCheckScript:
+    def test_clean_seed(self):
+        report = check_script(generate_script(0, PROFILES["smoke"]))
+        assert report.ok
+        assert report.queries_checked == PROFILES["smoke"].queries
+        assert report.configs_run == len(CONFIGS)
+
+    def test_detects_error_divergence(self):
+        """A config whose optimizer does not exist errors on every
+        query — the harness must report it, not swallow it."""
+        script = [
+            Stmt("create", "create table t (a int)"),
+            Stmt("insert", "insert into t values (1), (2)"),
+            Stmt("query", "select t.a as x from t t"),
+        ]
+        bogus = EngineConfig("bogus", optimizer="nosuch")
+        report = check_script(script, configs=(CONFIGS[0], bogus))
+        assert not report.ok
+        kinds = {d.signature for d in report.divergences}
+        assert ("error", "bogus") in kinds
+
+    def test_setup_error_reported(self):
+        script = [Stmt("insert", "insert into ghost values (1)")]
+        report = check_script(script)
+        assert not report.ok
+        assert report.divergences[0].kind == "setup-error"
+
+    def test_needs_reference(self):
+        assert needs_reference("select stddev(t.a) from t t")
+        assert needs_reference("select median(t.a) from t t")
+        assert not needs_reference("select sum(t.a) from t t")
+
+
+def _failing_script():
+    """A script that diverges under a bogus-optimizer config, plus the
+    check function preserving that signature."""
+    script = [
+        Stmt("create", "create table t (a int, b int)"),
+        Stmt("create", "create table spare (c int)"),
+        Stmt("insert", "insert into t values (1, 2), (3, 4)"),
+        Stmt("insert", "insert into spare values (9)"),
+        Stmt("query", "select t.b as x from t t"),
+    ]
+    bogus = EngineConfig("bogus", optimizer="nosuch")
+    signature = ("error", "bogus")
+
+    def check(candidate):
+        report = check_script(candidate, configs=(CONFIGS[0], bogus))
+        for divergence in report.divergences:
+            # keep the signature precise: a missing table also errors
+            # under the bogus config, but with a BindError detail
+            if (
+                divergence.signature == signature
+                and "unknown optimizer" in divergence.detail
+            ):
+                return signature
+        return None
+
+    return script, check
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_repro(self):
+        script, check = _failing_script()
+        shrunk = shrink_script(script, check)
+        # minimal: the table the query needs, plus the query
+        assert [s.kind for s in shrunk] == ["create", "query"]
+        assert "spare" not in render_script(shrunk)
+
+    def test_rejects_passing_input(self):
+        _, check = _failing_script()
+        passing = [Stmt("create", "create table t (a int)")]
+        with pytest.raises(ValueError):
+            shrink_script(passing, check)
+
+    def test_budget_returns_best_so_far(self):
+        script, check = _failing_script()
+        shrinker = Shrinker(script, check, max_checks=2)
+        result = shrinker.run()
+        assert shrinker.budget_exhausted
+        # still fails with the original signature
+        assert check(result) == ("error", "bogus")
+
+    def test_synthetic_ddmin(self):
+        """ddmin over a pure-statement failure condition: needs both
+        marker statements, nothing else."""
+        script = [Stmt("query", f"select {i}") for i in range(12)]
+
+        def check(candidate):
+            texts = {stmt.sql for stmt in candidate}
+            if "select 3" in texts and "select 9" in texts:
+                return "both"
+            return None
+
+        shrunk = shrink_script(script, check)
+        assert sorted(s.sql for s in shrunk) == ["select 3", "select 9"]
+
+
+class TestRunFuzz:
+    def test_clean_run_reports(self):
+        report = run_fuzz(seeds=2, profile="smoke")
+        assert report.ok
+        assert report.seeds_run == 2
+        assert report.queries_checked == 2 * PROFILES["smoke"].queries
+        decoded = json.loads(report.to_json())
+        assert decoded["seeds_planned"] == 2
+        assert decoded["divergences"] == []
+
+    def test_duration_cap_stops_early(self):
+        report = run_fuzz(seeds=500, profile="smoke", duration=0.0)
+        assert report.stopped_by_duration
+        assert report.seeds_run < 500
+
+    def test_divergence_is_shrunk_and_archived(self, tmp_path, monkeypatch):
+        """When a check diverges, the runner shrinks the script and
+        writes a self-contained corpus file."""
+        from repro.testing import metamorphic, runner
+
+        bogus = EngineConfig("bogus", optimizer="nosuch")
+        patched_configs = (CONFIGS[0], bogus)
+
+        def patched_check(script, configs=patched_configs, **kwargs):
+            return metamorphic.check_script(script, configs=configs)
+
+        monkeypatch.setattr(runner, "check_script", patched_check)
+        report = runner.run_fuzz(
+            seeds=1, profile="smoke", corpus_dir=tmp_path
+        )
+        assert not report.ok
+        record = report.divergences[0]
+        assert record.kind == "error" and record.config == "bogus"
+        assert record.shrunk_statements <= record.original_statements
+        assert record.corpus_path is not None
+        # the archived case replays to the same divergence
+        replay = load_corpus_script(tmp_path / record.corpus_path.split("/")[-1])
+        replay_report = metamorphic.check_script(
+            replay, configs=patched_configs
+        )
+        assert ("error", "bogus") in {
+            d.signature for d in replay_report.divergences
+        }
+
+    def test_one_record_per_signature(self, monkeypatch):
+        """Many queries failing the same way collapse into one record."""
+        from repro.testing import metamorphic, runner
+
+        bogus = EngineConfig("bogus", optimizer="nosuch")
+
+        def patched_check(script, **kwargs):
+            return metamorphic.check_script(
+                script, configs=(CONFIGS[0], bogus)
+            )
+
+        monkeypatch.setattr(runner, "check_script", patched_check)
+        report = runner.run_fuzz(seeds=1, profile="smoke", shrink=False)
+        assert len(report.divergences) == 1
