@@ -9,7 +9,8 @@ FUZZ_PROFILE ?= default
 FUZZ_ARGS ?=
 
 .PHONY: help test fuzz fuzz-smoke bench bench-opt bench-exec \
-	bench-exec-smoke bench-views bench-views-smoke examples shell all
+	bench-exec-smoke bench-views bench-views-smoke bench-card \
+	bench-card-smoke examples shell all
 
 help:
 	@echo "repro targets:"
@@ -22,6 +23,8 @@ help:
 	@echo "  make bench-exec-smoke executor throughput, tiny CI configuration"
 	@echo "  make bench-views      materialized-view payoff -> BENCH_views.json"
 	@echo "  make bench-views-smoke view payoff, tiny CI configuration"
+	@echo "  make bench-card       cardinality q-error study -> BENCH_cardinality.json"
+	@echo "  make bench-card-smoke cardinality study, tiny CI configuration"
 	@echo "  make examples         run the example scripts"
 	@echo "  make shell            interactive SQL shell with demo data"
 
@@ -53,6 +56,12 @@ bench-views:
 
 bench-views-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_views.py --smoke
+
+bench-card:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cost_model_fidelity.py --out BENCH_cardinality.json
+
+bench-card-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cost_model_fidelity.py --smoke
 
 examples:
 	$(PYTHON) examples/quickstart.py

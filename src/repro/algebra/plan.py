@@ -445,7 +445,8 @@ def explain(plan: PlanNode, indent: int = 0, analyze: bool = False) -> str:
     """Readable multi-line rendering of a plan, with cost annotations
     when the plan has been costed. With ``analyze=True``, executed row
     counts (recorded by the executor) are shown next to the estimates —
-    the usual EXPLAIN ANALYZE reading."""
+    the usual EXPLAIN ANALYZE reading — along with each operator's
+    q-error (multiplicative estimate-vs-actual error, 1.0 = exact)."""
     pad = "  " * indent
     line = pad + plan.describe()
     props = plan.props
@@ -467,6 +468,10 @@ def explain(plan: PlanNode, indent: int = 0, analyze: bool = False) -> str:
                     f" spill={metrics.spill_reads}r/"
                     f"{metrics.spill_writes}w"
                 )
+        if props is not None:
+            from ..stats.feedback import q_error
+
+            line += f" q={q_error(props.rows, plan.actual_rows):.2f}"
         line += ")"
     lines = [line]
     for child in plan.children:

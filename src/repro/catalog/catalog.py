@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import (
+    dataclass,
+    field as dataclass_field,
+    replace as dataclass_replace,
+)
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError
 from ..storage.index import OrderedIndex
 from ..storage.table import HeapTable
 from .schema import Column
-from .statistics import TableStats, analyze_table
+from .statistics import DEFAULT_CONFIG, StatsConfig, TableStats, analyze_table
 
 
 @dataclass(frozen=True)
@@ -30,21 +34,72 @@ class ForeignKey:
 
 @dataclass
 class TableInfo:
-    """Everything the catalog knows about one stored table."""
+    """Everything the catalog knows about one stored table.
+
+    Statistics staleness mirrors the materialized-view epoch protocol:
+    inserts bump ``stats_epoch`` (an O(1) counter, like a matview delta
+    log entry) instead of triggering a rescan; column statistics are
+    re-collected lazily, and only once the table has grown past the
+    config's ``stale_growth_fraction`` since the last ANALYZE. Row and
+    page counts are *never* stale — :meth:`stats` refreshes them from
+    the heap in O(1) on every call.
+    """
 
     table: HeapTable
     primary_key: Optional[Tuple[str, ...]] = None
     foreign_keys: List[ForeignKey] = dataclass_field(default_factory=list)
     indexes: Dict[str, OrderedIndex] = dataclass_field(default_factory=dict)
     _stats: Optional[TableStats] = None
-    _stats_row_count: int = -1
+    _analyzed_rows: int = -1
+    stats_epoch: int = 0
+    analyze_count: int = 0
+    pages_scanned_total: int = 0
 
-    def stats(self) -> TableStats:
-        """Current statistics, recomputed lazily after inserts."""
-        if self._stats is None or self._stats_row_count != self.table.num_rows:
-            self._stats = analyze_table(self.table)
-            self._stats_row_count = self.table.num_rows
+    def stats(self, config: StatsConfig = DEFAULT_CONFIG) -> TableStats:
+        """Current statistics: exact row/page counts, column statistics
+        no staler than the config's growth threshold."""
+        if self._needs_analyze(config):
+            self.analyze(config)
+        stats = self._stats
+        assert stats is not None
+        current_rows = self.table.num_rows
+        current_pages = self.table.num_pages
+        if (
+            stats.row_count != current_rows
+            or stats.page_count != current_pages
+        ):
+            stats = dataclass_replace(
+                stats, row_count=current_rows, page_count=current_pages
+            )
+            self._stats = stats
+        return stats
+
+    def _needs_analyze(self, config: StatsConfig) -> bool:
+        if self._stats is None:
+            return True
+        current = self.table.num_rows
+        if current < self._analyzed_rows:
+            return True  # rows vanished (truncate/reload); start over
+        growth = current - self._analyzed_rows
+        return growth > config.stale_growth_fraction * max(
+            self._analyzed_rows, 1
+        )
+
+    def analyze(self, config: StatsConfig = DEFAULT_CONFIG) -> TableStats:
+        """Force one statistics collection pass now."""
+        self._stats = analyze_table(self.table, config)
+        self._analyzed_rows = self.table.num_rows
+        self.analyze_count += 1
+        self.pages_scanned_total += self._stats.pages_scanned
         return self._stats
+
+    def invalidate_stats(self) -> None:
+        """Drop cached statistics; the next :meth:`stats` re-collects.
+        Used when rows changed in place (e.g. a matview refresh rewrote
+        the backing table without changing its row count)."""
+        self._stats = None
+        self._analyzed_rows = -1
+        self.stats_epoch += 1
 
     def index_on(self, column_names: Sequence[str]) -> Optional[OrderedIndex]:
         """An index whose leading columns are exactly *column_names*."""
@@ -58,7 +113,8 @@ class TableInfo:
 class Catalog:
     """Registry of tables, indexes, keys, statistics, and named views."""
 
-    def __init__(self) -> None:
+    def __init__(self, stats_config: Optional[StatsConfig] = None) -> None:
+        self.stats_config = stats_config or DEFAULT_CONFIG
         self._tables: Dict[str, TableInfo] = {}
         self._views: Dict[str, Any] = {}
         # Materialized views (records are opaque here, like view
@@ -180,11 +236,31 @@ class Catalog:
     # ------------------------------------------------------------------
 
     def stats(self, name: str) -> TableStats:
-        return self.info(name).stats()
+        return self.info(name).stats(self.stats_config)
+
+    def analyze(self, name: Optional[str] = None) -> List[str]:
+        """Force statistics collection now (the ANALYZE statement).
+
+        With a name, analyzes that table (a materialized view name
+        resolves to its backing table); without one, every user table.
+        Returns the analyzed names.
+        """
+        if name is not None:
+            if name in self._matviews:
+                backing = self._matviews[name].backing_name
+                self.info(backing).analyze(self.stats_config)
+            else:
+                self.info(name).analyze(self.stats_config)
+            return [name]
+        names = self.table_names()
+        for table_name in names:
+            self.info(table_name).analyze(self.stats_config)
+        return names
 
     def analyze_all(self) -> None:
+        """Ensure every table has (possibly cached) statistics."""
         for info in self._tables.values():
-            info.stats()
+            info.stats(self.stats_config)
 
     # ------------------------------------------------------------------
     # Views (definitions are opaque to the catalog; the SQL binder owns
@@ -252,6 +328,10 @@ class Catalog:
         self, table: str, rows: Sequence[Tuple[Any, ...]]
     ) -> None:
         """Tell every dependent materialized view about new base rows
-        (stale flag + delta log); called by the INSERT path."""
+        (stale flag + delta log); called by the INSERT path. Also bumps
+        the table's statistics epoch — an O(1) mark, never a rescan."""
+        info = self._tables.get(table)
+        if info is not None:
+            info.stats_epoch += 1
         for view in self._matviews.values():
             view.notify_insert(table, rows)

@@ -1,73 +1,29 @@
-"""Selinger-style table and column statistics.
+"""Compatibility shim: statistics now live in :mod:`repro.stats`.
 
-The cardinality estimator (``repro.cost.cardinality``) consumes these:
-row counts and page counts drive scan/join costs, per-column distinct
-counts drive equi-join and group-by output estimates, and min/max ranges
-drive inequality selectivities.
+The statistics subsystem grew out of this module — NULL-aware
+collection, MCV lists, equi-depth histograms, and sampled ANALYZE are
+in ``repro.stats.collect``; this module re-exports the core types so
+existing imports (``from repro.catalog.statistics import ColumnStats``)
+keep working. Imports go straight to ``repro.stats.collect`` rather
+than the package root to keep the catalog package import-cycle free
+(the stats package root pulls in plan-feedback helpers that depend on
+the algebra layer).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from ..stats.collect import (
+    DEFAULT_CONFIG,
+    ColumnStats,
+    TableStats,
+    analyze_table,
+)
+from ..stats.config import StatsConfig
 
-from ..storage.table import HeapTable
-
-
-@dataclass(frozen=True)
-class ColumnStats:
-    """Statistics of one column: distinct count and value range."""
-
-    n_distinct: int
-    min_value: Optional[Any] = None
-    max_value: Optional[Any] = None
-
-    @property
-    def spread(self) -> Optional[float]:
-        """Numeric range width, or ``None`` for non-numeric columns."""
-        if isinstance(self.min_value, (int, float)) and isinstance(
-            self.max_value, (int, float)
-        ):
-            return float(self.max_value) - float(self.min_value)
-        return None
-
-
-@dataclass(frozen=True)
-class TableStats:
-    """Statistics of one stored table."""
-
-    row_count: int
-    page_count: int
-    row_width: int
-    columns: Dict[str, ColumnStats] = field(default_factory=dict)
-
-    def column(self, name: str) -> Optional[ColumnStats]:
-        return self.columns.get(name)
-
-
-def analyze_table(table: HeapTable) -> TableStats:
-    """Compute exact statistics by scanning the table's rows.
-
-    Exact (rather than sampled) statistics keep the reproduction's
-    cost-model errors attributable to the *formulas*, matching the
-    paper's setting where the cost model is taken as given.
-    """
-    column_stats: Dict[str, ColumnStats] = {}
-    for position, column in enumerate(table.columns):
-        values = {row[position] for row in table.rows}
-        if values:
-            try:
-                low, high = min(values), max(values)
-            except TypeError:  # mixed un-orderable values; range unknown
-                low = high = None
-            column_stats[column.name] = ColumnStats(
-                n_distinct=len(values), min_value=low, max_value=high
-            )
-        else:
-            column_stats[column.name] = ColumnStats(n_distinct=0)
-    return TableStats(
-        row_count=table.num_rows,
-        page_count=table.num_pages,
-        row_width=table.row_width,
-        columns=column_stats,
-    )
+__all__ = [
+    "ColumnStats",
+    "DEFAULT_CONFIG",
+    "StatsConfig",
+    "TableStats",
+    "analyze_table",
+]

@@ -196,7 +196,8 @@ class Shell:
         ``SearchStats.as_dict()``, so new counters show up here without
         touching the shell; the executor section comes from
         ``ExecutionMetrics`` (rows, batches, wall-clock, spill IO per
-        operator)."""
+        operator); the estimates section reports per-operator
+        estimate-vs-actual q-error (1.0 = exact) after execution."""
         if not self.show_stats:
             return
         parts = []
@@ -211,6 +212,22 @@ class Shell:
             self.write("exec:")
             for line in metrics.lines():
                 self.write("  " + line)
+        records = result.q_errors() if hasattr(result, "q_errors") else []
+        if records:
+            from .stats.feedback import median
+
+            worst = max(record.q_error for record in records)
+            mid = median([record.q_error for record in records])
+            self.write(
+                f"estimates: median q-error {mid:.2f}, worst {worst:.2f}"
+            )
+            for record in records:
+                self.write(
+                    "  " + "  " * record.depth
+                    + f"est={record.estimated_rows:.0f} "
+                    f"act={record.actual_rows} q={record.q_error:.2f}  "
+                    + record.operator
+                )
 
     def _list_relations(self) -> None:
         tables = self.db.catalog.table_names()
@@ -246,6 +263,11 @@ class Shell:
         stats = self.db.catalog.stats(name)
         primary_key = self.db.catalog.primary_key(name)
         self.write(f"table {name}:")
+        if stats.sampled:
+            self.write(
+                f"  (statistics sampled: {stats.pages_scanned} of "
+                f"{stats.page_count} pages)"
+            )
         for column in table.columns:
             column_stats = stats.column(column.name)
             extra = ""
@@ -255,6 +277,14 @@ class Shell:
                     extra += (
                         f" range=[{column_stats.min_value}, "
                         f"{column_stats.max_value}]"
+                    )
+                if column_stats.null_count:
+                    extra += f" nulls={column_stats.null_count}"
+                if column_stats.mcvs:
+                    extra += f" mcvs={len(column_stats.mcvs)}"
+                if column_stats.histogram is not None:
+                    extra += (
+                        f" hist={column_stats.histogram.num_buckets}"
                     )
             marker = (
                 " (pk)" if primary_key and column.name in primary_key else ""

@@ -1,16 +1,30 @@
-"""Selinger-style selectivity and cardinality estimation.
+"""Selectivity and cardinality estimation over column statistics.
 
-Every plan node gets per-column metadata (:class:`ColMeta`: distinct
-count and numeric range) propagated bottom-up. Selectivities follow the
-classic System R formulas: ``1/V(col)`` for equality with a literal,
-range fractions for inequalities when min/max are known, ``1/max(V(a),
-V(b))`` for equi-joins, and configurable defaults elsewhere.
+Every plan node gets per-column metadata (:class:`ColMeta`) propagated
+bottom-up. The base formulas are the classic System R ones —
+``1/V(col)`` for equality with a literal, range fractions for
+inequalities, ``1/max(V(a), V(b))`` for equi-joins, configurable
+defaults elsewhere — refined by the distribution detail the statistics
+subsystem collects:
+
+- **Null fractions** discount equality/range/join selectivities by the
+  non-null fraction (NULL compares to nothing and joins with nothing).
+- **MCV lists** answer equality with a known-common literal exactly and
+  split equi-join selectivity into a matched-MCV part and a residual
+  (the Postgres ``eqjoinsel`` shape), which is where skewed join
+  estimates stop being off by orders of magnitude.
+- **Equi-depth histograms** answer range predicates by bucket
+  interpolation instead of a straight line between min and max.
+
+All refinements degrade exactly to the System R formulas when the
+statistics carry no MCVs, no histogram, and no nulls — uniform data
+costs nothing and estimates stay bit-identical to the uniform model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..algebra.expressions import (
     And,
@@ -25,35 +39,79 @@ from ..algebra.expressions import (
     equijoin_sides,
 )
 from ..catalog.statistics import ColumnStats
+from ..stats.histogram import EquiDepthHistogram
 from .params import CostParams
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 @dataclass(frozen=True)
 class ColMeta:
-    """Estimator's knowledge about one column of an intermediate result."""
+    """Estimator's knowledge about one column of an intermediate result.
+
+    Field order up to ``max_value`` is public API (callers construct
+    ``ColMeta(ndv, min_value, max_value)`` positionally); distribution
+    fields append after it with neutral defaults.
+    """
 
     ndv: float
     min_value: Optional[float] = None
     max_value: Optional[float] = None
+    null_frac: float = 0.0
+    mcvs: Tuple[Tuple[Any, float], ...] = ()
+    histogram: Optional[EquiDepthHistogram] = None
 
     @classmethod
-    def from_stats(cls, stats: Optional[ColumnStats], rows: float) -> "ColMeta":
-        if stats is None or stats.n_distinct == 0:
+    def from_stats(
+        cls,
+        stats: Optional[ColumnStats],
+        rows: float,
+        use_statistics: bool = True,
+    ) -> "ColMeta":
+        if (
+            not use_statistics
+            or stats is None
+            or (stats.n_distinct == 0 and stats.null_count == 0)
+        ):
             return cls(ndv=max(1.0, rows))
-        low = stats.min_value if isinstance(stats.min_value, (int, float)) else None
-        high = stats.max_value if isinstance(stats.max_value, (int, float)) else None
-        return cls(ndv=float(stats.n_distinct), min_value=low, max_value=high)
+        if stats.n_distinct == 0:
+            # All-NULL column: one "value class", everything filtered by
+            # the null fraction.
+            return cls(ndv=1.0, null_frac=1.0)
+        low = stats.min_value if _is_number(stats.min_value) else None
+        high = stats.max_value if _is_number(stats.max_value) else None
+        return cls(
+            ndv=float(stats.n_distinct),
+            min_value=low,
+            max_value=high,
+            null_frac=stats.null_fraction(int(rows)),
+            mcvs=stats.mcvs,
+            histogram=stats.histogram,
+        )
 
     def clamped(self, rows: float) -> "ColMeta":
         """Distinct values can never exceed the row count."""
         if 1.0 <= self.ndv <= rows:
             return self
         return ColMeta(
-            max(1.0, min(self.ndv, rows)), self.min_value, self.max_value
+            max(1.0, min(self.ndv, rows)),
+            self.min_value,
+            self.max_value,
+            self.null_frac,
+            self.mcvs,
+            self.histogram,
         )
+
+    @property
+    def mcv_total_fraction(self) -> float:
+        return sum(fraction for _, fraction in self.mcvs)
 
 
 ColMetaMap = Dict[FieldKey, ColMeta]
+
+_UNKNOWN = ColMeta(ndv=1.0)
 
 
 class CardinalityEstimator:
@@ -95,11 +153,9 @@ class CardinalityEstimator:
             return self._literal_selectivity(meta.get(key), op, value)
         sides = equijoin_sides(predicate)
         if sides is not None:
-            left_meta = meta.get(sides[0])
-            right_meta = meta.get(sides[1])
-            left_ndv = left_meta.ndv if left_meta else 1.0
-            right_ndv = right_meta.ndv if right_meta else 1.0
-            return 1.0 / max(left_ndv, right_ndv, 1.0)
+            return self.equijoin_selectivity(
+                meta.get(sides[0]), meta.get(sides[1])
+            )
         if (
             predicate.op == "="
             and isinstance(predicate.left, ColumnRef)
@@ -108,19 +164,48 @@ class CardinalityEstimator:
             return self.params.default_selectivity
         return self.params.default_selectivity
 
+    def eq_selectivity(self, column: Optional[ColMeta], value: Any) -> float:
+        """Selectivity of ``col = value`` — the MCV-aware equality
+        estimate, also used to size index probes with literal keys."""
+        if column is None:
+            return self.params.default_selectivity
+        return self._eq_fraction(column, value) * (1.0 - column.null_frac)
+
+    def _eq_fraction(self, column: ColMeta, value: Any) -> float:
+        """Fraction of *non-null* rows equal to *value*."""
+        for mcv_value, fraction in column.mcvs:
+            if mcv_value == value:
+                return fraction
+        if column.mcvs:
+            # Not a common value: the non-MCV mass spread over the
+            # remaining distinct values (the Postgres "otherdistinct"
+            # rule).
+            other = max(0.0, 1.0 - column.mcv_total_fraction)
+            remaining = max(1.0, column.ndv - len(column.mcvs))
+            return other / remaining
+        return 1.0 / max(1.0, column.ndv)
+
     def _literal_selectivity(
         self, column: Optional[ColMeta], op: str, value: object
     ) -> float:
         if column is None:
             return self.params.default_selectivity
+        non_null = 1.0 - column.null_frac
         if op == "=":
-            return 1.0 / max(1.0, column.ndv)
+            return self._eq_fraction(column, value) * non_null
         if op == "!=":
-            return max(0.0, 1.0 - 1.0 / max(1.0, column.ndv))
-        # Range predicate: interpolate when the column range is known.
+            return max(0.0, 1.0 - self._eq_fraction(column, value)) * non_null
+        if not _is_number(value):
+            return self.params.default_selectivity
+        # Range predicate over the histogram (plus MCVs in range) when
+        # the column has one; linear min/max interpolation otherwise.
+        histogram = column.histogram
+        if histogram is not None and histogram.fractions:
+            return min(
+                1.0, self._range_fraction(column, op, float(value))
+            ) * non_null
         if (
-            isinstance(value, (int, float))
-            and column.min_value is not None
+            column.min_value is not None
             and column.max_value is not None
             and column.max_value > column.min_value
         ):
@@ -129,12 +214,79 @@ class CardinalityEstimator:
                 fraction = (float(value) - float(column.min_value)) / span
             else:  # > or >=
                 fraction = (float(column.max_value) - float(value)) / span
-            return min(1.0, max(1.0 / max(1.0, column.ndv), fraction))
+            floor = 1.0 / max(1.0, column.ndv)
+            return min(1.0, max(floor, fraction)) * non_null
         return self.params.default_selectivity
+
+    def _range_fraction(self, column: ColMeta, op: str, value: float) -> float:
+        """Non-null fraction satisfying a range op, composing the MCV
+        list with the histogram over the remaining values."""
+        histogram = column.histogram
+        assert histogram is not None
+        if op == "<":
+            base = histogram.fraction_below(value, inclusive=False)
+        elif op == "<=":
+            base = histogram.fraction_below(value, inclusive=True)
+        elif op == ">":
+            base = 1.0 - histogram.fraction_below(value, inclusive=True)
+        else:  # >=
+            base = 1.0 - histogram.fraction_below(value, inclusive=False)
+        mcv_part = sum(
+            fraction
+            for mcv_value, fraction in column.mcvs
+            if _is_number(mcv_value)
+            and _op_holds(float(mcv_value), op, value)
+        )
+        other = max(0.0, 1.0 - column.mcv_total_fraction)
+        return max(0.0, mcv_part + other * base)
 
     # ------------------------------------------------------------------
     # Join and grouping cardinalities
     # ------------------------------------------------------------------
+
+    def equijoin_selectivity(
+        self, left: Optional[ColMeta], right: Optional[ColMeta]
+    ) -> float:
+        """Selectivity of ``a = b`` across two inputs.
+
+        With MCV lists on both sides, the estimate decomposes the way
+        Postgres's ``eqjoinsel`` does: the matched common values
+        contribute their exact frequency product, each side's unmatched
+        common mass meets the other side's residual mass at one value's
+        share, and the two residual masses meet at
+        ``1/max(residual distinct counts)``. Without MCVs this is
+        exactly ``1/max(V(a), V(b))``.
+        """
+        left = left or _UNKNOWN
+        right = right or _UNKNOWN
+        non_null = (1.0 - left.null_frac) * (1.0 - right.null_frac)
+        if left.mcvs and right.mcvs:
+            right_map = dict(right.mcvs)
+            match = 0.0
+            matched_left = 0.0
+            matched_right = 0.0
+            for value, fraction in left.mcvs:
+                other = right_map.get(value)
+                if other is not None:
+                    match += fraction * other
+                    matched_left += fraction
+                    matched_right += other
+            total_left = left.mcv_total_fraction
+            total_right = right.mcv_total_fraction
+            unmatched_left = max(0.0, total_left - matched_left)
+            unmatched_right = max(0.0, total_right - matched_right)
+            other_left = max(0.0, 1.0 - total_left)
+            other_right = max(0.0, 1.0 - total_right)
+            nd_left = max(1.0, left.ndv - len(left.mcvs))
+            nd_right = max(1.0, right.ndv - len(right.mcvs))
+            selectivity = (
+                match
+                + unmatched_left * other_right / nd_right
+                + unmatched_right * other_left / nd_left
+                + other_left * other_right / max(nd_left, nd_right)
+            )
+            return min(1.0, selectivity) * non_null
+        return non_null / max(left.ndv, right.ndv, 1.0)
 
     def join_rows(
         self,
@@ -146,9 +298,9 @@ class CardinalityEstimator:
     ) -> float:
         rows = left_rows * right_rows
         for left_key, right_key in equi_keys:
-            left_ndv = meta[left_key].ndv if left_key in meta else 1.0
-            right_ndv = meta[right_key].ndv if right_key in meta else 1.0
-            rows /= max(left_ndv, right_ndv, 1.0)
+            rows *= self.equijoin_selectivity(
+                meta.get(left_key), meta.get(right_key)
+            )
         for predicate in residuals:
             rows *= self.selectivity(predicate, meta)
         return max(0.0, rows)
@@ -179,3 +331,13 @@ class CardinalityEstimator:
         if known:
             return self.selectivity(predicate, meta)
         return self.params.having_selectivity
+
+
+def _op_holds(left: float, op: str, right: float) -> bool:
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right

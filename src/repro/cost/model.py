@@ -20,7 +20,11 @@ The model satisfies the principle of optimality the paper assumes
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import (
+    dataclass,
+    field as dataclass_field,
+    replace as dataclass_replace,
+)
 from typing import Dict, Optional, Tuple
 
 from ..algebra.expressions import FieldKey
@@ -87,10 +91,19 @@ def estimated_pages(rows: float, width: int) -> float:
 class CostModel:
     """Annotates plan trees bottom-up with :class:`PlanProps`."""
 
-    def __init__(self, catalog: Catalog, params: Optional[CostParams] = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: Optional[CostParams] = None,
+        use_statistics: bool = True,
+    ):
         self.catalog = catalog
         self.params = params or CostParams()
         self.estimator = CardinalityEstimator(self.params)
+        # The statistics ablation (OptimizerOptions.use_statistics=False):
+        # row/page counts stay real (they size the IO formulas), but
+        # every column falls back to the unknown-stats default.
+        self.use_statistics = use_statistics
 
     # ------------------------------------------------------------------
     # Entry points
@@ -139,14 +152,15 @@ class CostModel:
         table = self.catalog.table(plan.table_name)
         for column in table.columns:
             meta[(plan.alias, column.name)] = ColMeta.from_stats(
-                stats.column(column.name), table_rows
+                stats.column(column.name),
+                table_rows,
+                use_statistics=self.use_statistics,
             )
         meta[(plan.alias, RID_COLUMN)] = ColMeta(ndv=max(1.0, table_rows))
 
         selectivity = 1.0
         for predicate in plan.filters:
             selectivity *= self.estimator.selectivity(predicate, meta)
-        rows = table_rows * selectivity
 
         order: Tuple[FieldKey, ...] = ()
         if plan.index_name is not None:
@@ -160,15 +174,31 @@ class CostModel:
             # Equality probe: traversal (which reaches the first leaf) +
             # extra leaf pages + one data page per matching tuple
             # (unclustered discipline, mirroring OrderedIndex charging).
+            # With a literal probe value the match count is MCV-aware:
+            # probing a known-hot key is priced at its real frequency,
+            # not the 1/NDV average.
             eq_meta = meta.get((plan.alias, index.column_names[0]))
-            matches = table_rows / max(1.0, eq_meta.ndv if eq_meta else 1.0)
+            if plan.index_values and eq_meta is not None:
+                matches = table_rows * self.estimator.eq_selectivity(
+                    eq_meta, plan.index_values[0]
+                )
+            else:
+                matches = table_rows / max(
+                    1.0, eq_meta.ndv if eq_meta else 1.0
+                )
             extra_leaves = max(
                 0.0, math.ceil(matches / index.entries_per_page) - 1
             )
             cost = index.height + extra_leaves + matches
             order = tuple((plan.alias, name) for name in index.column_names)
+            # The probe predicate was consumed into ``index_values`` by
+            # the access-path builder, so it is absent from
+            # ``plan.filters``: the output estimate starts from the
+            # probe's matches, then applies the residual filters.
+            rows = matches * selectivity
         else:
             cost = float(stats.page_count)
+            rows = table_rows * selectivity
 
         out_meta = {
             key: value.clamped(rows)
@@ -205,15 +235,16 @@ class CostModel:
         rows = self.estimator.join_rows(
             left.rows, right_rows, plan.equi_keys, plan.residuals, meta
         )
-        # Equality propagates the smaller NDV to both sides.
+        # Equality propagates the smaller NDV to both sides (each side
+        # keeps its own distribution detail — range, nulls, MCVs).
         for left_key, right_key in plan.equi_keys:
             if left_key in meta and right_key in meta:
                 shared = min(meta[left_key].ndv, meta[right_key].ndv)
-                meta[left_key] = ColMeta(
-                    shared, meta[left_key].min_value, meta[left_key].max_value
+                meta[left_key] = dataclass_replace(
+                    meta[left_key], ndv=shared
                 )
-                meta[right_key] = ColMeta(
-                    shared, meta[right_key].min_value, meta[right_key].max_value
+                meta[right_key] = dataclass_replace(
+                    meta[right_key], ndv=shared
                 )
 
         cost, order = self._join_cost(plan, left, right, rows)
@@ -243,7 +274,9 @@ class CostModel:
         meta: ColMetaMap = {}
         for column in table.columns:
             meta[(inner.alias, column.name)] = ColMeta.from_stats(
-                stats.column(column.name), table_rows
+                stats.column(column.name),
+                table_rows,
+                use_statistics=self.use_statistics,
             )
         meta[(inner.alias, RID_COLUMN)] = ColMeta(ndv=max(1.0, table_rows))
         selectivity = 1.0
@@ -279,9 +312,12 @@ class CostModel:
                 )
             stats = self.catalog.stats(inner.table_name)
             table_rows = float(stats.row_count)
-            column_stats = stats.column(index.column_names[0])
-            ndv = float(column_stats.n_distinct) if column_stats else 1.0
-            matches = table_rows / max(1.0, ndv)
+            key_meta = ColMeta.from_stats(
+                stats.column(index.column_names[0]),
+                table_rows,
+                use_statistics=self.use_statistics,
+            )
+            matches = table_rows / max(1.0, key_meta.ndv)
             extra_leaves = max(
                 0.0, math.ceil(matches / index.entries_per_page) - 1
             )

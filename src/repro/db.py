@@ -42,6 +42,7 @@ from .optimizer.canonical import (
 from .optimizer.options import OptimizerOptions
 from .sql.ast import ViewDefAst
 from .sql.binder import bind_sql
+from .stats import StatsConfig
 from .sql.parser import parse_select
 from .storage.iocounter import IOCounter, IOSnapshot
 
@@ -111,8 +112,16 @@ class QueryResult:
 
     def explain(self, analyze: bool = False) -> str:
         """The plan as text; ``analyze=True`` adds executed row counts
-        (available after the query ran)."""
+        and per-operator q-error (available after the query ran)."""
         return explain_plan(self.plan, analyze=analyze)
+
+    def q_errors(self):
+        """Per-operator estimate-vs-actual records
+        (:class:`repro.stats.feedback.EstimateRecord`), pre-order.
+        Empty until the query has executed."""
+        from .stats.feedback import plan_estimates
+
+        return plan_estimates(self.plan)
 
     def as_dicts(self) -> List[Dict[str, Any]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
@@ -125,8 +134,12 @@ class Database:
     """An in-memory relational database with IO-accounted storage and
     the paper's aggregate-view optimizer."""
 
-    def __init__(self, params: Optional[CostParams] = None):
-        self.catalog = Catalog()
+    def __init__(
+        self,
+        params: Optional[CostParams] = None,
+        stats_config: Optional[StatsConfig] = None,
+    ):
+        self.catalog = Catalog(stats_config)
         self.params = params or CostParams()
         self.io = IOCounter()
 
@@ -250,9 +263,13 @@ class Database:
     def drop_index(self, name: str) -> None:
         self.catalog.drop_index(name)
 
-    def analyze(self) -> None:
-        """Refresh statistics for all tables."""
-        self.catalog.analyze_all()
+    def analyze(self, table: Optional[str] = None) -> List[str]:
+        """Collect statistics now — for one table, or all of them.
+
+        The SQL form is ``ANALYZE [table]``. Returns the analyzed table
+        names (a materialized view name analyzes its backing table).
+        """
+        return self.catalog.analyze(table)
 
     def execute(
         self,
@@ -267,6 +284,7 @@ class Database:
         return a :class:`QueryResult` (the same as :meth:`query`).
         """
         from .sql.ddl import (
+            AnalyzeStmt,
             CreateIndexStmt,
             CreateMaterializedViewStmt,
             CreateTableStmt,
@@ -310,6 +328,9 @@ class Database:
             return None
         if isinstance(statement, DropIndexStmt):
             self.drop_index(statement.name)
+            return None
+        if isinstance(statement, AnalyzeStmt):
+            self.analyze(statement.table)
             return None
         assert isinstance(statement, InsertStmt)
         self.insert(statement.table, list(statement.rows))

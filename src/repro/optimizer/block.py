@@ -142,7 +142,11 @@ class BlockOptimizer:
         self.mode = mode
         self.enumeration = enumeration
         self.stats = stats if stats is not None else SearchStats()
-        self.model = CostModel(catalog, self.params)
+        self.model = CostModel(
+            catalog,
+            self.params,
+            use_statistics=self.options.use_statistics,
+        )
         # Annotated access-path plans for identical base-table leaves,
         # shared across every block this optimizer touches (the shared
         # DP of Section 5.3 re-plans the same scans for every request

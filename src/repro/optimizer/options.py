@@ -62,6 +62,12 @@ class OptimizerOptions:
     adopted only when cheaper under the cost model. ``--no-view-rewrite``
     in the CLI and the differential tests turn this off."""
 
+    use_statistics: bool = True
+    """Let the cost model consume collected column statistics (NDV,
+    ranges, null fractions, MCVs, histograms). Off = every column falls
+    back to the unknown-stats default (``ndv = rows``), the statistics
+    ablation: plan choice may change, answers never do."""
+
     def __post_init__(self) -> None:
         if self.k_level < 0:
             raise ValueError("k_level must be non-negative")

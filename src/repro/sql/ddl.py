@@ -16,6 +16,7 @@ Grammar::
     create_mview := CREATE MATERIALIZED VIEW name AS select
     refresh      := REFRESH MATERIALIZED VIEW name
     drop         := DROP (TABLE | INDEX | MATERIALIZED VIEW) name
+    analyze      := ANALYZE [name]
 
 CREATE MATERIALIZED VIEW is split by a regular expression rather than
 the token stream: everything after AS is handed to the SELECT parser
@@ -95,6 +96,14 @@ class DropMaterializedViewStmt:
 
 
 @dataclass(frozen=True)
+class AnalyzeStmt:
+    """Parsed ANALYZE [table]: collect statistics now, for one table
+    (a materialized view name analyzes its backing) or all of them."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class DropTableStmt:
     """Parsed DROP TABLE name."""
 
@@ -126,6 +135,7 @@ def maybe_parse_ddl(sql: str) -> Optional[DdlStatement]:
         or head.startswith("insert")
         or head.startswith("drop")
         or head.startswith("refresh")
+        or head.startswith("analyze")
     ):
         return None
     matview = _MATVIEW_RE.match(sql.strip())
@@ -237,6 +247,12 @@ class _DdlParser:
             name = self.expect_name()
             self.expect_eof()
             return RefreshMaterializedViewStmt(name=name)
+        if self.accept_word("analyze"):
+            table: Optional[str] = None
+            if self.current.kind == "name":
+                table = self.expect_name()
+            self.expect_eof()
+            return AnalyzeStmt(table=table)
         self.expect_word("insert")
         self.expect_word("into")
         return self._insert()

@@ -1,0 +1,96 @@
+"""Estimate-vs-actual feedback: per-operator q-error.
+
+The executor records actual row counts on every plan node
+(``node.actual_rows``); the cost annotator records estimates
+(``node.props.rows``). The q-error of a pair is the standard
+multiplicative measure
+
+    q = max(max(1, est) / max(1, act), max(1, act) / max(1, est))
+
+— symmetric, ≥ 1, and 1.0 exactly when the estimate is right. Both
+sides are floored at one row so empty results do not divide by zero and
+"estimated 3, got 0" stays finite. A plan whose worst operator q-error
+is small was costed from faithful statistics; large q-errors point at
+exactly the operator whose estimate went wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..algebra.plan import PlanNode
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """Multiplicative estimate-vs-actual error, ≥ 1.0."""
+    est = max(1.0, float(estimated))
+    act = max(1.0, float(actual))
+    return max(est / act, act / est)
+
+
+@dataclass(frozen=True)
+class EstimateRecord:
+    """One operator's estimate-vs-actual outcome."""
+
+    operator: str
+    depth: int
+    estimated_rows: float
+    actual_rows: int
+
+    @property
+    def q_error(self) -> float:
+        return q_error(self.estimated_rows, self.actual_rows)
+
+
+def plan_estimates(plan: PlanNode) -> List[EstimateRecord]:
+    """Estimate records for every executed, costed operator of *plan*
+    (pre-order, matching ``explain`` output)."""
+    records: List[EstimateRecord] = []
+    for depth, node in _walk(plan, 0):
+        if node.props is None or node.actual_rows is None:
+            continue
+        records.append(
+            EstimateRecord(
+                operator=node.describe(),
+                depth=depth,
+                estimated_rows=float(node.props.rows),
+                actual_rows=node.actual_rows,
+            )
+        )
+    return records
+
+
+def _walk(node: PlanNode, depth: int):
+    yield depth, node
+    for child in node.children:
+        yield from _walk(child, depth + 1)
+
+
+def median(values: Sequence[float]) -> Optional[float]:
+    """Plain median; None for an empty sequence."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile (``fraction`` in [0, 1])."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+__all__ = [
+    "EstimateRecord",
+    "median",
+    "percentile",
+    "plan_estimates",
+    "q_error",
+]

@@ -70,6 +70,13 @@ CONFIGS: Tuple[EngineConfig, ...] = (
         options=OptimizerOptions(enable_view_rewrite=False),
         engine="rowexec",
     ),
+    # Statistics ablation: histograms/MCVs/NDV feed only the cost
+    # model, so disabling them may change plan choice but never
+    # answers — exactly the invariant this matrix checks.
+    EngineConfig(
+        "full-nostats",
+        options=OptimizerOptions(use_statistics=False),
+    ),
 )
 
 

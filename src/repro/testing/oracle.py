@@ -90,7 +90,7 @@ class SqliteOracle:
             )
 
     def _apply(self, stmt: Stmt) -> None:
-        if stmt.kind in ("index", "refresh"):
+        if stmt.kind in ("index", "refresh", "analyze"):
             return
         if stmt.kind == "matview":
             sql = _MATVIEW_RE.sub("create view ", stmt.sql)

@@ -157,6 +157,8 @@ def classify_statement(sql: str) -> str:
         return "insert"
     if head.startswith("refresh"):
         return "refresh"
+    if head.startswith("analyze"):
+        return "analyze"
     return "query"
 
 

@@ -125,7 +125,7 @@ class Stmt:
 
     kind: str
     """``create`` | ``insert`` | ``index`` | ``matview`` | ``refresh``
-    | ``query``."""
+    | ``analyze`` | ``query``."""
     sql: str
     query: Optional[QuerySpec] = None
 
@@ -172,6 +172,10 @@ class GenProfile:
     null_prob: float = 0.25
     refresh_prob: float = 0.5
     late_insert_prob: float = 0.8
+    analyze_prob: float = 0.3
+    """Chance that a late insert is followed by ``ANALYZE`` (sometimes
+    table-targeted, sometimes whole-database) — statistics refresh must
+    never change answers, only plans."""
 
 
 # ----------------------------------------------------------------------
@@ -670,6 +674,11 @@ class ScriptGenerator:
                             f"refresh materialized view {view.name}",
                         )
                     )
+                if rng.random() < profile.analyze_prob:
+                    target = (
+                        f" {table.name}" if rng.random() < 0.5 else ""
+                    )
+                    script.append(Stmt("analyze", f"analyze{target}"))
             query = self._gen_query()
             script.append(Stmt("query", query.to_sql(), query=query))
         return script

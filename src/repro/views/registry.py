@@ -103,9 +103,9 @@ class MaterializedView:
 
     def invalidate_backing_stats(self) -> None:
         """Force statistics recomputation even when the refresh left the
-        row count unchanged (``TableInfo.stats`` only watches counts)."""
-        self.backing_info._stats = None
-        self.backing_info._stats_row_count = -1
+        row count unchanged (growth-based staleness would miss an
+        in-place rewrite of the backing table)."""
+        self.backing_info.invalidate_stats()
 
     def describe(self) -> str:
         kind = "decomposable" if self.is_decomposable else "holistic"
