@@ -1,20 +1,32 @@
-"""Executor throughput — streaming batch pipelines vs the row engine.
+"""Executor throughput — columnar kernels vs the row-batch engine.
 
-Runs optimized plans for chain/star join workloads
-(:func:`build_join_workload`) and a single-table grouped-aggregate
-workload through both executors: the legacy row-at-a-time interpreter
-(``engine.rowexec.execute_plan_rows``, the pre-batching engine kept as
-the differential baseline) and the streaming batch executor
-(``engine.executor.execute_plan``). For every workload the two paths
-must produce byte-identical row lists and charge identical page IO —
-the batching rewrite is a pure execution-speed change — and the
-recorded numbers are wall-clock, rows/second, and the batched/legacy
-speedup.
+Runs hand-built physical plans (the benchmark controls plan shape, so
+it measures executor throughput rather than optimizer choices) through
+three executors:
+
+- ``rowexec`` — the legacy row-at-a-time interpreter
+  (:func:`repro.engine.rowexec.execute_plan_rows`), kept as the
+  differential baseline;
+- ``batch-rows`` — the streaming row-batch engine
+  (``ExecutionContext(engine="rows")``), the pre-columnar design;
+- ``columnar`` — the production engine: :class:`ColumnBatch` pipelines
+  with compiled, fused scan→filter→project kernels.
+
+Workloads cover the pipelines the columnar rewrite targets: a fused
+filter/compute pipeline over one wide table, PK-FK chain and star
+joins (unique build keys — the hash join's zero-copy probe path),
+and hash grouped aggregation. For every workload the three engines
+must produce identical row bags and charge identical page IO — the
+columnar rewrite is a pure execution-speed change — and the recorded
+numbers are best-of-N wall-clock seconds per engine plus the
+columnar/batched and columnar/legacy speedups.
 
 Run directly (``make bench-exec``) to write ``BENCH_executor.json`` at
 the repository root and print the throughput table; ``--smoke`` runs a
 tiny configuration (used by ``tests/test_batch_engine.py``) so executor
-regressions surface in CI.
+regressions surface in CI, and ``--assert-speedup N.N`` fails the run
+if any selected workload's columnar/batched speedup drops below the
+bar (the CI job uses this on the chain and grouped workloads).
 """
 
 from __future__ import annotations
@@ -24,7 +36,7 @@ import json
 import pathlib
 import sys
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 if __name__ == "__main__":  # script mode: make src/ importable
     sys.path.insert(
@@ -33,43 +45,208 @@ if __name__ == "__main__":  # script mode: make src/ importable
 
 import random
 
+from reporting import machine_metadata
+
 from repro.algebra.aggregates import AggregateCall
-from repro.algebra.expressions import ColumnRef
-from repro.algebra.query import TableRef
+from repro.algebra.expressions import Arith, Comparison, col, lit
+from repro.algebra.plan import GroupByNode, JoinNode, ProjectNode, ScanNode
+from repro.catalog.schema import table_row_schema
 from repro.cost.params import CostParams
 from repro.db import Database
-from repro.engine.context import ExecutionContext
-from repro.engine.executor import execute_plan
-from repro.engine.rowexec import execute_plan_rows
-from repro.optimizer.block import BaseLeaf, BlockOptimizer, GroupingSpec
-from repro.workloads import JoinWorkloadConfig, build_join_workload
+from repro.engine import ExecutionContext, execute_plan, execute_plan_rows
 
 DEFAULT_OUTPUT = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_executor.json"
 )
 
+ENGINES = ("rowexec", "batch-rows", "columnar")
 
-def _join_plan(topology: str, leaves: int, seed: int = 0):
-    """Optimized plan + database for one join workload."""
-    workload = build_join_workload(
-        JoinWorkloadConfig(topology=topology, leaves=leaves, seed=seed)
+
+def _scan(db: Database, table: str, alias: str, filters=()) -> ScanNode:
+    return ScanNode(
+        table,
+        alias,
+        table_row_schema(alias, db.catalog.table(table).columns).fields,
+        filters=filters,
     )
-    optimizer = BlockOptimizer(
-        workload.db.catalog, workload.db.params, mode="traditional"
+
+
+# ----------------------------------------------------------------------
+# Workloads (each returns ``(db, plan)``)
+# ----------------------------------------------------------------------
+
+
+def pipeline_workload(rows: int = 200_000, seed: int = 0):
+    """Scan → three filters → computed projection over one wide table:
+    the fused scan→filter→project chain the kernel compiler targets."""
+    rng = random.Random(seed)
+    db = Database(CostParams(memory_pages=64))
+    db.create_table(
+        "events",
+        [
+            ("id", "int"),
+            ("kind", "int"),
+            ("ts", "int"),
+            ("dur", "float"),
+            ("score", "float"),
+        ],
+        primary_key=["id"],
     )
-    plan = optimizer.optimize_block(
-        [BaseLeaf(ref) for ref in workload.relations],
-        workload.predicates,
-        GroupingSpec(
-            group_keys=workload.group_keys, aggregates=workload.aggregates
+    db.insert(
+        "events",
+        [
+            (
+                i,
+                rng.randrange(20),
+                rng.randrange(1_000_000),
+                rng.random() * 100,
+                rng.random(),
+            )
+            for i in range(rows)
+        ],
+    )
+    db.analyze()
+    filters = (
+        Comparison("<", col("e.kind"), lit(12)),
+        Comparison(">=", col("e.dur"), lit(15.0)),
+        Comparison("<", col("e.score"), lit(0.8)),
+    )
+    plan = ProjectNode(
+        _scan(db, "events", "e", filters=filters),
+        [
+            (None, "id", col("e.id")),
+            (None, "weighted", Arith("*", col("e.dur"), col("e.score"))),
+        ],
+    )
+    return db, plan
+
+
+def chain_workload(fact_rows: int = 150_000, seed: int = 1):
+    """PK-FK chain: fact → 3 shrinking dimension hops, all hash joins
+    probing with the fact side against unique build keys, grouped at
+    the top. One filtered hop makes some FK probes miss."""
+    rng = random.Random(seed)
+    db = Database(CostParams(memory_pages=32))
+    sizes = [fact_rows, fact_rows // 5, fact_rows // 25, fact_rows // 125]
+    for i, n in enumerate(sizes):
+        domain = sizes[i + 1] if i + 1 < len(sizes) else 60
+        db.create_table(
+            f"c{i}",
+            [("id", "int"), ("fk", "int"), ("v", "float")],
+            primary_key=["id"],
+        )
+        db.insert(
+            f"c{i}",
+            [(j, rng.randrange(max(domain, 1)), rng.random() * 10) for j in range(n)],
+        )
+    db.analyze()
+    join = JoinNode(
+        _scan(db, "c0", "a0"),
+        _scan(
+            db, "c1", "a1", filters=(Comparison("<", col("a1.v"), lit(8.0)),)
         ),
-        workload.select,
+        method="hj",
+        equi_keys=[(("a0", "fk"), ("a1", "id"))],
+        projection=[("a0", "v"), ("a1", "fk")],
     )
-    return plan, workload.db
+    join = JoinNode(
+        join,
+        _scan(db, "c2", "a2"),
+        method="hj",
+        equi_keys=[(("a1", "fk"), ("a2", "id"))],
+        projection=[("a0", "v"), ("a2", "fk")],
+    )
+    join = JoinNode(
+        join,
+        _scan(db, "c3", "a3"),
+        method="hj",
+        equi_keys=[(("a2", "fk"), ("a3", "id"))],
+        projection=[("a3", "fk"), ("a0", "v")],
+    )
+    plan = GroupByNode(
+        join,
+        group_keys=[("a3", "fk")],
+        aggregates=[
+            ("total", AggregateCall("sum", col("a0.v"))),
+            ("n", AggregateCall("count", None)),
+        ],
+    )
+    return db, plan
 
 
-def _grouped_plan(rows: int, groups: int, seed: int = 0):
-    """Optimized single-table grouped-aggregate plan + database."""
+def star_workload(fact_rows: int = 120_000, dim_rows: int = 4_000, seed: int = 2):
+    """PK-FK star: fact probing three dimension builds (one filtered),
+    grouped on a dimension category."""
+    rng = random.Random(seed)
+    db = Database(CostParams(memory_pages=32))
+    for d in range(3):
+        db.create_table(
+            f"dim{d}",
+            [("id", "int"), ("cat", "int"), ("w", "float")],
+            primary_key=["id"],
+        )
+        db.insert(
+            f"dim{d}",
+            [(i, rng.randrange(50), rng.random()) for i in range(dim_rows)],
+        )
+    db.create_table(
+        "fact",
+        [
+            ("f_id", "int"),
+            ("d0", "int"),
+            ("d1", "int"),
+            ("d2", "int"),
+            ("v", "float"),
+        ],
+        primary_key=["f_id"],
+    )
+    db.insert(
+        "fact",
+        [
+            (
+                i,
+                rng.randrange(dim_rows),
+                rng.randrange(dim_rows),
+                rng.randrange(dim_rows),
+                rng.random() * 10,
+            )
+            for i in range(fact_rows)
+        ],
+    )
+    db.analyze()
+    join = JoinNode(
+        _scan(db, "fact", "f"),
+        _scan(
+            db, "dim0", "g0", filters=(Comparison("<", col("g0.cat"), lit(40)),)
+        ),
+        method="hj",
+        equi_keys=[(("f", "d0"), ("g0", "id"))],
+        projection=[("f", "d1"), ("f", "d2"), ("f", "v"), ("g0", "cat")],
+    )
+    join = JoinNode(
+        join,
+        _scan(db, "dim1", "g1"),
+        method="hj",
+        equi_keys=[(("f", "d1"), ("g1", "id"))],
+        projection=[("f", "d2"), ("f", "v"), ("g0", "cat")],
+    )
+    join = JoinNode(
+        join,
+        _scan(db, "dim2", "g2"),
+        method="hj",
+        equi_keys=[(("f", "d2"), ("g2", "id"))],
+        projection=[("g0", "cat"), ("f", "v")],
+    )
+    plan = GroupByNode(
+        join,
+        group_keys=[("g0", "cat")],
+        aggregates=[("total", AggregateCall("sum", col("f.v")))],
+    )
+    return db, plan
+
+
+def grouped_workload(rows: int = 60_000, groups: int = 500, seed: int = 3):
+    """Single-table hash grouped aggregation (compiled update kernel)."""
     rng = random.Random(seed)
     db = Database(CostParams(memory_pages=8))
     db.create_table(
@@ -85,27 +262,31 @@ def _grouped_plan(rows: int, groups: int, seed: int = 0):
         ],
     )
     db.analyze()
-    optimizer = BlockOptimizer(db.catalog, db.params, mode="traditional")
-    plan = optimizer.optimize_block(
-        [BaseLeaf(TableRef("gagg", "g"))],
-        (),
-        GroupingSpec(
-            group_keys=(("g", "gk"),),
-            aggregates=(
-                ("total", AggregateCall("sum", ColumnRef("g", "v"))),
-                ("cnt", AggregateCall("count", None)),
-            ),
-        ),
-        (
-            ("gk", ColumnRef("g", "gk")),
-            ("total", ColumnRef(None, "total")),
-            ("cnt", ColumnRef(None, "cnt")),
-        ),
+    plan = GroupByNode(
+        _scan(db, "gagg", "g"),
+        group_keys=[("g", "gk")],
+        aggregates=[
+            ("total", AggregateCall("sum", col("g.v"))),
+            ("n", AggregateCall("count", None)),
+        ],
     )
-    return plan, db
+    return db, plan
 
 
-def _time_engine(plan, db, runner, repeats: int):
+# (name, builder, full-size kwargs, smoke kwargs)
+WORKLOADS = (
+    ("pipeline", pipeline_workload, {}, {"rows": 4_000}),
+    ("chain-pkfk", chain_workload, {}, {"fact_rows": 5_000}),
+    ("star-pkfk", star_workload, {}, {"fact_rows": 4_000, "dim_rows": 400}),
+    ("grouped-agg", grouped_workload, {}, {"rows": 2_000, "groups": 50}),
+)
+
+# workloads the CI smoke job holds to the speedup bar: one join chain
+# and one grouped aggregate (full sizes, so fixed overheads amortize)
+ASSERTED_WORKLOADS = ("chain-pkfk", "grouped-agg")
+
+
+def _time_engine(plan, db, engine: str, repeats: int):
     """Best-of-*repeats* wall-clock for one executor over one plan.
 
     Returns (result, io_delta, best_seconds). Every repeat re-executes
@@ -116,10 +297,18 @@ def _time_engine(plan, db, runner, repeats: int):
     result = None
     delta = None
     for _ in range(repeats):
-        context = ExecutionContext(db.catalog, db.io, db.params)
+        context = ExecutionContext(
+            db.catalog,
+            db.io,
+            db.params,
+            engine="rows" if engine == "batch-rows" else "columnar",
+        )
         started = perf_counter()
         with db.io.measure() as span:
-            result = runner(plan, context)
+            if engine == "rowexec":
+                result = execute_plan_rows(plan, context)
+            else:
+                result = execute_plan(plan, context)
         elapsed = perf_counter() - started
         delta = span.delta
         if best is None or elapsed < best:
@@ -128,86 +317,106 @@ def _time_engine(plan, db, runner, repeats: int):
 
 
 def run_bench(
-    sizes: Sequence[int] = (4, 8),
-    grouped_rows: int = 60_000,
-    grouped_groups: int = 500,
+    smoke: bool = False,
     repeats: int = 3,
-    seed: int = 0,
+    assert_speedup: Optional[float] = None,
+    assert_workloads: Sequence[str] = ASSERTED_WORKLOADS,
+    only: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """The full measurement matrix, as a JSON-ready dict.
 
-    Every workload is executed by both engines; rows must be
-    byte-identical (same list, same order) and the page-IO deltas must
-    match read-for-read and write-for-write, or this raises.
+    Every workload is executed by all three engines; the row bags must
+    be identical and the page-IO deltas must match read-for-read and
+    write-for-write, or this raises. With *assert_speedup* set, any
+    workload in *assert_workloads* whose columnar/batched speedup falls
+    below the bar raises as well. *only* restricts the run to a subset
+    of workload names (the CI speedup gate runs just the asserted two
+    at full size).
     """
-    workloads = []
-    for topology in ("chain", "star"):
-        for leaves in sizes:
-            plan, db = _join_plan(topology, leaves, seed)
-            workloads.append((f"{topology}-{leaves}", plan, db))
-    plan, db = _grouped_plan(grouped_rows, grouped_groups, seed)
-    workloads.append((f"grouped-agg-{grouped_rows}", plan, db))
-
     entries: List[Dict[str, object]] = []
-    for name, plan, db in workloads:
-        legacy_result, legacy_io, legacy_seconds = _time_engine(
-            plan, db, execute_plan_rows, repeats
-        )
-        batched_result, batched_io, batched_seconds = _time_engine(
-            plan, db, execute_plan, repeats
-        )
-        if batched_result.rows != legacy_result.rows:
-            raise AssertionError(
-                f"{name}: batched rows differ from legacy rows"
-            )
-        if (
-            batched_io.page_reads != legacy_io.page_reads
-            or batched_io.page_writes != legacy_io.page_writes
-        ):
-            raise AssertionError(
-                f"{name}: IO drift — legacy {legacy_io} vs "
-                f"batched {batched_io}"
-            )
-        rows = len(batched_result.rows)
+    failures: List[str] = []
+    for name, builder, full_kwargs, smoke_kwargs in WORKLOADS:
+        if only is not None and name not in only:
+            continue
+        db, plan = builder(**(smoke_kwargs if smoke else full_kwargs))
+        timings: Dict[str, Tuple[object, object, float]] = {}
+        for engine in ENGINES:
+            timings[engine] = _time_engine(plan, db, engine, repeats)
+        base_result, base_io, _ = timings["rowexec"]
+        base_bag = sorted(map(repr, base_result.rows))
+        for engine in ENGINES[1:]:
+            result, io, _ = timings[engine]
+            if sorted(map(repr, result.rows)) != base_bag:
+                raise AssertionError(
+                    f"{name}: {engine} rows differ from rowexec rows"
+                )
+            if (
+                io.page_reads != base_io.page_reads
+                or io.page_writes != base_io.page_writes
+            ):
+                raise AssertionError(
+                    f"{name}: IO drift — rowexec {base_io} vs "
+                    f"{engine} {io}"
+                )
+        legacy_seconds = timings["rowexec"][2]
+        batched_seconds = timings["batch-rows"][2]
+        columnar_seconds = timings["columnar"][2]
+        rows = len(base_result.rows)
+        speedup = batched_seconds / max(columnar_seconds, 1e-9)
         entries.append(
             {
                 "workload": name,
                 "rows": rows,
-                "page_reads": batched_io.page_reads,
-                "page_writes": batched_io.page_writes,
+                "page_reads": base_io.page_reads,
+                "page_writes": base_io.page_writes,
                 "legacy_seconds": legacy_seconds,
                 "batched_seconds": batched_seconds,
-                "legacy_rows_per_second": rows / max(legacy_seconds, 1e-9),
-                "batched_rows_per_second": rows / max(batched_seconds, 1e-9),
-                "speedup": legacy_seconds / max(batched_seconds, 1e-9),
+                "columnar_seconds": columnar_seconds,
+                "columnar_rows_per_second": rows
+                / max(columnar_seconds, 1e-9),
+                "speedup_columnar_vs_batched": speedup,
+                "speedup_columnar_vs_legacy": legacy_seconds
+                / max(columnar_seconds, 1e-9),
             }
         )
+        if (
+            assert_speedup is not None
+            and name in assert_workloads
+            and speedup < assert_speedup
+        ):
+            failures.append(
+                f"{name}: columnar {speedup:.2f}x vs batched "
+                f"(required >= {assert_speedup:.2f}x)"
+            )
+    if failures:
+        raise AssertionError("speedup bar missed — " + "; ".join(failures))
     return {
         "config": {
-            "sizes": list(sizes),
-            "grouped_rows": grouped_rows,
-            "grouped_groups": grouped_groups,
+            "smoke": smoke,
             "repeats": repeats,
-            "seed": seed,
+            "engines": list(ENGINES),
         },
+        "machine": machine_metadata(),
         "entries": entries,
     }
 
 
 def _print_table(results: Dict[str, object]) -> None:
     header = (
-        f"{'workload':<20} {'rows':>8} {'io':>6} "
-        f"{'legacy (s)':>11} {'batched (s)':>12} {'speedup':>8}"
+        f"{'workload':<14} {'rows':>8} {'io':>6} "
+        f"{'legacy (s)':>11} {'batched (s)':>12} {'columnar (s)':>13} "
+        f"{'col/batch':>10}"
     )
     print(header)
     print("-" * len(header))
     for entry in results["entries"]:
         io_total = entry["page_reads"] + entry["page_writes"]
         print(
-            f"{entry['workload']:<20} {entry['rows']:>8} {io_total:>6} "
+            f"{entry['workload']:<14} {entry['rows']:>8} {io_total:>6} "
             f"{entry['legacy_seconds']:>11.4f} "
             f"{entry['batched_seconds']:>12.4f} "
-            f"{entry['speedup']:>7.2f}x"
+            f"{entry['columnar_seconds']:>13.4f} "
+            f"{entry['speedup_columnar_vs_batched']:>9.2f}x"
         )
 
 
@@ -228,20 +437,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="tiny configuration for CI smoke runs (no JSON written "
         "unless --out is given explicitly)",
     )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="N.N",
+        help="fail unless the chain and grouped workloads reach this "
+        "columnar/batched speedup",
+    )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default=None,
+        metavar="NAMES",
+        help="comma-separated workload subset (no JSON written unless "
+        "--out is given explicitly)",
+    )
     arguments = parser.parse_args(argv)
     if arguments.repeats < 1:
         parser.error("--repeats must be >= 1")
-    if arguments.smoke:
-        results = run_bench(
-            sizes=(4,), grouped_rows=5_000, grouped_groups=100, repeats=1
-        )
-    else:
-        results = run_bench(repeats=arguments.repeats)
-    if not arguments.smoke or arguments.out != DEFAULT_OUTPUT:
+    only = arguments.only.split(",") if arguments.only else None
+    if only:
+        known = {name for name, *_ in WORKLOADS}
+        unknown = [name for name in only if name not in known]
+        if unknown:
+            parser.error(f"unknown workloads: {', '.join(unknown)}")
+    results = run_bench(
+        smoke=arguments.smoke,
+        repeats=1 if arguments.smoke and arguments.repeats == 3 else arguments.repeats,
+        assert_speedup=arguments.assert_speedup,
+        only=only,
+    )
+    partial = arguments.smoke or only is not None
+    if not partial or arguments.out != DEFAULT_OUTPUT:
         arguments.out.write_text(json.dumps(results, indent=1) + "\n")
         wrote = f"\nwrote {arguments.out}"
     else:
-        wrote = "\nsmoke mode: no JSON written"
+        wrote = "\npartial run: no JSON written"
     _print_table(results)
     print(wrote)
     return 0

@@ -8,11 +8,25 @@ stdout (bypassing pytest capture, so the rows appear in
 
 from __future__ import annotations
 
+import os
 import pathlib
+import platform
 import sys
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def machine_metadata() -> Dict[str, object]:
+    """Where a benchmark ran: interpreter and host, for the JSON
+    artifacts (wall-clock numbers are meaningless without them)."""
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def format_table(

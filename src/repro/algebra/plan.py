@@ -463,6 +463,8 @@ def explain(plan: PlanNode, indent: int = 0, analyze: bool = False) -> str:
                 f" batches={metrics.batches}"
                 f" time={metrics.seconds * 1000.0:.2f}ms"
             )
+            if metrics.fused:
+                line += " fused"
             if metrics.spill_reads or metrics.spill_writes:
                 line += (
                     f" spill={metrics.spill_reads}r/"

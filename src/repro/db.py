@@ -412,21 +412,28 @@ class Database:
     def _execute_with_metrics(
         self, plan: PlanNode, engine: str = "batch"
     ) -> Tuple[Result, IOSnapshot, Optional[ExecutionMetrics]]:
-        context = ExecutionContext(self.catalog, self.io, self.params)
-        if engine == "batch":
-            with self.io.measure() as span:
-                result = execute_plan(plan, context)
-            assert context.metrics is not None  # created by execute_plan
-            return result, span.delta, context.metrics
-        if engine == "rowexec":
+        if engine in ("batch", "columnar"):
+            context = ExecutionContext(self.catalog, self.io, self.params)
+        elif engine == "batch-rows":
+            context = ExecutionContext(
+                self.catalog, self.io, self.params, engine="rows"
+            )
+        elif engine == "rowexec":
             from .engine.rowexec import execute_plan_rows
 
+            context = ExecutionContext(self.catalog, self.io, self.params)
             with self.io.measure() as span:
                 result = execute_plan_rows(plan, context)
             return result, span.delta, context.metrics
-        raise ReproError(
-            f"unknown engine {engine!r} (choose from 'batch', 'rowexec')"
-        )
+        else:
+            raise ReproError(
+                f"unknown engine {engine!r} (choose from 'batch', "
+                "'batch-rows', 'rowexec')"
+            )
+        with self.io.measure() as span:
+            result = execute_plan(plan, context)
+        assert context.metrics is not None  # created by execute_plan
+        return result, span.delta, context.metrics
 
     def query(
         self,

@@ -11,7 +11,7 @@ performance baseline, and :mod:`repro.engine.reference` remains the
 optimizer-free ground truth.
 """
 
-from .batch import DEFAULT_BATCH_SIZE
+from .batch import DEFAULT_BATCH_SIZE, ColumnBatch
 from .context import ExecutionContext, Result
 from .executor import execute_plan
 from .metrics import ExecutionMetrics, OperatorMetrics
@@ -20,6 +20,7 @@ from .rowexec import execute_plan_rows
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "ColumnBatch",
     "ExecutionContext",
     "ExecutionMetrics",
     "OperatorMetrics",

@@ -1,17 +1,26 @@
-"""Shared helpers of the streaming batch pipeline.
+"""Shared helpers of the streaming batch pipeline — row-batch and
+column-batch representations.
 
-Operators exchange *batches* — plain lists of row tuples — through
-generators, so a scan→filter→project (or join→residual→project) chain
-runs as one per-batch loop instead of materializing a full ``Result``
-between operators. The helpers here precompile the per-row work into
-C-speed accessors:
+Two batch layouts flow through the engine:
 
-- :func:`projector` turns a position list into an ``itemgetter`` (or
-  ``None`` when the projection is the identity, so callers skip the
-  copy entirely);
-- :func:`keyer` extracts join/group keys, hoisting the single-column
-  case to a scalar so hash probes allocate no key tuple;
-- :func:`tuple_keyer` always produces tuples (index probes need them).
+- **Row batches** (plain lists of row tuples) power the PR-2 streaming
+  engine, kept as the wall-clock baseline (``ExecutionContext.engine ==
+  "rows"``). The helpers here precompile the per-row work into C-speed
+  accessors (:func:`projector`, :func:`keyer`, :func:`tuple_keyer`).
+- **Column batches** (:class:`ColumnBatch`: one stdlib list/tuple per
+  column) power the production columnar engine. Column-major layout
+  makes key extraction free (a join/group key *is* its column), makes
+  projection a zero-copy column pick (:meth:`ColumnBatch.project`), and
+  lets the compiled kernels in :mod:`repro.engine.kernels` run fused
+  scan→filter→project loops with no per-row Python function calls.
+
+Columns are any indexable sequences: lists, tuples (``zip(*rows)``
+transposes straight to tuples), or ``range`` objects (the synthesized
+``_rid`` column is a ``range`` — never materialized unless selected).
+``array.array`` columns would also satisfy the protocol, but object
+lists win in CPython for these workloads: typed arrays re-box every
+element on access, which costs more than the pointer-width list slots
+they would save.
 
 ``DEFAULT_BATCH_SIZE`` is the pipeline's batch-size knob; per-execution
 overrides go through ``ExecutionContext.batch_size``.
@@ -26,6 +35,112 @@ DEFAULT_BATCH_SIZE = 1024
 """Rows per pipeline batch (see DESIGN.md, "Streaming batch execution")."""
 
 RowBatch = List[Tuple[Any, ...]]
+
+Column = Sequence[Any]
+"""One column of a batch: any indexable sequence (list/tuple/range)."""
+
+
+class ColumnBatch:
+    """A column-major batch: one sequence per column, equal lengths.
+
+    The batch never owns its columns — operators share column references
+    freely (projection and rename are zero-copy picks), and only filters
+    and computed projections allocate new columns.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Sequence[Column], length: int):
+        self.columns: List[Column] = list(columns)
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Tuple[Any, ...]], width: int) -> "ColumnBatch":
+        """Transpose row tuples into columns (one C-speed ``zip`` pass)."""
+        if not rows:
+            return cls([() for _ in range(width)], 0)
+        return cls(list(zip(*rows)), len(rows))
+
+    def to_rows(self) -> RowBatch:
+        """Transpose back to row tuples (one C-speed ``zip`` pass)."""
+        if not self.length:
+            return []
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    def column(self, position: int) -> Column:
+        return self.columns[position]
+
+    def project(self, positions: Sequence[int]) -> "ColumnBatch":
+        """Cheap column slicing: pick/reorder columns without copying."""
+        columns = self.columns
+        return ColumnBatch([columns[p] for p in positions], self.length)
+
+    def take(self, sel: Sequence[int]) -> "ColumnBatch":
+        """Gather the selected row indices from every column."""
+        return ColumnBatch([take(c, sel) for c in self.columns], len(sel))
+
+
+def take(column: Column, sel: Sequence[int]) -> Column:
+    """Gather one column through a selection vector.
+
+    Uses a C-level :func:`operator.itemgetter` bulk fetch — measurably
+    faster than an interpreted listcomp on large gathers. The result is
+    a tuple, which is a perfectly good column (columns are any indexable
+    sequence)."""
+    if len(sel) > 1:
+        return itemgetter(*sel)(column)
+    if sel:
+        return (column[sel[0]],)
+    return ()
+
+
+def concat_columns(
+    batches: Sequence[ColumnBatch], width: int
+) -> Tuple[List[List[Any]], int]:
+    """Concatenate batches into one column set (per-column ``extend``)."""
+    columns: List[List[Any]] = [[] for _ in range(width)]
+    total = 0
+    for batch in batches:
+        total += batch.length
+        for accumulator, column in zip(columns, batch.columns):
+            accumulator.extend(column)
+    return columns, total
+
+
+class ColumnBatchBuilder:
+    """Accumulates column chunks and hands out full column batches.
+
+    The columnar analogue of :class:`BatchBuilder`: producers ``extend``
+    with per-column chunks and drain whole batches once ``full``.
+    """
+
+    __slots__ = ("columns", "length", "size", "width")
+
+    def __init__(self, size: int, width: int):
+        self.size = size
+        self.width = width
+        self.columns: List[List[Any]] = [[] for _ in range(width)]
+        self.length = 0
+
+    def extend(self, columns: Sequence[Column], length: int) -> None:
+        self.length += length
+        for accumulator, column in zip(self.columns, columns):
+            accumulator.extend(column)
+
+    @property
+    def full(self) -> bool:
+        return self.length >= self.size
+
+    def drain(self) -> ColumnBatch:
+        batch = ColumnBatch(self.columns, self.length)
+        self.columns = [[] for _ in range(self.width)]
+        self.length = 0
+        return batch
 
 
 def projector(
@@ -67,12 +182,26 @@ def tuple_keyer(
 
 
 def filtered(batch: RowBatch, checks) -> RowBatch:
-    """Apply bound predicate conjuncts to one batch."""
+    """Apply bound predicate conjuncts to one batch in a single pass.
+
+    Small conjunct counts are special-cased into one inlined boolean
+    expression so the common 2–3-predicate case runs without a per-row
+    generator (and without rebuilding the batch list per check)."""
     if not checks:
         return batch
     if len(checks) == 1:
         check = checks[0]
         return [row for row in batch if check(row)]
+    if len(checks) == 2:
+        first, second = checks
+        return [row for row in batch if first(row) and second(row)]
+    if len(checks) == 3:
+        first, second, third = checks
+        return [
+            row
+            for row in batch
+            if first(row) and second(row) and third(row)
+        ]
     return [row for row in batch if all(check(row) for check in checks)]
 
 

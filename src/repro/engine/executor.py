@@ -1,24 +1,30 @@
 """Streaming batch executor: drives plan trees as batch pipelines.
 
-Each plan node becomes a generator of row batches (``engine.batch``);
-scan→filter→project and join→residual→project run as fused per-batch
-loops, and only the operators whose semantics require it (hash-join
-build side, group-by table, sort buffer) break the pipeline. Every
-operator is metered: rows, batches, inclusive wall-clock, and spill IO
-land in an :class:`~repro.engine.metrics.OperatorMetrics` registered on
-``context.metrics`` and attached to the node as ``node.op_metrics``,
-which is what ``explain(plan, analyze=True)`` and ``repro --stats``
-render.
+Two production pipelines share this driver, selected by
+``ExecutionContext.engine``:
 
-The legacy row-at-a-time interpreter lives on in
-:mod:`repro.engine.rowexec` as the differential baseline; both paths
-charge identical page IO to ``context.io``.
+- ``"columnar"`` (the default): operators exchange
+  :class:`~repro.engine.batch.ColumnBatch` column sets and run compiled
+  kernels (:mod:`repro.engine.kernels`). Maximal filter→project→rename
+  chains fuse into ONE per-batch loop carrying a lazy selection vector —
+  no intermediate batch is materialized between fused operators, and
+  each fused operator still gets its own
+  :class:`~repro.engine.metrics.OperatorMetrics` (rows and batches are
+  exact; wall-clock is attributed to the chain head, and members carry
+  the ``fused`` flag that ``explain``/``--stats`` render).
+- ``"rows"``: the tuple-batch engine (PR 2), kept as the wall-clock
+  baseline that ``benchmarks/bench_executor.py`` measures the columnar
+  engine against.
+
+Both paths charge identical page IO to ``context.io``. The legacy
+row-at-a-time interpreter lives on in :mod:`repro.engine.rowexec` as the
+differential reference; all three produce identical row streams.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Iterator
+from typing import Iterator, List
 
 from ..algebra.plan import (
     FilterNode,
@@ -32,19 +38,23 @@ from ..algebra.plan import (
     SortNode,
 )
 from ..errors import ExecutionError
-from .batch import RowBatch
+from .batch import ColumnBatch, RowBatch, take
 from .context import ExecutionContext, Result
 from .groupby import (
     filter_batches,
     group_by_batches,
+    group_by_columns,
     limit_batches,
+    limit_columns,
     project_batches,
     rename_batches,
     sort_batches,
+    sort_columns,
 )
-from .join import join_batches
+from .join import join_batches, join_columns
+from .kernels import ComputeProgram, SelectionProgram, gather_virtual
 from .metrics import ExecutionMetrics, OperatorMetrics
-from .scan import scan_batches
+from .scan import scan_batches, scan_columns
 
 _BUILDERS = {
     ScanNode: scan_batches,
@@ -56,6 +66,16 @@ _BUILDERS = {
     FilterNode: filter_batches,
     LimitNode: limit_batches,
 }
+
+_COLUMN_BUILDERS = {
+    ScanNode: scan_columns,
+    JoinNode: join_columns,
+    GroupByNode: group_by_columns,
+    SortNode: sort_columns,
+    LimitNode: limit_columns,
+}
+
+_FUSABLE = (FilterNode, ProjectNode, RenameNode)
 
 _SENTINEL = object()
 
@@ -73,22 +93,39 @@ def execute_plan(plan: PlanNode, context: ExecutionContext) -> Result:
         context.metrics = ExecutionMetrics()
     rows = []
     for batch in build_pipeline(plan, context):
-        rows.extend(batch)
+        if isinstance(batch, ColumnBatch):
+            rows.extend(batch.to_rows())
+        else:
+            rows.extend(batch)
+    context.metrics.kernels_compiled = context.kernels_compiled
     return Result(schema=plan.schema, rows=rows)
 
 
 def build_pipeline(
     plan: PlanNode, context: ExecutionContext, depth: int = 0
-) -> Iterator[RowBatch]:
+) -> Iterator:
     """Build the metered batch generator for *plan* (pre-order setup:
-    expression binding and child pipeline construction happen eagerly,
-    row flow is lazy)."""
-    builder = _BUILDERS.get(type(plan))
+    kernel compilation / expression binding and child pipeline
+    construction happen eagerly, row flow is lazy)."""
+    if context.engine == "rows":
+        return _build_rows(plan, context, depth)
+    return _build_columnar(plan, context, depth)
+
+
+def _lookup(table, plan: PlanNode):
+    builder = table.get(type(plan))
     if builder is None:
-        for node_type, candidate in _BUILDERS.items():
+        for node_type, candidate in table.items():
             if isinstance(plan, node_type):
                 builder = candidate
                 break
+    return builder
+
+
+def _build_rows(
+    plan: PlanNode, context: ExecutionContext, depth: int = 0
+) -> Iterator[RowBatch]:
+    builder = _lookup(_BUILDERS, plan)
     if builder is None:
         raise ExecutionError(
             f"cannot execute node type {type(plan).__name__}"
@@ -100,7 +137,7 @@ def build_pipeline(
     plan.op_metrics = metrics
 
     def run(child: PlanNode) -> Iterator[RowBatch]:
-        child_batches = build_pipeline(child, context, depth + 1)
+        child_batches = _build_rows(child, context, depth + 1)
         if child.op_metrics is not None:
             metrics.children.append(child.op_metrics)
         return child_batches
@@ -109,9 +146,162 @@ def build_pipeline(
     return _metered(plan, generator, metrics)
 
 
+def _build_columnar(
+    plan: PlanNode, context: ExecutionContext, depth: int = 0
+) -> Iterator[ColumnBatch]:
+    if isinstance(plan, _FUSABLE):
+        return _fused_chain(plan, context, depth)
+    builder = _lookup(_COLUMN_BUILDERS, plan)
+    if builder is None:
+        raise ExecutionError(
+            f"cannot execute node type {type(plan).__name__}"
+        )
+
+    metrics = OperatorMetrics(label=plan.describe(), depth=depth)
+    if context.metrics is not None:
+        context.metrics.register(metrics)
+    plan.op_metrics = metrics
+
+    def run(child: PlanNode) -> Iterator[ColumnBatch]:
+        child_batches = _build_columnar(child, context, depth + 1)
+        if child.op_metrics is not None:
+            metrics.children.append(child.op_metrics)
+        return child_batches
+
+    generator = builder(plan, context, metrics, run)
+    return _metered(plan, generator, metrics)
+
+
+class _Stage:
+    """One member of a fused unary chain, with its compiled program."""
+
+    __slots__ = ("kind", "program", "positions", "width", "metrics", "is_head")
+
+    def __init__(self, node: PlanNode, context: ExecutionContext):
+        child_schema = node.child.schema
+        self.width = len(child_schema)
+        if isinstance(node, FilterNode):
+            self.kind = "filter"
+            self.program = SelectionProgram(
+                node.predicates, child_schema, context
+            )
+            self.positions = ()
+        elif isinstance(node, ProjectNode):
+            self.kind = "project"
+            self.program = ComputeProgram(
+                [expression for _, _, expression in node.outputs],
+                child_schema,
+                context,
+            )
+            self.positions = ()
+        else:
+            self.kind = "rename"
+            self.program = None
+            self.positions = tuple(node.positions)
+        self.metrics: OperatorMetrics = None  # type: ignore[assignment]
+        self.is_head = False
+
+
+def _fused_chain(
+    plan: PlanNode, context: ExecutionContext, depth: int
+) -> Iterator[ColumnBatch]:
+    """Fuse the maximal filter/project/rename chain rooted at *plan*
+    into one per-batch loop.
+
+    The loop threads ``(columns, count, sel)`` through the chain —
+    ``sel`` is a pending selection vector, applied lazily so a filter
+    followed by a projection gathers each referenced column exactly
+    once, and unreferenced columns are never touched. A projection is
+    the rematerialization point (it computes new columns); rename is
+    zero-copy under a pending selection.
+
+    Every member keeps its own metrics (exact rows in/out and batches;
+    inclusive time lands on the chain head) and is flagged ``fused``.
+    """
+    chain: List[PlanNode] = [plan]
+    node = plan.child
+    while isinstance(node, _FUSABLE):
+        chain.append(node)
+        node = node.child
+
+    fused = len(chain) > 1
+    for i, member in enumerate(chain):
+        member_metrics = OperatorMetrics(
+            label=member.describe(), depth=depth + i, fused=fused
+        )
+        if context.metrics is not None:
+            context.metrics.register(member_metrics)
+        member.op_metrics = member_metrics
+
+    child_batches = _build_columnar(node, context, depth + len(chain))
+    head_metrics = chain[0].op_metrics
+    if node.op_metrics is not None:
+        # the head's inclusive time must subtract the real producer —
+        # fused members contribute no time of their own
+        head_metrics.children.append(node.op_metrics)
+
+    # stages run bottom-up (deepest chain member first)
+    stages = [_Stage(member, context) for member in reversed(chain)]
+    for stage, member in zip(stages, reversed(chain)):
+        stage.metrics = member.op_metrics
+    stages[-1].is_head = True
+
+    def generate() -> Iterator[ColumnBatch]:
+        for batch in child_batches:
+            columns = batch.columns
+            count = batch.length
+            sel = None
+            emitted = count
+            for stage in stages:
+                in_rows = len(sel) if sel is not None else count
+                stage.metrics.rows_in += in_rows
+                if stage.kind == "filter":
+                    program = stage.program
+                    if sel is None:
+                        sel = program.run(columns, count)
+                    elif program.active:
+                        virtual = gather_virtual(
+                            columns, program.used, sel, stage.width
+                        )
+                        relative = program.run(virtual, len(sel))
+                        if relative is not None:
+                            sel = [sel[i] for i in relative]
+                elif stage.kind == "project":
+                    program = stage.program
+                    if sel is not None:
+                        virtual = gather_virtual(
+                            columns, program.used, sel, stage.width
+                        )
+                        count = len(sel)
+                        columns = program.run(virtual, count)
+                        sel = None
+                    else:
+                        columns = program.run(columns, count)
+                else:  # rename: pure column pick, selection unaffected
+                    columns = [columns[p] for p in stage.positions]
+                emitted = len(sel) if sel is not None else count
+                if not emitted:
+                    break
+                if not stage.is_head:
+                    stage.metrics.batches += 1
+                    stage.metrics.rows_out += emitted
+            if not emitted:
+                continue
+            if sel is not None:
+                yield ColumnBatch(
+                    [take(column, sel) for column in columns], len(sel)
+                )
+            else:
+                yield ColumnBatch(columns, count)
+        for member in chain[1:]:
+            member.actual_rows = member.op_metrics.rows_out
+
+    return _metered(plan, generate(), head_metrics)
+
+
 def _metered(
-    plan: PlanNode, generator: Iterator[RowBatch], metrics: OperatorMetrics
-) -> Iterator[RowBatch]:
+    plan: PlanNode, generator: Iterator, metrics: OperatorMetrics
+) -> Iterator:
     """Wrap an operator's batch generator with row/batch/time counters;
     records ``actual_rows`` when the stream is exhausted."""
     rows_out = 0

@@ -23,8 +23,17 @@ from ..algebra.plan import (
 )
 from ..datatypes import NullOrdered, null_ordered_key
 from ..storage.page import pages_for
-from .batch import BatchBuilder, RowBatch, filtered, keyer, projector
+from .batch import (
+    BatchBuilder,
+    ColumnBatch,
+    RowBatch,
+    filtered,
+    keyer,
+    projector,
+    take,
+)
 from .context import ExecutionContext
+from .kernels import ComputeProgram, SelectionProgram, groupby_kernels
 from .metrics import OperatorMetrics, charge_spill
 from .spill import external_sort_extra_io, hash_group_extra_io
 
@@ -186,6 +195,122 @@ def _order_key(key):
     return NullOrdered(key)
 
 
+def group_by_columns(
+    plan: GroupByNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[ColumnBatch]:
+    """Columnar group-by: key columns feed the fused accumulate kernel
+    directly (key extraction is free), aggregate arguments are computed
+    as whole columns, and HAVING + projection run as one selection
+    kernel + column gather over the finalized group columns.
+
+    The sort-method path stays row-based (it reuses the run-detection
+    logic and is never the hot path); spill charges use the identical
+    formula and inputs as the row engine.
+    """
+    child_batches = run(plan.child)
+    child_schema = plan.child.schema
+    key_positions = [
+        child_schema.index_of(alias, name) for alias, name in plan.group_keys
+    ]
+    internal = plan.internal_schema
+    having = SelectionProgram(plan.having, internal, context)
+    out_positions = [
+        internal.index_of(alias, name) for alias, name in plan.projection
+    ]
+    arg_expressions = [
+        call.arg for _, call in plan.aggregates if call.arg is not None
+    ]
+    arg_program = ComputeProgram(arg_expressions, child_schema, context)
+    arg_slots = []  # per aggregate: index into the computed columns
+    slot = 0
+    for _, call in plan.aggregates:
+        if call.arg is None:
+            arg_slots.append(None)
+        else:
+            arg_slots.append(slot)
+            slot += 1
+    update, finalize = groupby_kernels(
+        len(key_positions), plan.aggregates, context
+    )
+
+    def generate_hash() -> Iterator[ColumnBatch]:
+        table: Dict[Any, List[Any]] = {}
+        count = 0
+        for batch in child_batches:
+            n = batch.length
+            count += n
+            metrics.rows_in += n
+            columns = batch.columns
+            keys = [columns[p] for p in key_positions]
+            computed = arg_program.run(columns, n) if arg_expressions else ()
+            args = [
+                computed[s] if s is not None else None for s in arg_slots
+            ]
+            update(keys, args, table)
+        charge_spill(
+            context.io,
+            metrics,
+            hash_group_extra_io(
+                pages_for(count, child_schema.width),
+                pages_for(len(table), internal.width),
+                context.params.memory_pages,
+            ),
+        )
+        internal_columns = list(finalize(table.items()))
+        groups = len(table)
+        sel = having.run(internal_columns, groups)
+        if sel is not None:
+            out_columns = [
+                take(internal_columns[p], sel) for p in out_positions
+            ]
+            groups = len(sel)
+        else:
+            out_columns = [internal_columns[p] for p in out_positions]
+        for start in range(0, groups, context.batch_size):
+            end = min(start + context.batch_size, groups)
+            yield ColumnBatch(
+                [column[start:end] for column in out_columns], end - start
+            )
+
+    def generate_sort() -> Iterator[ColumnBatch]:
+        key_of = keyer(key_positions)
+        arg_evaluators = [
+            call.arg.bind(child_schema) if call.arg is not None else None
+            for _, call in plan.aggregates
+        ]
+        functions = [call.function() for _, call in plan.aggregates]
+        having_checks = [predicate.bind(internal) for predicate in plan.having]
+        project = projector(out_positions, len(internal))
+        single_key = len(key_positions) == 1
+        rows: List[Tuple[Any, ...]] = []
+        for batch in child_batches:
+            rows.extend(batch.to_rows())
+        metrics.rows_in = len(rows)
+        groups = _sorted_groups(rows, key_of, arg_evaluators, functions)
+        out_rows: List[Tuple[Any, ...]] = []
+        for key, accumulators in groups:
+            key_part = (key,) if single_key else key
+            internal_row = key_part + tuple(
+                accumulator.value() for accumulator in accumulators
+            )
+            if having_checks and not all(
+                check(internal_row) for check in having_checks
+            ):
+                continue
+            out_rows.append(
+                project(internal_row) if project is not None else internal_row
+            )
+        width = len(out_positions)
+        for start in range(0, len(out_rows), context.batch_size):
+            chunk = out_rows[start : start + context.batch_size]
+            yield ColumnBatch.from_rows(chunk, width)
+
+    return generate_sort() if plan.method == "sort" else generate_hash()
+
+
 def sort_batches(
     plan: SortNode,
     context: ExecutionContext,
@@ -236,6 +361,91 @@ def sort_batches(
             )
         for start in range(0, len(rows), context.batch_size):
             yield rows[start : start + context.batch_size]
+
+    return generate()
+
+
+def sort_columns(
+    plan: SortNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[ColumnBatch]:
+    """Columnar sort: pre-ordered inputs stream through untouched; the
+    general case transposes to rows for the stable multi-pass sort
+    (identical permutation and spill charge to the row engine)."""
+    child_batches = run(plan.child)
+    child_order = (
+        getattr(plan.child.props, "order", ()) if plan.child.props else ()
+    )
+    ascending_only = not any(plan.descending)
+    preordered = ascending_only and tuple(
+        child_order[: len(plan.keys)]
+    ) == tuple(plan.keys)
+    schema = plan.child.schema
+    key_specs = [
+        (schema.index_of(*key), descending)
+        for key, descending in zip(plan.keys, plan.descending)
+    ]
+    width = len(schema)
+
+    def generate() -> Iterator[ColumnBatch]:
+        if preordered:
+            for batch in child_batches:
+                metrics.rows_in += batch.length
+                yield batch
+            return
+        rows: List[Tuple[Any, ...]] = []
+        for batch in child_batches:
+            rows.extend(batch.to_rows())
+        metrics.rows_in = len(rows)
+        charge_spill(
+            context.io,
+            metrics,
+            external_sort_extra_io(
+                pages_for(len(rows), schema.width),
+                context.params.memory_pages,
+            ),
+        )
+        for position, descending in reversed(key_specs):
+            rows.sort(
+                key=lambda row: NullOrdered(row[position]),
+                reverse=descending,
+            )
+        for start in range(0, len(rows), context.batch_size):
+            chunk = rows[start : start + context.batch_size]
+            yield ColumnBatch.from_rows(chunk, width)
+
+    return generate()
+
+
+def limit_columns(
+    plan: LimitNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[ColumnBatch]:
+    """Columnar limit: emit the first N rows via column slices; the
+    child is still drained in full so its IO and actuals stay complete."""
+    child_batches = run(plan.child)
+    count = plan.count
+
+    def generate() -> Iterator[ColumnBatch]:
+        remaining = count
+        for batch in child_batches:
+            metrics.rows_in += batch.length
+            if remaining > 0:
+                if batch.length <= remaining:
+                    remaining -= batch.length
+                    yield batch
+                else:
+                    head = ColumnBatch(
+                        [column[:remaining] for column in batch.columns],
+                        remaining,
+                    )
+                    remaining = 0
+                    yield head
+            # keep draining: child IO and actuals must be complete
 
     return generate()
 

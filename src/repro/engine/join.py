@@ -24,6 +24,8 @@ legacy executor's, only the charge's position in the run moves.
 
 from __future__ import annotations
 
+from itertools import chain, count
+from operator import mul
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from ..algebra.plan import JoinNode, ScanNode
@@ -33,13 +35,17 @@ from ..errors import ExecutionError
 from ..storage.page import pages_for
 from .batch import (
     BatchBuilder,
+    ColumnBatch,
     RowBatch,
+    concat_columns,
     filtered,
     keyer,
     projector,
+    take,
     tuple_keyer,
 )
 from .context import ExecutionContext
+from .kernels import SelectionProgram
 from .metrics import OperatorMetrics, charge_spill
 from .spill import external_sort_extra_io, hash_spill_extra_io, nlj_blocks
 
@@ -415,3 +421,547 @@ def _sort_merge_join_batches(
             yield out.drain()
 
     return generate()
+
+
+# ----------------------------------------------------------------------
+# Columnar join path
+# ----------------------------------------------------------------------
+#
+# Every method core produces (left_columns, right_columns, li, ri,
+# counts) tuples: full-width column sets for each side plus parallel
+# index vectors — one (li[k], ri[k]) pair per matched row. Matches stay
+# *virtual* until the shared emitter has applied the residual filter
+# (a compiled selection kernel over only the columns it reads) and the
+# join's projection; only projected columns are ever gathered, so an
+# unprojected build column is never copied per match.
+#
+# Index vectors carry shape hints that keep the gathers at C speed:
+#
+# - ``li is None`` with ``counts`` set means the left vector is
+#   "probe row i, repeated counts[i] times" — left columns are then
+#   produced directly with ``chain.from_iterable(map(repeat, col,
+#   counts))`` (one C pass, no index vector ever materialized).
+# - a ``range`` for ``li``/``ri`` means that side passes through whole
+#   and in order (all-hit unique probe / index-NLJ match block) — its
+#   columns are reused with no copy at all.
+
+
+def _column_keys(columns, positions: List[int]):
+    """Key sequence for a column set: the column itself for single-key
+    joins (extraction is free), zipped tuples otherwise."""
+    if len(positions) == 1:
+        return columns[positions[0]]
+    return list(zip(*(columns[p] for p in positions)))
+
+
+def _build_buckets(keys, skip_tuple_nulls: bool) -> dict:
+    """key → ascending list of row indices; NULL keys are skipped at
+    build time (NULL never equi-matches), which is what lets the probe
+    loop run without any null check — a missing key is just a dict miss."""
+    buckets: dict = {}
+    get = buckets.get
+    if skip_tuple_nulls:
+        for i, key in enumerate(keys):
+            if None in key:
+                continue
+            hit = get(key)
+            if hit is None:
+                buckets[key] = [i]
+            else:
+                hit.append(i)
+    else:
+        for i, key in enumerate(keys):
+            if key is None:
+                continue
+            hit = get(key)
+            if hit is None:
+                buckets[key] = [i]
+            else:
+                hit.append(i)
+    return buckets
+
+
+def _probe_multi(keys, buckets: dict):
+    """One hash probe per row against multi-match buckets, entirely in
+    C-level passes: ``map`` does the lookups, a listcomp counts the
+    matches per probe row, and ``chain.from_iterable(filter(None, ...))``
+    flattens the matched buckets into the build-index vector. Emit order
+    is probe order then build-insertion order (= the row engine's nested
+    emit order). Returns ``(counts, ri)`` — the left vector stays
+    implicit (see the module comment above)."""
+    hits = list(map(buckets.get, keys))
+    counts = [0 if hit is None else len(hit) for hit in hits]
+    ri = list(chain.from_iterable(filter(None, hits)))
+    return counts, ri
+
+
+def materialize_left(counts: List[int]) -> List[int]:
+    """Expand a counts-encoded left vector into explicit indices
+    (``(i,) * counts[i]`` concatenated — all C passes)."""
+    return list(chain.from_iterable(map(mul, zip(count()), counts)))
+
+
+def repeat_column(column, counts: List[int]):
+    """Produce a left output column straight from the counts encoding:
+    element i repeated counts[i] times, in one C pass. Tuple
+    multiplication (``(v,) * c``) measures ~25% faster than
+    ``itertools.repeat`` objects here: one allocation per probe row
+    instead of one lazy iterator each."""
+    return list(chain.from_iterable(map(mul, zip(column), counts)))
+
+
+def _unique_index(buckets: dict) -> Optional[dict]:
+    """``key -> index`` map when every bucket is a singleton (unique
+    build keys — the common PK/FK case), else ``None``. Unlocks the
+    C-speed probe path below."""
+    for bucket in buckets.values():
+        if len(bucket) != 1:
+            return None
+    return {key: bucket[0] for key, bucket in buckets.items()}
+
+
+def _probe_unique(keys, index: dict):
+    """Probe against a unique-key index with one C-level ``map`` pass.
+
+    When every probe key matches (referential integrity — the dominant
+    case in FK joins), ``li`` comes back as a ``range`` covering the
+    whole batch in order, which the join emitter treats as "left columns
+    pass through unchanged". Build indices are ints, so ``None`` in the
+    hit list can only mean a miss."""
+    ri = list(map(index.get, keys))
+    if None in ri:
+        li = [i for i, hit in enumerate(ri) if hit is not None]
+        ri = [hit for hit in ri if hit is not None]
+        return li, ri
+    return range(len(ri)), ri
+
+
+def join_columns(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[ColumnBatch]:
+    """Columnar join: method core + fused residual/projection emitter."""
+    combined = plan.left.schema.concat(plan.right.schema)
+    left_width = len(plan.left.schema)
+    residual = SelectionProgram(plan.residuals, combined, context)
+    positions = [
+        combined.index_of(alias, name) for alias, name in plan.projection
+    ]
+
+    if plan.method == "inlj":
+        core = _inlj_core(plan, context, metrics, run)
+    elif plan.method == "hj":
+        core = _hash_core(plan, context, metrics, run)
+    elif plan.method == "smj":
+        core = _smj_core(plan, context, metrics, run)
+    else:
+        core = _nlj_core(plan, context, metrics, run)
+
+    def emit(left_columns, right_columns, li, ri, counts):
+        full_left = li is not None and type(li) is range
+        full_right = type(ri) is range
+        cached = None
+        if residual.active:
+            if li is None:  # the residual needs explicit left indices
+                li = materialize_left(counts)
+                counts = None
+            virtual: List = [None] * len(combined)
+            for p in residual.used:
+                if p < left_width:
+                    virtual[p] = (
+                        left_columns[p]
+                        if full_left
+                        else take(left_columns[p], li)
+                    )
+                else:
+                    column = right_columns[p - left_width]
+                    virtual[p] = column if full_right else take(column, ri)
+            sel = residual.run(virtual, len(ri))
+            if sel is None:
+                # every row passed: the gathered columns ARE the output
+                cached = virtual
+            else:
+                if not sel:
+                    return None
+                li = take(li, sel)
+                ri = take(ri, sel)
+                full_left = full_right = False
+        out = []
+        for p in positions:
+            if cached is not None and cached[p] is not None:
+                out.append(cached[p])
+            elif p < left_width:
+                column = left_columns[p]
+                if counts is not None:
+                    out.append(repeat_column(column, counts))
+                elif full_left:
+                    out.append(column)
+                else:
+                    out.append(take(column, li))
+            else:
+                column = right_columns[p - left_width]
+                out.append(column if full_right else take(column, ri))
+        return ColumnBatch(out, len(ri))
+
+    def generate() -> Iterator[ColumnBatch]:
+        for left_columns, right_columns, li, ri, counts in core:
+            metrics.rows_in += len(ri)
+            batch = emit(left_columns, right_columns, li, ri, counts)
+            if batch is not None and batch.length:
+                yield batch
+
+    return generate()
+
+
+def _collect_columns(batches: Iterator[ColumnBatch], width: int):
+    collected: List[ColumnBatch] = list(batches)
+    return concat_columns(collected, width)
+
+
+def _hash_core(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+):
+    """Hash join over columns: build an index-valued hash table on the
+    right, probe each left batch's key column straight through it."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
+    left_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+    right_positions = _key_positions(
+        plan.right.schema, [pair[1] for pair in plan.equi_keys]
+    )
+    multi_key = len(left_positions) > 1
+    left_width = plan.left.schema.width
+    right_width = plan.right.schema.width
+
+    def core():
+        build_columns, build_count = _collect_columns(
+            right_batches, len(plan.right.schema)
+        )
+        buckets = _build_buckets(
+            _column_keys(build_columns, right_positions), multi_key
+        )
+        unique = _unique_index(buckets)
+        probe_count = 0
+        for batch in left_batches:
+            probe_count += batch.length
+            keys = _column_keys(batch.columns, left_positions)
+            if unique is not None:
+                li, ri = _probe_unique(keys, unique)
+                if ri:
+                    yield batch.columns, build_columns, li, ri, None
+            else:
+                counts, ri = _probe_multi(keys, buckets)
+                if ri:
+                    yield batch.columns, build_columns, None, ri, counts
+        charge_spill(
+            context.io,
+            metrics,
+            hash_spill_extra_io(
+                pages_for(build_count, right_width),
+                pages_for(probe_count, left_width),
+                context.params.memory_pages,
+            ),
+        )
+
+    return core()
+
+
+def _nlj_core(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+):
+    """Block NLJ over columns. With equi keys the inner match lookup
+    uses an insertion-ordered hash index — output rows and order are
+    identical to the row engine's linear scan (buckets hold ascending
+    inner indices), and the rescan/materialization charges are computed
+    from the same row counts, so page IO is byte-identical; only the
+    in-memory matching is cheaper. The pure cross product builds its
+    index vectors with C-level list repetition."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
+    memory = context.params.memory_pages
+    equi = bool(plan.equi_keys)
+    left_positions = (
+        _key_positions(plan.left.schema, [p[0] for p in plan.equi_keys])
+        if equi
+        else []
+    )
+    right_positions = (
+        _key_positions(plan.right.schema, [p[1] for p in plan.equi_keys])
+        if equi
+        else []
+    )
+    left_width = plan.left.schema.width
+
+    def core():
+        inner_columns, inner_count = _collect_columns(
+            right_batches, len(plan.right.schema)
+        )
+        buckets = (
+            _build_buckets(
+                _column_keys(inner_columns, right_positions),
+                len(right_positions) > 1,
+            )
+            if equi
+            else None
+        )
+        unique = _unique_index(buckets) if buckets is not None else None
+        inner_indices = list(range(inner_count))
+
+        outer_count = 0
+        for batch in left_batches:
+            n = batch.length
+            outer_count += n
+            if unique is not None:
+                li, ri = _probe_unique(
+                    _column_keys(batch.columns, left_positions), unique
+                )
+                if ri:
+                    yield batch.columns, inner_columns, li, ri, None
+            elif buckets is not None:
+                counts, ri = _probe_multi(
+                    _column_keys(batch.columns, left_positions), buckets
+                )
+                if ri:
+                    yield batch.columns, inner_columns, None, ri, counts
+            elif inner_count:
+                # cross product: every outer row repeats inner_count
+                # times against the whole tiled inner
+                yield (
+                    batch.columns,
+                    inner_columns,
+                    None,
+                    inner_indices * n,
+                    [inner_count] * n,
+                )
+
+        blocks = nlj_blocks(pages_for(outer_count, left_width), memory)
+        inner_is_scan = (
+            isinstance(plan.right, ScanNode) and plan.right.index_name is None
+        )
+        if inner_is_scan:
+            inner_pages = context.catalog.table(
+                plan.right.table_name
+            ).num_pages
+            if inner_pages > max(1, memory - 2) and blocks > 1:
+                rescans = (blocks - 1) * inner_pages
+                context.io.read_pages(rescans)
+                metrics.spill(rescans, 0)
+        else:
+            inner_pages = pages_for(inner_count, plan.right.schema.width)
+            if inner_pages > max(1, memory - 2):
+                context.io.write_pages(inner_pages)  # materialize the inner
+                rereads = blocks * inner_pages
+                context.io.read_pages(rereads)
+                metrics.spill(rereads, inner_pages)
+
+    return core()
+
+
+def _smj_core(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+):
+    """Sort-merge over columns: sort *index* vectors instead of rows
+    (``sorted(key=keys.__getitem__)`` is the same stable permutation
+    the row engine's ``rows.sort`` produced), merge the materialized
+    sorted key lists, and emit original-position index pairs."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
+    memory = context.params.memory_pages
+    left_keys = [pair[0] for pair in plan.equi_keys]
+    right_keys = [pair[1] for pair in plan.equi_keys]
+    left_positions = _key_positions(plan.left.schema, left_keys)
+    right_positions = _key_positions(plan.right.schema, right_keys)
+    multi_key = len(left_positions) > 1
+
+    def side(columns, count, child, keys, positions):
+        """Null-filter, charge the sort, and return (order, sorted_keys)
+        where ``order`` maps merge position → original row index."""
+        order = getattr(child.props, "order", ()) if child.props else ()
+        needs_sort = tuple(order[: len(keys)]) != tuple(keys)
+        if needs_sort:
+            # charge by the collected (pre-filter) page count so IO
+            # totals match the row engine's
+            charge_spill(
+                context.io,
+                metrics,
+                external_sort_extra_io(
+                    pages_for(count, child.schema.width), memory
+                ),
+            )
+        key_values = _column_keys(columns, positions)
+        if multi_key:
+            indices = [
+                i for i, key in enumerate(key_values) if None not in key
+            ]
+        elif None in key_values:
+            indices = [
+                i for i, key in enumerate(key_values) if key is not None
+            ]
+        else:  # no NULL keys: skip the per-row filter entirely
+            indices = list(range(count))
+        if needs_sort:
+            indices.sort(key=key_values.__getitem__)
+        elif len(indices) == count:
+            return indices, list(key_values)
+        return indices, take(key_values, indices)
+
+    def core():
+        left_columns, left_count = _collect_columns(
+            left_batches, len(plan.left.schema)
+        )
+        right_columns, right_count = _collect_columns(
+            right_batches, len(plan.right.schema)
+        )
+        left_order, left_sorted = side(
+            left_columns, left_count, plan.left, left_keys, left_positions
+        )
+        right_order, right_sorted = side(
+            right_columns, right_count, plan.right, right_keys, right_positions
+        )
+
+        # The merge itself is a probe of the left side (in sorted order)
+        # against the right side's equal-key runs — emit order is
+        # left-run-major with right runs ascending, exactly the pairwise
+        # merge's order. Unique right keys (the PK side of a FK join)
+        # collapse the whole merge into C-level ``dict``/``map`` passes.
+        if not left_sorted or not right_sorted:
+            return
+        index = dict(zip(right_sorted, right_order))
+        if len(index) == len(right_sorted):  # right keys unique
+            hits = list(map(index.get, left_sorted))
+            if None in hits:
+                li = [
+                    left_order[i]
+                    for i, hit in enumerate(hits)
+                    if hit is not None
+                ]
+                ri = [hit for hit in hits if hit is not None]
+            else:  # referential integrity: every left row matches
+                li, ri = left_order, hits
+            if ri:
+                yield left_columns, right_columns, li, ri, None
+            return
+
+        buckets: dict = {}
+        get = buckets.get
+        for key, position in zip(right_sorted, right_order):
+            hit = get(key)
+            if hit is None:
+                buckets[key] = [position]
+            else:
+                hit.append(position)
+        hits = list(map(get, left_sorted))
+        counts = [0 if hit is None else len(hit) for hit in hits]
+        # the left vector repeats *original* indices (left_order), so it
+        # cannot stay counts-encoded — expand it with the same C passes
+        li = list(chain.from_iterable(map(mul, zip(left_order), counts)))
+        ri = list(chain.from_iterable(filter(None, hits)))
+        if ri:
+            yield left_columns, right_columns, li, ri, None
+
+    return core()
+
+
+def _inlj_core(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+):
+    """Index NLJ over columns: the probe loop stays per-row (each probe
+    is an index traversal), but outer columns are gathered — never
+    concatenated into wide tuples — and matched inner rows transpose
+    once per batch."""
+    inner = plan.right
+    if not isinstance(inner, ScanNode):
+        raise ExecutionError("index NLJ requires a base-table inner")
+    info = context.catalog.info(inner.table_name)
+    index = info.indexes.get(plan.index_name or "")
+    if index is None:
+        raise ExecutionError(
+            f"index {plan.index_name!r} not found on {inner.table_name!r}"
+        )
+
+    inner_join_columns = [name for (_, (_, name)) in plan.equi_keys]
+    if list(index.column_names[: len(inner_join_columns)]) != inner_join_columns:
+        raise ExecutionError(
+            f"index {index.name!r} does not cover join columns "
+            f"{inner_join_columns}"
+        )
+
+    left_batches = run(plan.left)
+    table = info.table
+    inner_full = table_row_schema(inner.alias, table.columns, include_rid=True)
+    checks = [predicate.bind(inner_full) for predicate in inner.filters]
+    inner_positions = [
+        inner_full.index_of(field.alias, field.name) for field in inner.schema
+    ]
+    project_inner = projector(inner_positions, len(inner_full))
+    probe_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+
+    inner_metrics = OperatorMetrics(
+        label=inner.describe() + " (index probe)", depth=metrics.depth + 1
+    )
+    if context.metrics is not None:
+        context.metrics.register(inner_metrics)
+    inner.op_metrics = inner_metrics
+    metrics.children.append(inner_metrics)
+    lookup = index.lookup_rows
+    io = context.io
+    inner_width = len(inner.schema)
+
+    def core():
+        matched = 0
+        probes = 0
+        for batch in left_batches:
+            probe_columns = [batch.columns[p] for p in probe_positions]
+            li: List[int] = []
+            matched_rows: RowBatch = []
+            lap = li.append
+            rap = matched_rows.append
+            for i, probe in enumerate(zip(*probe_columns)):
+                probes += 1
+                if None in probe:
+                    continue
+                for inner_row in lookup(io, probe, include_rid=True):
+                    if checks and not all(
+                        check(inner_row) for check in checks
+                    ):
+                        continue
+                    matched += 1
+                    lap(i)
+                    rap(
+                        project_inner(inner_row)
+                        if project_inner is not None
+                        else inner_row
+                    )
+            if li:
+                right_columns = list(zip(*matched_rows))
+                yield (
+                    batch.columns,
+                    right_columns,
+                    li,
+                    range(len(matched_rows)),
+                    None,
+                )
+        inner.actual_rows = matched
+        inner_metrics.rows_out = matched
+        inner_metrics.rows_in = probes
+        inner_metrics.batches = probes  # one probe per outer row
+
+    return core()

@@ -32,6 +32,7 @@ class OperatorMetrics:
     seconds: float = 0.0
     spill_reads: int = 0
     spill_writes: int = 0
+    fused: bool = False
     children: List["OperatorMetrics"] = field(default_factory=list)
 
     @property
@@ -53,6 +54,8 @@ class OperatorMetrics:
         ]
         if self.spill_reads or self.spill_writes:
             parts.append(f"spill={self.spill_reads}r/{self.spill_writes}w")
+        if self.fused:
+            parts.append("fused")
         return " ".join(parts)
 
 
@@ -65,6 +68,9 @@ class ExecutionMetrics:
 
     def __init__(self) -> None:
         self.operators: List[OperatorMetrics] = []
+        #: kernels instantiated by the columnar engine for this
+        #: execution (copied from ``ExecutionContext.kernels_compiled``)
+        self.kernels_compiled: int = 0
 
     def register(self, metrics: OperatorMetrics) -> None:
         self.operators.append(metrics)
@@ -91,6 +97,7 @@ class ExecutionMetrics:
                 "self_seconds": op.self_seconds,
                 "spill_reads": op.spill_reads,
                 "spill_writes": op.spill_writes,
+                "fused": op.fused,
             }
             for op in self.operators
         ]

@@ -15,9 +15,86 @@ from typing import Iterator
 from ..algebra.plan import ScanNode
 from ..catalog.schema import table_row_schema
 from ..errors import ExecutionError
-from .batch import BatchBuilder, RowBatch, projector
+from .batch import (
+    BatchBuilder,
+    ColumnBatch,
+    ColumnBatchBuilder,
+    RowBatch,
+    projector,
+    take,
+)
 from .context import ExecutionContext
+from .kernels import SelectionProgram
 from .metrics import OperatorMetrics
+
+
+def _index_source(plan: ScanNode, context: ExecutionContext):
+    """Resolve the scan's index and return its (rows → one chunk)
+    column source; charges are made by ``lookup_rows`` itself."""
+    info = context.catalog.info(plan.table_name)
+    index = info.indexes.get(plan.index_name)
+    if index is None:
+        raise ExecutionError(
+            f"index {plan.index_name!r} not found on {plan.table_name!r}"
+        )
+    return index
+
+
+def scan_columns(
+    plan: ScanNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run,
+) -> Iterator[ColumnBatch]:
+    """The fused columnar scan→filter→project loop.
+
+    Per page: one compiled selection kernel pass over the filter's
+    columns, then a gather of only the *output* columns through the
+    selection vector. No row tuples exist at any point; when no filter
+    matches, page columns flow into the batch builder untouched.
+    """
+    table = context.catalog.table(plan.table_name)
+    full_schema = table_row_schema(plan.alias, table.columns, include_rid=True)
+    selection = SelectionProgram(plan.filters, full_schema, context)
+    positions = [
+        full_schema.index_of(field.alias, field.name) for field in plan.schema
+    ]
+
+    if plan.index_name is not None:
+        index = _index_source(plan, context)
+
+        def pages():
+            rows = list(
+                index.lookup_rows(
+                    context.io, plan.index_values, include_rid=True
+                )
+            )
+            if rows:
+                yield list(zip(*rows)), len(rows)
+
+        source = pages()
+    else:
+        source = table.scan_page_columns(context.io, include_rid=True)
+
+    def generate() -> Iterator[ColumnBatch]:
+        out = ColumnBatchBuilder(context.batch_size, len(positions))
+        for columns, count in source:
+            metrics.rows_in += count
+            sel = selection.run(columns, count)
+            if sel is None:
+                out.extend([columns[p] for p in positions], count)
+            elif sel:
+                out.extend(
+                    [take(columns[p], sel) for p in positions], len(sel)
+                )
+            else:
+                continue
+            if out.full:
+                yield out.drain()
+        if out.length:
+            yield out.drain()
+
+    return generate()
 
 
 def scan_batches(
@@ -37,12 +114,7 @@ def scan_batches(
     single_check = checks[0] if len(checks) == 1 else None
 
     if plan.index_name is not None:
-        info = context.catalog.info(plan.table_name)
-        index = info.indexes.get(plan.index_name)
-        if index is None:
-            raise ExecutionError(
-                f"index {plan.index_name!r} not found on {plan.table_name!r}"
-            )
+        index = _index_source(plan, context)
 
         def pages():
             yield list(

@@ -126,6 +126,29 @@ class HeapTable:
             else:
                 yield chunk
 
+    def scan_page_columns(
+        self, io: IOCounter, include_rid: bool = False
+    ) -> Iterator[Tuple[List[Any], int]]:
+        """Full scan yielding one page at a time in *column-major* form:
+        ``(columns, row_count)`` with one sequence per column.
+
+        Charges exactly the page reads :meth:`scan` charges. The
+        transpose is a single C-speed ``zip`` per page, and the hidden
+        ``_rid`` column is a ``range`` — never materialized unless a
+        consumer actually gathers it.
+        """
+        per_page = self.rows_per_page
+        if not self.rows:
+            io.read_pages(1)  # header page of an empty table
+            return
+        for start in range(0, len(self.rows), per_page):
+            io.read_pages(1)
+            chunk = self.rows[start : start + per_page]
+            columns: List[Any] = list(zip(*chunk))
+            if include_rid:
+                columns.append(range(start, start + len(chunk)))
+            yield columns, len(chunk)
+
     def fetch(
         self, io: IOCounter, rid: int, last_page: Optional[int] = None
     ) -> Tuple[Tuple[Any, ...], int]:
