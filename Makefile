@@ -9,8 +9,8 @@ FUZZ_PROFILE ?= default
 FUZZ_ARGS ?=
 
 .PHONY: help test fuzz fuzz-smoke bench bench-opt bench-exec \
-	bench-exec-smoke bench-exec-gate bench-views bench-views-smoke \
-	bench-card bench-card-smoke examples shell all
+	bench-exec-smoke bench-exec-gate bench-fanout bench-views \
+	bench-views-smoke bench-card bench-card-smoke examples shell all
 
 help:
 	@echo "repro targets:"
@@ -21,7 +21,8 @@ help:
 	@echo "  make bench-opt        optimizer scaling -> BENCH_optimizer_scaling.json"
 	@echo "  make bench-exec       executor throughput -> BENCH_executor.json"
 	@echo "  make bench-exec-smoke executor throughput, tiny CI configuration"
-	@echo "  make bench-exec-gate  assert columnar >=2x on chain + grouped-agg"
+	@echo "  make bench-exec-gate  assert columnar >=2x on chain + grouped-agg + fanout"
+	@echo "  make bench-fanout     duplicate-key fan-out smoke (pruning on/off)"
 	@echo "  make bench-views      materialized-view payoff -> BENCH_views.json"
 	@echo "  make bench-views-smoke view payoff, tiny CI configuration"
 	@echo "  make bench-card       cardinality q-error study -> BENCH_cardinality.json"
@@ -54,7 +55,12 @@ bench-exec-smoke:
 
 bench-exec-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_executor.py \
-		--only chain-pkfk,grouped-agg --assert-speedup 2.0 --repeats 5
+		--only chain-pkfk,grouped-agg,fanout-dup --assert-speedup 2.0 \
+		--repeats 5
+
+bench-fanout:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_executor.py \
+		--smoke --only fanout-dup
 
 bench-views:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_views.py --out BENCH_views.json

@@ -54,6 +54,7 @@ from repro.catalog.schema import table_row_schema
 from repro.cost.params import CostParams
 from repro.db import Database
 from repro.engine import ExecutionContext, execute_plan, execute_plan_rows
+from repro.optimizer.pruning import prune_plan
 
 DEFAULT_OUTPUT = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_executor.json"
@@ -273,17 +274,111 @@ def grouped_workload(rows: int = 60_000, groups: int = 500, seed: int = 3):
     return db, plan
 
 
+def fanout_workload(
+    wide_rows: int = 40_000,
+    dup_keys: int = 4_000,
+    dups_per_key: int = 8,
+    payload: int = 14,
+    seed: int = 4,
+):
+    """Duplicate-key fan-out over a wide projection — the emit-bound
+    shape projection pruning targets.
+
+    A 16-column table probes a build side holding *dups_per_key* rows
+    per key, so every surviving wide column is counts-expanded
+    ``dups_per_key``-fold by the join. The **unpruned** plan carries
+    every predicate column to the top the way the pre-pruning optimizer
+    did (its multi-column scan filters put all payload columns in the
+    live set); the measured plan is :func:`prune_plan` of it — only the
+    group key and the aggregate input survive the join. Returns
+    ``(db, pruned_plan, unpruned_plan)``; the harness times the pruned
+    plan on all engines and the unpruned plan on the columnar engine for
+    the pruning-on/off speedup and cells-expanded comparison.
+    """
+    rng = random.Random(seed)
+    # a big buffer pool keeps both variants spill-free: spill *would*
+    # shrink under pruning (narrower partitions), which would break the
+    # IO-identity cross-check this harness applies to every workload
+    db = Database(CostParams(memory_pages=2048))
+    columns = [("id", "int"), ("fk", "int")] + [
+        (f"v{i}", "float") for i in range(payload)
+    ]
+    db.create_table("wide", columns, primary_key=["id"])
+    db.insert(
+        "wide",
+        [
+            tuple(
+                [i, rng.randrange(dup_keys)]
+                + [rng.random() * 100 for _ in range(payload)]
+            )
+            for i in range(wide_rows)
+        ],
+    )
+    db.create_table(
+        "dup", [("rid", "int"), ("key", "int"), ("cat", "int")],
+        primary_key=["rid"],
+    )
+    db.insert(
+        "dup",
+        [
+            (k * dups_per_key + j, k, k % 60)
+            for k in range(dup_keys)
+            for j in range(dups_per_key)
+        ],
+    )
+    db.analyze()
+    # loose multi-column filters: nearly every row survives, but every
+    # payload column is a predicate column — the pre-pruning live set
+    filters = tuple(
+        Comparison("<", col(f"w.v{i}"), lit(99.5)) for i in range(payload)
+    )
+    unpruned = GroupByNode(
+        JoinNode(
+            _scan(db, "wide", "w", filters=filters),
+            _scan(db, "dup", "d"),
+            method="hj",
+            equi_keys=[(("w", "fk"), ("d", "key"))],
+            # old-style projection: every predicate column rides along
+            projection=[("w", "fk")]
+            + [("w", f"v{i}") for i in range(payload)]
+            + [("d", "cat")],
+        ),
+        group_keys=[("d", "cat")],
+        aggregates=[
+            ("total", AggregateCall("sum", col("w.v0"))),
+            ("n", AggregateCall("count", None)),
+        ],
+    )
+    pruned = prune_plan(unpruned)
+    return db, pruned, unpruned
+
+
 # (name, builder, full-size kwargs, smoke kwargs)
 WORKLOADS = (
     ("pipeline", pipeline_workload, {}, {"rows": 4_000}),
     ("chain-pkfk", chain_workload, {}, {"fact_rows": 5_000}),
     ("star-pkfk", star_workload, {}, {"fact_rows": 4_000, "dim_rows": 400}),
     ("grouped-agg", grouped_workload, {}, {"rows": 2_000, "groups": 50}),
+    (
+        "fanout-dup",
+        fanout_workload,
+        {},
+        {"wide_rows": 2_000, "dup_keys": 200, "dups_per_key": 4},
+    ),
 )
 
-# workloads the CI smoke job holds to the speedup bar: one join chain
-# and one grouped aggregate (full sizes, so fixed overheads amortize)
-ASSERTED_WORKLOADS = ("chain-pkfk", "grouped-agg")
+# workloads the CI smoke job holds to the speedup bar: one join chain,
+# one grouped aggregate, and the duplicate-key fan-out shape (full
+# sizes, so fixed overheads amortize)
+ASSERTED_WORKLOADS = ("chain-pkfk", "grouped-agg", "fanout-dup")
+
+
+def _count_cells(plan, db) -> int:
+    """Cells materialized by one columnar execution (the engine's
+    per-operator ``cells`` counters summed — what pruning shrinks)."""
+    context = ExecutionContext(db.catalog, db.io, db.params)
+    execute_plan(plan, context)
+    return context.metrics.total_cells
 
 
 def _time_engine(plan, db, engine: str, repeats: int):
@@ -338,7 +433,9 @@ def run_bench(
     for name, builder, full_kwargs, smoke_kwargs in WORKLOADS:
         if only is not None and name not in only:
             continue
-        db, plan = builder(**(smoke_kwargs if smoke else full_kwargs))
+        built = builder(**(smoke_kwargs if smoke else full_kwargs))
+        db, plan = built[0], built[1]
+        unpruned = built[2] if len(built) > 2 else None
         timings: Dict[str, Tuple[object, object, float]] = {}
         for engine in ENGINES:
             timings[engine] = _time_engine(plan, db, engine, repeats)
@@ -363,31 +460,59 @@ def run_bench(
         columnar_seconds = timings["columnar"][2]
         rows = len(base_result.rows)
         speedup = batched_seconds / max(columnar_seconds, 1e-9)
-        entries.append(
-            {
-                "workload": name,
-                "rows": rows,
-                "page_reads": base_io.page_reads,
-                "page_writes": base_io.page_writes,
-                "legacy_seconds": legacy_seconds,
-                "batched_seconds": batched_seconds,
-                "columnar_seconds": columnar_seconds,
-                "columnar_rows_per_second": rows
-                / max(columnar_seconds, 1e-9),
-                "speedup_columnar_vs_batched": speedup,
-                "speedup_columnar_vs_legacy": legacy_seconds
-                / max(columnar_seconds, 1e-9),
-            }
-        )
-        if (
-            assert_speedup is not None
-            and name in assert_workloads
-            and speedup < assert_speedup
-        ):
-            failures.append(
-                f"{name}: columnar {speedup:.2f}x vs batched "
-                f"(required >= {assert_speedup:.2f}x)"
+        entry: Dict[str, object] = {
+            "workload": name,
+            "rows": rows,
+            "page_reads": base_io.page_reads,
+            "page_writes": base_io.page_writes,
+            "legacy_seconds": legacy_seconds,
+            "batched_seconds": batched_seconds,
+            "columnar_seconds": columnar_seconds,
+            "columnar_rows_per_second": rows
+            / max(columnar_seconds, 1e-9),
+            "speedup_columnar_vs_batched": speedup,
+            "speedup_columnar_vs_legacy": legacy_seconds
+            / max(columnar_seconds, 1e-9),
+        }
+        pruning_speedup = None
+        if unpruned is not None:
+            # pruning-on vs pruning-off, both on the columnar engine:
+            # same join core, same row bags — only emit width differs
+            unpruned_result, unpruned_io, unpruned_seconds = _time_engine(
+                unpruned, db, "columnar", repeats
             )
+            if sorted(map(repr, unpruned_result.rows)) != base_bag:
+                raise AssertionError(
+                    f"{name}: unpruned rows differ from pruned rows"
+                )
+            if (
+                unpruned_io.page_reads != base_io.page_reads
+                or unpruned_io.page_writes != base_io.page_writes
+            ):
+                raise AssertionError(
+                    f"{name}: IO drift — pruned {base_io} vs "
+                    f"unpruned {unpruned_io}"
+                )
+            pruning_speedup = unpruned_seconds / max(columnar_seconds, 1e-9)
+            entry["unpruned_columnar_seconds"] = unpruned_seconds
+            entry["speedup_pruned_vs_unpruned"] = pruning_speedup
+            entry["cells_expanded_pruned"] = _count_cells(plan, db)
+            entry["cells_expanded_unpruned"] = _count_cells(unpruned, db)
+        entries.append(entry)
+        if assert_speedup is not None and name in assert_workloads:
+            if speedup < assert_speedup:
+                failures.append(
+                    f"{name}: columnar {speedup:.2f}x vs batched "
+                    f"(required >= {assert_speedup:.2f}x)"
+                )
+            if (
+                pruning_speedup is not None
+                and pruning_speedup < assert_speedup
+            ):
+                failures.append(
+                    f"{name}: pruned {pruning_speedup:.2f}x vs unpruned "
+                    f"(required >= {assert_speedup:.2f}x)"
+                )
     if failures:
         raise AssertionError("speedup bar missed — " + "; ".join(failures))
     return {

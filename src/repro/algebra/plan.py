@@ -463,6 +463,10 @@ def explain(plan: PlanNode, indent: int = 0, analyze: bool = False) -> str:
                 f" batches={metrics.batches}"
                 f" time={metrics.seconds * 1000.0:.2f}ms"
             )
+            if metrics.width:
+                line += f" width={metrics.width}"
+            if metrics.cells:
+                line += f" cells={metrics.cells}"
             if metrics.fused:
                 line += " fused"
             if metrics.spill_reads or metrics.spill_writes:

@@ -209,7 +209,10 @@ class Shell:
         self.write("stats: " + " ".join(parts))
         metrics = getattr(result, "exec_metrics", None)
         if metrics is not None and metrics.operators:
-            self.write(f"exec: kernels_compiled={metrics.kernels_compiled}")
+            self.write(
+                f"exec: kernels_compiled={metrics.kernels_compiled}"
+                f" cells={metrics.total_cells}"
+            )
             for line in metrics.lines():
                 self.write("  " + line)
         records = result.q_errors() if hasattr(result, "q_errors") else []

@@ -132,6 +132,13 @@ class CostModel:
         if self.params.cpu_tuple_weight:
             # the Section 5 adaptation: weighted CPU + IO objective
             props.cost += self.params.cpu_tuple_weight * props.rows
+        if self.params.cpu_cell_weight:
+            # width-aware emit term: every live output column of every
+            # produced tuple costs one cell — what the columnar engine's
+            # counts-encoded expansion actually pays per surviving cell
+            props.cost += (
+                self.params.cpu_cell_weight * props.rows * len(plan.schema)
+            )
         plan.props = props
         return props
 
@@ -248,6 +255,16 @@ class CostModel:
                 )
 
         cost, order = self._join_cost(plan, left, right, rows)
+        # Order is only meaningful as a prefix of columns the join still
+        # outputs: a pruned projection may drop a sort/join key the
+        # moment no ancestor references it.
+        out_order: list = []
+        for key in order:
+            if plan.schema.has(*key):
+                out_order.append(key)
+            else:
+                break
+        order = tuple(out_order)
 
         out_meta = {
             key: value.clamped(rows)

@@ -27,12 +27,20 @@ class CostParams:
       IO-only model (Section 5); a positive weight is the paper's
       "weighted combination of CPU and IO cost" adaptation. Executed
       weighted cost can be recomputed from per-node actual row counts.
+    - ``cpu_cell_weight``: cost units charged per *cell* (tuple ×
+      live output column) an operator produces — the width-aware emit
+      term. The columnar engine pays per surviving cell in its
+      counts-encoded join expansion, so a positive weight lets the DP
+      prefer join orders that keep wide columns below
+      duplicate-expanding joins. Zero (the default) keeps the paper's
+      IO-only objective.
     """
 
     memory_pages: int = 64
     default_selectivity: float = 1.0 / 3.0
     having_selectivity: float = 1.0 / 3.0
     cpu_tuple_weight: float = 0.0
+    cpu_cell_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.memory_pages < 3:
@@ -43,3 +51,5 @@ class CostParams:
             raise ValueError("having_selectivity must be in (0, 1]")
         if self.cpu_tuple_weight < 0.0:
             raise ValueError("cpu_tuple_weight must be non-negative")
+        if self.cpu_cell_weight < 0.0:
+            raise ValueError("cpu_cell_weight must be non-negative")

@@ -375,6 +375,11 @@ class Database:
                     if options is not None
                     else True
                 ),
+                enable_projection_pruning=(
+                    options.enable_projection_pruning
+                    if options is not None
+                    else True
+                ),
             )
             return optimize_query(
                 query, self.catalog, self.params, greedy_options

@@ -46,6 +46,25 @@ class ColumnBatch:
     The batch never owns its columns — operators share column references
     freely (projection and rename are zero-copy picks), and only filters
     and computed projections allocate new columns.
+
+    **Aliasing contract.** Because pass-through is zero-copy, the same
+    column object may be referenced by *several* live batches at once —
+    a pruned join projection, a rename, and the scan that produced the
+    column can all alias one list. Two rules keep this sound:
+
+    1. An operator must never mutate a column it *received* (no
+       ``column[i] = ...``, ``sort()``, ``append()`` on inputs). New
+       values always go into freshly allocated columns.
+    2. An operator may mutate a column only while it provably holds the
+       sole reference — e.g. the accumulators inside
+       :class:`ColumnBatchBuilder` and :func:`concat_columns`, or row
+       lists built by a private ``to_rows``/collect pass (the sort-merge
+       join sorts *those*, never a received column).
+
+    Violating rule 1 would corrupt sibling consumers retroactively and
+    is exactly the class of bug projection pruning makes likelier (more
+    sharing, fewer defensive copies); the regression tests in
+    ``tests/test_batch_aliasing.py`` pin the contract.
     """
 
     __slots__ = ("columns", "length")

@@ -131,7 +131,9 @@ def _build_rows(
             f"cannot execute node type {type(plan).__name__}"
         )
 
-    metrics = OperatorMetrics(label=plan.describe(), depth=depth)
+    metrics = OperatorMetrics(
+        label=plan.describe(), depth=depth, width=len(plan.schema)
+    )
     if context.metrics is not None:
         context.metrics.register(metrics)
     plan.op_metrics = metrics
@@ -157,7 +159,9 @@ def _build_columnar(
             f"cannot execute node type {type(plan).__name__}"
         )
 
-    metrics = OperatorMetrics(label=plan.describe(), depth=depth)
+    metrics = OperatorMetrics(
+        label=plan.describe(), depth=depth, width=len(plan.schema)
+    )
     if context.metrics is not None:
         context.metrics.register(metrics)
     plan.op_metrics = metrics
@@ -227,7 +231,10 @@ def _fused_chain(
     fused = len(chain) > 1
     for i, member in enumerate(chain):
         member_metrics = OperatorMetrics(
-            label=member.describe(), depth=depth + i, fused=fused
+            label=member.describe(),
+            depth=depth + i,
+            fused=fused,
+            width=len(member.schema),
         )
         if context.metrics is not None:
             context.metrics.register(member_metrics)

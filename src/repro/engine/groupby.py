@@ -261,11 +261,13 @@ def group_by_columns(
         )
         internal_columns = list(finalize(table.items()))
         groups = len(table)
+        metrics.cells += groups * len(internal_columns)
         sel = having.run(internal_columns, groups)
         if sel is not None:
             out_columns = [
                 take(internal_columns[p], sel) for p in out_positions
             ]
+            metrics.cells += len(sel) * len(out_positions)
             groups = len(sel)
         else:
             out_columns = [internal_columns[p] for p in out_positions]

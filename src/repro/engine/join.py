@@ -563,32 +563,40 @@ def join_columns(
         full_left = li is not None and type(li) is range
         full_right = type(ri) is range
         cached = None
+        cells = 0
         if residual.active:
             if li is None:  # the residual needs explicit left indices
                 li = materialize_left(counts)
                 counts = None
             virtual: List = [None] * len(combined)
+            gathered = len(ri)
             for p in residual.used:
                 if p < left_width:
-                    virtual[p] = (
-                        left_columns[p]
-                        if full_left
-                        else take(left_columns[p], li)
-                    )
+                    if full_left:
+                        virtual[p] = left_columns[p]
+                    else:
+                        virtual[p] = take(left_columns[p], li)
+                        cells += gathered
                 else:
                     column = right_columns[p - left_width]
-                    virtual[p] = column if full_right else take(column, ri)
+                    if full_right:
+                        virtual[p] = column
+                    else:
+                        virtual[p] = take(column, ri)
+                        cells += gathered
             sel = residual.run(virtual, len(ri))
             if sel is None:
                 # every row passed: the gathered columns ARE the output
                 cached = virtual
             else:
                 if not sel:
+                    metrics.cells += cells
                     return None
                 li = take(li, sel)
                 ri = take(ri, sel)
                 full_left = full_right = False
         out = []
+        out_len = len(ri)
         for p in positions:
             if cached is not None and cached[p] is not None:
                 out.append(cached[p])
@@ -596,14 +604,21 @@ def join_columns(
                 column = left_columns[p]
                 if counts is not None:
                     out.append(repeat_column(column, counts))
+                    cells += out_len
                 elif full_left:
                     out.append(column)
                 else:
                     out.append(take(column, li))
+                    cells += out_len
             else:
                 column = right_columns[p - left_width]
-                out.append(column if full_right else take(column, ri))
-        return ColumnBatch(out, len(ri))
+                if full_right:
+                    out.append(column)
+                else:
+                    out.append(take(column, ri))
+                    cells += out_len
+        metrics.cells += cells
+        return ColumnBatch(out, out_len)
 
     def generate() -> Iterator[ColumnBatch]:
         for left_columns, right_columns, li, ri, counts in core:

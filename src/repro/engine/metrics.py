@@ -33,6 +33,15 @@ class OperatorMetrics:
     spill_reads: int = 0
     spill_writes: int = 0
     fused: bool = False
+    width: int = 0
+    """Live output width — columns in this operator's schema. Set at
+    pipeline build; projection pruning shows up here directly."""
+    cells: int = 0
+    """Cells this operator *materialized* (copied or expanded values).
+    Zero-copy pass-through columns cost nothing, which is why a join's
+    cells can be far below ``rows_out × width`` — and why pruning wide
+    columns from under a duplicate-expanding join cuts this counter
+    rather than ``rows_out``."""
     children: List["OperatorMetrics"] = field(default_factory=list)
 
     @property
@@ -52,6 +61,10 @@ class OperatorMetrics:
             f"time={self.seconds * 1000.0:.2f}ms",
             f"self={self.self_seconds * 1000.0:.2f}ms",
         ]
+        if self.width:
+            parts.append(f"width={self.width}")
+        if self.cells:
+            parts.append(f"cells={self.cells}")
         if self.spill_reads or self.spill_writes:
             parts.append(f"spill={self.spill_reads}r/{self.spill_writes}w")
         if self.fused:
@@ -80,6 +93,12 @@ class ExecutionMetrics:
         """Rows produced across all operators (interpreter work done)."""
         return sum(op.rows_out for op in self.operators)
 
+    @property
+    def total_cells(self) -> int:
+        """Cells materialized across all operators — the engine-level
+        number projection pruning is meant to shrink."""
+        return sum(op.cells for op in self.operators)
+
     def lines(self) -> List[str]:
         return [
             ("  " * op.depth) + f"{op.label}  [{op.summary()}]"
@@ -98,6 +117,8 @@ class ExecutionMetrics:
                 "spill_reads": op.spill_reads,
                 "spill_writes": op.spill_writes,
                 "fused": op.fused,
+                "width": op.width,
+                "cells": op.cells,
             }
             for op in self.operators
         ]

@@ -77,16 +77,19 @@ def scan_columns(
         source = table.scan_page_columns(context.io, include_rid=True)
 
     def generate() -> Iterator[ColumnBatch]:
-        out = ColumnBatchBuilder(context.batch_size, len(positions))
+        width = len(positions)
+        out = ColumnBatchBuilder(context.batch_size, width)
         for columns, count in source:
             metrics.rows_in += count
             sel = selection.run(columns, count)
             if sel is None:
                 out.extend([columns[p] for p in positions], count)
+                metrics.cells += count * width
             elif sel:
                 out.extend(
                     [take(columns[p], sel) for p in positions], len(sel)
                 )
+                metrics.cells += len(sel) * width
             else:
                 continue
             if out.full:

@@ -605,6 +605,32 @@ class _BlockContext:
             key for key in needed if key[0] is not None
         )
 
+        # Column lifetime: what an ancestor still references once every
+        # predicate over a subset has been applied — the final grouping
+        # keys, aggregate inputs, HAVING and select columns, plus
+        # anything shared finalizations ask for. Predicate columns are
+        # deliberately absent: they stay live only while some predicate
+        # over them is *pending* (``pending_columns``), which is what
+        # lets a join projection drop a join key or filter column the
+        # moment its last predicate has been applied.
+        top: Set[FieldKey] = set()
+        if spec is not None:
+            top |= set(spec.group_keys)
+            for _, call in spec.aggregates:
+                top |= set(call.columns())
+            for predicate in spec.having:
+                top |= {
+                    key for key in predicate.columns() if key[0] is not None
+                }
+        for _, source in select:
+            top |= {
+                key for key in source.columns() if key[0] is not None
+            }
+        top |= extra_needed
+        self.top_needed: FrozenSet[FieldKey] = frozenset(
+            key for key in top if key[0] is not None
+        )
+
         # Interesting orders: join columns and grouping columns.
         interesting: Set[FieldKey] = set()
         for predicate in predicates:
@@ -654,11 +680,21 @@ class _BlockContext:
     def _base_leaf_plans(self, leaf: BaseLeaf) -> List[PlanNode]:
         alias = leaf.alias
         local = self._local_predicates(alias)
+        if self.optimizer.options.enable_projection_pruning:
+            # Scan decode narrows to live columns: scan filters evaluate
+            # over the full (row-stored) page anyway, so a column only a
+            # local predicate reads need not survive the scan. Page IO
+            # is unchanged — only decode width shrinks.
+            live = self.top_needed | self.pending_columns(
+                self.graph.mask_of_alias[alias]
+            )
+        else:
+            live = self.needed
         wanted = tuple(
             sorted(
                 {
                     key[1]
-                    for key in self.needed
+                    for key in live
                     if key[0] == alias and key[1] != RID_COLUMN
                 }
             )
@@ -813,15 +849,22 @@ class _BlockContext:
         right_plan: PlanNode,
         subset_mask: int,
     ) -> List[FieldKey]:
-        keep = self.needed | self.pending_columns(subset_mask)
+        pruning = self.optimizer.options.enable_projection_pruning
+        if pruning:
+            keep = self.top_needed | self.pending_columns(subset_mask)
+        else:
+            keep = self.needed | self.pending_columns(subset_mask)
         combined = left_plan.schema.concat(right_plan.schema)
-        projection = [
-            field.key
-            for field in combined
-            if field.alias is None or field.key in keep
-        ]
+        projection: List[FieldKey] = []
+        dropped = 0
+        for field in combined:
+            if field.alias is None or field.key in keep:
+                projection.append(field.key)
+            elif pruning and field.key in self.needed:
+                dropped += 1
         if not projection:
             projection = [combined.fields[0].key]
+        self.optimizer.stats.projection_columns_pruned += dropped
         return projection
 
     # ------------------------------------------------------------------

@@ -43,6 +43,7 @@ from ..views.rewrite import build_rewrite_plan
 from .block import BaseLeaf, BlockOptimizer, DerivedLeaf, GroupingSpec, Leaf
 from .joingraph import JoinGraph
 from .options import OptimizerOptions
+from .pruning import prune_plan
 from .stats import SearchStats
 
 
@@ -197,21 +198,30 @@ def optimize_traditional(
     Predicate propagation across blocks runs first — the paper's
     premise is that traditional optimizers already do that much
     ([MFPR90, LMS94], Section 1); ``propagate=False`` ablates it.
-    Only the ``enable_view_rewrite`` knob is honored from *options*:
-    the rest of the baseline's behavior is fixed by definition."""
+    Only the ``enable_view_rewrite`` and ``enable_projection_pruning``
+    knobs are honored from *options*: the rest of the baseline's
+    behavior is fixed by definition."""
     if propagate:
         query = propagate_predicates(query)
     stats = SearchStats()
     baseline_options = OptimizerOptions(
         enable_view_rewrite=(
             options.enable_view_rewrite if options is not None else True
-        )
+        ),
+        enable_projection_pruning=(
+            options.enable_projection_pruning if options is not None else True
+        ),
     )
     optimizer = BlockOptimizer(
         catalog, params, baseline_options, mode="traditional", stats=stats
     )
     derived = [_optimize_view(view, optimizer) for view in query.views]
     plan = _optimize_outer(query, derived, optimizer)
+    if baseline_options.enable_projection_pruning:
+        # View boundaries: the block DP optimized each view for all of
+        # its declared outputs; the lifetime pass narrows them to what
+        # the outer block actually consumes.
+        plan = prune_plan(plan, model=optimizer.model, stats=stats)
     return OptimizationResult(
         plan=plan,
         cost=plan.props.cost,
@@ -367,6 +377,12 @@ def optimize_query(
             best_plan = plan
             best_choice = combo
     assert best_plan is not None
+
+    if options.enable_projection_pruning:
+        # Narrow view boundaries *before* the traditional comparison:
+        # both plans are compared post-prune, preserving the no-worse
+        # guarantee under the narrowed widths.
+        best_plan = prune_plan(best_plan, model=optimizer.model, stats=stats)
 
     # Guarantee: never worse than the traditional optimizer.
     traditional = optimize_traditional(query, catalog, params, options=options)

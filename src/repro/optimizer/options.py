@@ -51,6 +51,14 @@ class OptimizerOptions:
     Φ(V′, W) separately"). Off = optimize each Φ(V′, W) independently;
     same plans, more enumeration work (the E7 sharing ablation)."""
 
+    enable_projection_pruning: bool = True
+    """Column-lifetime projection pruning: join projections and scan
+    decode lists keep only the columns some *ancestor* still references
+    (final outputs, grouping keys, aggregate inputs, plus the columns of
+    predicates not yet applied). Off = the pre-pruning behavior, where
+    every predicate column rides to the top of the plan; kept as an
+    ablation — answers never change, only intermediate widths."""
+
     enable_predicate_propagation: bool = True
     """[MFPR90, LMS94] preprocessing: move outer literal predicates on
     grouping-column view outputs inside the view. The paper assumes

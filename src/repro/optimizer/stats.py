@@ -42,6 +42,14 @@ class SearchStats:
     view_rewrites_adopted: int = 0
     """Blocks whose final plan reads a materialized view's backing
     table because it costed cheaper than the computed plan."""
+    projection_columns_pruned: int = 0
+    """Columns dropped from join projections by the column-lifetime
+    analysis — columns the pre-pruning optimizer would have carried
+    upward (they appear in some already-applied predicate) but which no
+    ancestor operator references."""
+    plans_repruned: int = 0
+    """Final plans narrowed by the post-DP :func:`prune_plan` pass
+    (view boundaries and hand-built shapes the block DP cannot see)."""
     timings: Dict[str, float] = field(default_factory=dict)
     """Per-phase elapsed seconds (``leaf_plans``, ``dp``, ``finalize``)."""
 

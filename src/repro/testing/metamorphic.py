@@ -77,6 +77,14 @@ CONFIGS: Tuple[EngineConfig, ...] = (
         "full-nostats",
         options=OptimizerOptions(use_statistics=False),
     ),
+    # Projection-pruning ablation: lifetime analysis narrows interior
+    # schemas only — answers must be identical, and (because pruning is
+    # applied before the traditional-min comparison) the no-worse cost
+    # guarantee must keep holding with it disabled.
+    EngineConfig(
+        "full-nopruning",
+        options=OptimizerOptions(enable_projection_pruning=False),
+    ),
 )
 
 

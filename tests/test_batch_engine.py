@@ -409,7 +409,7 @@ class TestBenchExecutorSmoke:
             sys.path.pop(0)
         # run_bench itself raises on any row or IO disagreement
         results = run_bench(smoke=True, repeats=1)
-        assert len(results["entries"]) == 4
+        assert len(results["entries"]) == 5
         assert results["machine"]["python_version"]
         for entry in results["entries"]:
             assert entry["rows"] > 0

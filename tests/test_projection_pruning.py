@@ -1,0 +1,463 @@
+"""Column-lifetime projection pruning: live-set analysis, the
+post-DP :func:`prune_plan` pass, the optimizer flag, and the
+differential guarantees (bag-identical rows, identical page IO) across
+all three engines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CostParams, Database
+from repro.algebra.plan import (
+    GroupByNode,
+    JoinNode,
+    ScanNode,
+    explain,
+    plan_nodes,
+)
+from repro.cost.model import CostModel
+from repro.optimizer.options import OptimizerOptions
+from repro.optimizer.pruning import live_sets, prune_plan
+
+PRUNING_OFF = OptimizerOptions(enable_projection_pruning=False)
+
+
+def build_wide_db(memory_pages: int = 64, scale: int = 1) -> Database:
+    """Three tables with columns that are filter-only, join-only, or
+    output — the shapes lifetime analysis must tell apart."""
+    db = Database(CostParams(memory_pages=memory_pages))
+    db.create_table(
+        "emp",
+        [
+            ("eno", "int"),
+            ("dno", "int"),
+            ("sal", "float"),
+            ("age", "int"),
+            ("bonus", "float"),
+            ("grade", "int"),
+        ],
+        primary_key=["eno"],
+    )
+    db.create_table(
+        "dept",
+        [("dno", "int"), ("budget", "float"), ("loc", "int")],
+        primary_key=["dno"],
+    )
+    db.create_table(
+        "proj",
+        [("pno", "int"), ("dno", "int"), ("funds", "float")],
+        primary_key=["pno"],
+    )
+    rng = random.Random(7)
+    db.insert(
+        "emp",
+        [
+            (
+                e,
+                e % 11,
+                float(rng.randint(100, 999)),
+                rng.randint(20, 60),
+                float(rng.randint(0, 99)),
+                rng.randrange(5),
+            )
+            for e in range(220 * scale)
+        ],
+    )
+    db.insert(
+        "dept",
+        [
+            (d, float(rng.randint(1_000, 9_000)), d % 3)
+            for d in range(11 * scale)
+        ],
+    )
+    db.insert(
+        "proj",
+        [
+            (p, p % 11, float(rng.randint(10, 500)))
+            for p in range(40)
+        ],
+    )
+    db.analyze()
+    return db
+
+
+# ----------------------------------------------------------------------
+# Live-set analysis on optimizer-built shapes
+# ----------------------------------------------------------------------
+
+
+def scans_of(plan):
+    return [node for node in plan_nodes(plan) if isinstance(node, ScanNode)]
+
+
+def joins_of(plan):
+    return [node for node in plan_nodes(plan) if isinstance(node, JoinNode)]
+
+
+def test_filter_only_column_never_leaves_the_scan():
+    db = build_wide_db()
+    plan = db.optimize(
+        "select e.sal from emp e, dept d "
+        "where e.dno = d.dno and e.age < 40 and d.loc = 1"
+    ).plan
+    for join in joins_of(plan):
+        assert ("e", "age") not in join.projection
+        assert ("d", "loc") not in join.projection
+    # age/loc are filter-only: evaluated during the scan (over the full
+    # row-stored page), so the scan need not decode them either.
+    for scan in scans_of(plan):
+        names = {field.name for field in scan.schema}
+        assert "age" not in names
+        assert "loc" not in names
+
+
+def test_join_key_dropped_above_its_last_join():
+    db = build_wide_db()
+    plan = db.optimize(
+        "select e.sal from emp e, dept d where e.dno = d.dno"
+    ).plan
+    (join,) = joins_of(plan)
+    # The equi key is consumed by the join itself; no ancestor needs it.
+    assert ("e", "dno") not in join.projection
+    assert ("d", "dno") not in join.projection
+
+
+def test_reused_join_key_stays_live_until_its_last_use():
+    db = build_wide_db()
+    plan = db.optimize(
+        "select e.sal from emp e, dept d, proj p "
+        "where e.dno = d.dno and d.dno = p.dno"
+    ).plan
+    joins = joins_of(plan)
+    assert len(joins) == 2
+    top, bottom = joins[0], joins[1]
+    assert bottom in list(plan_nodes(top))
+    # The shared key survives the bottom join (the top one still probes
+    # on it) but not the top join.
+    assert any(key[1] == "dno" for key in bottom.projection)
+    assert not any(key[1] == "dno" for key in top.projection)
+
+
+def test_pruning_off_restores_wide_projections():
+    db = build_wide_db()
+    sql = (
+        "select e.sal from emp e, dept d "
+        "where e.dno = d.dno and e.age < 40"
+    )
+    wide = db.optimize(sql, options=PRUNING_OFF).plan
+    (join,) = joins_of(wide)
+    # The ablation keeps every predicate column alive to the top —
+    # exactly the pre-pruning behavior.
+    assert ("e", "age") in join.projection
+    assert ("e", "dno") in join.projection
+
+
+def test_residual_predicate_columns_live_up_to_the_residual_join():
+    db = build_wide_db()
+    plan = db.optimize(
+        "select e.eno from emp e, dept d "
+        "where e.dno = d.dno and e.sal > d.budget"
+    ).plan
+    (join,) = joins_of(plan)
+    assert join.residuals
+    # Residual inputs must reach the join, and die there.
+    for scan in scans_of(plan):
+        names = {field.name for field in scan.schema}
+        if scan.alias == "e":
+            assert "sal" in names
+        else:
+            assert "budget" in names
+    assert ("e", "sal") not in join.projection
+    assert ("d", "budget") not in join.projection
+
+
+def test_search_stats_count_pruned_columns():
+    db = build_wide_db()
+    result = db.optimize(
+        "select e.sal from emp e, dept d "
+        "where e.dno = d.dno and e.age < 40 and d.loc = 1"
+    )
+    assert result.stats.projection_columns_pruned > 0
+
+
+# ----------------------------------------------------------------------
+# The standalone prune_plan pass
+# ----------------------------------------------------------------------
+
+
+def hand_built_plan(db: Database):
+    """An unpruned two-join plan the way the pre-pruning optimizer (or a
+    benchmark) would build it: every predicate column rides to the top."""
+    plan = db.optimize(
+        "select e.sal, p.funds from emp e, dept d, proj p "
+        "where e.dno = d.dno and d.dno = p.dno and e.age < 50",
+        options=PRUNING_OFF,
+    ).plan
+    return plan
+
+
+def test_prune_plan_preserves_root_schema_and_rows():
+    db = build_wide_db()
+    plan = hand_built_plan(db)
+    model = CostModel(db.catalog, db.params)
+    pruned = prune_plan(plan, model=model)
+    assert [f.key for f in pruned.schema] == [f.key for f in plan.schema]
+    base_rows, base_io = db.execute_plan(plan)
+    pruned_rows, pruned_io = db.execute_plan(pruned)
+    assert sorted(base_rows.rows) == sorted(pruned_rows.rows)
+    assert base_io.total == pruned_io.total
+
+
+def test_prune_plan_narrows_interior_nodes():
+    db = build_wide_db()
+    plan = hand_built_plan(db)
+    pruned = prune_plan(plan, model=CostModel(db.catalog, db.params))
+    wide_joins = {id(j): len(j.projection) for j in joins_of(plan)}
+    assert any(
+        len(j.projection) < max(wide_joins.values())
+        for j in joins_of(pruned)
+    )
+    top = joins_of(pruned)[0]
+    assert not any(key[1] == "age" for key in top.projection)
+
+
+def test_prune_plan_is_idempotent():
+    db = build_wide_db()
+    pruned = prune_plan(hand_built_plan(db))
+    again = prune_plan(pruned)
+    assert again is pruned  # second pass finds nothing to narrow
+
+
+def test_prune_plan_counts_in_stats():
+    from repro.optimizer.stats import SearchStats
+
+    db = build_wide_db()
+    stats = SearchStats()
+    prune_plan(hand_built_plan(db), stats=stats)
+    assert stats.plans_repruned == 1
+
+
+def test_live_sets_track_requirements_top_down():
+    db = build_wide_db()
+    plan = hand_built_plan(db)
+    sets = dict(
+        (id(node), required) for node, required in live_sets(plan)
+    )
+    root_required = sets[id(plan)]
+    assert root_required == frozenset(f.key for f in plan.schema)
+    for scan in scans_of(plan):
+        required = sets[id(scan)]
+        # every requirement is satisfiable by the node itself
+        assert all(scan.schema.has(*key) for key in required)
+        if scan.alias == "e":
+            # age is filter-only: applied at the scan, dead above it
+            assert ("e", "age") not in required
+
+
+def test_view_boundary_is_narrowed():
+    """The outer query touches one of the view's three outputs; the
+    post-DP pass must narrow the view-side plan below the rename."""
+    db = build_wide_db()
+    sql = (
+        "with v(dno, asal, n) as "
+        "(select e.dno, avg(e.sal), count(e.eno) from emp e "
+        "group by e.dno) "
+        "select e.eno from emp e, v x "
+        "where e.dno = x.dno and e.sal > x.asal"
+    )
+    plan = db.optimize(sql).plan
+    wide = db.optimize(sql, options=PRUNING_OFF).plan
+
+    def widest_groupby_output(root):
+        return max(
+            len(node.projection)
+            for node in plan_nodes(root)
+            if isinstance(node, GroupByNode)
+        )
+
+    # dno and asal are consumed by the outer join; n never is — the
+    # view-side group-by must not carry it across the view boundary.
+    assert widest_groupby_output(plan) < widest_groupby_output(wide)
+    rows_on, io_on = db.execute_plan(plan)
+    rows_off, io_off = db.execute_plan(wide)
+    assert sorted(rows_on.rows) == sorted(rows_off.rows)
+    assert io_on.total == io_off.total
+
+
+def test_matview_backing_scan_is_narrowed():
+    db = build_wide_db()
+    db.create_materialized_view(
+        "mv_stats",
+        "select e.dno as dno, avg(e.sal) as a, min(e.sal) as lo, "
+        "max(e.sal) as hi, count(e.eno) as n from emp e group by e.dno",
+    )
+    result = db.query("select m.a from mv_stats m where m.dno < 5")
+    scans = scans_of(result.plan)
+    backing = [s for s in scans if s.table_name.startswith("__mv_")]
+    assert backing, explain(result.plan)
+    names = {field.name for field in backing[0].schema}
+    # Only the filter column (applied at the scan) and the output column
+    # are decoded; lo/hi/n never leave the pages.
+    assert "lo" not in names and "hi" not in names and "n" not in names
+    reference = db.reference("select m.a from mv_stats m where m.dno < 5")
+    assert sorted(result.rows) == sorted(reference.rows)
+
+
+# ----------------------------------------------------------------------
+# Differential: pruned vs unpruned, all three engines
+# ----------------------------------------------------------------------
+
+DIFF_QUERIES = [
+    "select e.sal from emp e, dept d "
+    "where e.dno = d.dno and e.age < 40 and d.loc = 1",
+    "select e.sal, p.funds from emp e, dept d, proj p "
+    "where e.dno = d.dno and d.dno = p.dno and e.grade >= 1",
+    "select d.budget, sum(e.sal) as s from emp e, dept d "
+    "where e.dno = d.dno and e.bonus < 90 group by d.budget",
+    "select e.eno from emp e, dept d "
+    "where e.dno = d.dno and e.sal > d.budget / 100",
+    "select e.dno, count(e.eno) as n from emp e "
+    "where e.age < 55 group by e.dno having count(e.eno) > 2",
+]
+
+ENGINES = ["batch", "batch-rows", "rowexec"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("sql", DIFF_QUERIES)
+def test_pruned_plans_row_and_io_identical(sql, engine):
+    db = build_wide_db()
+    on = db.query(sql, engine=engine)
+    off = db.query(sql, options=PRUNING_OFF, engine=engine)
+    assert sorted(on.rows) == sorted(off.rows)
+    assert on.executed_io.total == off.executed_io.total
+
+
+def _total_spill(root):
+    reads = writes = 0
+    for node in plan_nodes(root):
+        metrics = getattr(node, "op_metrics", None)
+        if metrics is not None:
+            reads += metrics.spill_reads
+            writes += metrics.spill_writes
+    return reads, writes
+
+
+SPILL_SQL = (
+    "select e.sal, d.budget from emp e, dept d where e.dno = d.dno"
+)
+
+
+@pytest.fixture(scope="module")
+def spill_db():
+    return build_wide_db(memory_pages=3, scale=100)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pruned_plans_identical_under_spill(spill_db, engine):
+    """Grace/spill paths: the spilling operators sit directly on the
+    scans, whose widths pruning leaves unchanged here (every scanned
+    column is live at scan level), so even spill IO must match."""
+    db = spill_db
+    base = db.optimize(SPILL_SQL, options=PRUNING_OFF).plan
+    pruned = prune_plan(base, model=CostModel(db.catalog, db.params))
+    assert pruned is not base
+    rows_a, io_a, _ = db._execute_with_metrics(base, engine=engine)
+    rows_b, io_b, _ = db._execute_with_metrics(pruned, engine=engine)
+    assert sorted(rows_a.rows) == sorted(rows_b.rows)
+    assert io_a.total == io_b.total
+    if engine == "batch":
+        assert _total_spill(base) == _total_spill(pruned)
+
+
+def test_spill_shape_actually_spills(spill_db):
+    plan = spill_db.optimize(SPILL_SQL, options=PRUNING_OFF).plan
+    spill_db._execute_with_metrics(plan, engine="batch")
+    reads, writes = _total_spill(plan)
+    assert reads or writes
+
+
+def test_pruning_never_costs_more():
+    db = build_wide_db()
+    for sql in DIFF_QUERIES:
+        on = db.optimize(sql)
+        off = db.optimize(sql, options=PRUNING_OFF)
+        assert on.cost <= off.cost + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Width-aware costing
+# ----------------------------------------------------------------------
+
+
+def test_cpu_cell_weight_charges_by_live_width():
+    db = build_wide_db()
+    sql = (
+        "select e.sal, e.bonus, e.grade, e.age from emp e, dept d "
+        "where e.dno = d.dno"
+    )
+    weighted = CostModel(db.catalog, CostParams(cpu_cell_weight=0.01))
+    narrow = db.optimize(sql).plan
+    wide = db.optimize(sql, options=PRUNING_OFF).plan
+    assert weighted.annotate_tree(narrow).cost < weighted.annotate_tree(
+        wide
+    ).cost
+
+
+def test_cpu_cell_weight_validation():
+    with pytest.raises(ValueError):
+        CostParams(cpu_cell_weight=-0.5)
+
+
+def test_cpu_cell_weight_inert_by_default():
+    db = build_wide_db()
+    sql = "select e.sal from emp e, dept d where e.dno = d.dno"
+    base = db.optimize(sql).plan
+    recost = CostModel(db.catalog, CostParams()).annotate_tree(base)
+    assert recost.cost == pytest.approx(base.props.cost)
+
+
+def test_dp_prefers_keeping_wide_columns_below_fanout_under_cell_weight():
+    """With a positive cell weight, the full optimizer's chosen cost on
+    a duplicate-expanding chain must stay at or below the traditional
+    left-deep order's — the width-aware term only adds information."""
+    db = build_wide_db()
+    sql = (
+        "select e.sal, e.bonus, p.funds from emp e, dept d, proj p "
+        "where e.dno = d.dno and d.dno = p.dno"
+    )
+    db.params = CostParams(cpu_cell_weight=0.05)
+    full = db.optimize(sql)
+    traditional = db.optimize(sql, optimizer="traditional")
+    assert full.cost <= traditional.cost + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Executor observability
+# ----------------------------------------------------------------------
+
+
+def test_explain_analyze_reports_width_and_cells():
+    db = build_wide_db()
+    result = db.query(
+        "select e.sal from emp e, dept d where e.dno = d.dno"
+    )
+    text = result.explain(analyze=True)
+    assert "width=" in text
+    assert "cells=" in text
+
+
+def test_pruning_reduces_materialized_cells():
+    db = build_wide_db()
+    sql = (
+        "select e.sal from emp e, dept d "
+        "where e.dno = d.dno and e.age < 40 and e.bonus < 95"
+    )
+    on = db.query(sql)
+    off = db.query(sql, options=PRUNING_OFF)
+    assert sorted(on.rows) == sorted(off.rows)
+    assert (
+        on.exec_metrics.total_cells < off.exec_metrics.total_cells
+    )
