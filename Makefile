@@ -10,7 +10,8 @@ FUZZ_ARGS ?=
 
 .PHONY: help test fuzz fuzz-smoke bench bench-opt bench-exec \
 	bench-exec-smoke bench-exec-gate bench-fanout bench-views \
-	bench-views-smoke bench-card bench-card-smoke examples shell all
+	bench-views-smoke bench-card bench-card-smoke bench-serve \
+	bench-serve-smoke examples shell serve all
 
 help:
 	@echo "repro targets:"
@@ -27,8 +28,11 @@ help:
 	@echo "  make bench-views-smoke view payoff, tiny CI configuration"
 	@echo "  make bench-card       cardinality q-error study -> BENCH_cardinality.json"
 	@echo "  make bench-card-smoke cardinality study, tiny CI configuration"
+	@echo "  make bench-serve      serving qps/latency study -> BENCH_serving.json"
+	@echo "  make bench-serve-smoke serving study, tiny CI configuration with gates"
 	@echo "  make examples         run the example scripts"
 	@echo "  make shell            interactive SQL shell with demo data"
+	@echo "  make serve            line-protocol server on demo data"
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -74,6 +78,14 @@ bench-card:
 bench-card-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_cost_model_fidelity.py --smoke
 
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serving.py --out BENCH_serving.json \
+		--assert-speedup 5.0
+
+bench-serve-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serving.py --smoke \
+		--assert-speedup 5.0 --out BENCH_serving_smoke.json
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/crossover_study.py
@@ -83,5 +95,8 @@ examples:
 
 shell:
 	$(PYTHON) -m repro --demo
+
+serve:
+	$(PYTHON) -m repro serve --demo
 
 all: test bench

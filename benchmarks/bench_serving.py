@@ -1,0 +1,412 @@
+"""Serving throughput — plan cache, prepared statements, mixed traffic.
+
+Two phases:
+
+**Plan overhead** (in-process sessions, no network, so the numbers
+isolate parse+bind+optimize): one join+group-by query is executed many
+times through three delivery paths — cold (plan cache off: every run
+pays the optimizer), warm plan cache (signature lookup replaces
+optimization), and PREPARE/EXECUTE (plan-template substitution replaces
+even parse+bind). Each run's ``SessionResult.plan_seconds`` is the
+planning overhead; the ``--assert-speedup`` gate (CI uses 5.0) requires
+prepared execution's mean overhead to be at least that factor below
+cold's.
+
+**Mixed traffic** (line-protocol server over loopback): 4 reader
+clients issue ad-hoc, prepared, and materialized-view queries while 1
+writer client appends deterministic ledger batches and periodically
+refreshes the matview. Because the ledger's amounts are ``1..k``, any
+*snapshot-consistent* answer satisfies ``sum == k(k+1)/2`` for the
+``k`` implied by its count — exactly the row bag a serial execution at
+some insert prefix would produce. Any torn read (a count from one
+version paired with a sum from another) breaks the invariant and is
+counted as a wrong answer; the gate requires zero. Reported per kind:
+requests, qps, and p50/p99 latency.
+
+``make bench-serve`` writes ``BENCH_serving.json`` at the repository
+root; ``make bench-serve-smoke`` (CI) runs a small configuration with
+both gates asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+
+import random
+
+from reporting import machine_metadata, report_table
+
+from repro.cost.params import CostParams
+from repro.db import Database
+from repro.server.net import ServerThread
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+)
+
+OVERHEAD_SQL = (
+    "SELECT e.dno, COUNT(*) AS c, SUM(e.sal) AS total FROM emp e, dept d "
+    "WHERE e.dno = d.dno AND e.age > 30 AND d.loc = 1 "
+    "GROUP BY e.dno HAVING SUM(e.sal) > 1000"
+)
+OVERHEAD_PREPARED = (
+    "SELECT e.dno, COUNT(*) AS c, SUM(e.sal) AS total FROM emp e, dept d "
+    "WHERE e.dno = d.dno AND e.age > $1 AND d.loc = $2 "
+    "GROUP BY e.dno HAVING SUM(e.sal) > $3"
+)
+
+
+def overhead_database(rows: int, seed: int = 0) -> Database:
+    rng = random.Random(seed)
+    db = Database(CostParams(memory_pages=32))
+    db.create_table(
+        "emp",
+        [("eno", "int"), ("dno", "int"), ("sal", "float"), ("age", "int")],
+        primary_key=["eno"],
+    )
+    db.create_table(
+        "dept",
+        [("dno", "int"), ("budget", "float"), ("loc", "int")],
+        primary_key=["dno"],
+    )
+    db.insert(
+        "emp",
+        [
+            (i, i % 11, float(rng.randint(20_000, 120_000)),
+             rng.randint(18, 65))
+            for i in range(rows)
+        ],
+    )
+    db.insert(
+        "dept",
+        [(d, float(rng.randint(100_000, 900_000)), d % 3) for d in range(11)],
+    )
+    db.create_index("emp_dno_idx", "emp", ["dno"])
+    db.analyze()
+    return db
+
+
+def measure_plan_overhead(rows: int, iterations: int) -> Dict[str, object]:
+    db = overhead_database(rows)
+
+    def mean_ms(samples: Sequence[float]) -> float:
+        return 1000.0 * sum(samples) / len(samples)
+
+    with db.session(use_plan_cache=False) as session:
+        cold = [
+            session.execute(OVERHEAD_SQL).plan_seconds
+            for _ in range(iterations)
+        ]
+    with db.session() as session:
+        session.execute(OVERHEAD_SQL)  # populate the cache
+        cached_results = [
+            session.execute(OVERHEAD_SQL) for _ in range(iterations)
+        ]
+        assert all(r.cache_hit for r in cached_results)
+        cached = [r.plan_seconds for r in cached_results]
+        session.execute(f"PREPARE overhead AS {OVERHEAD_PREPARED}")
+        prepared = [
+            session.execute("EXECUTE overhead(30, 1, 1000)").plan_seconds
+            for _ in range(iterations)
+        ]
+    return {
+        "query": OVERHEAD_SQL,
+        "rows": rows,
+        "iterations": iterations,
+        "cold_plan_ms": mean_ms(cold),
+        "cached_plan_ms": mean_ms(cached),
+        "prepared_plan_ms": mean_ms(prepared),
+        "speedup_cached": mean_ms(cold) / max(mean_ms(cached), 1e-9),
+        "speedup_prepared": mean_ms(cold) / max(mean_ms(prepared), 1e-9),
+    }
+
+
+# ----------------------------------------------------------------------
+# Mixed traffic
+# ----------------------------------------------------------------------
+
+ADHOC_SQL = (
+    "SELECT g, COUNT(*) AS c, SUM(amount) AS s FROM ledger GROUP BY g"
+)
+PREPARED_SQL = (
+    "PREPARE sums AS SELECT g, COUNT(*) AS c, SUM(amount) AS s "
+    "FROM ledger WHERE g = $1 GROUP BY g"
+)
+MATVIEW_SQL = "SELECT v.g, v.c, v.s FROM vledger v"
+
+
+def _is_prefix_answer(count: int, total: int) -> bool:
+    """True iff (count, total) is the answer a serial execution at some
+    insert prefix would give: k rows of amounts 1..k plus the seed row."""
+    k = count - 1
+    return k >= 0 and total == k * (k + 1) // 2
+
+
+def run_mixed_traffic(
+    readers: int,
+    batches: int,
+    rows_per_batch: int,
+    requests_per_reader: int,
+    refresh_every: int,
+) -> Dict[str, object]:
+    db = Database()
+    db.create_table(
+        "ledger", [("g", "int"), ("seq", "int"), ("amount", "int")]
+    )
+    db.insert("ledger", [(0, 0, 0)])
+    db.execute(
+        "CREATE MATERIALIZED VIEW vledger AS "
+        "SELECT g, COUNT(*) AS c, SUM(amount) AS s FROM ledger GROUP BY g"
+    )
+
+    latencies: Dict[str, List[float]] = {
+        "adhoc": [],
+        "prepared": [],
+        "matview": [],
+        "insert": [],
+        "refresh": [],
+    }
+    wrong: List[str] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    def timed(client, kind: str, sql: str):
+        start = perf_counter()
+        columns, rows = client.execute(sql)
+        elapsed = perf_counter() - start
+        with lock:
+            latencies[kind].append(elapsed)
+        return columns, rows
+
+    def check(kind: str, rows) -> None:
+        for row in rows:
+            count, total = int(row[-2]), int(float(row[-1]))
+            if not _is_prefix_answer(count, total):
+                with lock:
+                    wrong.append(f"{kind}: count={count} sum={total}")
+
+    def writer(server: ServerThread) -> None:
+        try:
+            with server.client() as client:
+                seq = 1
+                for batch in range(batches):
+                    values = ", ".join(
+                        f"(0, {seq + i}, {seq + i})"
+                        for i in range(rows_per_batch)
+                    )
+                    timed(
+                        client, "insert", f"INSERT INTO ledger VALUES {values}"
+                    )
+                    seq += rows_per_batch
+                    if (batch + 1) % refresh_every == 0:
+                        timed(
+                            client,
+                            "refresh",
+                            "REFRESH MATERIALIZED VIEW vledger",
+                        )
+        except BaseException as error:
+            errors.append(error)
+
+    def reader(server: ServerThread, identity: int) -> None:
+        try:
+            with server.client() as client:
+                client.execute(PREPARED_SQL)
+                for position in range(requests_per_reader):
+                    choice = (identity + position) % 3
+                    if choice == 0:
+                        _, rows = timed(client, "adhoc", ADHOC_SQL)
+                        check("adhoc", rows)
+                    elif choice == 1:
+                        _, rows = timed(client, "prepared", "EXECUTE sums(0)")
+                        check("prepared", rows)
+                    else:
+                        _, rows = timed(client, "matview", MATVIEW_SQL)
+                        check("matview", rows)
+        except BaseException as error:
+            errors.append(error)
+
+    wall_start = perf_counter()
+    with ServerThread(db, port=0) as server:
+        threads = [
+            threading.Thread(target=reader, args=(server, identity))
+            for identity in range(readers)
+        ]
+        write_thread = threading.Thread(target=writer, args=(server,))
+        for t in threads:
+            t.start()
+        write_thread.start()
+        for t in threads:
+            t.join()
+        write_thread.join()
+    wall = perf_counter() - wall_start
+
+    if errors:
+        raise errors[0]
+
+    expected = 1 + batches * rows_per_batch
+    final = db.query("SELECT g, COUNT(*) AS c FROM ledger GROUP BY g")
+    if final.rows[0][1] != expected:
+        wrong.append(
+            f"final count {final.rows[0][1]} != expected {expected}"
+        )
+
+    def percentile(samples: List[float], fraction: float) -> float:
+        ordered = sorted(samples)
+        index = min(
+            len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+        )
+        return 1000.0 * ordered[index]
+
+    def summarize(kind: str) -> Dict[str, object]:
+        samples = latencies[kind]
+        if not samples:
+            return {"requests": 0}
+        return {
+            "requests": len(samples),
+            "p50_ms": percentile(samples, 0.50),
+            "p99_ms": percentile(samples, 0.99),
+        }
+
+    read_samples = (
+        latencies["adhoc"] + latencies["prepared"] + latencies["matview"]
+    )
+    return {
+        "readers": readers,
+        "writer_batches": batches,
+        "rows_per_batch": rows_per_batch,
+        "refresh_every": refresh_every,
+        "requests": len(read_samples),
+        "wall_seconds": wall,
+        "qps": len(read_samples) / wall if wall else 0.0,
+        "p50_ms": percentile(read_samples, 0.50),
+        "p99_ms": percentile(read_samples, 0.99),
+        "wrong_answers": len(wrong),
+        "wrong_answer_samples": wrong[:10],
+        "by_kind": {kind: summarize(kind) for kind in latencies},
+        "plan_cache": db.plan_cache.as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration (fewer rows, iterations, batches)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless prepared planning overhead is X times below "
+        "cold, and the mixed workload had zero wrong answers",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        overhead = measure_plan_overhead(rows=2_000, iterations=40)
+        mixed = run_mixed_traffic(
+            readers=4,
+            batches=12,
+            rows_per_batch=5,
+            requests_per_reader=30,
+            refresh_every=4,
+        )
+    else:
+        overhead = measure_plan_overhead(rows=20_000, iterations=200)
+        mixed = run_mixed_traffic(
+            readers=4,
+            batches=60,
+            rows_per_batch=10,
+            requests_per_reader=150,
+            refresh_every=5,
+        )
+
+    payload = {
+        "experiment": "serving",
+        "smoke": bool(args.smoke),
+        "machine": machine_metadata(),
+        "plan_overhead": overhead,
+        "mixed_traffic": mixed,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report_table(
+        "serving_overhead",
+        "planning overhead per delivery path",
+        ["path", "plan ms/query", "speedup vs cold"],
+        [
+            ["cold (no cache)", f"{overhead['cold_plan_ms']:.3f}", "1.0x"],
+            [
+                "plan-cache hit",
+                f"{overhead['cached_plan_ms']:.3f}",
+                f"{overhead['speedup_cached']:.1f}x",
+            ],
+            [
+                "prepared EXECUTE",
+                f"{overhead['prepared_plan_ms']:.3f}",
+                f"{overhead['speedup_prepared']:.1f}x",
+            ],
+        ],
+        notes=[f"query: {OVERHEAD_SQL}"],
+    )
+    kinds = ["adhoc", "prepared", "matview", "insert", "refresh"]
+    report_table(
+        "serving_mixed",
+        f"mixed traffic: {mixed['readers']} readers + 1 writer "
+        f"({mixed['qps']:.0f} read qps, "
+        f"{mixed['wrong_answers']} wrong answers)",
+        ["kind", "requests", "p50 ms", "p99 ms"],
+        [
+            [
+                kind,
+                mixed["by_kind"][kind].get("requests", 0),
+                f"{mixed['by_kind'][kind].get('p50_ms', 0.0):.2f}",
+                f"{mixed['by_kind'][kind].get('p99_ms', 0.0):.2f}",
+            ]
+            for kind in kinds
+        ],
+        notes=[
+            "every read answer checked against the serial prefix-sum "
+            "invariant (snapshot consistency)",
+        ],
+    )
+
+    failures = []
+    if mixed["wrong_answers"]:
+        failures.append(
+            f"{mixed['wrong_answers']} snapshot-inconsistent answers: "
+            f"{mixed['wrong_answer_samples']}"
+        )
+    if args.assert_speedup is not None:
+        if overhead["speedup_prepared"] < args.assert_speedup:
+            failures.append(
+                f"prepared planning speedup "
+                f"{overhead['speedup_prepared']:.1f}x is below the "
+                f"{args.assert_speedup:.1f}x gate"
+            )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -149,6 +149,54 @@ class Literal(Expression):
         return hash(("lit", self.value))
 
 
+class Parameter(Expression):
+    """A prepared-statement placeholder (``$1``, ``$2``, ...).
+
+    Parameters stand where literals would in WHERE/HAVING predicates.
+    They survive binding and optimization as opaque constants of unknown
+    value — the cardinality estimator falls back to its non-MCV default
+    selectivity, index-probe extraction skips them, and view-matching
+    subsumption proofs refuse them — and they must be replaced with
+    :class:`Literal` values (``repro.server.planrewrite.bind_parameters``)
+    before a plan executes. Indexes are 1-based, following PREPARE
+    convention.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        if index < 1:
+            raise PlanError(f"parameter indexes are 1-based, got {index}")
+        self.index = index
+
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
+        return frozenset()
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        raise PlanError(
+            f"parameter ${self.index} is unbound; EXECUTE the prepared "
+            "statement with a value for it"
+        )
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        raise PlanError(
+            f"parameter ${self.index} has no type until EXECUTE binds it; "
+            "parameters may only appear in predicates"
+        )
+
+    def substitute(self, mapping: Dict[FieldKey, "Expression"]) -> "Expression":
+        return self
+
+    def display(self) -> str:
+        return f"${self.index}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Parameter) and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash(("param", self.index))
+
+
 def _null_guarded(op: Callable[[Any, Any], bool]) -> Callable[[Any, Any], Any]:
     """SQL comparison semantics: any NULL operand makes the result
     UNKNOWN (represented as ``None``), never True or False."""
@@ -578,6 +626,91 @@ def equijoin_sides(
     ):
         return (predicate.left.key, predicate.right.key)
     return None
+
+
+def expression_children(expression: Expression) -> Tuple[Expression, ...]:
+    """The immediate sub-expressions of any composite expression type.
+
+    Leaves (column refs, literals, parameters, and any type this module
+    does not know) have no children. Shared by the parameter walkers
+    below and by the serving layer's plan rewriter.
+    """
+    if isinstance(expression, (Comparison, Arith)):
+        return (expression.left, expression.right)
+    if isinstance(expression, (And, Or)):
+        return expression.items
+    if isinstance(expression, Not):
+        return (expression.item,)
+    if isinstance(expression, IsNull):
+        return (expression.item,)
+    if isinstance(expression, FuncCall):
+        return expression.args
+    return ()
+
+
+def collect_parameters(expression: Expression) -> FrozenSet[int]:
+    """Indexes of every :class:`Parameter` inside *expression*."""
+    if isinstance(expression, Parameter):
+        return frozenset({expression.index})
+    result: FrozenSet[int] = frozenset()
+    for child in expression_children(expression):
+        result |= collect_parameters(child)
+    return result
+
+
+def replace_parameters(
+    expression: Expression, values: Dict[int, "Expression"]
+) -> Expression:
+    """Copy of *expression* with each ``$n`` replaced by ``values[n]``.
+
+    Subtrees without parameters are returned as-is (expressions are
+    immutable, so sharing is safe). Raises :class:`PlanError` on a
+    parameter index missing from *values*.
+    """
+    if isinstance(expression, Parameter):
+        replacement = values.get(expression.index)
+        if replacement is None:
+            raise PlanError(
+                f"no value bound for parameter ${expression.index}"
+            )
+        return replacement
+    if not collect_parameters(expression):
+        return expression
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            replace_parameters(expression.left, values),
+            replace_parameters(expression.right, values),
+        )
+    if isinstance(expression, Arith):
+        return Arith(
+            expression.op,
+            replace_parameters(expression.left, values),
+            replace_parameters(expression.right, values),
+        )
+    if isinstance(expression, And):
+        return And(
+            [replace_parameters(item, values) for item in expression.items]
+        )
+    if isinstance(expression, Or):
+        return Or(
+            [replace_parameters(item, values) for item in expression.items]
+        )
+    if isinstance(expression, Not):
+        return Not(replace_parameters(expression.item, values))
+    if isinstance(expression, IsNull):
+        return IsNull(
+            replace_parameters(expression.item, values), expression.negate
+        )
+    if isinstance(expression, FuncCall):
+        return FuncCall(
+            expression.func_name,
+            expression.func,
+            [replace_parameters(arg, values) for arg in expression.args],
+        )
+    raise PlanError(
+        f"cannot bind parameters inside {type(expression).__name__}"
+    )
 
 
 def comparison_with_literal(

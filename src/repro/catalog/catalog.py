@@ -7,13 +7,24 @@ from dataclasses import (
     field as dataclass_field,
     replace as dataclass_replace,
 )
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import CatalogError
 from ..storage.index import OrderedIndex
 from ..storage.table import HeapTable
 from .schema import Column
 from .statistics import DEFAULT_CONFIG, StatsConfig, TableStats, analyze_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..storage.snapshot import DatabaseSnapshot
 
 
 @dataclass(frozen=True)
@@ -117,6 +128,13 @@ class Catalog:
         self.stats_config = stats_config or DEFAULT_CONFIG
         self._tables: Dict[str, TableInfo] = {}
         self._views: Dict[str, Any] = {}
+        # Monotonic counter bumped by anything that could change what a
+        # previously built plan would answer or how it should be costed:
+        # DDL, inserts, ANALYZE, matview create/refresh/drop. The plan
+        # cache (repro.server.plancache) stores the epoch at plan-build
+        # time and treats a mismatch as an invalidation; snapshots carry
+        # it as a version stamp.
+        self.change_epoch: int = 0
         # Materialized views (records are opaque here, like view
         # definitions; src/repro/views owns their structure). Backing
         # tables are kept in a side map so info()/table()/stats()
@@ -124,6 +142,31 @@ class Catalog:
         # appearing in table_names().
         self._matviews: Dict[str, Any] = {}
         self._matview_backings: Dict[str, TableInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Change tracking and snapshots
+    # ------------------------------------------------------------------
+
+    def bump_epoch(self) -> int:
+        """Advance the catalog change epoch (see ``change_epoch``)."""
+        self.change_epoch += 1
+        return self.change_epoch
+
+    def capture_snapshot(self) -> "DatabaseSnapshot":
+        """Capture a :class:`DatabaseSnapshot` of every table (user
+        tables and matview backings) at the current epoch. O(tables):
+        no rows are copied, only published list objects are pinned.
+        Callers serialize this against the single writer (the Database
+        write lock)."""
+        from ..storage.snapshot import DatabaseSnapshot, TableSnapshot
+
+        tables: Dict[str, TableSnapshot] = {}
+        for mapping in (self._tables, self._matview_backings):
+            for name, info in mapping.items():
+                tables[name] = TableSnapshot.capture(
+                    info.table, info.indexes
+                )
+        return DatabaseSnapshot(tables, self.change_epoch)
 
     # ------------------------------------------------------------------
     # Tables
@@ -144,6 +187,7 @@ class Catalog:
                 table.column_position(column)  # validates existence
             pk = tuple(primary_key)
         self._tables[name] = TableInfo(table=table, primary_key=pk)
+        self.bump_epoch()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -162,6 +206,7 @@ class Catalog:
                 f"{'' if len(dependents) > 1 else 's'} on it"
             )
         del self._tables[name]
+        self.bump_epoch()
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -204,6 +249,7 @@ class Catalog:
             raise CatalogError("foreign key column lists differ in length")
         fk = ForeignKey(table, tuple(columns), ref_table, tuple(ref_columns))
         info.foreign_keys.append(fk)
+        self.bump_epoch()
         return fk
 
     def foreign_keys(self, table: str) -> List[ForeignKey]:
@@ -217,6 +263,7 @@ class Catalog:
             raise CatalogError(f"index {index_name!r} already exists")
         index = OrderedIndex(index_name, info.table, columns)
         info.indexes[index_name] = index
+        self.bump_epoch()
         return index
 
     def rebuild_indexes(self, table: str) -> None:
@@ -228,6 +275,7 @@ class Catalog:
         for info in self._tables.values():
             if index_name in info.indexes:
                 del info.indexes[index_name]
+                self.bump_epoch()
                 return
         raise CatalogError(f"unknown index {index_name!r}")
 
@@ -251,10 +299,12 @@ class Catalog:
                 self.info(backing).analyze(self.stats_config)
             else:
                 self.info(name).analyze(self.stats_config)
+            self.bump_epoch()
             return [name]
         names = self.table_names()
         for table_name in names:
             self.info(table_name).analyze(self.stats_config)
+        self.bump_epoch()
         return names
 
     def analyze_all(self) -> None:
@@ -271,11 +321,13 @@ class Catalog:
         if name in self._tables or name in self._views:
             raise CatalogError(f"table or view {name!r} already exists")
         self._views[name] = definition
+        self.bump_epoch()
 
     def drop_view(self, name: str) -> None:
         if name not in self._views:
             raise CatalogError(f"unknown view {name!r}")
         del self._views[name]
+        self.bump_epoch()
 
     def has_view(self, name: str) -> bool:
         return name in self._views
@@ -302,12 +354,14 @@ class Catalog:
             raise CatalogError(f"table or view {name!r} already exists")
         self._matviews[name] = view
         self._matview_backings[view.backing_name] = backing_info
+        self.bump_epoch()
 
     def drop_materialized_view(self, name: str) -> None:
         view = self._matviews.pop(name, None)
         if view is None:
             raise CatalogError(f"unknown materialized view {name!r}")
         self._matview_backings.pop(view.backing_name, None)
+        self.bump_epoch()
 
     def has_materialized_view(self, name: str) -> bool:
         return name in self._matviews
@@ -335,3 +389,4 @@ class Catalog:
             info.stats_epoch += 1
         for view in self._matviews.values():
             view.notify_insert(table, rows)
+        self.bump_epoch()

@@ -85,6 +85,9 @@ class Shell:
             if view_rewrite
             else OptimizerOptions(enable_view_rewrite=False)
         )
+        # The shell is one session on the database: statements go
+        # through the plan cache and PREPARE/EXECUTE/DEALLOCATE work.
+        self.session = self.db.session()
 
     def write(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -176,19 +179,39 @@ class Shell:
                 self.handle(statement)
 
     def _run_sql(self, sql: str) -> None:
-        result = self.db.execute(
-            sql, optimizer=self.optimizer, options=self.options
-        )
-        if result is None:
+        self.session.optimizer = self.optimizer
+        self.session.options = self.options
+        session_result = self.session.execute(sql)
+        if session_result.kind == "ddl":
             self.write("ok")
+            self._write_cache_stats()
             return
+        if session_result.kind in ("prepare", "deallocate"):
+            self.write(
+                f"{session_result.kind} {session_result.statement_name}"
+            )
+            return
+        result = session_result.query_result
         for line in format_rows(result.columns, result.rows):
             self.write(line)
+        hit = " [plan cache hit]" if session_result.cache_hit else ""
         self.write(
             f"[{self.optimizer}] estimated {result.estimated_cost:.0f} / "
-            f"executed {result.executed_io.total} page IOs"
+            f"executed {result.executed_io.total} page IOs{hit}"
         )
         self._write_stats(result)
+        self._write_cache_stats()
+
+    def _write_cache_stats(self) -> None:
+        """The --stats serving panel: plan-cache counters and sessions."""
+        if not self.show_stats:
+            return
+        cache = self.db.plan_cache.as_dict()
+        parts = " ".join(f"{name}={value}" for name, value in cache.items())
+        self.write(
+            f"plan-cache: {parts} sessions_open={self.db.active_sessions} "
+            f"sessions_total={self.db.sessions_opened}"
+        )
 
     def _write_stats(self, result) -> None:
         """Print every search counter plus per-operator executor
@@ -437,11 +460,69 @@ def fuzz_main(argv: List[str]) -> int:
     return 1
 
 
+def serve_main(argv: List[str]) -> int:
+    """``python -m repro serve`` — serve a database over the line
+    protocol (see ``repro.server.net`` for the protocol)."""
+    import argparse
+
+    from .server.net import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve an in-memory repro database over TCP.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="preload the paper's emp/dept example data",
+    )
+    parser.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="sessions bypass the shared plan cache",
+    )
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as stop:
+        return int(stop.code or 0)
+    database = make_demo_database() if options.demo else Database()
+    serve(
+        database,
+        host=options.host,
+        port=options.port,
+        use_plan_cache=not options.no_plan_cache,
+    )
+    return 0
+
+
+def connect_main(argv: List[str]) -> int:
+    """``python -m repro connect`` — interactive line-protocol client."""
+    import argparse
+
+    from .server.net import DEFAULT_HOST, DEFAULT_PORT, connect
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro connect",
+        description="Connect to a running repro server.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as stop:
+        return int(stop.code or 0)
+    return connect(options.host, options.port)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro``; ``--demo`` preloads emp/dept."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "connect":
+        return connect_main(argv[1:])
     database = None
     show_stats = False
     view_rewrite = True

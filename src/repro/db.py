@@ -20,6 +20,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -40,6 +41,7 @@ from .optimizer.canonical import (
     optimize_traditional,
 )
 from .optimizer.options import OptimizerOptions
+from .server.plancache import PlanCache
 from .sql.ast import ViewDefAst
 from .sql.binder import bind_sql
 from .stats import StatsConfig
@@ -142,6 +144,39 @@ class Database:
         self.catalog = Catalog(stats_config)
         self.params = params or CostParams()
         self.io = IOCounter()
+        # Serving state (repro.server): one writer at a time holds the
+        # write lock; reader sessions take it only briefly to plan and
+        # capture a snapshot, then execute lock-free. The plan cache is
+        # shared by every session on this database.
+        self.write_lock = threading.RLock()
+        self.plan_cache = PlanCache()
+        self.sessions_opened = 0
+        self._active_sessions = 0
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def session(self, **kwargs) -> "Any":
+        """Open a :class:`repro.server.session.Session` on this database
+        (keyword arguments pass through: optimizer, options, engine,
+        use_plan_cache)."""
+        from .server.session import Session
+
+        return Session(self, **kwargs)
+
+    def register_session(self, session: Any) -> None:
+        with self.write_lock:
+            self.sessions_opened += 1
+            self._active_sessions += 1
+
+    def unregister_session(self, session: Any) -> None:
+        with self.write_lock:
+            self._active_sessions = max(0, self._active_sessions - 1)
+
+    @property
+    def active_sessions(self) -> int:
+        return self._active_sessions
 
     # ------------------------------------------------------------------
     # DDL

@@ -10,6 +10,7 @@ from ..catalog.schema import RowSchema
 from ..cost.params import CostParams
 from ..storage.iocounter import IOCounter
 from ..storage.page import pages_for
+from ..storage.snapshot import DatabaseSnapshot
 from .batch import DEFAULT_BATCH_SIZE
 from .metrics import ExecutionMetrics
 
@@ -37,6 +38,22 @@ class ExecutionContext:
     metrics: Optional[ExecutionMetrics] = None
     engine: str = "columnar"
     kernels_compiled: int = 0
+    # When set, scans and index probes read this stable snapshot
+    # instead of the live catalog tables — the serving layer's
+    # readers-don't-block-writer discipline (storage/snapshot.py).
+    # Costing and schema lookups still go through ``catalog``, which
+    # is safe: the single writer only appends or publishes.
+    snapshot: Optional["DatabaseSnapshot"] = None
+
+    def storage_for(self, table_name: str):
+        """The object scans should read *table_name*'s rows from: its
+        snapshot if this execution pinned one (and the table existed at
+        capture time), else the live heap table."""
+        if self.snapshot is not None:
+            captured = self.snapshot.table(table_name)
+            if captured is not None:
+                return captured
+        return self.catalog.table(table_name)
 
 
 @dataclass

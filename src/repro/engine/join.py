@@ -33,6 +33,7 @@ from ..catalog.schema import RowSchema
 from ..catalog.schema import table_row_schema
 from ..errors import ExecutionError
 from ..storage.page import pages_for
+from ..storage.snapshot import TableSnapshot
 from .batch import (
     BatchBuilder,
     ColumnBatch,
@@ -48,6 +49,27 @@ from .context import ExecutionContext
 from .kernels import SelectionProgram
 from .metrics import OperatorMetrics, charge_spill
 from .spill import external_sort_extra_io, hash_spill_extra_io, nlj_blocks
+
+
+def _probe_lookup(context: ExecutionContext, inner: ScanNode, index):
+    """The index-probe callable for an index NLJ inner: the snapshot's
+    captured index when this execution pinned one, else the live index.
+    Signature matches ``OrderedIndex.lookup_rows``."""
+    storage = context.storage_for(inner.table_name)
+    if isinstance(storage, TableSnapshot):
+        snap_index = storage.index(index.name)
+        if snap_index is None:
+            raise ExecutionError(
+                f"index {index.name!r} not found on {inner.table_name!r}"
+            )
+
+        def lookup(io, key, include_rid=False):
+            return storage.index_lookup_rows(
+                io, snap_index, key, include_rid=include_rid
+            )
+
+        return lookup
+    return index.lookup_rows
 
 
 def join_batches(
@@ -240,7 +262,7 @@ def _block_nlj_batches(
             isinstance(plan.right, ScanNode) and plan.right.index_name is None
         )
         if inner_is_scan:
-            inner_pages = context.catalog.table(
+            inner_pages = context.storage_for(
                 plan.right.table_name
             ).num_pages
             if inner_pages > max(1, memory - 2) and blocks > 1:
@@ -308,7 +330,7 @@ def _index_nlj_batches(
         context.metrics.register(inner_metrics)
     inner.op_metrics = inner_metrics
     metrics.children.append(inner_metrics)
-    lookup = index.lookup_rows
+    lookup = _probe_lookup(context, inner, index)
     io = context.io
 
     def generate() -> Iterator[RowBatch]:
@@ -764,7 +786,7 @@ def _nlj_core(
             isinstance(plan.right, ScanNode) and plan.right.index_name is None
         )
         if inner_is_scan:
-            inner_pages = context.catalog.table(
+            inner_pages = context.storage_for(
                 plan.right.table_name
             ).num_pages
             if inner_pages > max(1, memory - 2) and blocks > 1:
@@ -936,7 +958,7 @@ def _inlj_core(
         context.metrics.register(inner_metrics)
     inner.op_metrics = inner_metrics
     metrics.children.append(inner_metrics)
-    lookup = index.lookup_rows
+    lookup = _probe_lookup(context, inner, index)
     io = context.io
     inner_width = len(inner.schema)
 

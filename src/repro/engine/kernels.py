@@ -51,6 +51,8 @@ is what ``repro --stats`` reports.
 
 from __future__ import annotations
 
+import threading
+
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.aggregates import (
@@ -77,6 +79,12 @@ from ..catalog.schema import RowSchema
 from .batch import take
 
 _SOURCE_CACHE: Dict[str, Any] = {}
+# Serving runs kernel compilation from concurrent reader threads; the
+# lock makes check-compile-publish atomic so two threads never race a
+# dict resize mid-read. Compiled code objects are immutable, so cache
+# hits stay contention-free correctness-wise — the lock also covers
+# them only because compile() is rare and the critical section is tiny.
+_SOURCE_CACHE_LOCK = threading.Lock()
 
 _COMPARE_SOURCE = {
     "=": "==",
@@ -95,10 +103,11 @@ class KernelUnsupported(Exception):
 
 def _instantiate(source: str, namespace: Dict[str, Any], context) -> Callable:
     """Compile (cached by source) and exec a kernel definition."""
-    code = _SOURCE_CACHE.get(source)
-    if code is None:
-        code = compile(source, "<repro-kernel>", "exec")
-        _SOURCE_CACHE[source] = code
+    with _SOURCE_CACHE_LOCK:
+        code = _SOURCE_CACHE.get(source)
+        if code is None:
+            code = compile(source, "<repro-kernel>", "exec")
+            _SOURCE_CACHE[source] = code
     scope = dict(namespace)
     exec(code, scope)
     if context is not None:

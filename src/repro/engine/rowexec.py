@@ -79,6 +79,7 @@ def _dispatch(plan: PlanNode, context: ExecutionContext) -> Result:
 
 def _execute_scan(plan: ScanNode, context: ExecutionContext) -> Result:
     table = context.catalog.table(plan.table_name)
+    storage = context.storage_for(plan.table_name)
     full_schema = table_row_schema(plan.alias, table.columns, include_rid=True)
     checks = [predicate.bind(full_schema) for predicate in plan.filters]
     positions = [
@@ -86,17 +87,19 @@ def _execute_scan(plan: ScanNode, context: ExecutionContext) -> Result:
     ]
 
     if plan.index_name is not None:
+        from .join import _probe_lookup
+
         info = context.catalog.info(plan.table_name)
         index = info.indexes.get(plan.index_name)
         if index is None:
             raise ExecutionError(
                 f"index {plan.index_name!r} not found on {plan.table_name!r}"
             )
-        source = index.lookup_rows(
+        source = _probe_lookup(context, plan, index)(
             context.io, plan.index_values, include_rid=True
         )
     else:
-        source = table.scan(context.io, include_rid=True)
+        source = storage.scan(context.io, include_rid=True)
 
     rows: List[Tuple] = []
     for row in source:
@@ -161,7 +164,7 @@ def _block_nlj(
         isinstance(plan.right, ScanNode) and plan.right.index_name is None
     )
     if inner_is_scan:
-        inner_pages = context.catalog.table(plan.right.table_name).num_pages
+        inner_pages = context.storage_for(plan.right.table_name).num_pages
         if inner_pages > max(1, memory - 2) and blocks > 1:
             context.io.read_pages((blocks - 1) * inner_pages)
     else:
@@ -220,12 +223,15 @@ def _index_nlj(
         plan.left.schema, [pair[0] for pair in plan.equi_keys]
     )
 
+    from .join import _probe_lookup
+
+    lookup = _probe_lookup(context, inner, index)
     rows: List[Tuple] = []
     for left_row in left.rows:
         probe = tuple(left_row[p] for p in left_positions)
         if None in probe:
             continue  # NULL keys never equi-join
-        for inner_row in index.lookup_rows(context.io, probe, include_rid=True):
+        for inner_row in lookup(context.io, probe, include_rid=True):
             if all(check(inner_row) for check in checks):
                 projected = tuple(inner_row[p] for p in inner_positions)
                 rows.append(left_row + projected)

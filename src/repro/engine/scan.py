@@ -23,6 +23,7 @@ from .batch import (
     projector,
     take,
 )
+from ..storage.snapshot import TableSnapshot
 from .context import ExecutionContext
 from .kernels import SelectionProgram
 from .metrics import OperatorMetrics
@@ -40,6 +41,23 @@ def _index_source(plan: ScanNode, context: ExecutionContext):
     return index
 
 
+def _index_rows(plan: ScanNode, context: ExecutionContext, storage):
+    """Matching rows (with rid) via the scan's index — probing the
+    pinned snapshot's captured index when one is in effect, the live
+    index otherwise. Charging is identical either way."""
+    if isinstance(storage, TableSnapshot):
+        index = storage.index(plan.index_name)
+        if index is None:
+            raise ExecutionError(
+                f"index {plan.index_name!r} not found on {plan.table_name!r}"
+            )
+        return storage.index_lookup_rows(
+            context.io, index, plan.index_values, include_rid=True
+        )
+    index = _index_source(plan, context)
+    return index.lookup_rows(context.io, plan.index_values, include_rid=True)
+
+
 def scan_columns(
     plan: ScanNode,
     context: ExecutionContext,
@@ -54,6 +72,7 @@ def scan_columns(
     matches, page columns flow into the batch builder untouched.
     """
     table = context.catalog.table(plan.table_name)
+    storage = context.storage_for(plan.table_name)
     full_schema = table_row_schema(plan.alias, table.columns, include_rid=True)
     selection = SelectionProgram(plan.filters, full_schema, context)
     positions = [
@@ -61,20 +80,15 @@ def scan_columns(
     ]
 
     if plan.index_name is not None:
-        index = _index_source(plan, context)
 
         def pages():
-            rows = list(
-                index.lookup_rows(
-                    context.io, plan.index_values, include_rid=True
-                )
-            )
+            rows = list(_index_rows(plan, context, storage))
             if rows:
                 yield list(zip(*rows)), len(rows)
 
         source = pages()
     else:
-        source = table.scan_page_columns(context.io, include_rid=True)
+        source = storage.scan_page_columns(context.io, include_rid=True)
 
     def generate() -> Iterator[ColumnBatch]:
         width = len(positions)
@@ -108,6 +122,7 @@ def scan_batches(
 ) -> Iterator[RowBatch]:
     """Build the fused scan→filter→project batch generator."""
     table = context.catalog.table(plan.table_name)
+    storage = context.storage_for(plan.table_name)
     full_schema = table_row_schema(plan.alias, table.columns, include_rid=True)
     checks = [predicate.bind(full_schema) for predicate in plan.filters]
     positions = [
@@ -117,18 +132,13 @@ def scan_batches(
     single_check = checks[0] if len(checks) == 1 else None
 
     if plan.index_name is not None:
-        index = _index_source(plan, context)
 
         def pages():
-            yield list(
-                index.lookup_rows(
-                    context.io, plan.index_values, include_rid=True
-                )
-            )
+            yield list(_index_rows(plan, context, storage))
 
         source = pages()
     else:
-        source = table.scan_pages(context.io, include_rid=True)
+        source = storage.scan_pages(context.io, include_rid=True)
 
     def generate() -> Iterator[RowBatch]:
         out = BatchBuilder(context.batch_size)

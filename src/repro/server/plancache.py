@@ -1,0 +1,93 @@
+"""A thread-safe LRU plan cache with epoch-based invalidation.
+
+Entries are keyed on the canonical block signature of the bound query
+(plus optimizer level and options fingerprint — see ``signature.py``)
+and stamped with the catalog ``change_epoch`` current when the plan was
+built. Any catalog mutation — DDL, INSERT, ANALYZE, matview
+create/refresh/drop, stats-staleness bumps — advances the epoch, so a
+stale entry is detected on its next lookup and dropped (counted as an
+invalidation, not a miss-with-prejudice: the counters distinguish
+"never seen" from "seen but outdated").
+
+The lock makes every operation atomic; the critical sections are
+dict/OrderedDict operations only — optimization itself always happens
+outside the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+DEFAULT_CAPACITY = 128
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimization result and its validity stamp."""
+
+    value: Any
+    epoch: int
+
+
+class PlanCache:
+    """LRU cache of optimized plans, validated by catalog epoch."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, epoch: int) -> Optional[Any]:
+        """The cached value for *key* if present and built at *epoch*;
+        else ``None`` (recording a miss or an invalidation)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != epoch:
+                del self._entries[key]
+                self.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.value
+
+    def put(self, key: Hashable, epoch: int, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = CacheEntry(value=value, epoch=epoch)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations)."""
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }

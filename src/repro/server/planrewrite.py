@@ -1,0 +1,160 @@
+"""Plan cloning and parameter binding for cached/prepared plans.
+
+A cached plan is a *template*: the executor records per-run state onto
+plan nodes (``op_metrics``, ``actual_rows``), so handing the same tree
+to two concurrent executions would interleave their counters — every
+execution therefore runs against its own structural clone. Cloning
+rebuilds nodes through their constructors (schemas recompute, which
+doubles as a consistency check) and shares the immutable parts: bound
+expressions, cost-annotator ``props``, field tuples.
+
+Parameter binding is the same walk with a substitution applied to every
+predicate expression: ``$n`` placeholders become the EXECUTE call's
+literal values, producing a fully concrete plan the engine can bind and
+run. The engine never sees a ``Parameter``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from ..algebra.expressions import (
+    Expression,
+    Literal,
+    collect_parameters,
+    replace_parameters,
+)
+from ..algebra.plan import (
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    RenameNode,
+    ScanNode,
+    SortNode,
+)
+from ..errors import PlanError
+
+
+def plan_parameters(plan: PlanNode) -> FrozenSet[int]:
+    """Every ``$n`` index appearing in the plan's predicates."""
+    found = set()
+    for expression in _plan_expressions(plan):
+        found |= collect_parameters(expression)
+    return frozenset(found)
+
+
+def _plan_expressions(plan: PlanNode):
+    if isinstance(plan, ScanNode):
+        yield from plan.filters
+    elif isinstance(plan, JoinNode):
+        yield from plan.residuals
+    elif isinstance(plan, GroupByNode):
+        yield from plan.having
+    elif isinstance(plan, FilterNode):
+        yield from plan.predicates
+    elif isinstance(plan, ProjectNode):
+        for _, _, expression in plan.outputs:
+            yield expression
+    for child in plan.children:
+        yield from _plan_expressions(child)
+
+
+def clone_plan(
+    plan: PlanNode,
+    substitution: Optional[Dict[int, Expression]] = None,
+) -> PlanNode:
+    """A fresh tree sharing immutable parts with *plan*; with a
+    *substitution*, ``$n`` parameters in predicates are replaced by the
+    given expressions along the way."""
+
+    def rewrite(expression: Expression) -> Expression:
+        if substitution is None:
+            return expression
+        return replace_parameters(expression, substitution)
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, ScanNode):
+            clone: PlanNode = ScanNode(
+                node.table_name,
+                node.alias,
+                list(node.schema),
+                filters=[rewrite(f) for f in node.filters],
+                include_rid=node.include_rid,
+                index_name=node.index_name,
+                index_values=node.index_values,
+            )
+        elif isinstance(node, JoinNode):
+            clone = JoinNode(
+                walk(node.left),
+                walk(node.right),
+                node.method,
+                equi_keys=node.equi_keys,
+                residuals=[rewrite(r) for r in node.residuals],
+                projection=node.projection,
+                index_name=node.index_name,
+            )
+        elif isinstance(node, GroupByNode):
+            clone = GroupByNode(
+                walk(node.child),
+                node.group_keys,
+                node.aggregates,
+                having=[rewrite(h) for h in node.having],
+                method=node.method,
+                projection=node.projection,
+            )
+        elif isinstance(node, FilterNode):
+            clone = FilterNode(
+                walk(node.child),
+                [rewrite(p) for p in node.predicates],
+            )
+        elif isinstance(node, ProjectNode):
+            clone = ProjectNode(
+                walk(node.child),
+                [
+                    (alias, name, rewrite(expression))
+                    for alias, name, expression in node.outputs
+                ],
+            )
+        elif isinstance(node, SortNode):
+            clone = SortNode(
+                walk(node.child), node.keys, descending=node.descending
+            )
+        elif isinstance(node, LimitNode):
+            clone = LimitNode(walk(node.child), node.count)
+        elif isinstance(node, RenameNode):
+            clone = RenameNode(walk(node.child), node.mapping)
+        else:
+            raise PlanError(
+                f"cannot clone plan node type {type(node).__name__}"
+            )
+        clone.props = node.props
+        return clone
+
+    return walk(plan)
+
+
+def bind_parameters(plan: PlanNode, values: Dict[int, Literal]) -> PlanNode:
+    """A clone of *plan* with every ``$n`` replaced by ``values[n]``.
+
+    Raises :class:`PlanError` when a placeholder has no value or a value
+    has no placeholder (arity mismatches surface at EXECUTE, like a real
+    server's protocol error)."""
+    wanted = plan_parameters(plan)
+    missing = sorted(wanted - set(values))
+    extra = sorted(set(values) - wanted)
+    if missing:
+        raise PlanError(
+            "EXECUTE is missing values for parameter"
+            + ("s " if len(missing) > 1 else " ")
+            + ", ".join(f"${i}" for i in missing)
+        )
+    if extra:
+        raise PlanError(
+            "EXECUTE passes values for unknown parameter"
+            + ("s " if len(extra) > 1 else " ")
+            + ", ".join(f"${i}" for i in extra)
+        )
+    return clone_plan(plan, substitution=dict(values))

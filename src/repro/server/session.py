@@ -1,0 +1,421 @@
+"""Sessions: the connection layer over :class:`~repro.db.Database`.
+
+A session is one client's conversation with a shared database. It adds
+three things the bare ``Database`` facade does not have:
+
+- **Plan caching.** Queries are bound to canonical form, keyed on their
+  structural signature (``signature.py``), and looked up in the
+  database's shared :class:`~repro.server.plancache.PlanCache` before
+  the optimizer runs. A hit skips optimization entirely; entries are
+  invalidated by the catalog change epoch.
+
+- **Prepared statements.** ``PREPARE name AS SELECT ... $1 ...`` binds
+  and optimizes once; ``EXECUTE name(values...)`` substitutes the
+  literal values into a clone of the stored plan and runs it; precisely
+  the parse-and-optimize-once contract. *v1 tradeoff:* the plan is
+  chosen with parameters costed at default selectivity (a ``$n`` is
+  never a ``Literal``, so MCV/histogram lookups don't apply) and is
+  **not** re-optimized per value vector — a value hitting a heavy MCV
+  runs the generic plan, trading peak plan quality for zero per-execute
+  optimizer cost. Epoch invalidation still replans after DDL/ANALYZE/
+  refresh.
+
+- **Concurrency discipline.** All catalog mutation happens under the
+  database's single write lock; queries capture a COW snapshot
+  (``storage/snapshot.py``) under that lock and then execute *outside*
+  it against the snapshot with a per-execution ``IOCounter``,
+  ``ExecutionContext`` and plan clone — readers never block the writer
+  or each other during execution, and never observe half-applied
+  inserts or matview refreshes.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..algebra.expressions import Literal
+from ..algebra.query import CanonicalQuery
+from ..engine.context import ExecutionContext
+from ..engine.executor import execute_plan
+from ..errors import PlanError, ReproError, SqlSyntaxError
+from ..optimizer.options import OptimizerOptions
+from ..storage.iocounter import IOCounter
+from .planrewrite import bind_parameters, clone_plan, plan_parameters
+from .signature import cache_key
+
+_PREPARE_RE = re.compile(
+    r"^\s*prepare\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s+as\s+(?P<body>.+)$",
+    re.IGNORECASE | re.DOTALL,
+)
+_EXECUTE_RE = re.compile(
+    r"^\s*execute\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*"
+    r"(?:\(\s*(?P<args>.*?)\s*\))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_DEALLOCATE_RE = re.compile(
+    r"^\s*deallocate\s+(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_execute_args(text: Optional[str]) -> List[Literal]:
+    """EXECUTE's literal argument vector: numbers, ``'strings'`` (with
+    ``''`` escapes), TRUE/FALSE, NULL."""
+    if not text or not text.strip():
+        return []
+    values: List[Literal] = []
+    for raw in _split_args(text):
+        token = raw.strip()
+        lowered = token.lower()
+        if not token:
+            raise SqlSyntaxError("empty EXECUTE argument")
+        if token.startswith("'"):
+            if not token.endswith("'") or len(token) < 2:
+                raise SqlSyntaxError(f"unterminated string in {raw!r}")
+            values.append(
+                Literal(token[1:-1].replace("''", "'"))
+            )
+        elif lowered == "null":
+            values.append(Literal(None))
+        elif lowered == "true":
+            values.append(Literal(True))
+        elif lowered == "false":
+            values.append(Literal(False))
+        else:
+            try:
+                if any(c in token for c in ".eE"):
+                    values.append(Literal(float(token)))
+                else:
+                    values.append(Literal(int(token)))
+            except ValueError:
+                raise SqlSyntaxError(
+                    f"EXECUTE argument {raw!r} is not a literal"
+                ) from None
+    return values
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on commas outside single-quoted strings."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            current.append(ch)
+            if ch == "'":
+                if i + 1 < len(text) and text[i + 1] == "'":
+                    current.append("'")
+                    i += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return parts
+
+
+@dataclass
+class PreparedStatement:
+    """One PREPAREd query: the bound form, its optimized plan template,
+    and the epoch the plan was built at."""
+
+    name: str
+    sql: str
+    query: CanonicalQuery
+    optimization: Any  # OptimizationResult
+    parameters: Tuple[int, ...]
+    epoch: int
+    executions: int = 0
+    replans: int = 0
+
+
+@dataclass
+class SessionResult:
+    """What one session statement produced, with its phase timings.
+
+    ``plan_seconds`` covers parse+bind+optimize (near zero on a plan
+    cache hit or prepared execution — the number the serving benchmark's
+    ≥5x gate compares); ``exec_seconds`` covers execution proper.
+    """
+
+    kind: str  # "query" | "ddl" | "prepare" | "execute" | "deallocate"
+    rows: List[Tuple[Any, ...]] = dataclass_field(default_factory=list)
+    columns: List[str] = dataclass_field(default_factory=list)
+    cache_hit: bool = False
+    plan_seconds: float = 0.0
+    exec_seconds: float = 0.0
+    statement_name: Optional[str] = None
+    query_result: Any = None  # QueryResult for query/execute kinds
+
+
+class Session:
+    """One client connection to a shared :class:`~repro.db.Database`."""
+
+    def __init__(
+        self,
+        db,
+        optimizer: str = "full",
+        options: Optional[OptimizerOptions] = None,
+        engine: str = "batch",
+        use_plan_cache: bool = True,
+    ):
+        self.db = db
+        self.optimizer = optimizer
+        self.options = options
+        self.engine = engine
+        self.use_plan_cache = use_plan_cache
+        self.prepared: Dict[str, PreparedStatement] = {}
+        self.statements = 0
+        db.register_session(self)
+
+    def close(self) -> None:
+        self.db.unregister_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> SessionResult:
+        """Run one statement: a query, DDL/INSERT, or the PREPARE /
+        EXECUTE / DEALLOCATE session commands."""
+        self.statements += 1
+        match = _PREPARE_RE.match(sql)
+        if match is not None:
+            return self.prepare(match.group("name"), match.group("body"))
+        match = _EXECUTE_RE.match(sql)
+        if match is not None:
+            return self.execute_prepared(
+                match.group("name"),
+                parse_execute_args(match.group("args")),
+            )
+        match = _DEALLOCATE_RE.match(sql)
+        if match is not None:
+            return self.deallocate(match.group("name"))
+        from ..sql.ddl import maybe_parse_ddl
+
+        if maybe_parse_ddl(sql) is not None:
+            return self._execute_ddl(sql)
+        return self._execute_query(sql)
+
+    # ------------------------------------------------------------------
+    # DDL / writes — single writer, under the lock
+    # ------------------------------------------------------------------
+
+    def _execute_ddl(self, sql: str) -> SessionResult:
+        start = time.perf_counter()
+        with self.db.write_lock:
+            self.db.execute(sql)
+        return SessionResult(
+            kind="ddl", exec_seconds=time.perf_counter() - start
+        )
+
+    # ------------------------------------------------------------------
+    # Queries — plan cache + snapshot execution
+    # ------------------------------------------------------------------
+
+    def _plan_query(
+        self, sql: str
+    ) -> Tuple[Any, "Any", bool]:
+        """Bind and optimize (or fetch the cached plan) under the write
+        lock; returns ``(optimization, snapshot, cache_hit)``.
+
+        The lock covers three things that must see a settled catalog:
+        binding (schema lookups), optimization (which may trigger lazy
+        matview refresh — a write), and snapshot capture (which must
+        pair row lists with the epoch that described them)."""
+        cache = self.db.plan_cache if self.use_plan_cache else None
+        with self.db.write_lock:
+            bound = self.db.bind(sql)
+            key = cache_key(bound, self.optimizer, self.options)
+            epoch = self.db.catalog.change_epoch
+            optimization = (
+                cache.get(key, epoch) if cache is not None else None
+            )
+            hit = optimization is not None
+            if optimization is None:
+                optimization = self.db.optimize_bound(
+                    bound, self.optimizer, self.options
+                )
+                # Lazy matview refresh during optimization bumps the
+                # epoch; re-read it so the entry is valid *now*.
+                epoch = self.db.catalog.change_epoch
+                if cache is not None:
+                    cache.put(key, epoch, optimization)
+            snapshot = self.db.catalog.capture_snapshot()
+        return optimization, snapshot, hit
+
+    def _run_plan(self, plan, snapshot) -> Tuple[Any, "ExecutionContext"]:
+        """Execute a (cloned, fully concrete) plan against *snapshot*
+        with per-execution state; no locks held."""
+        io = IOCounter()
+        context = ExecutionContext(
+            self.db.catalog,
+            io,
+            self.db.params,
+            engine="rows" if self.engine == "batch-rows" else "columnar",
+            snapshot=snapshot,
+        )
+        if self.engine == "rowexec":
+            from ..engine.rowexec import execute_plan_rows
+
+            return execute_plan_rows(plan, context), context
+        return execute_plan(plan, context), context
+
+    def _execute_query(self, sql: str) -> SessionResult:
+        from ..db import QueryResult
+
+        start = time.perf_counter()
+        optimization, snapshot, hit = self._plan_query(sql)
+        planned = time.perf_counter()
+        if plan_parameters(optimization.plan):
+            raise PlanError(
+                "query contains $n parameters; use PREPARE ... / EXECUTE"
+            )
+        plan = clone_plan(optimization.plan)
+        result, context = self._run_plan(plan, snapshot)
+        finished = time.perf_counter()
+        columns = [field.display() for field in plan.schema]
+        query_result = QueryResult(
+            rows=result.rows,
+            columns=columns,
+            plan=plan,
+            estimated_cost=optimization.cost,
+            executed_io=context.io.snapshot(),
+            optimization=optimization,
+            sql=sql,
+            exec_metrics=context.metrics,
+        )
+        return SessionResult(
+            kind="query",
+            rows=result.rows,
+            columns=columns,
+            cache_hit=hit,
+            plan_seconds=planned - start,
+            exec_seconds=finished - planned,
+            query_result=query_result,
+        )
+
+    # ------------------------------------------------------------------
+    # PREPARE / EXECUTE / DEALLOCATE
+    # ------------------------------------------------------------------
+
+    def prepare(self, name: str, body_sql: str) -> SessionResult:
+        with self.db.write_lock:
+            bound = self.db.bind(body_sql)
+            return self.prepare_bound(name, bound, sql=body_sql)
+
+    def prepare_bound(
+        self, name: str, query: CanonicalQuery, sql: str = ""
+    ) -> SessionResult:
+        """PREPARE from an already-bound query — the entry point for
+        callers that build parameterized forms programmatically (the
+        metamorphic fuzzer lifts literals to ``$n`` this way)."""
+        if name in self.prepared:
+            raise ReproError(f"prepared statement {name!r} already exists")
+        start = time.perf_counter()
+        with self.db.write_lock:
+            optimization = self.db.optimize_bound(
+                query, self.optimizer, self.options
+            )
+            epoch = self.db.catalog.change_epoch
+        parameters = tuple(sorted(plan_parameters(optimization.plan)))
+        expected = tuple(range(1, len(parameters) + 1))
+        if parameters != expected:
+            raise PlanError(
+                f"prepared statement {name!r} uses parameters "
+                f"{['$%d' % i for i in parameters]}; they must be "
+                f"numbered contiguously from $1"
+            )
+        self.prepared[name] = PreparedStatement(
+            name=name,
+            sql=sql,
+            query=query,
+            optimization=optimization,
+            parameters=parameters,
+            epoch=epoch,
+        )
+        return SessionResult(
+            kind="prepare",
+            statement_name=name,
+            plan_seconds=time.perf_counter() - start,
+        )
+
+    def execute_prepared(
+        self, name: str, values: List[Literal]
+    ) -> SessionResult:
+        from ..db import QueryResult
+
+        statement = self.prepared.get(name)
+        if statement is None:
+            raise ReproError(f"unknown prepared statement {name!r}")
+        if len(values) != len(statement.parameters):
+            raise PlanError(
+                f"prepared statement {name!r} expects "
+                f"{len(statement.parameters)} values, got {len(values)}"
+            )
+        start = time.perf_counter()
+        with self.db.write_lock:
+            if statement.epoch != self.db.catalog.change_epoch:
+                # The catalog moved on (DDL/insert/refresh/ANALYZE):
+                # replan once at the new epoch. Parameter *values* never
+                # trigger this — see the module docstring's v1 tradeoff.
+                statement.optimization = self.db.optimize_bound(
+                    statement.query, self.optimizer, self.options
+                )
+                statement.epoch = self.db.catalog.change_epoch
+                statement.replans += 1
+            snapshot = self.db.catalog.capture_snapshot()
+        planned = time.perf_counter()
+        substitution = {
+            index: value
+            for index, value in zip(statement.parameters, values)
+        }
+        plan = bind_parameters(statement.optimization.plan, substitution)
+        result, context = self._run_plan(plan, snapshot)
+        finished = time.perf_counter()
+        statement.executions += 1
+        columns = [field.display() for field in plan.schema]
+        query_result = QueryResult(
+            rows=result.rows,
+            columns=columns,
+            plan=plan,
+            estimated_cost=statement.optimization.cost,
+            executed_io=context.io.snapshot(),
+            optimization=statement.optimization,
+            sql=statement.sql,
+            exec_metrics=context.metrics,
+        )
+        return SessionResult(
+            kind="execute",
+            rows=result.rows,
+            columns=columns,
+            cache_hit=True,
+            plan_seconds=planned - start,
+            exec_seconds=finished - planned,
+            statement_name=name,
+            query_result=query_result,
+        )
+
+    def deallocate(self, name: str) -> SessionResult:
+        if name not in self.prepared:
+            raise ReproError(f"unknown prepared statement {name!r}")
+        del self.prepared[name]
+        return SessionResult(kind="deallocate", statement_name=name)

@@ -617,6 +617,7 @@ class Binder:
         )
 
     def _validate_outer(self, query: CanonicalQuery) -> None:
+        self._reject_non_predicate_parameters(query)
         if not query.is_grouped:
             return
         group_keys = {reference.key for reference in query.group_by}
@@ -635,6 +636,26 @@ class Binder:
                         f"HAVING column {key} must be a grouping column or "
                         "aggregate output"
                     )
+
+    @staticmethod
+    def _reject_non_predicate_parameters(query: CanonicalQuery) -> None:
+        """Parameters (``$n``) stand for literal *values* in predicates;
+        a parameter in a SELECT item or aggregate argument would have no
+        type until EXECUTE, so the plan's schema could not be built."""
+        from ..algebra.expressions import collect_parameters
+
+        for name, source in query.select:
+            if collect_parameters(source):
+                raise BindError(
+                    f"parameter in SELECT item {name!r}: parameters may "
+                    "only appear in WHERE/HAVING predicates"
+                )
+        for _, call in query.aggregates:
+            if call.arg is not None and collect_parameters(call.arg):
+                raise BindError(
+                    "parameter in an aggregate argument: parameters may "
+                    "only appear in WHERE/HAVING predicates"
+                )
 
     # ------------------------------------------------------------------
     # Name generation

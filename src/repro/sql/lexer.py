@@ -145,6 +145,20 @@ def _tokens(sql: str) -> Iterator[Token]:
             advance(1)
             yield Token("punctuation", char, start_line, start_column)
             continue
+        if char == "$":
+            end = position + 1
+            while end < length and sql[end].isdigit():
+                end += 1
+            if end == position + 1:
+                raise SqlSyntaxError(
+                    "expected a parameter number after '$'",
+                    start_line,
+                    start_column,
+                )
+            text = sql[position + 1 : end]
+            advance(end - position)
+            yield Token("param", text, start_line, start_column)
+            continue
         raise SqlSyntaxError(
             f"unexpected character {char!r}", start_line, start_column
         )

@@ -35,6 +35,7 @@ from ..algebra.expressions import (
     Literal,
     Not,
     Or,
+    Parameter,
 )
 from ..errors import SqlSyntaxError
 from .ast import (
@@ -338,6 +339,9 @@ class _Parser:
         if token.kind == "string":
             self.advance()
             return Literal(token.text)
+        if token.kind == "param":
+            self.advance()
+            return Parameter(int(token.text))
         if token.is_keyword("true"):
             self.advance()
             return Literal(True)

@@ -12,6 +12,7 @@ from .iocounter import IOCounter, IOSnapshot
 from .page import PAGE_SIZE, rows_per_page, pages_for
 from .table import HeapTable
 from .index import OrderedIndex
+from .snapshot import DatabaseSnapshot, IndexSnapshot, TableSnapshot
 
 __all__ = [
     "IOCounter",
@@ -21,4 +22,7 @@ __all__ = [
     "pages_for",
     "HeapTable",
     "OrderedIndex",
+    "DatabaseSnapshot",
+    "IndexSnapshot",
+    "TableSnapshot",
 ]

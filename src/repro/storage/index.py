@@ -39,9 +39,13 @@ class OrderedIndex:
         self.entries_per_page = max(
             2, PAGE_SIZE // (key_width + _ENTRY_OVERHEAD)
         )
-        # entries: parallel arrays of keys and rids, sorted by key
-        self._keys: List[Tuple[Any, ...]] = []
-        self._rids: List[int] = []
+        # entries: parallel arrays of keys and rids, sorted by key.
+        # Published as ONE (keys, rids) tuple so a rebuild is atomic
+        # with respect to concurrent readers: a reader that unpacked
+        # ``_data`` sees a matched pair of arrays, never new keys with
+        # old rids (immutable-after-publish; the arrays are never
+        # mutated once assigned).
+        self._data: Tuple[List[Tuple[Any, ...]], List[int]] = ([], [])
         self.build()
 
     # ------------------------------------------------------------------
@@ -59,8 +63,23 @@ class OrderedIndex:
             for key in (self._key_of(row),)
             if None not in key
         )
-        self._keys = [key for key, _ in pairs]
-        self._rids = [rid for _, rid in pairs]
+        self._data = (
+            [key for key, _ in pairs],
+            [rid for _, rid in pairs],
+        )
+
+    def snapshot_data(self) -> Tuple[List[Tuple[Any, ...]], List[int]]:
+        """The current (keys, rids) pair — safe to hold across rebuilds
+        (rebuilds publish a fresh pair, they never mutate this one)."""
+        return self._data
+
+    @property
+    def _keys(self) -> List[Tuple[Any, ...]]:
+        return self._data[0]
+
+    @property
+    def _rids(self) -> List[int]:
+        return self._data[1]
 
     def _key_of(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
         return tuple(row[position] for position in self._positions)
@@ -88,9 +107,10 @@ class OrderedIndex:
 
     def lookup_rids(self, io: IOCounter, key: Sequence[Any]) -> List[int]:
         """Rids of rows whose indexed columns equal *key* (charges IO)."""
+        keys, rids = self._data  # one read: keys/rids stay paired
         probe = tuple(key)
-        lo = bisect.bisect_left(self._keys, probe)
-        hi = bisect.bisect_right(self._keys, probe)
+        lo = bisect.bisect_left(keys, probe)
+        hi = bisect.bisect_right(keys, probe)
         io.read_pages(self.height)
         if hi > lo:
             first_leaf = lo // self.entries_per_page
@@ -98,7 +118,7 @@ class OrderedIndex:
             extra_leaves = last_leaf - first_leaf
             if extra_leaves:
                 io.read_pages(extra_leaves)
-        return self._rids[lo:hi]
+        return rids[lo:hi]
 
     def lookup_rows(
         self, io: IOCounter, key: Sequence[Any], include_rid: bool = False
@@ -116,11 +136,12 @@ class OrderedIndex:
         high: Optional[Sequence[Any]] = None,
     ) -> List[int]:
         """Rids with low <= key <= high (either bound may be open)."""
-        lo = 0 if low is None else bisect.bisect_left(self._keys, tuple(low))
+        keys, rids = self._data  # one read: keys/rids stay paired
+        lo = 0 if low is None else bisect.bisect_left(keys, tuple(low))
         hi = (
-            len(self._keys)
+            len(keys)
             if high is None
-            else bisect.bisect_right(self._keys, tuple(high))
+            else bisect.bisect_right(keys, tuple(high))
         )
         io.read_pages(self.height)
         if hi > lo:
@@ -129,7 +150,7 @@ class OrderedIndex:
             extra_leaves = last_leaf - first_leaf
             if extra_leaves:
                 io.read_pages(extra_leaves)
-        return self._rids[lo:hi]
+        return rids[lo:hi]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         columns = ", ".join(self.column_names)

@@ -1,0 +1,245 @@
+"""Copy-on-write table snapshots: stable reads under a concurrent writer.
+
+The serving layer (``repro.server``) lets many reader sessions execute
+while one writer inserts or refreshes materialized views. Readers never
+take locks during execution; instead each query captures a
+:class:`DatabaseSnapshot` — per table, the *published row-list object*
+plus the row count visible at capture time — and scans that, not the
+live table.
+
+Two storage-layer disciplines make the capture sound:
+
+- **Appends never move rows.** ``HeapTable.insert`` only appends, so a
+  snapshot ``(rows, count)`` pair keeps denoting exactly the pre-insert
+  prefix; pages built from ``rows[:count]`` are byte-identical before
+  and after any number of concurrent appends (CPython's GIL keeps list
+  reads/appends internally consistent).
+- **Destructive rewrites publish, never mutate.**
+  ``HeapTable.replace_rows`` (matview refresh) validates into a fresh
+  list and swings ``table.rows`` in one assignment; the captured list
+  object is frozen history. ``OrderedIndex`` likewise publishes its
+  ``(keys, rids)`` arrays as one tuple per rebuild.
+
+IO charging mirrors the live access paths exactly: a snapshot scan of N
+visible rows charges the same page reads a live scan of an N-row table
+would, so estimated-vs-executed IO comparisons stay meaningful under
+concurrency.
+
+This extends the zero-copy aliasing contract of the columnar engine
+(``engine/batch.py``): storage never mutates what it has published, so
+downstream consumers may alias it freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import SchemaError
+from .index import OrderedIndex
+from .iocounter import IOCounter
+from .page import pages_for
+from .table import HeapTable
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """One index's published ``(keys, rids)`` arrays at capture time.
+
+    Probes replay :class:`OrderedIndex`'s charging discipline (height
+    page reads per traversal plus extra leaf pages) against the captured
+    arrays, and drop any rid at or beyond the owning table snapshot's
+    visible row count — entries a concurrent writer's index rebuild
+    added for rows this snapshot cannot see.
+    """
+
+    name: str
+    column_names: Tuple[str, ...]
+    keys: Sequence[Tuple[Any, ...]]
+    rids: Sequence[int]
+    entries_per_page: int
+    height: int
+
+    def lookup_rids(self, io: IOCounter, key: Sequence[Any]) -> List[int]:
+        import bisect
+
+        probe = tuple(key)
+        lo = bisect.bisect_left(self.keys, probe)
+        hi = bisect.bisect_right(self.keys, probe)
+        io.read_pages(self.height)
+        if hi > lo:
+            first_leaf = lo // self.entries_per_page
+            last_leaf = (hi - 1) // self.entries_per_page
+            extra_leaves = last_leaf - first_leaf
+            if extra_leaves:
+                io.read_pages(extra_leaves)
+        return list(self.rids[lo:hi])
+
+
+class TableSnapshot:
+    """A stable view of one table: the published row list and the
+    visible row count, with the same access-path surface scans use on
+    :class:`HeapTable` (``scan_page_columns`` / ``scan_pages`` /
+    ``scan`` / ``fetch`` and index probes)."""
+
+    def __init__(
+        self,
+        name: str,
+        rows: List[Tuple[Any, ...]],
+        row_count: int,
+        rows_per_page: int,
+        row_width: int,
+        indexes: Mapping[str, IndexSnapshot],
+    ):
+        self.name = name
+        self.rows = rows
+        self.row_count = row_count
+        self.rows_per_page = rows_per_page
+        self.row_width = row_width
+        self.indexes = dict(indexes)
+
+    @classmethod
+    def capture(
+        cls, table: HeapTable, indexes: Mapping[str, OrderedIndex]
+    ) -> "TableSnapshot":
+        index_snaps: Dict[str, IndexSnapshot] = {}
+        for index_name, index in indexes.items():
+            keys, rids = index.snapshot_data()
+            index_snaps[index_name] = IndexSnapshot(
+                name=index_name,
+                column_names=index.column_names,
+                keys=keys,
+                rids=rids,
+                entries_per_page=index.entries_per_page,
+                height=index.height,
+            )
+        return cls(
+            name=table.name,
+            rows=table.rows,
+            row_count=len(table.rows),
+            rows_per_page=table.rows_per_page,
+            row_width=table.row_width,
+            indexes=index_snaps,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_count
+
+    @property
+    def num_pages(self) -> int:
+        return pages_for(self.row_count, self.row_width)
+
+    # ------------------------------------------------------------------
+    # Access paths (charging identical to HeapTable's)
+    # ------------------------------------------------------------------
+
+    def scan(
+        self, io: IOCounter, include_rid: bool = False
+    ) -> Iterator[Tuple[Any, ...]]:
+        per_page = self.rows_per_page
+        count = self.row_count
+        if not count:
+            io.read_pages(1)
+            return
+        for start in range(0, count, per_page):
+            io.read_pages(1)
+            chunk = self.rows[start : min(start + per_page, count)]
+            if include_rid:
+                for offset, row in enumerate(chunk):
+                    yield row + (start + offset,)
+            else:
+                yield from chunk
+
+    def scan_pages(
+        self, io: IOCounter, include_rid: bool = False
+    ) -> Iterator[List[Tuple[Any, ...]]]:
+        per_page = self.rows_per_page
+        count = self.row_count
+        if not count:
+            io.read_pages(1)
+            return
+        for start in range(0, count, per_page):
+            io.read_pages(1)
+            chunk = self.rows[start : min(start + per_page, count)]
+            if include_rid:
+                yield [
+                    row + (start + offset,)
+                    for offset, row in enumerate(chunk)
+                ]
+            else:
+                yield list(chunk)
+
+    def scan_page_columns(
+        self, io: IOCounter, include_rid: bool = False
+    ) -> Iterator[Tuple[List[Any], int]]:
+        per_page = self.rows_per_page
+        count = self.row_count
+        if not count:
+            io.read_pages(1)
+            return
+        for start in range(0, count, per_page):
+            io.read_pages(1)
+            chunk = self.rows[start : min(start + per_page, count)]
+            columns: List[Any] = list(zip(*chunk))
+            if include_rid:
+                columns.append(range(start, start + len(chunk)))
+            yield columns, len(chunk)
+
+    def fetch(
+        self, io: IOCounter, rid: int, last_page: Optional[int] = None
+    ) -> Tuple[Tuple[Any, ...], int]:
+        if not 0 <= rid < self.row_count:
+            raise SchemaError(
+                f"row id {rid} out of range for snapshot of {self.name!r}"
+            )
+        page_number = rid // self.rows_per_page
+        if page_number != last_page:
+            io.read_pages(1)
+        return self.rows[rid], page_number
+
+    def index(self, index_name: str) -> Optional[IndexSnapshot]:
+        return self.indexes.get(index_name)
+
+    def index_lookup_rows(
+        self,
+        io: IOCounter,
+        index: IndexSnapshot,
+        key: Sequence[Any],
+        include_rid: bool = False,
+    ) -> Iterator[Tuple[Any, ...]]:
+        """Probe a captured index and fetch the visible matching rows
+        through this snapshot (unclustered-index charging)."""
+        last_page: Optional[int] = None
+        count = self.row_count
+        for rid in index.lookup_rids(io, key):
+            if rid >= count:
+                continue  # inserted after this snapshot was taken
+            row, last_page = self.fetch(io, rid, last_page)
+            yield row + (rid,) if include_rid else row
+
+
+class DatabaseSnapshot:
+    """All tables' snapshots, captured atomically with respect to the
+    single writer (the caller holds the database write lock during
+    capture — capture itself is O(tables), no row copying)."""
+
+    def __init__(self, tables: Dict[str, TableSnapshot], epoch: int):
+        self.tables = tables
+        self.epoch = epoch
+
+    def table(self, name: str) -> Optional[TableSnapshot]:
+        return self.tables.get(name)

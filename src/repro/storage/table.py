@@ -81,6 +81,32 @@ class HeapTable:
         for row in rows:
             self.insert(row)
 
+    def replace_rows(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Replace the table's contents copy-on-write: validate into a
+        FRESH list, then publish it with one attribute assignment.
+
+        The previously published row list is never mutated, so any
+        reader that captured it (a :class:`TableSnapshot`, an in-flight
+        scan generator) keeps seeing the old contents in full. This is
+        how destructive rewrites (matview refresh) coexist with
+        concurrent snapshot reads; plain :meth:`insert` is already safe
+        for snapshot readers because appends never move existing rows.
+        """
+        fresh: List[Tuple[Any, ...]] = []
+        for row in rows:
+            if len(row) != len(self.columns):
+                raise SchemaError(
+                    f"table {self.name!r} expects {len(self.columns)} "
+                    f"values, got {len(row)}"
+                )
+            fresh.append(
+                tuple(
+                    column.dtype.validate(value, nullable=column.nullable)
+                    for column, value in zip(self.columns, row)
+                )
+            )
+        self.rows = fresh
+
     # ------------------------------------------------------------------
     # Access paths
     # ------------------------------------------------------------------

@@ -44,6 +44,12 @@ class EngineConfig:
     optimizer: str = "full"
     options: Optional[OptimizerOptions] = None
     engine: str = "batch"
+    session: bool = False
+    """Replay through a :class:`~repro.server.session.Session` instead
+    of the bare ``Database`` facade: every query runs twice through a
+    warm plan cache (the second must hit and answer identically) and —
+    when the outer WHERE/HAVING contains literals — a third time via
+    PREPARE/EXECUTE with the literals lifted to ``$1..$n``."""
 
 
 #: The cross-check matrix. The first entry is the baseline.
@@ -85,6 +91,11 @@ CONFIGS: Tuple[EngineConfig, ...] = (
         "full-nopruning",
         options=OptimizerOptions(enable_projection_pruning=False),
     ),
+    # Serving-path replay: the plan cache, snapshot execution, and the
+    # prepared-statement parameter substitution must all preserve
+    # answers — caching and parameter lifting are pure plan-delivery
+    # mechanics, never semantics.
+    EngineConfig("full-plancache", session=True),
 )
 
 
@@ -134,10 +145,116 @@ class CheckReport:
         return not self.divergences
 
 
+def _session_query_outcome(
+    session, sql: str, position: int, rel_tol: float
+) -> QueryOutcome:
+    """One query through the serving path: twice via the warm plan
+    cache, then (literals permitting) once via PREPARE/EXECUTE.
+
+    All three answers must agree; a cache miss on the immediate re-run
+    or any disagreement becomes the outcome's error (reported as a
+    divergence by ``check_script``). The first run's rows feed the
+    standard oracle comparison.
+    """
+    from ..server.parameterize import parameterize_query
+
+    outcome = QueryOutcome()
+    try:
+        first = session.execute(sql)
+        second = session.execute(sql)
+    except ReproError as error:
+        outcome.error = f"{type(error).__name__}: {error}"
+        return outcome
+    outcome.rows = [tuple(row) for row in first.rows]
+    outcome.cost = first.query_result.estimated_cost
+    if not second.cache_hit:
+        outcome.error = "immediate re-execution missed the warm plan cache"
+        return outcome
+    second_rows = [tuple(row) for row in second.rows]
+    if not rows_equal_bag(second_rows, outcome.rows, rel_tol=0.0):
+        outcome.error = (
+            f"plan-cache re-execution diverged: got "
+            f"{_summarize(second_rows)}, expected "
+            f"{_summarize(outcome.rows)}"
+        )
+        return outcome
+    # Prepared replay: lift the outer literals to $1..$n. Skipped when
+    # there is nothing to lift; a prepare-time rejection of the
+    # parameterized form (e.g. a shape the optimizer only supports with
+    # concrete constants) also skips — "where literals permit".
+    try:
+        with session.db.write_lock:
+            bound = session.db.bind(sql)
+    except ReproError:
+        return outcome
+    parameterized = parameterize_query(bound)
+    if parameterized is None:
+        return outcome
+    query, values = parameterized
+    name = f"fz_{position}"
+    try:
+        session.prepare_bound(name, query, sql=sql)
+    except ReproError:
+        return outcome
+    try:
+        third = session.execute_prepared(name, list(values))
+    except ReproError as error:
+        outcome.error = (
+            f"prepared execution failed: {type(error).__name__}: {error}"
+        )
+        return outcome
+    finally:
+        if name in session.prepared:
+            session.deallocate(name)
+    third_rows = [tuple(row) for row in third.rows]
+    if not rows_equal_bag(third_rows, outcome.rows, rel_tol=rel_tol):
+        outcome.error = (
+            f"prepared execution diverged: got "
+            f"{_summarize(third_rows)}, expected "
+            f"{_summarize(outcome.rows)}"
+        )
+    return outcome
+
+
+def _replay_session_config(
+    script: Sequence[Stmt], config: EngineConfig, rel_tol: float
+) -> Tuple[Dict[int, QueryOutcome], Optional[Divergence], Database]:
+    """Replay the whole script through one :class:`Session`."""
+    db = Database()
+    outcomes: Dict[int, QueryOutcome] = {}
+    with db.session(
+        optimizer=config.optimizer,
+        options=config.options,
+        engine=config.engine,
+    ) as session:
+        for position, stmt in enumerate(script):
+            if stmt.kind == "query":
+                outcomes[position] = _session_query_outcome(
+                    session, stmt.render(), position, rel_tol
+                )
+                continue
+            try:
+                session.execute(stmt.render())
+            except ReproError as error:
+                return (
+                    outcomes,
+                    Divergence(
+                        kind="setup-error",
+                        stmt_index=position,
+                        config=config.name,
+                        detail=f"{type(error).__name__}: {error}",
+                    ),
+                    db,
+                )
+    return outcomes, None, db
+
+
 def _replay_config(
-    script: Sequence[Stmt], config: EngineConfig
+    script: Sequence[Stmt], config: EngineConfig, rel_tol: float = 1e-6
 ) -> Tuple[Dict[int, QueryOutcome], Optional[Divergence], Database]:
     """Replay the whole script under one configuration."""
+    if config.session:
+        return _replay_session_config(script, config, rel_tol)
     db = Database()
     outcomes: Dict[int, QueryOutcome] = {}
     for position, stmt in enumerate(script):
@@ -194,7 +311,9 @@ def check_script(
 
     # Baseline replay also serves the reference-evaluator oracle.
     baseline = configs[0]
-    base_outcomes, setup_error, _ = _replay_config(script, baseline)
+    base_outcomes, setup_error, _ = _replay_config(
+        script, baseline, rel_tol=rel_tol
+    )
     report.configs_run += 1
     if setup_error is not None:
         report.divergences.append(setup_error)
@@ -253,7 +372,9 @@ def check_script(
         baseline.name: base_outcomes
     }
     for config in configs[1:]:
-        outcomes, setup_error, _ = _replay_config(script, config)
+        outcomes, setup_error, _ = _replay_config(
+            script, config, rel_tol=rel_tol
+        )
         report.configs_run += 1
         if setup_error is not None:
             report.divergences.append(setup_error)

@@ -274,14 +274,19 @@ def refresh_materialized_view(
             delta_rows=0,
             rows=view.backing_info.table.num_rows,
         )
-    if mode == "auto":
-        delta = _incremental_delta(view)
-        if delta is not None:
-            table_name, delta_rows = delta
-            return _refresh_incremental(
-                catalog, io, params, view, table_name, delta_rows
-            )
-    return _refresh_full(catalog, io, params, view)
+    try:
+        if mode == "auto":
+            delta = _incremental_delta(view)
+            if delta is not None:
+                table_name, delta_rows = delta
+                return _refresh_incremental(
+                    catalog, io, params, view, table_name, delta_rows
+                )
+        return _refresh_full(catalog, io, params, view)
+    finally:
+        # The backing table's contents changed: cached plans whose cost
+        # or answers depended on it must not be reused as-is.
+        catalog.bump_epoch()
 
 
 def refresh_stale_views(
@@ -434,6 +439,7 @@ def _replace_backing(
     view: MaterializedView, rows: Sequence[Tuple[Any, ...]], io: IOCounter
 ) -> None:
     table = view.backing_info.table
-    del table.rows[:]
-    table.insert_many(rows)
+    # Copy-on-write publish: concurrent snapshot readers holding the old
+    # row list keep scanning the pre-refresh contents unchanged.
+    table.replace_rows(rows)
     io.write_pages(table.num_pages)
