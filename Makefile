@@ -11,7 +11,8 @@ FUZZ_ARGS ?=
 .PHONY: help test fuzz fuzz-smoke bench bench-opt bench-exec \
 	bench-exec-smoke bench-exec-gate bench-fanout bench-views \
 	bench-views-smoke bench-card bench-card-smoke bench-serve \
-	bench-serve-smoke examples shell serve all
+	bench-serve-smoke bench-eager bench-eager-smoke examples shell \
+	serve all
 
 help:
 	@echo "repro targets:"
@@ -30,6 +31,8 @@ help:
 	@echo "  make bench-card-smoke cardinality study, tiny CI configuration"
 	@echo "  make bench-serve      serving qps/latency study -> BENCH_serving.json"
 	@echo "  make bench-serve-smoke serving study, tiny CI configuration with gates"
+	@echo "  make bench-eager      eager aggregation payoff -> BENCH_eager.json"
+	@echo "  make bench-eager-smoke eager payoff, tiny CI configuration with >=2x gate"
 	@echo "  make examples         run the example scripts"
 	@echo "  make shell            interactive SQL shell with demo data"
 	@echo "  make serve            line-protocol server on demo data"
@@ -85,6 +88,14 @@ bench-serve:
 bench-serve-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serving.py --smoke \
 		--assert-speedup 5.0 --out BENCH_serving_smoke.json
+
+bench-eager:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_eager_agg.py --out BENCH_eager.json \
+		--assert-reduction 2.0
+
+bench-eager-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_eager_agg.py --smoke \
+		--assert-reduction 2.0 --out BENCH_eager_smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

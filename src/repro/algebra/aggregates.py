@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datatypes import DataType
 from ..errors import PlanError
-from .expressions import Arith, ColumnRef, Expression, FuncCall
+from .expressions import Arith, ColumnRef, Expression, FuncCall, IfNull, Literal
 
 
 class Accumulator:
@@ -285,11 +285,13 @@ class CountFunction(AggregateFunction):
         return DataType.INT
 
     def decompose(self, arg: Optional[Expression]) -> Decomposition:
-        # count = sum of partial counts
+        # count = sum of partial counts. The SUM coalescer yields NULL
+        # over zero contributing partials (SQL: SUM of nothing is NULL)
+        # while COUNT of nothing must be 0 — the finalizer coerces.
         return Decomposition(
             partials=(AggregateCall("count", arg),),
             coalescers=("sum",),
-            finalize=lambda cols: cols[0],
+            finalize=lambda cols: IfNull(cols[0], Literal(0)),
         )
 
 

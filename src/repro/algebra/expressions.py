@@ -572,6 +572,54 @@ class FuncCall(Expression):
         return hash(("func", self.func_name, self.args))
 
 
+class IfNull(Expression):
+    """``IFNULL(item, default)`` — the item when non-NULL, else the
+    default. Unlike :class:`FuncCall` this is deliberately *not*
+    NULL-propagating: it exists to stop a NULL (COUNT coalesced through
+    SUM over zero partial rows, a carry-weighted count over an all-NULL
+    group) where SQL semantics demand a 0."""
+
+    __slots__ = ("item", "default")
+
+    def __init__(self, item: Expression, default: Expression):
+        self.item = item
+        self.default = default
+
+    def _compute_columns(self) -> FrozenSet[FieldKey]:
+        return self.item.columns() | self.default.columns()
+
+    def bind(self, schema: RowSchema) -> Callable[[Tuple[Any, ...]], Any]:
+        item = self.item.bind(schema)
+        default = self.default.bind(schema)
+
+        def evaluate(row: Tuple[Any, ...]) -> Any:
+            value = item(row)
+            return default(row) if value is None else value
+
+        return evaluate
+
+    def dtype(self, schema: RowSchema) -> DataType:
+        return self.item.dtype(schema)
+
+    def substitute(self, mapping: Dict[FieldKey, Expression]) -> Expression:
+        return IfNull(
+            self.item.substitute(mapping), self.default.substitute(mapping)
+        )
+
+    def display(self) -> str:
+        return f"ifnull({self.item.display()}, {self.default.display()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IfNull)
+            and self.item == other.item
+            and self.default == other.default
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ifnull", self.item, self.default))
+
+
 # ----------------------------------------------------------------------
 # Convenience constructors and predicate utilities
 # ----------------------------------------------------------------------
@@ -643,6 +691,8 @@ def expression_children(expression: Expression) -> Tuple[Expression, ...]:
         return (expression.item,)
     if isinstance(expression, IsNull):
         return (expression.item,)
+    if isinstance(expression, IfNull):
+        return (expression.item, expression.default)
     if isinstance(expression, FuncCall):
         return expression.args
     return ()
@@ -701,6 +751,11 @@ def replace_parameters(
     if isinstance(expression, IsNull):
         return IsNull(
             replace_parameters(expression.item, values), expression.negate
+        )
+    if isinstance(expression, IfNull):
+        return IfNull(
+            replace_parameters(expression.item, values),
+            replace_parameters(expression.default, values),
         )
     if isinstance(expression, FuncCall):
         return FuncCall(

@@ -177,6 +177,11 @@ class GroupByNode(PlanNode):
     aggregate, named ``(None, output_name)``. ``projection`` optionally
     restricts/reorders the output (e.g. pull-up drops the surrogate key
     columns after grouping).
+
+    ``eager`` marks this node's role in an eager partial-aggregation
+    plan (``"partial"``, ``"carry"``, or ``"merge"``); ``None`` for an
+    ordinary group-by. Purely informational — rendered by ``explain``
+    so eager plans are recognizable — and preserved by plan rewrites.
     """
 
     def __init__(
@@ -187,15 +192,19 @@ class GroupByNode(PlanNode):
         having: Sequence[Expression] = (),
         method: str = "hash",
         projection: Optional[Sequence[FieldKey]] = None,
+        eager: Optional[str] = None,
     ):
         super().__init__()
         if method not in GROUP_METHODS:
             raise PlanError(f"unknown group-by method {method!r}")
+        if eager not in (None, "partial", "carry", "merge"):
+            raise PlanError(f"unknown eager marker {eager!r}")
         self.child = child
         self.group_keys: Tuple[FieldKey, ...] = tuple(group_keys)
         self.aggregates: Tuple[Tuple[str, AggregateCall], ...] = tuple(aggregates)
         self.having: Tuple[Expression, ...] = tuple(having)
         self.method = method
+        self.eager = eager
 
         child_schema = child.schema
         fields: List[Field] = [
@@ -240,7 +249,11 @@ class GroupByNode(PlanNode):
             if self.having
             else ""
         )
-        return f"GroupBy [{self.method}] keys=({keys}) aggs=({aggs}){having}"
+        marker = f" eager={self.eager}" if self.eager else ""
+        return (
+            f"GroupBy [{self.method}{marker}] keys=({keys}) "
+            f"aggs=({aggs}){having}"
+        )
 
 
 class FilterNode(PlanNode):

@@ -321,6 +321,23 @@ class CardinalityEstimator:
                 return input_rows
         return max(1.0, min(distinct, input_rows))
 
+    def partial_group_rows(
+        self,
+        input_rows: float,
+        group_keys: Tuple[FieldKey, ...],
+        meta: ColMetaMap,
+    ) -> Tuple[float, float]:
+        """Estimated ``(groups, reduction)`` of an eager partial
+        group-by below a join: the NDV-based group count of
+        :meth:`group_rows` plus the collapse factor ``input_rows /
+        groups`` (≥ 1.0). The optimizer's eager-aggregation step uses
+        the reduction to skip generating alternatives the statistics
+        say cannot shrink their input."""
+        groups = self.group_rows(input_rows, group_keys, meta)
+        if groups <= 0:
+            return 0.0, 1.0
+        return groups, max(1.0, input_rows / groups)
+
     def having_selectivity(
         self, predicate: Expression, meta: ColMetaMap
     ) -> float:

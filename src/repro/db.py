@@ -415,6 +415,11 @@ class Database:
                     if options is not None
                     else True
                 ),
+                enable_eager_aggregation=(
+                    options.enable_eager_aggregation
+                    if options is not None
+                    else True
+                ),
             )
             return optimize_query(
                 query, self.catalog, self.params, greedy_options

@@ -70,6 +70,7 @@ from ..algebra.expressions import (
     Comparison,
     Expression,
     FuncCall,
+    IfNull,
     IsNull,
     Literal,
     Not,
@@ -176,6 +177,12 @@ class _Emitter:
             return f"(None if ({temp} := {inner}) is None else (not {temp}))"
         if isinstance(e, FuncCall):
             return self._func_value(e)
+        if isinstance(e, IfNull):
+            temp = self.fresh("t")
+            return (
+                f"(({temp}) if (({temp} := {self.value(e.item)}) "
+                f"is not None) else ({self.value(e.default)}))"
+            )
         raise KernelUnsupported(type(e).__name__)
 
     def _binary_value(self, left: Expression, right: Expression, op: str) -> str:

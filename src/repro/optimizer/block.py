@@ -17,6 +17,13 @@ projection finalizes. When the early grouping happens to be invariant
 degenerates to a per-row pass that costs no IO, so both Figure 2
 transformations fall out of one mechanism.
 
+With ``enable_eager_aggregation`` (the default, beyond the paper) the
+heuristic's choose-one step becomes *retention*: the DP keeps the lazy
+join, the partial-grouped variant, and COUNT-carry pre-collapses of an
+argument-free side (``repro.transforms.eager``) as separate entries —
+keyed by their ``(grouped, carry)`` state — and the final choice falls
+out of plan cost, with the lazy entry guaranteed to survive pruning.
+
 Blocks are optimized over *leaves*: base tables or derived relations
 (pre-optimized view plans), which is how the two-phase algorithms of
 Sections 5.3/5.4 reuse this module for both phases.
@@ -61,6 +68,13 @@ from ..cost.model import CostModel
 from ..cost.params import CostParams
 from ..errors import PlanError
 from ..transforms.coalescing import DecomposedAggregates, decompose_aggregates
+from ..transforms.eager import (
+    carry_aggregates,
+    eager_group_keys,
+    partial_aggregates,
+    weighted_coalescers,
+    weighted_partials,
+)
 from .joingraph import JoinGraph
 from .options import OptimizerOptions
 from .stats import SearchStats
@@ -110,10 +124,20 @@ Leaf = Union[BaseLeaf, DerivedLeaf]
 
 @dataclass
 class _Entry:
-    """One retained plan for a DP subset."""
+    """One retained plan for a DP subset.
+
+    ``grouped`` and ``carry`` are the eager-aggregation state the
+    finalization must undo: *grouped* plans already computed the
+    decomposed partial aggregates (the final group-by coalesces),
+    *carry* plans pre-collapsed one side's duplicates into a ``__cnt``
+    count (the final group-by weights by it). At most one carry ever
+    exists per plan, and a carry-bearing plan is never re-grouped into
+    partials, so the four state combinations finalize unambiguously.
+    """
 
     plan: PlanNode
     grouped: bool  # early (partial) aggregation already applied
+    carry: bool = False  # a COUNT-carry pre-collapse feeds this plan
 
 
 class BlockOptimizer:
@@ -217,11 +241,12 @@ class BlockOptimizer:
         predicates = tuple(predicates)
 
         extra_needed: Set[FieldKey] = set()
+        agg_args: Set[FieldKey] = set()
         for _, _, spec, select in requests:
             if spec is not None:
                 extra_needed |= set(spec.group_keys)
                 for _, call in spec.aggregates:
-                    extra_needed |= set(call.columns())
+                    agg_args |= set(call.columns())
                 for predicate in spec.having:
                     extra_needed |= {
                         key
@@ -239,7 +264,14 @@ class BlockOptimizer:
             predicates,
             base_spec,
             tuple(base_select),
-            extra_needed=frozenset(extra_needed),
+            # Aggregate argument columns are needed to finalize the
+            # requests' *ungrouped* entries (so they ride in projections
+            # via ``extra_needed``), but they must not become eager
+            # grouping keys: a partial group-by consumes them, and
+            # keying on an aggregate's own argument destroys the
+            # collapse (``eager_exclude``).
+            extra_needed=frozenset(extra_needed | agg_args),
+            eager_exclude=frozenset(agg_args - extra_needed),
         )
         graph = context.graph
         table = self._dp_table(context)
@@ -263,13 +295,16 @@ class BlockOptimizer:
                     f"shared DP produced no plan for subset {sorted(subset)}"
                 )
             best: Optional[PlanNode] = None
+            best_entry: Optional[_Entry] = None
             for entry in entries:
                 for candidate in context.final_plans(
                     entry, spec=spec, select=tuple(select)
                 ):
                     if best is None or candidate.props.cost < best.props.cost:
                         best = candidate
-            assert best is not None
+                        best_entry = entry
+            assert best is not None and best_entry is not None
+            self._record_adoption(best_entry)
             results[key] = best
         self.stats.add_time("finalize", perf_counter() - started)
         return results
@@ -377,14 +412,25 @@ class BlockOptimizer:
         right_alias: str,
         right_bit: int,
     ) -> List[_Entry]:
-        """The greedy conservative step: plan (1) join as-is, plan (2)
-        join with an early group-by; keep (2) only if cheaper and no
-        wider (Section 5.2)."""
+        """Plan the alternatives for joining one more leaf onto an entry.
+
+        Plan (1) is the join as-is; plan (2) joins with an early
+        (partial) group-by on the side holding the aggregate arguments —
+        the paper's Section 5.2 greedy conservative heuristic, which
+        *replaces* (1) with (2) only when cheaper and no wider. With
+        eager aggregation enabled the heuristic's verdict is recorded
+        but both shapes are *retained* (plus COUNT-carry pre-collapses
+        of an argument-free side) and compete by cost in the DP — the
+        lazy plan always survives, which is what keeps the no-worse
+        guarantee structural rather than heuristic."""
         plan1 = self._joinplans(
             context, left_entry.plan, left_mask, right_plan,
             right_alias, right_bit,
         )
-        entries1 = [_Entry(plan, left_entry.grouped) for plan in plan1]
+        entries1 = [
+            _Entry(plan, left_entry.grouped, left_entry.carry)
+            for plan in plan1
+        ]
 
         if (
             self.mode != "greedy"
@@ -393,45 +439,112 @@ class BlockOptimizer:
         ):
             return entries1
 
-        early_side = context.early_side(left_entry, left_mask, right_bit)
-        if early_side is None:
-            return entries1
-        self.stats.early_groupby_considered += 1
+        eager = self.options.enable_eager_aggregation
 
-        if early_side == "left":
-            early = context.early_group(
-                left_entry.plan, left_mask, left_entry.grouped
-            )
-            if early is None:
-                return entries1
-            plan2 = self._joinplans(
-                context, early, left_mask, right_plan, right_alias, right_bit
-            )
-        else:
-            early = context.early_group(right_plan, right_bit, False)
-            if early is None:
-                return entries1
-            plan2 = self._joinplans(
-                context, left_entry.plan, left_mask, early,
+        entries2: List[_Entry] = []
+        early_side = context.early_side(left_entry, left_mask, right_bit)
+        if early_side is not None:
+            self.stats.early_groupby_considered += 1
+            if eager:
+                self.stats.eager_alternatives_considered += 1
+            if early_side == "left":
+                early = context.early_group(
+                    left_entry.plan, left_mask, left_entry.grouped,
+                    prescreen=eager,
+                )
+                if early is not None:
+                    plan2 = self._joinplans(
+                        context, early, left_mask, right_plan,
+                        right_alias, right_bit,
+                    )
+                    entries2 = [
+                        _Entry(plan, True, left_entry.carry)
+                        for plan in plan2
+                    ]
+            else:
+                early = context.early_group(
+                    right_plan, right_bit, False, prescreen=eager
+                )
+                if early is not None:
+                    plan2 = self._joinplans(
+                        context, left_entry.plan, left_mask, early,
+                        right_alias, right_bit,
+                    )
+                    entries2 = [
+                        _Entry(plan, True, left_entry.carry)
+                        for plan in plan2
+                    ]
+
+        # The greedy comparison runs (and its counters record the
+        # verdict) in both modes; only in pre-eager mode does it decide.
+        chosen = entries1
+        if entries2:
+            if not entries1:
+                chosen = entries2
+            else:
+                best1 = min(entries1, key=lambda e: e.plan.props.cost)
+                best2 = min(entries2, key=lambda e: e.plan.props.cost)
+                cheaper = best2.plan.props.cost < best1.plan.props.cost
+                narrow = (
+                    best2.plan.props.width <= best1.plan.props.width
+                    or not self.options.width_guard
+                )
+                if cheaper and narrow:
+                    self.stats.early_groupby_accepted += 1
+                    chosen = entries2
+        if not eager:
+            return chosen
+
+        return (
+            entries1
+            + entries2
+            + self._carry_alternatives(
+                context, left_entry, left_mask, right_plan,
                 right_alias, right_bit,
             )
-        entries2 = [_Entry(plan, True) for plan in plan2]
-        if not entries2:
-            return entries1
-        if not entries1:
-            return entries2
-
-        best1 = min(entries1, key=lambda e: e.plan.props.cost)
-        best2 = min(entries2, key=lambda e: e.plan.props.cost)
-        cheaper = best2.plan.props.cost < best1.plan.props.cost
-        narrow = (
-            best2.plan.props.width <= best1.plan.props.width
-            or not self.options.width_guard
         )
-        if cheaper and narrow:
-            self.stats.early_groupby_accepted += 1
-            return entries2
-        return entries1
+
+    def _carry_alternatives(
+        self,
+        context: "_BlockContext",
+        left_entry: _Entry,
+        left_mask: int,
+        right_plan: PlanNode,
+        right_alias: str,
+        right_bit: int,
+    ) -> List[_Entry]:
+        """COUNT-carry pre-collapse alternatives: collapse a side that
+        holds *no* aggregate argument to one row per live-column
+        combination plus ``__cnt = COUNT(*)``; the final group-by
+        restores multiplicity by weighting the duplicate-sensitive
+        aggregates. At most one carry per plan, and only plain (never
+        grouped or carry-bearing) inputs are collapsed — those rules
+        keep all weighting out of the DP interior."""
+        mask = context.agg_arg_mask
+        if mask is None or not context.agg_arg_aliases or left_entry.carry:
+            return []
+        out: List[_Entry] = []
+        if not (mask & right_bit):
+            self.stats.eager_alternatives_considered += 1
+            collapsed = context.carry_group(right_plan, right_bit)
+            if collapsed is not None:
+                plans = self._joinplans(
+                    context, left_entry.plan, left_mask, collapsed,
+                    right_alias, right_bit,
+                )
+                out.extend(
+                    _Entry(plan, left_entry.grouped, True) for plan in plans
+                )
+        if not left_entry.grouped and not (mask & left_mask):
+            self.stats.eager_alternatives_considered += 1
+            collapsed = context.carry_group(left_entry.plan, left_mask)
+            if collapsed is not None:
+                plans = self._joinplans(
+                    context, collapsed, left_mask, right_plan,
+                    right_alias, right_bit,
+                )
+                out.extend(_Entry(plan, False, True) for plan in plans)
+        return out
 
     # ------------------------------------------------------------------
     # joinplan: all physical alternatives for one join
@@ -492,13 +605,22 @@ class BlockOptimizer:
     ) -> PlanNode:
         started = perf_counter()
         best: Optional[PlanNode] = None
+        best_entry: Optional[_Entry] = None
         for entry in entries:
             for candidate in context.final_plans(entry):
                 if best is None or candidate.props.cost < best.props.cost:
                     best = candidate
-        assert best is not None
+                    best_entry = entry
+        assert best is not None and best_entry is not None
+        self._record_adoption(best_entry)
         self.stats.add_time("finalize", perf_counter() - started)
         return best
+
+    def _record_adoption(self, entry: _Entry) -> None:
+        if self.options.enable_eager_aggregation and (
+            entry.grouped or entry.carry
+        ):
+            self.stats.eager_alternatives_adopted += 1
 
     # ------------------------------------------------------------------
     # Pruning
@@ -507,10 +629,10 @@ class BlockOptimizer:
     def _prune(
         self, context: "_BlockContext", candidates: List[_Entry]
     ) -> List[_Entry]:
-        best: Dict[Tuple[bool, Tuple[FieldKey, ...]], _Entry] = {}
+        best: Dict[Tuple[bool, bool, Tuple[FieldKey, ...]], _Entry] = {}
         for entry in candidates:
             order = context.useful_order(entry.plan.props.order)
-            key = (entry.grouped, order)
+            key = (entry.grouped, entry.carry, order)
             incumbent = best.get(key)
             if (
                 incumbent is None
@@ -520,6 +642,17 @@ class BlockOptimizer:
         kept = sorted(best.values(), key=lambda e: e.plan.props.cost)
         limit = self.options.max_plans_per_set
         pruned = kept[:limit]
+        if (
+            self.options.enable_eager_aggregation
+            and len(kept) > limit
+            and not any(not e.grouped and not e.carry for e in pruned)
+        ):
+            # The lazy alternative must survive pruning — it is what
+            # makes every eager variant an *alternative* (the no-worse
+            # guarantee is structural, not heuristic).
+            lazy = [e for e in kept[limit:] if not e.grouped and not e.carry]
+            if lazy:
+                pruned = pruned[:-1] + [lazy[0]]
         self.stats.plans_retained += len(pruned)
         self.stats.plans_pruned += len(candidates) - len(pruned)
         return pruned
@@ -546,6 +679,7 @@ class _BlockContext:
         spec: Optional[GroupingSpec],
         select: Tuple[Tuple[str, Expression], ...],
         extra_needed: FrozenSet[FieldKey] = frozenset(),
+        eager_exclude: FrozenSet[FieldKey] = frozenset(),
     ):
         self.optimizer = optimizer
         self.catalog = optimizer.catalog
@@ -555,6 +689,7 @@ class _BlockContext:
         self.spec = spec
         self.select = select
         self.extra_needed = extra_needed
+        self.eager_exclude = eager_exclude
         self._leaf_by_alias = {leaf.alias: leaf for leaf in leaves}
         self._leaf_plan_cache: Dict[str, List[PlanNode]] = {}
 
@@ -915,52 +1050,78 @@ class _BlockContext:
         right_bit: int,
     ) -> Optional[str]:
         """Which side an early group-by may be applied to — the side
-        holding all aggregate arguments (one-sided, per the paper)."""
+        holding all aggregate arguments (one-sided, per the paper). A
+        carry-bearing left is never partial-grouped: its rows stand for
+        collapsed duplicates, and unweighted partials would ignore the
+        multiplicity (the carry is only ever consumed at finalization)."""
         if self.decomposed is None:
             return None
         if not self.agg_arg_aliases:
-            return "left"  # COUNT(*)-style: either side; prefer the prefix
+            # COUNT(*)-style: either side; prefer the prefix
+            return None if left_entry.carry else "left"
         if self.agg_arg_mask is None:
             return None
         if not (self.agg_arg_mask & ~left_mask):
-            return "left"
+            return None if left_entry.carry else "left"
         if not (self.agg_arg_mask & ~right_bit) and not left_entry.grouped:
             return "right"
         return None
+
+    def _eager_keep(self, subset_mask: int) -> Set[FieldKey]:
+        """Columns an eager group-by over *subset_mask* must keep as
+        grouping keys: everything still needed above this point —
+        pending predicate columns (which cover the border join keys),
+        the final grouping columns, output columns, and any columns
+        shared finalizations ask for. With eager aggregation on, the
+        shared DP's pure aggregate-argument columns are excluded — they
+        are consumed by the partials, and keying on them would destroy
+        the collapse (kept in pre-eager mode for seed parity)."""
+        keep = set(self.extra_needed)
+        if self.optimizer.options.enable_eager_aggregation:
+            keep -= self.eager_exclude
+        keep |= self.pending_columns(subset_mask)
+        if self.spec is not None:
+            keep |= set(self.spec.group_keys)
+        for _, source in self.select:
+            keep |= {key for key in source.columns() if key[0] is not None}
+        return keep
+
+    def _eager_shrinks(self, plan: PlanNode, keys: List[FieldKey]) -> bool:
+        """NDV prescreen over PR 5 statistics: generate the eager
+        alternative only when the estimated partial-group count actually
+        collapses the input. Skipping is safe — the lazy plan is always
+        retained — so unknown statistics (reduction 1.0) mean skip."""
+        props = plan.props
+        if props is None:
+            return True
+        groups, reduction = self.model.estimator.partial_group_rows(
+            props.rows, tuple(keys), props.colmeta
+        )
+        return groups > 0 and reduction >= 1.05
 
     def early_group(
         self,
         plan: PlanNode,
         subset_mask: int,
         already_grouped: bool,
+        prescreen: bool = False,
     ) -> Optional[PlanNode]:
         """Wrap *plan* in an early (partial) group-by, or None when no
-        sound grouping keys exist."""
+        sound grouping keys exist (or, with *prescreen*, when the
+        statistics estimate no collapse)."""
         assert self.decomposed is not None
-        # grouping keys = everything still needed above this point:
-        # pending predicate columns, the final grouping columns, output
-        # columns, and any columns shared finalizations ask for
-        keep = set(self.extra_needed) | self.pending_columns(subset_mask)
-        if self.spec is not None:
-            keep |= set(self.spec.group_keys)
-        for _, source in self.select:
-            keep |= {key for key in source.columns() if key[0] is not None}
-
-        keys = [
-            field.key
-            for field in plan.schema
-            if field.alias is not None and field.key in keep
-        ]
+        keys = eager_group_keys(
+            plan.schema, self._eager_keep(subset_mask)
+        )
         if not keys:
             return None
-        if already_grouped:
-            aggregates = self.decomposed.coalescers
-        else:
-            aggregates = self.decomposed.partials
-            for _, call in aggregates:
-                for key in call.columns():
-                    if not plan.schema.has(*key):
-                        return None
+        aggregates = partial_aggregates(
+            self.decomposed, plan.schema, already_grouped
+        )
+        if aggregates is None:
+            return None
+        if prescreen and not self._eager_shrinks(plan, keys):
+            return None
 
         order = plan.props.order if plan.props else ()
         if set(order[: len(keys)]) == set(keys) and keys:
@@ -972,6 +1133,39 @@ class _BlockContext:
             group_keys=keys,
             aggregates=aggregates,
             method=method,
+            eager="partial",
+        )
+        self.model.annotate(group)
+        return group
+
+    def carry_group(
+        self, plan: PlanNode, subset_mask: int
+    ) -> Optional[PlanNode]:
+        """Collapse *plan* to one row per live-column combination plus
+        a ``__cnt = COUNT(*)`` carry, or None when unsound (no grouping
+        keys, or the schema already holds alias-``None`` columns whose
+        multiplicity a collapse would destroy) or when the statistics
+        estimate no collapse."""
+        for field in plan.schema:
+            if field.alias is None:
+                return None
+        keys = eager_group_keys(
+            plan.schema, self._eager_keep(subset_mask)
+        )
+        if not keys:
+            return None
+        if not self._eager_shrinks(plan, keys):
+            return None
+        order = plan.props.order if plan.props else ()
+        method = (
+            "sort" if set(order[: len(keys)]) == set(keys) else "hash"
+        )
+        group = GroupByNode(
+            plan,
+            group_keys=keys,
+            aggregates=carry_aggregates(),
+            method=method,
+            eager="carry",
         )
         self.model.annotate(group)
         return group
@@ -994,16 +1188,28 @@ class _BlockContext:
         if select is None:
             select = self.select
         if spec is None:
-            if entry.grouped:
+            if entry.grouped or entry.carry:
                 raise PlanError(
-                    "an early-grouped plan cannot finalize without a spec"
+                    "an eagerly aggregated plan cannot finalize "
+                    "without a spec"
                 )
             return [self._project(plan, select)]
 
-        if entry.grouped:
+        eager_marker: Optional[str] = None
+        if entry.grouped or entry.carry:
             assert self.decomposed is not None
+            eager_marker = "merge"
+            if entry.grouped and entry.carry:
+                # partials on one side, a carry on another: coalesce
+                # with carry-weighted SUMs
+                aggregates = weighted_coalescers(self.decomposed)
+            elif entry.grouped:
+                aggregates = self.decomposed.coalescers
+            else:
+                # carry only: the aggregate arguments are still raw
+                # rows — compute the partials weighted by the carry
+                aggregates = weighted_partials(self.decomposed)
             finalize = self.decomposed.finalize_substitution()
-            aggregates = self.decomposed.coalescers
             having = tuple(p.substitute(finalize) for p in spec.having)
             select = tuple(
                 (name, source.substitute(finalize))
@@ -1026,6 +1232,7 @@ class _BlockContext:
                 aggregates=aggregates,
                 having=having,
                 method=method,
+                eager=eager_marker,
             )
             self.model.annotate(group)
             results.append(self._project(group, select))

@@ -211,6 +211,9 @@ def optimize_traditional(
         enable_projection_pruning=(
             options.enable_projection_pruning if options is not None else True
         ),
+        # mode="traditional" never reaches the eager branches; stated
+        # here so the baseline's options read as what it actually does
+        enable_eager_aggregation=False,
     )
     optimizer = BlockOptimizer(
         catalog, params, baseline_options, mode="traditional", stats=stats

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-from ..algebra.expressions import Expression
+from ..algebra.expressions import Expression, FieldKey
 
 
 class JoinGraph:
@@ -44,6 +44,8 @@ class JoinGraph:
         "mask_of_alias",
         "all_mask",
         "pred_masks",
+        "pred_strict_masks",
+        "pred_columns",
         "join_pred_masks",
         "adjacency",
     )
@@ -51,6 +53,7 @@ class JoinGraph:
     def __init__(
         self, aliases: Iterable[str], predicates: Iterable[Expression]
     ):
+        predicates = tuple(predicates)
         # Sorted bit assignment: iterating set bits low-to-high then
         # visits aliases in the same order as ``sorted(subset)`` did in
         # the FrozenSet enumerator, keeping cost-tie winners identical.
@@ -74,6 +77,12 @@ class JoinGraph:
             self.strict_mask_of(predicate.aliases())
             for predicate in predicates
         ]
+        self.pred_strict_masks: Tuple[Optional[int], ...] = tuple(
+            strict_masks
+        )
+        self.pred_columns: Tuple[FrozenSet[FieldKey], ...] = tuple(
+            predicate.columns() for predicate in predicates
+        )
         self.join_pred_masks: Tuple[int, ...] = tuple(
             mask
             for mask in strict_masks
@@ -136,6 +145,22 @@ class JoinGraph:
             low = mask & -mask
             yield low
             mask &= mask - 1
+
+    def border_columns(self, subset_mask: int) -> FrozenSet[FieldKey]:
+        """Columns of predicates crossing the border of *subset_mask* —
+        the join keys an eager partial group-by over the subset must
+        keep as grouping columns. A predicate crosses when it touches
+        the subset but also references an alias outside it (foreign
+        aliases, strict mask ``None``, always count as outside)."""
+        crossing = set()
+        for columns, mask, strict in zip(
+            self.pred_columns, self.pred_masks, self.pred_strict_masks
+        ):
+            if not (mask & subset_mask):
+                continue
+            if strict is None or strict & ~subset_mask:
+                crossing |= columns
+        return frozenset(crossing)
 
     # ------------------------------------------------------------------
     # Connectivity

@@ -76,6 +76,18 @@ class OptimizerOptions:
     back to the unknown-stats default (``ndv = rows``), the statistics
     ablation: plan choice may change, answers never do."""
 
+    enable_eager_aggregation: bool = True
+    """Eager partial-aggregation alternatives inside the block DP
+    (beyond the paper; *Partial Partial Aggregates*). The DP retains,
+    per subset, both the lazy plan and eager variants — a partial
+    group-by on the side holding the aggregate arguments, or a
+    COUNT-carry pre-collapse of a side without them — and the final
+    choice is by cost, so the no-worse guarantee is kept structurally
+    (the lazy alternative always survives finalization). Requires
+    ``enable_pushdown``; off = exactly the pre-eager greedy heuristic
+    (early group-by replaces the plain join only when cheaper and no
+    wider). Answers never change, only plan shapes."""
+
     def __post_init__(self) -> None:
         if self.k_level < 0:
             raise ValueError("k_level must be non-negative")
@@ -89,5 +101,6 @@ TRADITIONAL = OptimizerOptions(
     enable_pullup=False,
     enable_pushdown=False,
     enable_invariant_split=False,
+    enable_eager_aggregation=False,
 )
 """The Section 5.1 baseline expressed as options."""

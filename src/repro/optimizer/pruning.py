@@ -302,6 +302,7 @@ def _prune_group_by(
             having=plan.having,
             method=plan.method,
             projection=projection,
+            eager=plan.eager,
         ),
         True,
     )

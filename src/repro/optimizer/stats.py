@@ -50,6 +50,13 @@ class SearchStats:
     plans_repruned: int = 0
     """Final plans narrowed by the post-DP :func:`prune_plan` pass
     (view boundaries and hand-built shapes the block DP cannot see)."""
+    eager_alternatives_considered: int = 0
+    """Eager partial-aggregation alternatives (partial group-bys and
+    COUNT-carry pre-collapses) generated and costed alongside the lazy
+    plan during DP extension."""
+    eager_alternatives_adopted: int = 0
+    """Finalized block plans whose winning DP entry carried eager
+    partial-aggregation state (grouped and/or carry)."""
     timings: Dict[str, float] = field(default_factory=dict)
     """Per-phase elapsed seconds (``leaf_plans``, ``dp``, ``finalize``)."""
 
@@ -98,6 +105,12 @@ class SearchStats:
             + (
                 f" skipped={self.connected_subsets_skipped}"
                 if self.connected_subsets_skipped
+                else ""
+            )
+            + (
+                f" eager={self.eager_alternatives_adopted}/"
+                f"{self.eager_alternatives_considered}"
+                if self.eager_alternatives_considered
                 else ""
             )
         )

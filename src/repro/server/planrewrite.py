@@ -104,6 +104,7 @@ def clone_plan(
                 having=[rewrite(h) for h in node.having],
                 method=node.method,
                 projection=node.projection,
+                eager=node.eager,
             )
         elif isinstance(node, FilterNode):
             clone = FilterNode(

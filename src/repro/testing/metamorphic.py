@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..cost.params import CostParams
 from ..db import Database
 from ..engine.reference import rows_equal_bag
 from ..errors import ReproError
@@ -44,6 +45,11 @@ class EngineConfig:
     optimizer: str = "full"
     options: Optional[OptimizerOptions] = None
     engine: str = "batch"
+    params: Optional[CostParams] = None
+    """Cost-model parameters for this configuration's database. Cost
+    knobs steer plan choice only — answers must not move, which is
+    exactly what the matrix checks. (The no-worse cost comparison is
+    only made between configs sharing the default parameters.)"""
     session: bool = False
     """Replay through a :class:`~repro.server.session.Session` instead
     of the bare ``Database`` facade: every query runs twice through a
@@ -96,6 +102,23 @@ CONFIGS: Tuple[EngineConfig, ...] = (
     # answers — caching and parameter lifting are pure plan-delivery
     # mechanics, never semantics.
     EngineConfig("full-plancache", session=True),
+    # Eager-aggregation ablation: partial group-bys and COUNT-carry
+    # pre-collapses below joins are retained *alternatives* next to
+    # the lazy plan, picked purely by cost — disabling them may change
+    # plans and costs but never answers.
+    EngineConfig(
+        "full-noeager",
+        options=OptimizerOptions(enable_eager_aggregation=False),
+    ),
+    # Eager-adoption point: a weighted CPU+IO objective and a tiny
+    # memory budget make the retained eager alternatives actually win
+    # at fuzz scale, so partial group-by and COUNT-carry plans get
+    # *executed* (including Grace-spill paths) under cross-check — not
+    # merely generated and priced.
+    EngineConfig(
+        "full-eagercost",
+        params=CostParams(memory_pages=4, cpu_tuple_weight=0.01),
+    ),
 )
 
 
@@ -220,7 +243,7 @@ def _replay_session_config(
     script: Sequence[Stmt], config: EngineConfig, rel_tol: float
 ) -> Tuple[Dict[int, QueryOutcome], Optional[Divergence], Database]:
     """Replay the whole script through one :class:`Session`."""
-    db = Database()
+    db = Database(config.params)
     outcomes: Dict[int, QueryOutcome] = {}
     with db.session(
         optimizer=config.optimizer,
@@ -255,7 +278,7 @@ def _replay_config(
     """Replay the whole script under one configuration."""
     if config.session:
         return _replay_session_config(script, config, rel_tol)
-    db = Database()
+    db = Database(config.params)
     outcomes: Dict[int, QueryOutcome] = {}
     for position, stmt in enumerate(script):
         if stmt.kind == "query":

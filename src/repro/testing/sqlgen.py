@@ -176,6 +176,17 @@ class GenProfile:
     """Chance that a late insert is followed by ``ANALYZE`` (sometimes
     table-targeted, sometimes whole-database) — statistics refresh must
     never change answers, only plans."""
+    analyze_upfront_prob: float = 0.75
+    """Chance that the initial load is followed by a whole-database
+    ``ANALYZE``. NDV statistics arm the eager-aggregation prescreen
+    (unanalyzed tables estimate no group collapse, so no eager
+    alternatives are ever generated) — most scripts should run with
+    statistics so the matrix actually exercises those plans."""
+    grouped_join_prob: float = 0.35
+    """Chance a query uses the dedicated grouped multi-join shape:
+    aggregate arguments drawn from one relation, grouping keys from
+    another — the shape where eager partial aggregation and COUNT-carry
+    pre-collapse below the join apply."""
 
 
 # ----------------------------------------------------------------------
@@ -540,6 +551,85 @@ class ScriptGenerator:
             views=views,
         )
 
+    def _gen_grouped_join_query(self) -> QuerySpec:
+        """A grouped multi-join query shaped for eager aggregation:
+        every aggregate argument comes from one relation (the *fact*
+        side) while the grouping keys come from the others, so the
+        optimizer may legally collapse either side below the join — a
+        partial group-by on the fact side, a COUNT-carry pre-collapse
+        on a dimension side. Whether it does is a pure cost decision;
+        the answers must not move either way."""
+        rng = self.rng
+        pool = self._relation_pool()
+        rels: List[Tuple[RelRef, GenTable]] = []
+        for _ in range(rng.randint(2, 3)):
+            table = rng.choice(pool)
+            alias = self._fresh("r")
+            rels.append((RelRef(table.name, alias), table))
+
+        where = self._join_chain(rels)
+        for _ in range(rng.randint(0, 2)):
+            where.append(self._predicate(rels))
+
+        fact = rng.choice(rels)
+        dims = [pair for pair in rels if pair is not fact] or [fact]
+        select: List[SelectItem] = []
+        group_by: List[str] = []
+        for _ in range(rng.randint(1, 2)):
+            rel, table = rng.choice(dims)
+            column = rng.choice(table.columns)
+            ref = self._column_ref(rel, column)
+            if ref not in group_by:
+                group_by.append(ref)
+                select.append(
+                    SelectItem(
+                        self._fresh("x"), ref, frozenset([rel.alias])
+                    )
+                )
+
+        seen_aggregates = set()
+        if rng.random() < 0.4:
+            # duplicate-sensitive and argument-free: the COUNT-carry
+            # weighting must reproduce join multiplicity exactly
+            seen_aggregates.add("count(*)")
+            select.append(
+                SelectItem(
+                    self._fresh("x"), "count(*)", frozenset(), True
+                )
+            )
+        for _ in range(rng.randint(1, 3)):
+            sql, _, aliases = self._aggregate([fact], False)
+            if sql in seen_aggregates:
+                continue  # the binder rejects duplicate aggregates
+            seen_aggregates.add(sql)
+            select.append(
+                SelectItem(
+                    self._fresh("x"), sql, aliases, is_aggregate=True
+                )
+            )
+
+        having: List[PredSpec] = []
+        if rng.random() < 0.3:
+            aggregates = [item for item in select if item.is_aggregate]
+            target = rng.choice(aggregates)
+            op = rng.choice(self.COMPARISONS)
+            bound = (
+                rng.randint(-2, 8)
+                if "count" in target.sql
+                else rng.randint(-10, 30)
+            )
+            having.append(
+                PredSpec(f"{target.sql} {op} {bound}", target.aliases)
+            )
+
+        return QuerySpec(
+            relations=[rel for rel, _ in rels],
+            select=select,
+            where=where,
+            group_by=group_by,
+            having=having,
+        )
+
     def _gen_with_view(self) -> ViewSpec:
         """A simple grouped WITH view over one base table."""
         rng = self.rng
@@ -656,6 +746,9 @@ class ScriptGenerator:
                 script.append(stmt)
                 self.matviews.append(view_table)
 
+        if rng.random() < profile.analyze_upfront_prob:
+            script.append(Stmt("analyze", "analyze"))
+
         for _ in range(profile.queries):
             roll = rng.random()
             if roll < 0.2 and rng.random() < profile.late_insert_prob:
@@ -679,7 +772,10 @@ class ScriptGenerator:
                         f" {table.name}" if rng.random() < 0.5 else ""
                     )
                     script.append(Stmt("analyze", f"analyze{target}"))
-            query = self._gen_query()
+            if rng.random() < profile.grouped_join_prob:
+                query = self._gen_grouped_join_query()
+            else:
+                query = self._gen_query()
             script.append(Stmt("query", query.to_sql(), query=query))
         return script
 

@@ -12,8 +12,18 @@
   [MFPR90, LMS94] baseline the paper's introduction contrasts with.
 - :mod:`unnest` — the Kim-style flattening entry point that turns
   correlated nested subqueries into aggregate-view queries (Section 1).
+- :mod:`eager` — eager partial-aggregation derivations (beyond the
+  paper: partial pushdown through joins with a COUNT-carry for
+  duplicate-sensitive merges), consumed by the block DP.
 """
 
+from .eager import (
+    carry_aggregates,
+    eager_group_keys,
+    partial_aggregates,
+    weighted_coalescers,
+    weighted_partials,
+)
 from .pullup import pull_up, pull_up_plan, key_columns
 from .invariant import (
     apply_invariant_split,
@@ -37,4 +47,9 @@ __all__ = [
     "decompose_aggregates",
     "propagate_predicates",
     "unnest_sql",
+    "carry_aggregates",
+    "eager_group_keys",
+    "partial_aggregates",
+    "weighted_coalescers",
+    "weighted_partials",
 ]

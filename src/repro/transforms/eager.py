@@ -1,0 +1,181 @@
+"""Eager partial-aggregation derivations for the block DP.
+
+Beyond the paper: its pull-up/push-down transforms move a *whole*
+group-by across a join, and its Section 5.2 greedy heuristic pushes the
+complete partial set onto the one side holding every aggregate
+argument. The modern generalization (*Partial Partial Aggregates*,
+Brisson) pushes only the **local compute phase** of decomposable
+aggregates through joins, so the join sees pre-collapsed groups. This
+module derives, for a DP subset whose output feeds a decomposable
+aggregate, the legal eager alternatives:
+
+- **partial group-by** — when the subset holds *all* aggregate
+  arguments: group on the columns anything above still needs (border
+  join keys, contributed final grouping columns, select columns) and
+  compute the decomposed partials (``__p0``, ``__p1``, ...). The final
+  group-by coalesces and a projection finalizes — the existing
+  Section 4.2 machinery (:mod:`.coalescing`).
+
+- **COUNT-carry pre-collapse** — when the subset holds *no* aggregate
+  argument: collapse its duplicate rows into one row per live-column
+  combination plus a carry column ``__cnt = COUNT(*)``. Joining the
+  collapsed side preserves which rows match but loses multiplicity;
+  the carry restores it above the join by *weighting* the
+  duplicate-sensitive aggregates (``SUM(x) -> SUM(x * __cnt)``,
+  ``COUNT(x) -> SUM(__cnt per non-NULL x)``, ``COUNT(*) ->
+  SUM(__cnt)``; MIN/MAX are duplicate-insensitive and pass through).
+
+Legality (all enforced here or by the DP's state bookkeeping):
+
+- every aggregate must be decomposable (all-or-nothing, the same
+  condition as coalescing — a holistic MEDIAN disables both shapes);
+- the eager grouping keys must cover every column an ancestor still
+  reads: pending predicate columns, final grouping keys, select
+  columns, and shared-finalization extras — rows that agree on all of
+  them are interchangeable above this point except for multiplicity,
+  which the partial aggregates (or the carry) preserve;
+- at most one carry per plan, and a carry-bearing input is never
+  re-grouped into partials (the weighting happens once, at the final
+  group-by).
+
+The derivations are *alternatives*: the DP retains the lazy plan
+alongside them and the final choice is by cost, which is what keeps
+the paper's no-worse guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+from ..algebra.aggregates import AggregateCall
+from ..algebra.expressions import (
+    ColumnRef,
+    Arith,
+    Expression,
+    FieldKey,
+    FuncCall,
+)
+from ..catalog.schema import RowSchema
+from .coalescing import DecomposedAggregates
+
+CARRY_COLUMN = "__cnt"
+"""Output name of the carry count; alias ``None`` like partial columns,
+so join projections keep it automatically."""
+
+CARRY_KEY: FieldKey = (None, CARRY_COLUMN)
+
+
+def carry_aggregates() -> Tuple[Tuple[str, AggregateCall], ...]:
+    """The aggregate list of a carry pre-collapse: ``__cnt = COUNT(*)``."""
+    return ((CARRY_COLUMN, AggregateCall("count", None)),)
+
+
+def eager_group_keys(
+    schema: RowSchema, keep: Set[FieldKey]
+) -> List[FieldKey]:
+    """The grouping keys of an eager group-by over a plan with *schema*:
+    every schema column some ancestor still needs (*keep*), in schema
+    order. Alias-``None`` columns (prior partials, a carry) never become
+    keys — eager grouping only applies below any such column exists."""
+    return [
+        field.key
+        for field in schema
+        if field.alias is not None and field.key in keep
+    ]
+
+
+def partial_aggregates(
+    decomposed: DecomposedAggregates,
+    schema: RowSchema,
+    already_grouped: bool,
+) -> Optional[Tuple[Tuple[str, AggregateCall], ...]]:
+    """The aggregate list of a partial (or re-coalescing) eager
+    group-by, or ``None`` when some partial argument is not resolvable
+    in *schema* — the all-or-nothing condition: either every partial
+    computes here, or none does."""
+    if already_grouped:
+        return decomposed.coalescers
+    for _, call in decomposed.partials:
+        for key in call.columns():
+            if not schema.has(*key):
+                return None
+    return decomposed.partials
+
+
+# ----------------------------------------------------------------------
+# Carry weighting
+# ----------------------------------------------------------------------
+
+
+def _pick_carry(value: Any, carry: Any) -> Any:
+    return carry
+
+
+def _carry_per_non_null(
+    arg: Expression, carry: Expression
+) -> Expression:
+    """Per-row COUNT weight under a carry: the carry count when the
+    counted argument is non-NULL, else NULL (``FuncCall`` is
+    NULL-propagating, so SUM skips the row — matching COUNT's
+    NULL-skipping semantics)."""
+    return FuncCall("pick_carry", _pick_carry, [arg, carry])
+
+
+def weight_partial_call(
+    call: AggregateCall, carry: Expression
+) -> AggregateCall:
+    """Rewrite one partial aggregate call to account for each input row
+    standing for ``carry`` collapsed rows. Partial calls are only ever
+    COUNT/SUM/MIN/MAX (see the decompositions in
+    :mod:`repro.algebra.aggregates`)."""
+    name = call.func_name.lower()
+    if name == "sum":
+        assert call.arg is not None
+        return AggregateCall("sum", Arith("*", call.arg, carry))
+    if name == "count":
+        if call.arg is None:
+            return AggregateCall("sum", carry)
+        return AggregateCall(
+            "sum", _carry_per_non_null(call.arg, carry)
+        )
+    if name in ("min", "max"):
+        return call  # duplicate-insensitive
+    raise AssertionError(f"unexpected partial aggregate {name!r}")
+
+
+def weighted_partials(
+    decomposed: DecomposedAggregates,
+) -> Tuple[Tuple[str, AggregateCall], ...]:
+    """Final-group-by aggregates for a carry-bearing input whose
+    aggregate arguments are still raw rows: each partial, weighted by
+    the carry, under its partial name — so the finalizers (and
+    ``finalize_substitution``) apply unchanged."""
+    carry = ColumnRef(*CARRY_KEY)
+    return tuple(
+        (name, weight_partial_call(call, carry))
+        for name, call in decomposed.partials
+    )
+
+
+def weighted_coalescers(
+    decomposed: DecomposedAggregates,
+) -> Tuple[Tuple[str, AggregateCall], ...]:
+    """Final-group-by aggregates when partials were computed on one
+    side and a carry on another: each partial-group row joined a carry
+    row standing for ``__cnt`` collapsed partners, so SUM coalescers
+    weight by the carry (a NULL partial stays skipped: NULL * carry is
+    NULL) while MIN/MAX pass through."""
+    carry = ColumnRef(*CARRY_KEY)
+    out: List[Tuple[str, AggregateCall]] = []
+    for name, call in decomposed.coalescers:
+        op = call.func_name.lower()
+        if op == "sum":
+            assert call.arg is not None
+            out.append(
+                (name, AggregateCall("sum", Arith("*", call.arg, carry)))
+            )
+        elif op in ("min", "max"):
+            out.append((name, call))
+        else:  # pragma: no cover - decompositions only emit sum/min/max
+            raise AssertionError(f"unexpected coalescer {op!r}")
+    return tuple(out)

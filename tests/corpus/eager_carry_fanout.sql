@@ -1,0 +1,12 @@
+-- corpus regression: eager_carry_fanout.sql
+-- pins: COUNT-carry pre-collapse of a duplicate-rich probe side must
+-- reproduce join multiplicity exactly at the merge group-by: the
+-- carry weights SUM (sum * __cnt), COUNT(*) (sum of __cnt), and
+-- COUNT(x) (carry per non-NULL x) while MIN passes through unchanged.
+-- Adopted under the weighted-cost config; every config must agree.
+create table emp (eno int, dno int, sal float, age int null);
+create table pay (pno int, dno int);
+insert into emp values (1, 0, 10.25, 30), (2, 0, 4.5, null), (3, 1, 7.75, 41), (4, 1, 1.25, null), (5, 2, 9.0, 28), (6, 2, 2.5, 55), (7, 0, 3.25, 22), (8, 1, 8.5, 37), (9, 2, 6.75, null), (10, 0, 5.0, 44);
+insert into pay values (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (6, 1), (7, 1), (8, 2), (9, 2), (10, 2), (11, 2), (12, 2), (13, 0), (14, 1), (15, 2);
+analyze;
+select e.dno as x1, sum(e.sal) as x2, count(*) as x3, count(e.age) as x4, min(e.sal) as x5 from emp e, pay p where e.dno = p.dno group by e.dno;

@@ -1,0 +1,12 @@
+-- corpus regression: eager_null_count_merge.sql
+-- pins: a group whose counted column is entirely NULL must finalize
+-- to COUNT = 0 (never NULL) through the eager partial merge — the
+-- COUNT decomposition's IFNULL finalizer; SUM/AVG over the same
+-- all-NULL group stay NULL; HAVING filters on the finalized value.
+create table t1 (c0 int, c1 int null, c2 float null);
+create table t2 (c0 int, c3 int);
+insert into t1 values (0, null, null), (0, null, null), (1, 4, 2.5), (1, null, 1.25), (2, 7, null), (2, 2, 3.75), (0, null, null), (1, 6, 0.5);
+insert into t2 values (0, 10), (0, 11), (1, 12), (1, 13), (2, 14), (0, 15), (2, 16), (1, 17), (2, 18);
+analyze;
+select r1.c0 as x1, count(r1.c1) as x2, sum(r1.c2) as x3, avg(r1.c2) as x4 from t1 r1, t2 r2 where r1.c0 = r2.c0 group by r1.c0;
+select r1.c0 as x1, count(r1.c2) as x2 from t1 r1, t2 r2 where r1.c0 = r2.c0 group by r1.c0 having count(r1.c1) >= 0;

@@ -1,0 +1,11 @@
+-- corpus regression: eager_partial_pushdown.sql
+-- pins: partial aggregates computed below the join (the side holding
+-- every aggregate argument collapses on the join key) must coalesce
+-- and finalize above it to the lazy plan's exact answer — including
+-- AVG's sum/count finalize division over a fan-out join.
+create table dept (dno int, region int);
+create table bonus (bno int, dno int, amt float);
+insert into dept values (0, 0), (1, 0), (2, 1), (3, 1);
+insert into bonus values (1, 0, 2.25), (2, 0, 4.0), (3, 0, 1.75), (4, 1, 3.5), (5, 1, 0.25), (6, 2, 5.0), (7, 2, 2.0), (8, 2, 7.25), (9, 3, 1.0), (10, 3, 6.5), (11, 0, 3.0), (12, 1, 4.75), (13, 2, 0.5), (14, 3, 2.5), (15, 3, 8.0);
+analyze;
+select d.region as x1, sum(b.amt) as x2, avg(b.amt) as x3, max(b.amt) as x4, count(b.amt) as x5 from dept d, bonus b where d.dno = b.dno group by d.region;

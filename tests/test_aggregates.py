@@ -226,8 +226,16 @@ class TestUserDefined:
                 return _Acc()
 
         register_aggregate(Second())
-        assert "second_test_only" in known_aggregates()
-        assert run("second_test_only", [7, 8, 9]) == 8
+        try:
+            assert "second_test_only" in known_aggregates()
+            assert run("second_test_only", [7, 8, 9]) == 8
+        finally:
+            # Registry is process-global; leaking the probe UDF would
+            # make it visible to every test that enumerates
+            # known_aggregates() after this one.
+            from repro.algebra.aggregates import _REGISTRY
+
+            _REGISTRY.pop("second_test_only", None)
 
     def test_register_requires_name(self):
         class Nameless(AggregateFunction):

@@ -1,0 +1,185 @@
+"""Property tests for the aggregate decomposability protocol.
+
+For every decomposable aggregate the protocol must satisfy, over any
+partitioning of the input and any merge order::
+
+    final(coalesce(partial(A), partial(B), ...)) == direct(A ∪ B ∪ ...)
+
+with the partitions free to be empty, all-NULL, NULL-bearing, or
+single-row. The same associativity must hold one level down for the
+runtime accumulators' ``merge``. Float data is restricted to dyadic
+rationals (multiples of 0.25) so every sum is exact in binary and the
+comparison is *exact equality* — merge order genuinely cannot matter.
+
+A protocol gap this suite pinned: SUM-coalescing a COUNT partial over
+zero contributing rows yields NULL where COUNT must return 0 — the
+COUNT decomposition's finalizer coerces with IFNULL(x, 0).
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.aggregates import (
+    aggregate_function,
+    known_aggregates,
+)
+from repro.algebra.expressions import ColumnRef, Literal
+
+PROBE = ColumnRef("t", "c")
+PROBE_KEY = ("t", "c")
+
+# Snapshot the registry at import: tests elsewhere may register
+# throwaway UDFs whose accumulators don't honor the merge contract.
+BUILTIN_AGGREGATES = tuple(known_aggregates())
+
+DECOMPOSABLE = [
+    name
+    for name in BUILTIN_AGGREGATES
+    if aggregate_function(name).decomposable
+]
+
+# NULLs, small ints, and dyadic floats (exact in binary)
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=-10, max_value=10),
+    st.integers(min_value=-160, max_value=160).map(lambda n: n * 0.25),
+)
+partitions = st.lists(
+    st.lists(values, max_size=8), min_size=0, max_size=5
+)
+
+
+def evaluate(expression):
+    """Evaluate a column-free expression (post-substitution)."""
+    return expression.bind(None)(())
+
+
+def run_partial(call, rows):
+    """One partial aggregate over one partition's raw values."""
+    accumulator = call.function().make_accumulator()
+    for value in rows:
+        if call.arg is None:  # COUNT(*): every row counts
+            accumulator.add(True)
+        else:
+            argument = call.arg.substitute({PROBE_KEY: Literal(value)})
+            accumulator.add(evaluate(argument))
+    return accumulator.value()
+
+
+def run_direct(name, rows):
+    accumulator = aggregate_function(name).make_accumulator()
+    for value in rows:
+        accumulator.add(True if name == "count_star" else value)
+    return accumulator.value()
+
+
+def decomposed_route(name, parts, order):
+    """partial per partition -> coalesce in *order* -> finalize."""
+    function = aggregate_function(name)
+    decomposition = function.decompose(PROBE)
+    partial_tables = [
+        [run_partial(call, rows) for call in decomposition.partials]
+        for rows in parts
+    ]
+    coalesced = []
+    for position, coalescer in enumerate(decomposition.coalescers):
+        upper = aggregate_function(coalescer).make_accumulator()
+        for index in order:
+            upper.add(partial_tables[index][position])
+        coalesced.append(upper.value())
+    final = decomposition.finalize(
+        [Literal(value) for value in coalesced]
+    )
+    return evaluate(final)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_decomposed_equals_direct(data):
+    parts = data.draw(partitions)
+    order = data.draw(st.permutations(range(len(parts))))
+    flat = [value for rows in parts for value in rows]
+    for name in DECOMPOSABLE:
+        direct = run_direct(name, flat)
+        routed = decomposed_route(name, parts, list(order))
+        assert routed == direct, (
+            f"{name}: decomposed route {routed!r} != direct {direct!r} "
+            f"over {parts!r} merged in order {order!r}"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_accumulator_merge_is_order_independent(data):
+    """merge() itself — one level below the decomposition — must agree
+    with single-pass accumulation under any fold order, for *every*
+    registered aggregate (holistic MEDIAN included)."""
+    parts = data.draw(partitions)
+    order = data.draw(st.permutations(range(len(parts))))
+    flat = [value for rows in parts for value in rows]
+    for name in BUILTIN_AGGREGATES:
+        function = aggregate_function(name)
+        direct = function.make_accumulator()
+        for value in flat:
+            direct.add(value)
+        merged = function.make_accumulator()
+        for index in order:
+            piece = function.make_accumulator()
+            for value in parts[index]:
+                piece.add(value)
+            merged.merge(piece)
+        assert merged.value() == direct.value(), (
+            f"{name}: merged fold {merged.value()!r} != "
+            f"direct {direct.value()!r} over {parts!r}"
+        )
+
+
+def test_count_star_decomposition_over_partitions():
+    """COUNT(*) decomposes with a NULL argument; partial counts must
+    sum across partitions and finalize to an exact row total."""
+    decomposition = aggregate_function("count").decompose(None)
+    parts = [[1, None, 3], [], [None]]
+    partials = [
+        run_partial(call, rows)
+        for rows in parts
+        for call in decomposition.partials
+    ]
+    upper = aggregate_function(decomposition.coalescers[0]).make_accumulator()
+    for value in partials:
+        upper.add(value)
+    final = decomposition.finalize([Literal(upper.value())])
+    assert evaluate(final) == 4  # COUNT(*) counts NULL rows too
+
+
+def test_empty_and_all_null_edges():
+    """The edges that caught the SUM-of-COUNT-partials gap: no
+    partitions at all, and partitions holding only NULLs."""
+    for parts in ([], [[], []], [[None], [None, None]]):
+        flat = [value for rows in parts for value in rows]
+        for name in DECOMPOSABLE:
+            direct = run_direct(name, flat)
+            routed = decomposed_route(name, parts, range(len(parts)))
+            assert routed == direct
+            if name == "count":
+                assert routed == 0  # 0, never NULL
+            else:
+                assert routed is None  # SQL: no non-NULL input
+
+
+def test_single_row_partitions():
+    parts = [[2.5], [None], [7]]
+    flat = [2.5, None, 7]
+    for name in DECOMPOSABLE:
+        assert decomposed_route(name, parts, [2, 0, 1]) == run_direct(
+            name, flat
+        )
+
+
+def test_stddev_merge_of_empty_partials_is_null():
+    """STDDEV over only-empty partitions must finalize to NULL (its
+    FuncCall finalizer NULL-propagates), not raise on NULL division."""
+    assert decomposed_route("stddev", [[], [None]], [0, 1]) is None
+    value = decomposed_route("stddev", [[1, 3], []], [1, 0])
+    assert value is not None
+    assert math.isclose(value, 1.0)
