@@ -11,8 +11,8 @@ FUZZ_ARGS ?=
 .PHONY: help test fuzz fuzz-smoke bench bench-opt bench-exec \
 	bench-exec-smoke bench-exec-gate bench-fanout bench-views \
 	bench-views-smoke bench-card bench-card-smoke bench-serve \
-	bench-serve-smoke bench-eager bench-eager-smoke examples shell \
-	serve all
+	bench-serve-smoke bench-eager bench-eager-smoke bench-subq \
+	bench-subq-smoke examples shell serve all
 
 help:
 	@echo "repro targets:"
@@ -33,6 +33,8 @@ help:
 	@echo "  make bench-serve-smoke serving study, tiny CI configuration with gates"
 	@echo "  make bench-eager      eager aggregation payoff -> BENCH_eager.json"
 	@echo "  make bench-eager-smoke eager payoff, tiny CI configuration with >=2x gate"
+	@echo "  make bench-subq       decorrelation payoff -> BENCH_subquery.json"
+	@echo "  make bench-subq-smoke decorrelation payoff, tiny CI configuration with >=5x gate"
 	@echo "  make examples         run the example scripts"
 	@echo "  make shell            interactive SQL shell with demo data"
 	@echo "  make serve            line-protocol server on demo data"
@@ -96,6 +98,14 @@ bench-eager:
 bench-eager-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_eager_agg.py --smoke \
 		--assert-reduction 2.0 --out BENCH_eager_smoke.json
+
+bench-subq:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_subquery.py --out BENCH_subquery.json \
+		--assert-speedup 5.0
+
+bench-subq-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_subquery.py --smoke \
+		--assert-speedup 5.0 --out BENCH_subquery_smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

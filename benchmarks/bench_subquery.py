@@ -1,0 +1,254 @@
+"""Decorrelation payoff — flattened subqueries vs naive mark joins.
+
+Four WHERE-clause subquery shapes run against the same order/customer
+database, each twice:
+
+- **decorrelated** — the default optimizer flattens the subquery into
+  a semi/anti join or a grouped view joined back (Kim's
+  join-aggregate transformation; ``SearchStats.decorrelation_adopted``
+  is asserted), so execution is one hash pass over each input;
+- **naive** — ``OptimizerOptions(enable_decorrelation=False)`` keeps
+  the subquery as a :class:`SubqueryMarkNode`, the deliberately
+  unoptimized O(outer x inner) rescan the paper's transformation is
+  measured against.
+
+The shapes: uncorrelated IN (semi join), NOT IN over a NULL-free inner
+(anti join), a correlated scalar AVG comparison (grouped-view LEFT
+lineage), and correlated EXISTS. Answer-bag identity between the two
+modes is always asserted per shape; the ``--assert-speedup`` gate (CI
+uses 5.0) requires every shape's best-of-N naive wall-clock to be at
+least that factor above the decorrelated one.
+
+``make bench-subq`` writes ``BENCH_subquery.json`` at the repository
+root; ``make bench-subq-smoke`` (CI) runs a small configuration with
+the gate asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+
+from reporting import machine_metadata, report_table
+
+from repro.cost.params import CostParams
+from repro.db import Database
+from repro.optimizer.options import OptimizerOptions
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_subquery.json"
+)
+
+NAIVE = OptimizerOptions(enable_decorrelation=False)
+
+SHAPES: Tuple[Tuple[str, str], ...] = (
+    (
+        "in-semi",
+        "SELECT o.ono, o.amount FROM orders o WHERE o.cno IN "
+        "(SELECT c.cno FROM customers c WHERE c.tier >= 2)",
+    ),
+    (
+        "not-in-anti",
+        "SELECT o.ono, o.amount FROM orders o WHERE o.cno NOT IN "
+        "(SELECT c.cno FROM customers c WHERE c.tier >= 2)",
+    ),
+    (
+        "corr-scalar-avg",
+        "SELECT o.ono FROM orders o WHERE o.amount > "
+        "(SELECT AVG(c.credit) FROM customers c WHERE c.cno = o.cno)",
+    ),
+    (
+        "corr-exists",
+        "SELECT o.ono, o.cno FROM orders o WHERE EXISTS "
+        "(SELECT c.cno FROM customers c "
+        "WHERE c.cno = o.cno AND c.tier >= 3)",
+    ),
+)
+
+
+def build_database(orders: int, customers: int) -> Database:
+    """*orders* rows spread over *customers* accounts; dyadic amounts
+    keep AVG comparisons exact, so answer identity is exact equality.
+    Customer tiers split the inner side so semi and anti joins both
+    keep a nontrivial fraction of the outer rows."""
+    db = Database(CostParams(memory_pages=32))
+    db.create_table(
+        "orders",
+        [("ono", "int"), ("cno", "int"), ("amount", "float")],
+        primary_key=["ono"],
+    )
+    db.create_table(
+        "customers",
+        [("cno", "int"), ("tier", "int"), ("credit", "float")],
+        primary_key=["cno"],
+    )
+    db.insert(
+        "orders",
+        [(i, i % customers, (i % 41) * 0.25) for i in range(orders)],
+    )
+    db.insert(
+        "customers",
+        [(c, c % 4, (c % 17) * 0.5) for c in range(customers)],
+    )
+    db.analyze()
+    return db
+
+
+def run_mode(
+    db: Database,
+    sql: str,
+    options: Optional[OptimizerOptions],
+    repeats: int,
+) -> Dict[str, object]:
+    samples: List[float] = []
+    result = None
+    for _ in range(repeats):
+        start = perf_counter()
+        result = db.query(sql, options=options)
+        samples.append(perf_counter() - start)
+    stats = db.optimize(sql, options=options).stats
+    return {
+        "rows": sorted(tuple(row) for row in result.rows),
+        "io_total": result.executed_io.total,
+        "best_ms": 1000.0 * min(samples),
+        "mean_ms": 1000.0 * sum(samples) / len(samples),
+        "decorrelation_considered": stats.decorrelation_considered,
+        "decorrelation_adopted": stats.decorrelation_adopted,
+    }
+
+
+def run_shape(
+    db: Database, name: str, sql: str, repeats: int
+) -> Tuple[Dict[str, object], List[str]]:
+    decorrelated = run_mode(db, sql, None, repeats)
+    naive = run_mode(db, sql, NAIVE, repeats)
+
+    failures: List[str] = []
+    if decorrelated["rows"] != naive["rows"]:
+        failures.append(
+            f"{name}: decorrelated and naive answers differ "
+            f"({len(decorrelated['rows'])} vs {len(naive['rows'])} rows)"
+        )
+    if not decorrelated["decorrelation_adopted"]:
+        failures.append(
+            f"{name}: the optimizer did not flatten the subquery "
+            f"(considered {decorrelated['decorrelation_considered']})"
+        )
+    if naive["decorrelation_adopted"]:
+        failures.append(
+            f"{name}: the naive baseline still decorrelated — "
+            "enable_decorrelation=False is not ablating"
+        )
+
+    speedup = (
+        naive["best_ms"] / decorrelated["best_ms"]
+        if decorrelated["best_ms"]
+        else 0.0
+    )
+    payload = {
+        "shape": name,
+        "sql": sql,
+        "rows_out": len(decorrelated["rows"]),
+        "best_ms_decorrelated": decorrelated["best_ms"],
+        "best_ms_naive": naive["best_ms"],
+        "mean_ms_decorrelated": decorrelated["mean_ms"],
+        "mean_ms_naive": naive["mean_ms"],
+        "io_decorrelated": decorrelated["io_total"],
+        "io_naive": naive["io_total"],
+        "speedup": speedup,
+        "answer_identical": decorrelated["rows"] == naive["rows"],
+    }
+    return payload, failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration (fewer outer rows, fewer repeats)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless every shape's naive best wall-clock is at "
+        "least X times the decorrelated one (answer identity is "
+        "always asserted)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        orders, customers, repeats = 2_000, 200, 3
+    else:
+        orders, customers, repeats = 6_000, 400, 5
+
+    db = build_database(orders, customers)
+    shapes: List[Dict[str, object]] = []
+    failures: List[str] = []
+    for name, sql in SHAPES:
+        payload, shape_failures = run_shape(db, name, sql, repeats)
+        shapes.append(payload)
+        failures.extend(shape_failures)
+
+    if args.assert_speedup is not None:
+        for payload in shapes:
+            if payload["speedup"] < args.assert_speedup:
+                failures.append(
+                    f"{payload['shape']}: speedup "
+                    f"{payload['speedup']:.2f}x is below the "
+                    f"{args.assert_speedup:.1f}x gate"
+                )
+
+    out = {
+        "experiment": "subquery_decorrelation",
+        "smoke": bool(args.smoke),
+        "machine": machine_metadata(),
+        "orders": orders,
+        "customers": customers,
+        "repeats": repeats,
+        "shapes": shapes,
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+
+    report_table(
+        "subquery_decorrelation",
+        f"decorrelated vs naive mark join "
+        f"({orders} orders x {customers} customers, best of {repeats})",
+        ["shape", "naive ms", "decorrelated ms", "speedup", "rows"],
+        [
+            [
+                payload["shape"],
+                f"{payload['best_ms_naive']:.2f}",
+                f"{payload['best_ms_decorrelated']:.2f}",
+                f"{payload['speedup']:.1f}x",
+                payload["rows_out"],
+            ]
+            for payload in shapes
+        ],
+        notes=[
+            "answers identical per shape: "
+            + ", ".join(
+                f"{p['shape']}={p['answer_identical']}" for p in shapes
+            ),
+        ],
+    )
+
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

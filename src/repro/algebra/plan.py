@@ -101,6 +101,8 @@ class ScanNode(PlanNode):
 
 JOIN_METHODS = ("nlj", "inlj", "smj", "hj")
 
+JOIN_KINDS = ("inner", "left", "semi", "anti")
+
 
 class JoinNode(PlanNode):
     """A join of two subplans.
@@ -112,6 +114,14 @@ class JoinNode(PlanNode):
       projection list associated with the join, Section 2).
     - ``index_name``: for ``inlj``, the inner-side index probed with the
       outer row's join key values.
+    - ``kind``: ``inner`` (default), ``left`` (LEFT OUTER: unmatched
+      left rows survive with a NULL-padded right side), ``semi`` /
+      ``anti`` (left rows with at least one / no match; output schema is
+      the left side only). For non-inner kinds the equi keys *and*
+      residuals together form the ON condition, evaluated during
+      matching — never as a post-join filter.
+    - ``null_aware``: the NOT IN anti-join variant (see
+      :class:`repro.algebra.query.JoinUnit`).
     """
 
     def __init__(
@@ -123,25 +133,48 @@ class JoinNode(PlanNode):
         residuals: Sequence[Expression] = (),
         projection: Optional[Sequence[FieldKey]] = None,
         index_name: Optional[str] = None,
+        kind: str = "inner",
+        null_aware: bool = False,
     ):
         super().__init__()
         if method not in JOIN_METHODS:
             raise PlanError(f"unknown join method {method!r}")
+        if kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {kind!r}")
         if method in ("smj", "hj", "inlj") and not equi_keys:
             raise PlanError(f"join method {method!r} requires equi-join keys")
         if method == "inlj" and index_name is None:
             raise PlanError("index nested-loop join requires an index")
+        if kind != "inner" and method in ("smj", "inlj"):
+            raise PlanError(
+                f"join kind {kind!r} supports hash and nested-loop only"
+            )
+        if null_aware and kind != "anti":
+            raise PlanError("null_aware applies to anti joins only")
+        if null_aware and len(equi_keys) != 1:
+            raise PlanError("null-aware anti join needs exactly one equality")
         self.left = left
         self.right = right
         self.method = method
+        self.kind = kind
+        self.null_aware = null_aware
         self.equi_keys: Tuple[Tuple[FieldKey, FieldKey], ...] = tuple(equi_keys)
         self.residuals: Tuple[Expression, ...] = tuple(residuals)
         self.index_name = index_name
         combined = left.schema.concat(right.schema)
-        if projection is None:
-            projection = [field.key for field in combined]
+        if kind in ("semi", "anti"):
+            left_keys = {field.key for field in left.schema}
+            if projection is None:
+                projection = [field.key for field in left.schema]
+            else:
+                projection = [key for key in projection if key in left_keys]
+            output = left.schema
+        else:
+            if projection is None:
+                projection = [field.key for field in combined]
+            output = combined
         self.projection: Tuple[FieldKey, ...] = tuple(projection)
-        self._schema = combined.project(self.projection)
+        self._schema = output.project(self.projection)
 
     @property
     def schema(self) -> RowSchema:
@@ -161,7 +194,89 @@ class JoinNode(PlanNode):
             else ""
         )
         via = f" via {self.index_name}" if self.index_name else ""
-        return f"Join [{self.method}{via}] on ({keys}){residuals}"
+        kind = "" if self.kind == "inner" else f" {self.kind}"
+        if self.null_aware:
+            kind += " null-aware"
+        return f"Join [{self.method}{via}{kind}] on ({keys}){residuals}"
+
+
+class SubqueryMarkNode(PlanNode):
+    """Naive subquery evaluation: the fallback when decorrelation does
+    not apply (and the ablation baseline when it is disabled).
+
+    The ``inner`` subplan is executed **once** and materialized; each
+    ``child`` row is then kept or dropped by re-scanning the
+    materialized inner rows under the row's correlation values —
+    deliberately O(outer x inner), which is exactly what flattening into
+    semi/anti joins and aggregate views avoids.
+
+    - ``kind`` / ``negate`` / ``op``: as in
+      :class:`repro.algebra.query.SubquerySpec`.
+    - ``outer``: outer-side expression (scalar comparison LHS / IN LHS),
+      evaluated against child rows.
+    - ``correlations``: ``(inner_column, outer_column)`` equality pairs;
+      the inner side resolves against the inner subplan's schema.
+    - ``value``: the inner select item for ``in`` (inner schema).
+    - ``aggregate``: the aggregate call for ``scalar`` (inner schema);
+      an empty correlation group yields COUNT = 0, others NULL.
+
+    Membership uses SQL three-valued logic: a NULL probe value or a
+    NULL among the inner values can make the test UNKNOWN, which a
+    WHERE clause treats as false.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        inner: PlanNode,
+        kind: str,
+        negate: bool = False,
+        op: Optional[str] = None,
+        outer: Optional[Expression] = None,
+        correlations: Sequence[Tuple[Expression, Expression]] = (),
+        value: Optional[Expression] = None,
+        aggregate: Optional[AggregateCall] = None,
+    ):
+        super().__init__()
+        if kind not in ("scalar", "in", "exists"):
+            raise PlanError(f"unknown subquery mark kind {kind!r}")
+        self.child = child
+        self.inner = inner
+        self.kind = kind
+        self.negate = negate
+        self.op = op
+        self.outer = outer
+        self.correlations: Tuple[Tuple[Expression, Expression], ...] = tuple(
+            correlations
+        )
+        self.value = value
+        self.aggregate = aggregate
+
+    @property
+    def schema(self) -> RowSchema:
+        return self.child.schema
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child, self.inner)
+
+    def describe(self) -> str:
+        label = {"scalar": f"scalar {self.op}", "in": "in", "exists": "exists"}[
+            self.kind
+        ]
+        if self.negate:
+            label = "not " + label
+        correlated = (
+            " correlated("
+            + ", ".join(
+                f"{inner.display()}={outer.display()}"
+                for inner, outer in self.correlations
+            )
+            + ")"
+            if self.correlations
+            else ""
+        )
+        return f"SubqueryMark [{label}]{correlated}"
 
 
 GROUP_METHODS = ("hash", "sort")

@@ -25,6 +25,9 @@ from .expressions import (
     equijoin_sides,
 )
 
+JOIN_UNIT_KINDS = ("left", "semi", "anti")
+SUBQUERY_KINDS = ("scalar", "in", "exists")
+
 
 @dataclass(frozen=True)
 class TableRef:
@@ -169,6 +172,94 @@ class AggregateView:
 
 
 @dataclass(frozen=True)
+class JoinUnit:
+    """A non-inner join attached to the outer block.
+
+    ``alias`` is the joined side: a base table when ``table`` is given,
+    otherwise the alias of an :class:`AggregateView` in the enclosing
+    query. ``kind`` is one of ``left`` (LEFT OUTER), ``semi`` (IN /
+    EXISTS flattening) or ``anti`` (NOT IN / NOT EXISTS flattening).
+    ``on`` holds the join condition's conjuncts; for a ``left`` unit
+    unmatched probe rows survive NULL-padded, for ``semi``/``anti`` the
+    output schema is the probe side only.
+
+    ``filters`` are conjuncts over the unit's own columns, applied to
+    the joined side *before* matching (a flattened subquery's local
+    WHERE). ``null_aware`` marks the single-equality anti-join produced
+    by ``NOT IN``: an empty (filtered) inner side keeps every probe
+    row, a NULL anywhere in the inner key column drops *all* unmatched
+    rows, and a NULL probe key drops its row whenever the inner side is
+    non-empty (SQL three-valued logic).
+    """
+
+    alias: str
+    kind: str
+    table: Optional[TableRef] = None
+    on: Tuple[Expression, ...] = ()
+    filters: Tuple[Expression, ...] = ()
+    null_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOIN_UNIT_KINDS:
+            raise PlanError(f"unknown join unit kind {self.kind!r}")
+        if not self.alias:
+            raise PlanError("a join unit needs an alias")
+        if self.table is not None and self.table.alias != self.alias:
+            raise PlanError("join unit alias must match its table alias")
+        if self.null_aware and self.kind != "anti":
+            raise PlanError("null_aware applies to anti joins only")
+
+
+@dataclass(frozen=True)
+class SubquerySpec:
+    """A WHERE-clause subquery lowered by the binder, not yet flattened.
+
+    The binder renames the inner block's aliases with an ``{alias}__``
+    prefix so they can never collide with outer aliases. The
+    decorrelation pass either flattens the spec into views/join units or
+    leaves it behind for naive mark-join execution (inner side executed
+    once, correlation matched per outer row).
+
+    - ``kind``: ``scalar`` (comparison with an aggregate subquery),
+      ``in`` (membership), or ``exists``.
+    - ``negate``: NOT IN / NOT EXISTS.
+    - ``op`` / ``outer``: for ``scalar``, the comparison operator and
+      outer-side expression (normalized to ``outer op (subquery)``);
+      for ``in``, ``outer`` is the left operand of the membership test.
+    - ``relations`` / ``local_predicates``: the inner FROM and its
+      uncorrelated WHERE conjuncts (renamed aliases).
+    - ``correlations``: ``(inner_column, outer_column)`` equality pairs.
+    - ``value``: the inner select item for ``in``.
+    - ``aggregate``: the aggregate call for ``scalar``.
+    """
+
+    alias: str
+    kind: str
+    negate: bool = False
+    op: Optional[str] = None
+    outer: Optional[Expression] = None
+    relations: Tuple[TableRef, ...] = ()
+    local_predicates: Tuple[Expression, ...] = ()
+    correlations: Tuple[Tuple[ColumnRef, ColumnRef], ...] = ()
+    value: Optional[Expression] = None
+    aggregate: Optional[AggregateCall] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SUBQUERY_KINDS:
+            raise PlanError(f"unknown subquery kind {self.kind!r}")
+        if not self.relations:
+            raise PlanError("a subquery spec needs at least one relation")
+
+    @property
+    def inner_aliases(self) -> FrozenSet[str]:
+        return frozenset(ref.alias for ref in self.relations)
+
+    @property
+    def is_correlated(self) -> bool:
+        return bool(self.correlations)
+
+
+@dataclass(frozen=True)
 class CanonicalQuery:
     """The Figure 3 form: base tables + aggregate views, joined, with an
     optional outer group-by ``G0`` and HAVING.
@@ -188,15 +279,24 @@ class CanonicalQuery:
     select: Tuple[Tuple[str, Expression], ...] = ()
     order_by: Tuple[Tuple[str, bool], ...] = ()
     limit: Optional[int] = None
+    joins: Tuple[JoinUnit, ...] = ()
+    subqueries: Tuple[SubquerySpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.base_tables and not self.views:
             raise PlanError("a query needs at least one table or view")
         aliases = [ref.alias for ref in self.base_tables] + [
             view.alias for view in self.views
-        ]
+        ] + [unit.alias for unit in self.joins if unit.table is not None]
         if len(set(aliases)) != len(aliases):
             raise PlanError(f"duplicate aliases in query: {aliases}")
+        for unit in self.joins:
+            if unit.table is None and unit.alias not in {
+                view.alias for view in self.views
+            }:
+                raise PlanError(
+                    f"join unit {unit.alias!r} names no view in the query"
+                )
 
     @property
     def is_grouped(self) -> bool:
@@ -204,9 +304,23 @@ class CanonicalQuery:
 
     @property
     def aliases(self) -> FrozenSet[str]:
-        return frozenset(ref.alias for ref in self.base_tables) | frozenset(
-            view.alias for view in self.views
+        return (
+            frozenset(ref.alias for ref in self.base_tables)
+            | frozenset(view.alias for view in self.views)
+            | frozenset(
+                unit.alias for unit in self.joins if unit.table is not None
+            )
         )
+
+    @property
+    def join_unit_aliases(self) -> FrozenSet[str]:
+        return frozenset(unit.alias for unit in self.joins)
+
+    def join_unit(self, alias: str) -> Optional[JoinUnit]:
+        for unit in self.joins:
+            if unit.alias == alias:
+                return unit
+        return None
 
     @property
     def view_aliases(self) -> FrozenSet[str]:

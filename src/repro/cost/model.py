@@ -38,6 +38,7 @@ from ..algebra.plan import (
     RenameNode,
     ScanNode,
     SortNode,
+    SubqueryMarkNode,
 )
 from ..catalog.catalog import Catalog
 from ..catalog.schema import RID_COLUMN
@@ -125,6 +126,8 @@ class CostModel:
             props = self._annotate_project(plan)
         elif isinstance(plan, FilterNode):
             props = self._annotate_filter(plan)
+        elif isinstance(plan, SubqueryMarkNode):
+            props = self._annotate_mark(plan)
         elif isinstance(plan, LimitNode):
             props = self._annotate_limit(plan)
         else:
@@ -239,9 +242,25 @@ class CostModel:
             meta.update(right.colmeta)
             right_rows = right.rows
 
-        rows = self.estimator.join_rows(
+        inner_rows = self.estimator.join_rows(
             left.rows, right_rows, plan.equi_keys, plan.residuals, meta
         )
+        if plan.kind == "inner":
+            rows = inner_rows
+        else:
+            # Non-inner kinds derive from the inner-match estimate: a
+            # semi join keeps at most one output per left row (and never
+            # more than the matches), an anti join keeps the rest, a
+            # LEFT outer join emits the matches plus one NULL-padded row
+            # per unmatched left row.
+            semi = min(left.rows, inner_rows)
+            anti = max(0.0, left.rows - semi)
+            if plan.kind == "semi":
+                rows = semi
+            elif plan.kind == "anti":
+                rows = anti
+            else:  # left outer
+                rows = inner_rows + anti
         # Equality propagates the smaller NDV to both sides (each side
         # keeps its own distribution detail — range, nulls, MCVs).
         for left_key, right_key in plan.equi_keys:
@@ -474,6 +493,31 @@ class CostModel:
             width=child.width,
             pages=estimated_pages(rows, child.width),
             cost=child.cost,
+            order=child.order,
+            colmeta=meta,
+        )
+
+    def _annotate_mark(self, plan: SubqueryMarkNode) -> PlanProps:
+        child = plan.child.props
+        inner = plan.inner.props
+        if child is None or inner is None:
+            raise PlanError("subquery mark children must be annotated first")
+        # The fallback re-scans the materialized inner per outer row —
+        # a pure CPU charge (the inner is read from memory), priced per
+        # inner tuple touched so flattened plans win whenever they can.
+        probe_cpu = (
+            self.params.cpu_tuple_weight * child.rows * max(1.0, inner.rows)
+        )
+        rows = child.rows * self.params.default_selectivity
+        meta = {
+            key: value.clamped(rows)
+            for key, value in child.colmeta.items()
+        }
+        return PlanProps(
+            rows=rows,
+            width=child.width,
+            pages=estimated_pages(rows, child.width),
+            cost=child.cost + inner.cost + probe_cpu,
             order=child.order,
             colmeta=meta,
         )

@@ -420,6 +420,11 @@ class Database:
                     if options is not None
                     else True
                 ),
+                enable_decorrelation=(
+                    options.enable_decorrelation
+                    if options is not None
+                    else True
+                ),
             )
             return optimize_query(
                 query, self.catalog, self.params, greedy_options
@@ -447,6 +452,11 @@ class Database:
         tables = {ref.table for ref in query.base_tables}
         for view in query.views:
             tables.update(ref.table for ref in view.block.relations)
+        for unit in query.joins:
+            if unit.table is not None:
+                tables.add(unit.table.table)
+        for spec in query.subqueries:
+            tables.update(ref.table for ref in spec.relations)
         refresh_stale_views(self.catalog, self.io, self.params, tables)
 
     def execute_plan(self, plan: PlanNode) -> Tuple[Result, IOSnapshot]:

@@ -36,6 +36,7 @@ from ..algebra.plan import (
     RenameNode,
     ScanNode,
     SortNode,
+    SubqueryMarkNode,
 )
 from ..errors import ExecutionError
 from .batch import ColumnBatch, RowBatch, take
@@ -53,12 +54,14 @@ from .groupby import (
 )
 from .join import join_batches, join_columns
 from .kernels import ComputeProgram, SelectionProgram, gather_virtual
+from .marks import mark_batches, mark_columns
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .scan import scan_batches, scan_columns
 
 _BUILDERS = {
     ScanNode: scan_batches,
     JoinNode: join_batches,
+    SubqueryMarkNode: mark_batches,
     GroupByNode: group_by_batches,
     SortNode: sort_batches,
     RenameNode: rename_batches,
@@ -70,6 +73,7 @@ _BUILDERS = {
 _COLUMN_BUILDERS = {
     ScanNode: scan_columns,
     JoinNode: join_columns,
+    SubqueryMarkNode: mark_columns,
     GroupByNode: group_by_columns,
     SortNode: sort_columns,
     LimitNode: limit_columns,

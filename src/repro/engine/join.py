@@ -80,6 +80,8 @@ def join_batches(
 ) -> Iterator[RowBatch]:
     """Build the join pipeline: method core fused with the join's
     residual filter and projection in one per-batch loop."""
+    if plan.kind != "inner":
+        return _kind_join_batches(plan, context, metrics, run)
     combined = plan.left.schema.concat(plan.right.schema)
     residual_checks = [
         predicate.bind(combined) for predicate in plan.residuals
@@ -445,6 +447,158 @@ def _sort_merge_join_batches(
     return generate()
 
 
+def _kind_join_charges(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    build_count: int,
+    probe_count: int,
+) -> None:
+    """Spill/rescan charges for a semi/anti/left join, applied once the
+    probe side is exhausted. Formulas are exactly the inner-join cores'
+    (hash Grace partitioning, block-NLJ inner rescans), so page totals
+    match the legacy executor's up-front charges."""
+    memory = context.params.memory_pages
+    left_width = plan.left.schema.width
+    right_width = plan.right.schema.width
+    if plan.method == "hj":
+        charge_spill(
+            context.io,
+            metrics,
+            hash_spill_extra_io(
+                pages_for(build_count, right_width),
+                pages_for(probe_count, left_width),
+                memory,
+            ),
+        )
+        return
+    blocks = nlj_blocks(pages_for(probe_count, left_width), memory)
+    inner_is_scan = (
+        isinstance(plan.right, ScanNode) and plan.right.index_name is None
+    )
+    if inner_is_scan:
+        inner_pages = context.storage_for(plan.right.table_name).num_pages
+        if inner_pages > max(1, memory - 2) and blocks > 1:
+            rescans = (blocks - 1) * inner_pages
+            context.io.read_pages(rescans)
+            metrics.spill(rescans, 0)
+    else:
+        inner_pages = pages_for(build_count, right_width)
+        if inner_pages > max(1, memory - 2):
+            context.io.write_pages(inner_pages)  # materialize the inner
+            rereads = blocks * inner_pages
+            context.io.read_pages(rereads)
+            metrics.spill(rereads, inner_pages)
+
+
+def _kind_join_batches(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Semi / anti / LEFT OUTER joins over row batches.
+
+    The build (right) side is a pipeline breaker, the probe side
+    streams. The ON condition — equi keys plus residuals — decides
+    matching; a failing residual means "no match", never a post-join
+    filter, which is what makes LEFT padding and anti-join survival
+    correct. Emit order is probe order (then build insertion order for
+    LEFT matches), identical to the legacy interpreter's."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
+    combined = plan.left.schema.concat(plan.right.schema)
+    residual_checks = [
+        predicate.bind(combined) for predicate in plan.residuals
+    ]
+    positions = [
+        combined.index_of(alias, name) for alias, name in plan.projection
+    ]
+    equi = bool(plan.equi_keys)
+    left_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+    right_positions = _key_positions(
+        plan.right.schema, [pair[1] for pair in plan.equi_keys]
+    )
+    padding = (None,) * len(plan.right.schema)
+
+    def generate() -> Iterator[RowBatch]:
+        build_rows = _collect(right_batches)
+
+        if plan.null_aware:
+            # NOT IN three-valued logic over the single key column.
+            keys = [row[right_positions[0]] for row in build_rows]
+            inner_nonempty = bool(keys)
+            inner_has_null = any(key is None for key in keys)
+            key_set = set(key for key in keys if key is not None)
+            key_position = left_positions[0]
+        buckets = None
+        if equi and not plan.null_aware:
+            buckets = {}
+            setdefault = buckets.setdefault
+            for row in build_rows:
+                key = tuple(row[p] for p in right_positions)
+                if None in key:
+                    continue  # NULL keys never equi-match
+                setdefault(key, []).append(row)
+
+        def candidates(left_row):
+            if buckets is None:
+                return build_rows
+            key = tuple(left_row[p] for p in left_positions)
+            if None in key:
+                return ()
+            return buckets.get(key, ())
+
+        probe_count = 0
+        for batch in left_batches:
+            probe_count += len(batch)
+            metrics.rows_in += len(batch)
+            out: RowBatch = []
+            append = out.append
+            if plan.null_aware:
+                for left_row in batch:
+                    key = left_row[key_position]
+                    if inner_nonempty and (
+                        key is None or inner_has_null or key in key_set
+                    ):
+                        continue
+                    append(tuple(left_row[p] for p in positions))
+            elif plan.kind == "left":
+                for left_row in batch:
+                    matched = False
+                    for right_row in candidates(left_row):
+                        row = left_row + right_row
+                        if all(check(row) for check in residual_checks):
+                            append(tuple(row[p] for p in positions))
+                            matched = True
+                    if not matched:
+                        row = left_row + padding
+                        append(tuple(row[p] for p in positions))
+            else:
+                # semi/anti project the left side only
+                want = plan.kind == "semi"
+                for left_row in batch:
+                    hit = any(
+                        all(
+                            check(left_row + right_row)
+                            for check in residual_checks
+                        )
+                        for right_row in candidates(left_row)
+                    )
+                    if hit is want:
+                        append(tuple(left_row[p] for p in positions))
+            if out:
+                yield out
+
+        _kind_join_charges(
+            plan, context, metrics, len(build_rows), probe_count
+        )
+
+    return generate()
+
+
 # ----------------------------------------------------------------------
 # Columnar join path
 # ----------------------------------------------------------------------
@@ -565,6 +719,8 @@ def join_columns(
     run: Callable,
 ) -> Iterator[ColumnBatch]:
     """Columnar join: method core + fused residual/projection emitter."""
+    if plan.kind != "inner":
+        return _kind_join_columns(plan, context, metrics, run)
     combined = plan.left.schema.concat(plan.right.schema)
     left_width = len(plan.left.schema)
     residual = SelectionProgram(plan.residuals, combined, context)
@@ -1002,3 +1158,174 @@ def _inlj_core(
         inner_metrics.batches = probes  # one probe per outer row
 
     return core()
+
+
+def _kind_join_columns(
+    plan: JoinNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[ColumnBatch]:
+    """Semi / anti / LEFT OUTER joins over columns.
+
+    Candidate (probe, build) pairs come from the same bucket probe as
+    the inner cores; the ON residuals then run as a selection kernel
+    over the *pairs*, and only afterwards does the kind decide what
+    survives: the distinct matched probes (semi), their complement
+    (anti — a NULL-keyed probe has no pairs, so it survives, matching
+    NOT EXISTS), or every probe with unmatched ones padded through a
+    NULL sentinel row appended to the build columns (LEFT). Output rows
+    and order are identical to the row engines'."""
+    left_batches = run(plan.left)
+    right_batches = run(plan.right)
+    combined = plan.left.schema.concat(plan.right.schema)
+    left_width = len(plan.left.schema)
+    right_width = len(plan.right.schema)
+    residual = SelectionProgram(plan.residuals, combined, context)
+    positions = [
+        combined.index_of(alias, name) for alias, name in plan.projection
+    ]
+    equi = bool(plan.equi_keys)
+    left_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+    right_positions = _key_positions(
+        plan.right.schema, [pair[1] for pair in plan.equi_keys]
+    )
+    multi_key = len(left_positions) > 1
+
+    def project_left(columns, sel):
+        """Gather the (left-only) projection through a selection vector;
+        ``sel is None`` keeps whole columns with no copy."""
+        if sel is None:
+            return [columns[p] for p in positions]
+        metrics.cells += len(sel) * len(positions)
+        return [take(columns[p], sel) for p in positions]
+
+    def generate() -> Iterator[ColumnBatch]:
+        build_columns, build_count = _collect_columns(
+            right_batches, right_width
+        )
+
+        if plan.null_aware:
+            # NOT IN three-valued logic over the single key column.
+            key_column = build_columns[right_positions[0]]
+            inner_nonempty = build_count > 0
+            inner_has_null = any(value is None for value in key_column)
+            key_set = set(
+                value for value in key_column if value is not None
+            )
+        buckets = (
+            _build_buckets(
+                _column_keys(build_columns, right_positions), multi_key
+            )
+            if equi and not plan.null_aware
+            else None
+        )
+        build_indices = list(range(build_count))
+        padded_columns = (
+            [list(column) + [None] for column in build_columns]
+            if plan.kind == "left"
+            else None
+        )
+
+        probe_count = 0
+        for batch in left_batches:
+            n = batch.length
+            probe_count += n
+            metrics.rows_in += n
+
+            if plan.null_aware:
+                keys = _column_keys(batch.columns, left_positions)
+                if not inner_nonempty:
+                    sel = None  # empty inner: every probe row survives
+                elif inner_has_null:
+                    continue  # every probe is UNKNOWN: all dropped
+                else:
+                    sel = [
+                        i
+                        for i, key in enumerate(keys)
+                        if key is not None and key not in key_set
+                    ]
+                    if not sel:
+                        continue
+                yield ColumnBatch(
+                    project_left(batch.columns, sel),
+                    n if sel is None else len(sel),
+                )
+                continue
+
+            # candidate (probe, build) pairs, probe-major ascending
+            if buckets is not None:
+                counts, ri = _probe_multi(
+                    _column_keys(batch.columns, left_positions), buckets
+                )
+                li = materialize_left(counts)
+            elif build_count:
+                li = materialize_left([build_count] * n)
+                ri = build_indices * n
+            else:
+                li = []
+                ri = []
+
+            # the ON residuals are part of the match condition
+            if residual.active and ri:
+                virtual: List = [None] * len(combined)
+                gathered = len(ri)
+                for p in residual.used:
+                    if p < left_width:
+                        virtual[p] = take(batch.columns[p], li)
+                    else:
+                        virtual[p] = take(
+                            build_columns[p - left_width], ri
+                        )
+                    metrics.cells += gathered
+                sel = residual.run(virtual, len(ri))
+                if sel is not None:
+                    li = take(li, sel)
+                    ri = take(ri, sel)
+
+            if plan.kind in ("semi", "anti"):
+                matched = sorted(set(li))
+                if plan.kind == "anti":
+                    matched_set = set(matched)
+                    matched = [
+                        i for i in range(n) if i not in matched_set
+                    ]
+                if matched:
+                    yield ColumnBatch(
+                        project_left(batch.columns, matched), len(matched)
+                    )
+                continue
+
+            # LEFT OUTER: walk probes in order; li is ascending, so the
+            # surviving pairs of probe i are a contiguous run
+            li_out: List[int] = []
+            ri_out: List[int] = []
+            pair_position = 0
+            pair_total = len(li)
+            for i in range(n):
+                matched_any = False
+                while (
+                    pair_position < pair_total
+                    and li[pair_position] == i
+                ):
+                    li_out.append(i)
+                    ri_out.append(ri[pair_position])
+                    pair_position += 1
+                    matched_any = True
+                if not matched_any:
+                    li_out.append(i)
+                    ri_out.append(build_count)  # the NULL sentinel row
+            out = []
+            for p in positions:
+                if p < left_width:
+                    out.append(take(batch.columns[p], li_out))
+                else:
+                    out.append(take(padded_columns[p - left_width], ri_out))
+                metrics.cells += len(li_out)
+            yield ColumnBatch(out, len(li_out))
+
+        _kind_join_charges(plan, context, metrics, build_count, probe_count)
+
+    return generate()

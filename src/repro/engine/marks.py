@@ -1,0 +1,163 @@
+"""Mark-join execution shared by all three engines.
+
+A :class:`~repro.algebra.plan.SubqueryMarkNode` keeps or drops each
+outer (child) row by consulting the materialized inner subplan under
+the row's correlation values. The semantics live in one place —
+:func:`mark_filter` — so the legacy interpreter, the row-batch engine
+and the columnar engine cannot drift apart; each engine only differs in
+how it feeds rows through the returned predicate.
+
+The inner side is deliberately re-scanned per outer row (O(outer x
+inner)): a mark join is the *unflattened* fallback, and its naivety is
+exactly what the decorrelation benchmark measures flattening against.
+Do not add per-key bucketing here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Tuple
+
+from ..algebra.expressions import _COMPARISON_OPS, Comparison
+from ..algebra.plan import SubqueryMarkNode
+from .batch import ColumnBatch, RowBatch
+from .context import ExecutionContext
+from .metrics import OperatorMetrics
+
+
+def mark_filter(
+    plan: SubqueryMarkNode, inner_rows: List[Tuple[Any, ...]]
+) -> Callable[[Tuple[Any, ...]], bool]:
+    """Compile the node's keep-or-drop decision over *inner_rows*.
+
+    Mirrors the reference evaluator's ``_apply_mark`` exactly:
+    correlation equalities must evaluate to TRUE (an UNKNOWN match is no
+    match), membership uses SQL three-valued logic (NOT IN drops on any
+    TRUE *or* UNKNOWN verdict), and a scalar aggregate over an empty
+    correlation group compares against the accumulator's empty value
+    (COUNT = 0, others NULL — so the comparison is UNKNOWN and drops).
+    """
+    child_schema = plan.child.schema
+    inner_schema = plan.inner.schema
+    combined = child_schema.concat(inner_schema)
+    correlation_checks = [
+        Comparison("=", inner_ref, outer_expr).bind(combined)
+        for inner_ref, outer_expr in plan.correlations
+    ]
+    outer_eval = (
+        plan.outer.bind(child_schema) if plan.outer is not None else None
+    )
+    value_eval = (
+        plan.value.bind(inner_schema) if plan.value is not None else None
+    )
+    # IN's membership test is an implicit equality (op is None).
+    compare = _COMPARISON_OPS[plan.op or "="]
+    if plan.kind == "scalar":
+        assert plan.aggregate is not None
+        function = plan.aggregate.function()
+        arg_eval = (
+            plan.aggregate.arg.bind(inner_schema)
+            if plan.aggregate.arg is not None
+            else None
+        )
+
+    if correlation_checks:
+
+        def candidates(row: Tuple[Any, ...]) -> List[Tuple[Any, ...]]:
+            return [
+                inner_row
+                for inner_row in inner_rows
+                if all(
+                    check(row + inner_row) is True
+                    for check in correlation_checks
+                )
+            ]
+
+    else:
+
+        def candidates(row: Tuple[Any, ...]) -> List[Tuple[Any, ...]]:
+            return inner_rows
+
+    def keep(row: Tuple[Any, ...]) -> bool:
+        matches = candidates(row)
+        if plan.kind == "exists":
+            return bool(matches) is not plan.negate
+        if plan.kind == "in":
+            outer_value = outer_eval(row)
+            verdicts = [
+                compare(outer_value, value_eval(inner_row))
+                for inner_row in matches
+            ]
+            if plan.negate:
+                return not any(v is True or v is None for v in verdicts)
+            return any(v is True for v in verdicts)
+        accumulator = function.make_accumulator()
+        for inner_row in matches:
+            accumulator.add(
+                arg_eval(inner_row) if arg_eval is not None else True
+            )
+        return compare(outer_eval(row), accumulator.value()) is True
+
+    return keep
+
+
+def collect_inner_rows(batches: Iterator) -> List[Tuple[Any, ...]]:
+    """Materialize the inner pipeline once, row- or column-major."""
+    rows: List[Tuple[Any, ...]] = []
+    for batch in batches:
+        if isinstance(batch, ColumnBatch):
+            rows.extend(batch.to_rows())
+        else:
+            rows.extend(batch)
+    return rows
+
+
+def mark_batches(
+    plan: SubqueryMarkNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[RowBatch]:
+    """Row-batch mark join: inner is a pipeline breaker, child streams."""
+    child_batches = run(plan.child)
+    inner_batches = run(plan.inner)
+
+    def generate() -> Iterator[RowBatch]:
+        keep = mark_filter(plan, collect_inner_rows(inner_batches))
+        for batch in child_batches:
+            metrics.rows_in += len(batch)
+            out = [row for row in batch if keep(row)]
+            if out:
+                yield out
+
+    return generate()
+
+
+def mark_columns(
+    plan: SubqueryMarkNode,
+    context: ExecutionContext,
+    metrics: OperatorMetrics,
+    run: Callable,
+) -> Iterator[ColumnBatch]:
+    """Columnar mark join: the decision is inherently per-row, so each
+    child batch transposes once, the keep flags become a selection
+    vector, and surviving rows gather column-wise (a full-keep batch
+    passes through with no copy)."""
+    child_batches = run(plan.child)
+    inner_batches = run(plan.inner)
+
+    def generate() -> Iterator[ColumnBatch]:
+        keep = mark_filter(plan, collect_inner_rows(inner_batches))
+        for batch in child_batches:
+            metrics.rows_in += batch.length
+            sel = [
+                i for i, row in enumerate(batch.to_rows()) if keep(row)
+            ]
+            if not sel:
+                continue
+            if len(sel) == batch.length:
+                yield batch
+            else:
+                metrics.cells += len(sel) * len(batch.columns)
+                yield batch.take(sel)
+
+    return generate()

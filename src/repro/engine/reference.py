@@ -15,7 +15,14 @@ import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.aggregates import Accumulator
-from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock
+from ..algebra.expressions import _COMPARISON_OPS, Comparison
+from ..algebra.query import (
+    AggregateView,
+    CanonicalQuery,
+    JoinUnit,
+    QueryBlock,
+    SubquerySpec,
+)
 from ..catalog.catalog import Catalog
 from ..catalog.schema import Field, RowSchema, table_row_schema
 from ..datatypes import NullOrdered
@@ -55,10 +62,42 @@ def evaluate_view(view: AggregateView, catalog: Catalog) -> Result:
 
 def evaluate_canonical(query: CanonicalQuery, catalog: Catalog) -> Result:
     """Evaluate a Figure 3 canonical query by brute force: materialize
-    each aggregate view, then evaluate the outer block."""
+    each aggregate view, join in each unit (semi / anti / left) and
+    apply each remaining subquery spec as a mark filter, then evaluate
+    the outer block. WHERE predicates run after the units — exactly
+    SQL's FROM-then-WHERE order, which is what makes filters over a
+    LEFT unit's padded output come out right."""
+    unit_aliases = {unit.alias for unit in query.joins}
     sources = [_table_source(ref, catalog) for ref in query.base_tables]
+    unit_views: Dict[str, Result] = {}
     for view in query.views:
-        sources.append(evaluate_view(view, catalog))
+        if view.alias in unit_aliases:
+            unit_views[view.alias] = evaluate_view(view, catalog)
+        else:
+            sources.append(evaluate_view(view, catalog))
+    if query.joins or query.subqueries:
+        core = _product(sources)
+        for unit in query.joins:
+            if unit.table is not None:
+                unit_source = _table_source(unit.table, catalog)
+                checks = [
+                    predicate.bind(unit_source.schema)
+                    for predicate in unit.filters
+                ]
+                unit_source = Result(
+                    schema=unit_source.schema,
+                    rows=[
+                        row
+                        for row in unit_source.rows
+                        if all(check(row) for check in checks)
+                    ],
+                )
+            else:
+                unit_source = unit_views[unit.alias]
+            core = _apply_unit(core, unit, unit_source)
+        for spec in query.subqueries:
+            core = _apply_mark(core, spec, catalog)
+        sources = [core]
     result = _evaluate_over(
         sources,
         query.predicates,
@@ -81,6 +120,133 @@ def evaluate_canonical(query: CanonicalQuery, catalog: Catalog) -> Result:
             schema=result.schema, rows=result.rows[: query.limit]
         )
     return result
+
+
+def _product(sources: Sequence[Result]) -> Result:
+    """The unfiltered cartesian product of *sources*."""
+    schema = sources[0].schema
+    for source in sources[1:]:
+        schema = schema.concat(source.schema)
+    rows = [
+        tuple(itertools.chain.from_iterable(combo))
+        for combo in itertools.product(*(source.rows for source in sources))
+    ]
+    return Result(schema=schema, rows=rows)
+
+
+def _apply_unit(core: Result, unit: JoinUnit, unit_source: Result) -> Result:
+    """Join one unit onto the accumulated outer rows by brute force."""
+    combined = core.schema.concat(unit_source.schema)
+    checks = [predicate.bind(combined) for predicate in unit.on]
+    if unit.null_aware:
+        # NOT IN three-valued logic over the single membership
+        # equality: any TRUE match drops the row, and so does any
+        # UNKNOWN (a NULL probe against a non-empty inner, or a NULL
+        # inner key against an unmatched probe).
+        assert unit.kind == "anti" and len(checks) == 1
+        rows = []
+        for outer_row in core.rows:
+            verdicts = [
+                checks[0](outer_row + inner_row)
+                for inner_row in unit_source.rows
+            ]
+            if any(v is True for v in verdicts):
+                continue
+            if any(v is None for v in verdicts):
+                continue
+            rows.append(outer_row)
+        return Result(schema=core.schema, rows=rows)
+    if unit.kind in ("semi", "anti"):
+        want = unit.kind == "semi"
+        rows = [
+            outer_row
+            for outer_row in core.rows
+            if any(
+                all(check(outer_row + inner_row) for check in checks)
+                for inner_row in unit_source.rows
+            )
+            is want
+        ]
+        return Result(schema=core.schema, rows=rows)
+    assert unit.kind == "left"
+    padding = (None,) * len(unit_source.schema.fields)
+    rows = []
+    for outer_row in core.rows:
+        matched = False
+        for inner_row in unit_source.rows:
+            if all(check(outer_row + inner_row) for check in checks):
+                rows.append(outer_row + inner_row)
+                matched = True
+        if not matched:
+            rows.append(outer_row + padding)
+    return Result(schema=combined, rows=rows)
+
+
+def _apply_mark(core: Result, spec: SubquerySpec, catalog: Catalog) -> Result:
+    """Filter the outer rows through one unflattened subquery spec,
+    evaluated naively: materialize the inner block once, then match
+    correlations per outer row."""
+    inner = _product([_table_source(ref, catalog) for ref in spec.relations])
+    local_checks = [
+        predicate.bind(inner.schema) for predicate in spec.local_predicates
+    ]
+    inner_rows = [
+        row
+        for row in inner.rows
+        if all(check(row) for check in local_checks)
+    ]
+    combined = core.schema.concat(inner.schema)
+    correlation_checks = [
+        Comparison("=", inner_ref, outer_expr).bind(combined)
+        for inner_ref, outer_expr in spec.correlations
+    ]
+    value_eval = (
+        spec.value.bind(inner.schema) if spec.value is not None else None
+    )
+    outer_eval = (
+        spec.outer.bind(core.schema) if spec.outer is not None else None
+    )
+    # IN's membership test is an implicit equality (op is None).
+    compare = _COMPARISON_OPS[spec.op or "="]
+
+    rows = []
+    for outer_row in core.rows:
+        candidates = [
+            inner_row
+            for inner_row in inner_rows
+            if all(
+                check(outer_row + inner_row) is True
+                for check in correlation_checks
+            )
+        ]
+        if spec.kind == "exists":
+            keep = bool(candidates) is not spec.negate
+        elif spec.kind == "in":
+            outer_value = outer_eval(outer_row)
+            verdicts = [
+                compare(outer_value, value_eval(inner_row))
+                for inner_row in candidates
+            ]
+            if spec.negate:
+                keep = not any(v is True or v is None for v in verdicts)
+            else:
+                keep = any(v is True for v in verdicts)
+        else:  # scalar aggregate
+            assert spec.aggregate is not None
+            accumulator = spec.aggregate.function().make_accumulator()
+            arg_eval = (
+                spec.aggregate.arg.bind(inner.schema)
+                if spec.aggregate.arg is not None
+                else None
+            )
+            for inner_row in candidates:
+                accumulator.add(
+                    arg_eval(inner_row) if arg_eval is not None else True
+                )
+            keep = compare(outer_eval(outer_row), accumulator.value()) is True
+        if keep:
+            rows.append(outer_row)
+    return Result(schema=core.schema, rows=rows)
 
 
 def _evaluate_over(

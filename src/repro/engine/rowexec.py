@@ -26,6 +26,7 @@ from ..algebra.plan import (
     RenameNode,
     ScanNode,
     SortNode,
+    SubqueryMarkNode,
 )
 from ..catalog.schema import RowSchema, table_row_schema
 from ..datatypes import NullOrdered, null_ordered_key
@@ -57,6 +58,8 @@ def _dispatch(plan: PlanNode, context: ExecutionContext) -> Result:
         return _execute_scan(plan, context)
     if isinstance(plan, JoinNode):
         return _execute_join(plan, context, execute_plan_rows)
+    if isinstance(plan, SubqueryMarkNode):
+        return _execute_mark(plan, context, execute_plan_rows)
     if isinstance(plan, GroupByNode):
         return _execute_group_by(plan, context, execute_plan_rows)
     if isinstance(plan, SortNode):
@@ -119,6 +122,8 @@ def _execute_join(
     run: Callable[..., Result],
 ) -> Result:
     left = run(plan.left, context)
+    if plan.kind != "inner":
+        return _execute_kind_join(plan, context, run, left)
     combined = plan.left.schema.concat(plan.right.schema)
     residual_checks = [
         predicate.bind(combined) for predicate in plan.residuals
@@ -142,6 +147,140 @@ def _execute_join(
     for row in joined:
         if all(check(row) for check in residual_checks):
             rows.append(tuple(row[position] for position in positions))
+    return Result(schema=plan.schema, rows=rows)
+
+
+def _execute_kind_join(
+    plan: JoinNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+    left: Result,
+) -> Result:
+    """Semi / anti / LEFT OUTER joins (hash or block-NLJ cores only).
+
+    The ON condition is the equi keys *plus* the residuals, evaluated
+    while matching — a residual that fails means "no match" (padded for
+    LEFT, unmatched for semi/anti), never a post-join filter. IO
+    charges mirror the inner-join cores of the same method.
+    """
+    right = run(plan.right, context)
+    memory = context.params.memory_pages
+
+    if plan.method == "hj":
+        extra = hash_spill_extra_io(right.pages, left.pages, memory)
+        if extra:
+            context.io.write_pages(extra // 2)
+            context.io.read_pages(extra - extra // 2)
+    else:  # block NLJ: charge the inner side's rescans
+        blocks = nlj_blocks(left.pages, memory)
+        inner_is_scan = (
+            isinstance(plan.right, ScanNode) and plan.right.index_name is None
+        )
+        if inner_is_scan:
+            inner_pages = context.storage_for(plan.right.table_name).num_pages
+            if inner_pages > max(1, memory - 2) and blocks > 1:
+                context.io.read_pages((blocks - 1) * inner_pages)
+        else:
+            inner_pages = right.pages
+            if inner_pages > max(1, memory - 2):
+                context.io.write_pages(inner_pages)  # materialize the inner
+                context.io.read_pages(blocks * inner_pages)
+
+    combined = plan.left.schema.concat(plan.right.schema)
+    residual_checks = [
+        predicate.bind(combined) for predicate in plan.residuals
+    ]
+    positions = [
+        combined.index_of(alias, name) for alias, name in plan.projection
+    ]
+    left_positions = _key_positions(
+        plan.left.schema, [pair[0] for pair in plan.equi_keys]
+    )
+    right_positions = _key_positions(
+        plan.right.schema, [pair[1] for pair in plan.equi_keys]
+    )
+
+    if plan.null_aware:
+        # NOT IN anti join over its single key, SQL three-valued logic:
+        # any TRUE match drops the probe row, and so does any UNKNOWN
+        # (NULL probe against a non-empty inner, or a NULL inner key
+        # against an otherwise unmatched probe). An empty inner keeps
+        # every probe row.
+        keys = [row[right_positions[0]] for row in right.rows]
+        inner_nonempty = bool(keys)
+        inner_has_null = any(key is None for key in keys)
+        key_set = set(key for key in keys if key is not None)
+        rows: List[Tuple] = []
+        for left_row in left.rows:
+            key = left_row[left_positions[0]]
+            if inner_nonempty and (
+                key is None or inner_has_null or key in key_set
+            ):
+                continue
+            rows.append(tuple(left_row[p] for p in positions))
+        return Result(schema=plan.schema, rows=rows)
+
+    if plan.equi_keys:
+        buckets: dict = {}
+        for right_row in right.rows:
+            key = tuple(right_row[p] for p in right_positions)
+            if None in key:
+                continue  # NULL keys never equi-match
+            buckets.setdefault(key, []).append(right_row)
+
+        def candidates(left_row):
+            key = tuple(left_row[p] for p in left_positions)
+            if None in key:
+                return ()
+            return buckets.get(key, ())
+
+    else:
+
+        def candidates(left_row):
+            return right.rows
+
+    rows = []
+    if plan.kind == "left":
+        padding = (None,) * len(plan.right.schema)
+        for left_row in left.rows:
+            matched = False
+            for right_row in candidates(left_row):
+                row = left_row + right_row
+                if all(check(row) for check in residual_checks):
+                    rows.append(tuple(row[p] for p in positions))
+                    matched = True
+            if not matched:
+                row = left_row + padding
+                rows.append(tuple(row[p] for p in positions))
+    else:
+        # semi/anti project the left side only (positions < left width)
+        want = plan.kind == "semi"
+        for left_row in left.rows:
+            hit = any(
+                all(
+                    check(left_row + right_row)
+                    for check in residual_checks
+                )
+                for right_row in candidates(left_row)
+            )
+            if hit is want:
+                rows.append(tuple(left_row[p] for p in positions))
+    return Result(schema=plan.schema, rows=rows)
+
+
+def _execute_mark(
+    plan: SubqueryMarkNode,
+    context: ExecutionContext,
+    run: Callable[..., Result],
+) -> Result:
+    """Naive mark join: materialize the inner subplan once, then keep or
+    drop each child row per the shared mark predicate."""
+    from .marks import mark_filter
+
+    child = run(plan.child, context)
+    inner = run(plan.inner, context)
+    keep = mark_filter(plan, inner.rows)
+    rows = [row for row in child.rows if keep(row)]
     return Result(schema=plan.schema, rows=rows)
 
 

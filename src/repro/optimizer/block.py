@@ -37,6 +37,20 @@ fallback, and ``enumeration="exhaustive"`` forces the seed's full
 2ⁿ-subset walk (the parity/benchmark reference). Predicate
 classification per (subset, joined alias) and leaf access-path plans
 are memoized so each is computed once, not once per candidate join.
+
+Non-inner joins ride the *same* enumerator as **join units**
+(:class:`~repro.algebra.query.JoinUnit`): a unit's leaf never stands
+alone as a DP singleton and may only be joined onto a subset that
+already contains every alias its ON condition references, so every
+plan applies the ON condition exactly at the unit's own (left / semi /
+anti) join and the unit always arrives as the *right* input. Subject
+to those masks the DP still commutes freely — a unit can be joined
+early (right after its dependencies) or last, and the cost model
+decides. WHERE conjuncts over a LEFT unit's alias cannot ride in any
+join (a residual in an outer join is a match condition, not a filter),
+so the caller passes them as ``post_predicates``, applied as a filter
+after the joins; unflattened subquery specs are applied there too, as
+:class:`~repro.algebra.plan.SubqueryMarkNode` fallbacks.
 """
 
 from __future__ import annotations
@@ -60,8 +74,9 @@ from ..algebra.plan import (
     PlanNode,
     ProjectNode,
     ScanNode,
+    SubqueryMarkNode,
 )
-from ..algebra.query import TableRef
+from ..algebra.query import JoinUnit, SubquerySpec, TableRef
 from ..catalog.catalog import Catalog
 from ..catalog.schema import RID_COLUMN, Field, table_row_schema
 from ..cost.model import CostModel
@@ -190,11 +205,18 @@ class BlockOptimizer:
         predicates: Sequence[Expression],
         spec: Optional[GroupingSpec],
         select: Sequence[Tuple[str, Expression]],
+        join_units: Sequence[JoinUnit] = (),
+        post_predicates: Sequence[Expression] = (),
+        marks: Sequence[Tuple[SubquerySpec, PlanNode]] = (),
     ) -> PlanNode:
         """Return the cheapest annotated plan computing the block.
 
         The output schema is one field ``(None, name)`` per *select*
-        entry, in order.
+        entry, in order. *join_units* names leaves joined through a
+        non-inner kind; *post_predicates* are applied as a filter after
+        all joins (WHERE conjuncts over LEFT-unit columns); *marks* are
+        ``(spec, inner_plan)`` pairs applied as naive subquery-mark
+        fallbacks before the final group-by.
         """
         self.stats.blocks_optimized += 1
         leaves = list(leaves)
@@ -203,10 +225,29 @@ class BlockOptimizer:
         aliases = [leaf.alias for leaf in leaves]
         if len(set(aliases)) != len(aliases):
             raise PlanError(f"duplicate leaf aliases: {aliases}")
+        alias_set = set(aliases)
+        for unit in join_units:
+            if unit.alias not in alias_set:
+                raise PlanError(
+                    f"join unit {unit.alias!r} has no leaf in the block"
+                )
+        if len(set(u.alias for u in join_units)) != len(tuple(join_units)):
+            raise PlanError("duplicate join unit aliases")
+        if len(alias_set - {u.alias for u in join_units}) == 0:
+            raise PlanError("a block cannot consist of join units only")
         predicates = tuple(predicates)
         select = tuple(select)
 
-        context = _BlockContext(self, leaves, predicates, spec, select)
+        context = _BlockContext(
+            self,
+            leaves,
+            predicates,
+            spec,
+            select,
+            join_units=tuple(join_units),
+            post_predicates=tuple(post_predicates),
+            marks=tuple(marks),
+        )
         entries = self._run_dp(context)
         return self._finalize(context, entries)
 
@@ -336,8 +377,14 @@ class BlockOptimizer:
         started = perf_counter()
         table: Dict[int, List[_Entry]] = {}
         for leaf in context.leaves:
+            bit = graph.mask_of_alias[leaf.alias]
+            if bit & context.unit_mask:
+                # A join unit never stands alone: its leaf only ever
+                # arrives as the right input of its own non-inner join,
+                # once every ON dependency is present.
+                continue
             plans = context.leaf_plans(leaf)
-            table[graph.mask_of_alias[leaf.alias]] = self._prune(
+            table[bit] = self._prune(
                 context, [_Entry(plan, False) for plan in plans]
             )
         self.stats.add_time("leaf_plans", perf_counter() - started)
@@ -379,6 +426,10 @@ class BlockOptimizer:
         for bit in graph.iter_bits(subset_mask):
             remainder = subset_mask & ~bit
             if remainder not in table:
+                continue
+            if bit & context.unit_mask and context.unit_dep(bit) & ~remainder:
+                # A unit's ON condition references aliases not yet in
+                # the prefix: the unit cannot be joined here.
                 continue
             pairs.append((remainder, bit, graph.connects(remainder, bit)))
         if not pairs:
@@ -566,13 +617,23 @@ class BlockOptimizer:
             left_plan, right_plan, left_mask | right_bit
         )
 
+        unit = context.join_units.get(right_alias)
+        kind = unit.kind if unit is not None else "inner"
+        null_aware = unit.null_aware if unit is not None else False
+        if null_aware and (len(equi) != 1 or residuals):
+            raise PlanError(
+                "a null-aware anti join needs exactly one membership "
+                "equality and no residuals"
+            )
+
         methods: List[Tuple[str, Optional[str]]] = []
         if equi:
             methods.append(("hj", None))
-            methods.append(("smj", None))
-            index_name = context.inlj_index(right_plan, equi)
-            if index_name is not None:
-                methods.append(("inlj", index_name))
+            if kind == "inner":
+                methods.append(("smj", None))
+                index_name = context.inlj_index(right_plan, equi)
+                if index_name is not None:
+                    methods.append(("inlj", index_name))
         methods.append(("nlj", None))
 
         plans: List[PlanNode] = []
@@ -591,6 +652,8 @@ class BlockOptimizer:
                 residuals=residuals,
                 projection=projection,
                 index_name=index_name,
+                kind=kind,
+                null_aware=null_aware,
             )
             self.model.annotate(join)
             plans.append(join)
@@ -680,32 +743,106 @@ class _BlockContext:
         select: Tuple[Tuple[str, Expression], ...],
         extra_needed: FrozenSet[FieldKey] = frozenset(),
         eager_exclude: FrozenSet[FieldKey] = frozenset(),
+        join_units: Tuple[JoinUnit, ...] = (),
+        post_predicates: Tuple[Expression, ...] = (),
+        marks: Tuple[Tuple[SubquerySpec, PlanNode], ...] = (),
     ):
         self.optimizer = optimizer
         self.catalog = optimizer.catalog
         self.model = optimizer.model
         self.leaves = leaves
-        self.predicates = predicates
         self.spec = spec
         self.select = select
         self.extra_needed = extra_needed
         self.eager_exclude = eager_exclude
+        self.join_units: Dict[str, JoinUnit] = {
+            unit.alias: unit for unit in join_units
+        }
+        self.post_predicates = post_predicates
+        self.marks = marks
         self._leaf_by_alias = {leaf.alias: leaf for leaf in leaves}
         self._leaf_plan_cache: Dict[str, List[PlanNode]] = {}
 
-        self.graph = JoinGraph(self._leaf_by_alias, predicates)
+        # Unit ON conditions and local filters enter the predicate pool:
+        # filters place naturally (their mask is the unit's own bit, so
+        # they become scan filters on the unit leaf); ON conjuncts get a
+        # *forced* mask below so they apply exactly at the unit's join.
+        on_predicates: List[Tuple[Expression, str]] = []
+        filter_predicates: List[Expression] = []
+        for unit in join_units:
+            on_predicates.extend(
+                (predicate, unit.alias) for predicate in unit.on
+            )
+            filter_predicates.extend(unit.filters)
+        all_predicates = (
+            predicates
+            + tuple(predicate for predicate, _ in on_predicates)
+            + tuple(filter_predicates)
+        )
+        self.predicates = all_predicates
+
+        self.graph = JoinGraph(self._leaf_by_alias, all_predicates)
         # (predicate, strict mask): mask is None when the predicate
         # references an alias outside this block (never placeable, its
-        # columns always pending), 0 when it references no alias.
-        self._pred_info: Tuple[Tuple[Expression, Optional[int]], ...] = tuple(
-            (predicate, self.graph.strict_mask_of(predicate.aliases()))
-            for predicate in predicates
+        # columns always pending), 0 when it references no alias. A unit
+        # ON conjunct's mask is widened by the unit's own bit: together
+        # with the dependency check in ``_expand_subset`` (the unit
+        # joins only after every ON alias) this pins the conjunct to the
+        # unit's join — an outer-only ON conjunct must not filter the
+        # outer side, and must not be applied anywhere else.
+        info: List[Tuple[Expression, Optional[int]]] = []
+        for predicate in predicates:
+            info.append(
+                (predicate, self.graph.strict_mask_of(predicate.aliases()))
+            )
+        for predicate, unit_alias in on_predicates:
+            strict = self.graph.strict_mask_of(predicate.aliases())
+            if strict is None:
+                raise PlanError(
+                    f"join unit {unit_alias!r} ON condition references "
+                    "an alias outside the block"
+                )
+            info.append(
+                (predicate, strict | self.graph.mask_of_alias[unit_alias])
+            )
+        for predicate in filter_predicates:
+            info.append(
+                (predicate, self.graph.strict_mask_of(predicate.aliases()))
+            )
+        self._pred_info: Tuple[Tuple[Expression, Optional[int]], ...] = (
+            tuple(info)
         )
         self._split_cache: Dict[Tuple[int, int], List[_SplitStep]] = {}
         self._pending_cache: Dict[int, FrozenSet[FieldKey]] = {}
 
+        # Per-unit state: the unit's bit, and the mask of aliases its ON
+        # condition references (minus itself) — the aliases that must be
+        # joined before the unit can be.
+        self.unit_mask = 0
+        self._unit_dep: Dict[int, int] = {}
+        for unit in join_units:
+            bit = self.graph.mask_of_alias[unit.alias]
+            self.unit_mask |= bit
+            dep = 0
+            for predicate in unit.on:
+                strict = self.graph.strict_mask_of(predicate.aliases())
+                assert strict is not None  # checked above
+                dep |= strict & ~bit
+            self._unit_dep[bit] = dep
+
         self.decomposed: Optional[DecomposedAggregates] = None
-        if spec is not None and optimizer.options.enable_pushdown:
+        if (
+            spec is not None
+            and optimizer.options.enable_pushdown
+            and not join_units
+            and not marks
+            and not post_predicates
+        ):
+            # Eager partial aggregation assumes nothing intervenes
+            # between the DP's joins and the coalescing group-by; the
+            # post-join filter / mark stage breaks that (it filters
+            # rows, and partials would have collapsed them already), so
+            # blocks with units or marks plan lazily.
             self.decomposed = decompose_aggregates(spec.aggregates)
         self.agg_arg_aliases: FrozenSet[str] = frozenset()
         if spec is not None:
@@ -719,10 +856,24 @@ class _BlockContext:
             self.agg_arg_aliases
         )
 
+        # Columns the post-join stage consumes: post-predicate columns
+        # plus the outer-side columns of every mark spec. They must ride
+        # every join projection (the stage runs after all joins).
+        post_columns: Set[FieldKey] = set()
+        for predicate in post_predicates:
+            post_columns |= set(predicate.columns())
+        for mark_spec, _ in marks:
+            if mark_spec.outer is not None:
+                post_columns |= set(mark_spec.outer.columns())
+            for _, outer in mark_spec.correlations:
+                post_columns |= set(outer.columns())
+        post_columns = {key for key in post_columns if key[0] is not None}
+
         # Base columns needed anywhere in the block.
         needed: Set[FieldKey] = set()
-        for predicate in predicates:
+        for predicate in all_predicates:
             needed |= set(predicate.columns())
+        needed |= post_columns
         if spec is not None:
             needed |= set(spec.group_keys)
             for _, call in spec.aggregates:
@@ -762,13 +913,14 @@ class _BlockContext:
                 key for key in source.columns() if key[0] is not None
             }
         top |= extra_needed
+        top |= post_columns
         self.top_needed: FrozenSet[FieldKey] = frozenset(
             key for key in top if key[0] is not None
         )
 
         # Interesting orders: join columns and grouping columns.
         interesting: Set[FieldKey] = set()
-        for predicate in predicates:
+        for predicate in all_predicates:
             sides = equijoin_sides(predicate)
             if sides is not None:
                 interesting.update(sides)
@@ -782,6 +934,10 @@ class _BlockContext:
 
     def leaf(self, alias: str) -> Leaf:
         return self._leaf_by_alias[alias]
+
+    def unit_dep(self, bit: int) -> int:
+        """Mask of aliases a unit's ON condition needs joined first."""
+        return self._unit_dep[bit]
 
     def leaf_plans(self, leaf: Leaf) -> List[PlanNode]:
         cached = self._leaf_plan_cache.get(leaf.alias)
@@ -1180,9 +1336,11 @@ class _BlockContext:
         spec: Optional[GroupingSpec] = None,
         select: Optional[Tuple[Tuple[str, Expression], ...]] = None,
     ) -> List[PlanNode]:
-        """Finalize one DP entry: attach the final group-by (per *spec*,
-        defaulting to the block's own) and the output projection."""
-        plan = entry.plan
+        """Finalize one DP entry: attach the post-join stage (LEFT-unit
+        filters and subquery-mark fallbacks), the final group-by (per
+        *spec*, defaulting to the block's own), and the output
+        projection."""
+        plan = self._apply_post_stage(entry.plan)
         if spec is None:
             spec = self.spec
         if select is None:
@@ -1237,6 +1395,31 @@ class _BlockContext:
             self.model.annotate(group)
             results.append(self._project(group, select))
         return results
+
+    def _apply_post_stage(self, plan: PlanNode) -> PlanNode:
+        """The post-join stage: WHERE conjuncts over LEFT-unit columns
+        (which must see the NULL-padded rows, never act as match
+        conditions) and the naive mark-join fallbacks for unflattened
+        subquery specs. Runs between the joins and the final group-by."""
+        if self.post_predicates:
+            filter_node = FilterNode(plan, self.post_predicates)
+            self.model.annotate(filter_node)
+            plan = filter_node
+        for mark_spec, inner_plan in self.marks:
+            mark = SubqueryMarkNode(
+                plan,
+                inner_plan,
+                kind=mark_spec.kind,
+                negate=mark_spec.negate,
+                op=mark_spec.op,
+                outer=mark_spec.outer,
+                correlations=mark_spec.correlations,
+                value=mark_spec.value,
+                aggregate=mark_spec.aggregate,
+            )
+            self.model.annotate(mark)
+            plan = mark
+        return plan
 
     def _project(
         self,

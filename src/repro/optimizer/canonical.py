@@ -29,12 +29,18 @@ import itertools
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..algebra.expressions import Expression
+from ..algebra.expressions import ColumnRef, Expression, FieldKey
 from ..algebra.plan import LimitNode, PlanNode, RenameNode, SortNode
-from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock
+from ..algebra.query import (
+    AggregateView,
+    CanonicalQuery,
+    QueryBlock,
+    SubquerySpec,
+)
 from ..catalog.catalog import Catalog
 from ..cost.params import CostParams
 from ..errors import PlanError
+from ..transforms.decorrelate import decorrelate_query
 from ..transforms.invariant import split_view
 from ..transforms.propagate import propagate_predicates
 from ..transforms.pullup import pull_up
@@ -140,6 +146,49 @@ def _optimize_view(
     return DerivedLeaf(alias=view.alias, plan=rename)
 
 
+def _mark_inner_plan(
+    spec: SubquerySpec, optimizer: BlockOptimizer
+) -> PlanNode:
+    """Plan an unflattened spec's inner side for mark-join execution:
+    optimize its relations and local predicates as an ordinary block,
+    then rename the outputs back to their qualified inner columns so
+    the mark node's correlation / value / aggregate expressions
+    resolve against the materialized rows."""
+    needed: set = set()
+    for inner, _ in spec.correlations:
+        needed |= set(inner.columns())
+    if spec.value is not None:
+        needed |= set(spec.value.columns())
+    if spec.aggregate is not None:
+        needed |= set(spec.aggregate.columns())
+    keys: List[FieldKey] = sorted(
+        key for key in needed if key[0] is not None
+    )
+    if not keys:
+        # e.g. uncorrelated EXISTS / COUNT(*): any column gives shape.
+        relation = spec.relations[0]
+        table = optimizer.catalog.table(relation.table)
+        keys = [(relation.alias, table.columns[0].name)]
+    select = [
+        (f"{alias}__{name}", ColumnRef(alias, name)) for alias, name in keys
+    ]
+    plan = optimizer.optimize_block(
+        leaves=[BaseLeaf(ref) for ref in spec.relations],
+        predicates=spec.local_predicates,
+        spec=None,
+        select=select,
+    )
+    rename = RenameNode(
+        plan,
+        [
+            (alias, name, (None, f"{alias}__{name}"))
+            for alias, name in keys
+        ],
+    )
+    optimizer.model.annotate(rename)
+    return rename
+
+
 def _optimize_outer(
     query: CanonicalQuery,
     derived: Sequence[DerivedLeaf],
@@ -147,13 +196,42 @@ def _optimize_outer(
 ) -> PlanNode:
     leaves: List[Leaf] = [BaseLeaf(ref) for ref in query.base_tables]
     leaves.extend(derived)
+    for unit in query.joins:
+        if unit.table is not None:
+            leaves.append(BaseLeaf(unit.table))
+    # WHERE conjuncts over a LEFT unit's columns must see the padded
+    # join output (a residual inside an outer join is a match
+    # condition, not a filter): route them to the post-join stage.
+    left_aliases = frozenset(
+        unit.alias for unit in query.joins if unit.kind == "left"
+    )
+    post_predicates: List[Expression] = []
+    dp_predicates: List[Expression] = []
+    for predicate in query.predicates:
+        if predicate.aliases() & left_aliases:
+            post_predicates.append(predicate)
+        else:
+            dp_predicates.append(predicate)
+    marks = tuple(
+        (spec, _mark_inner_plan(spec, optimizer))
+        for spec in query.subqueries
+    )
     plan = optimizer.optimize_block(
         leaves=leaves,
-        predicates=query.predicates,
+        predicates=dp_predicates,
         spec=_query_spec(query),
         select=query.select,
+        join_units=query.joins,
+        post_predicates=tuple(post_predicates),
+        marks=marks,
     )
-    if not derived and query.base_tables and query.is_grouped:
+    if (
+        not derived
+        and query.base_tables
+        and query.is_grouped
+        and not query.joins
+        and not query.subqueries
+    ):
         # A grouped query over base tables only is itself a candidate
         # for answering from a materialized view.
         outer_block = QueryBlock(
@@ -191,6 +269,7 @@ def optimize_traditional(
     params: Optional[CostParams] = None,
     propagate: bool = True,
     options: Optional[OptimizerOptions] = None,
+    decorrelate: bool = True,
 ) -> OptimizationResult:
     """The Section 5.1 baseline: local view optimization, then a linear
     join order treating the views as base relations, group-bys last.
@@ -200,10 +279,14 @@ def optimize_traditional(
     ([MFPR90, LMS94], Section 1); ``propagate=False`` ablates it.
     Only the ``enable_view_rewrite`` and ``enable_projection_pruning``
     knobs are honored from *options*: the rest of the baseline's
-    behavior is fixed by definition."""
+    behavior is fixed by definition. ``decorrelate=False`` skips
+    subquery flattening for callers that already decorrelated (the
+    full optimizer's baseline comparison)."""
+    stats = SearchStats()
+    if decorrelate:
+        query = decorrelate_query(query, options, stats)
     if propagate:
         query = propagate_predicates(query)
-    stats = SearchStats()
     baseline_options = OptimizerOptions(
         enable_view_rewrite=(
             options.enable_view_rewrite if options is not None else True
@@ -246,7 +329,15 @@ def optimize_query(
         catalog, params, options, mode="greedy", stats=stats
     )
 
-    # Step 0: [LMS94]-style predicate propagation (the preprocessing
+    # Step 0a: flatten subqueries into join units / grouped views (Kim-
+    # style decorrelation); unflattenable specs stay behind as marks.
+    query = decorrelate_query(query, options, stats)
+    # Join units and mark subqueries pin the outer block's shape: the
+    # invariant-split / pull-up machinery assumes a pure inner-join
+    # outer block, so both stay off when units are present.
+    has_units = bool(query.joins) or bool(query.subqueries)
+
+    # Step 0b: [LMS94]-style predicate propagation (the preprocessing
     # the paper assumes of every optimizer, Section 1).
     if options.enable_predicate_propagation:
         query = propagate_predicates(query)
@@ -254,7 +345,7 @@ def optimize_query(
     # Step 1: minimal invariant sets (B' construction).
     working = query
     restore_sets: Dict[str, Tuple[str, ...]] = {}
-    if options.enable_invariant_split and query.views:
+    if options.enable_invariant_split and query.views and not has_units:
         new_views: List[AggregateView] = []
         extra_tables = []
         extra_predicates: List[Expression] = []
@@ -277,10 +368,16 @@ def optimize_query(
                 limit=query.limit,
             )
 
-    # Step 2: pull-up candidates per view.
+    # Step 2: pull-up candidates per view. With join units present,
+    # pulling a base table into a view would change the unit join's
+    # inputs, so only the empty set is enumerated per view.
     candidates: Dict[str, List[Tuple[str, ...]]] = {}
     for view in working.views:
-        sets = _pullup_candidates(working, view.alias, options)
+        sets = (
+            [()]
+            if has_units
+            else _pullup_candidates(working, view.alias, options)
+        )
         restore = restore_sets.get(view.alias, ())
         if restore and restore not in sets:
             sets.append(tuple(sorted(restore)))
@@ -387,8 +484,11 @@ def optimize_query(
         # guarantee under the narrowed widths.
         best_plan = prune_plan(best_plan, model=optimizer.model, stats=stats)
 
-    # Guarantee: never worse than the traditional optimizer.
-    traditional = optimize_traditional(query, catalog, params, options=options)
+    # Guarantee: never worse than the traditional optimizer. The query
+    # is already decorrelated; don't flatten (or count) again.
+    traditional = optimize_traditional(
+        query, catalog, params, options=options, decorrelate=False
+    )
     stats.merge(traditional.stats)
     if traditional.cost < best_plan.props.cost:
         best_plan = traditional.plan

@@ -88,6 +88,15 @@ class OptimizerOptions:
     (early group-by replaces the plain join only when cheaper and no
     wider). Answers never change, only plan shapes."""
 
+    enable_decorrelation: bool = True
+    """Flatten WHERE-clause subqueries (scalar aggregates, IN/EXISTS,
+    NOT IN/NOT EXISTS) into aggregate views and semi/anti/outer join
+    units before planning (Kim's join-aggregate transformation,
+    Section 1). Off = every subquery executes as a naive mark join —
+    the inner side materialized once, re-scanned per outer row — the
+    ablation baseline of the ``full-nodecorrelate`` fuzz config and
+    ``benchmarks/bench_subquery.py``. Answers never change."""
+
     def __post_init__(self) -> None:
         if self.k_level < 0:
             raise ValueError("k_level must be non-negative")

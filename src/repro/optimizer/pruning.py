@@ -49,6 +49,7 @@ from ..algebra.plan import (
     RenameNode,
     ScanNode,
     SortNode,
+    SubqueryMarkNode,
 )
 from ..cost.model import CostModel
 from .stats import SearchStats
@@ -165,6 +166,19 @@ def _child_requirements(
         ]
     if isinstance(node, FilterNode):
         return [frozenset(required | _predicate_columns(node.predicates))]
+    if isinstance(node, SubqueryMarkNode):
+        keep = set(required)
+        if node.outer is not None:
+            keep |= set(node.outer.columns())
+        for _, outer in node.correlations:
+            keep |= set(outer.columns())
+        # The inner side is consulted wholesale per outer row (its
+        # columns feed correlations, the membership value, and the
+        # aggregate): never prune through it.
+        return [
+            frozenset(keep),
+            frozenset(field.key for field in node.inner.schema),
+        ]
     if isinstance(node, SortNode):
         return [frozenset(required | set(node.keys))]
     if isinstance(node, LimitNode):
@@ -204,6 +218,25 @@ def _prune(plan: PlanNode, required: Required) -> Tuple[PlanNode, bool]:
         if not changed:
             return plan, False
         return FilterNode(child, plan.predicates), True
+    if isinstance(plan, SubqueryMarkNode):
+        child_req = _child_requirements(plan, required)[0]
+        child, changed = _prune(plan.child, child_req)
+        if not changed:
+            return plan, False
+        return (
+            SubqueryMarkNode(
+                child,
+                plan.inner,
+                kind=plan.kind,
+                negate=plan.negate,
+                op=plan.op,
+                outer=plan.outer,
+                correlations=plan.correlations,
+                value=plan.value,
+                aggregate=plan.aggregate,
+            ),
+            True,
+        )
     if isinstance(plan, SortNode):
         child_req = _child_requirements(plan, required)[0]
         child, changed = _prune(plan.child, child_req)
@@ -278,6 +311,8 @@ def _prune_join(plan: JoinNode, required: Required) -> Tuple[JoinNode, bool]:
             residuals=plan.residuals,
             projection=projection,
             index_name=plan.index_name,
+            kind=plan.kind,
+            null_aware=plan.null_aware,
         ),
         True,
     )

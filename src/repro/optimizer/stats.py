@@ -57,6 +57,12 @@ class SearchStats:
     eager_alternatives_adopted: int = 0
     """Finalized block plans whose winning DP entry carried eager
     partial-aggregation state (grouped and/or carry)."""
+    decorrelation_considered: int = 0
+    """WHERE-clause subquery specs inspected by the decorrelation pass
+    (``transforms.decorrelate``)."""
+    decorrelation_adopted: int = 0
+    """Specs flattened into aggregate views / semi / anti / outer join
+    units; the rest execute as naive mark joins."""
     timings: Dict[str, float] = field(default_factory=dict)
     """Per-phase elapsed seconds (``leaf_plans``, ``dp``, ``finalize``)."""
 
@@ -111,6 +117,12 @@ class SearchStats:
                 f" eager={self.eager_alternatives_adopted}/"
                 f"{self.eager_alternatives_considered}"
                 if self.eager_alternatives_considered
+                else ""
+            )
+            + (
+                f" decorrelated={self.decorrelation_adopted}/"
+                f"{self.decorrelation_considered}"
+                if self.decorrelation_considered
                 else ""
             )
         )

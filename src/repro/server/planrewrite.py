@@ -24,6 +24,7 @@ from ..algebra.expressions import (
     collect_parameters,
     replace_parameters,
 )
+from ..algebra.aggregates import AggregateCall
 from ..algebra.plan import (
     FilterNode,
     GroupByNode,
@@ -34,6 +35,7 @@ from ..algebra.plan import (
     RenameNode,
     ScanNode,
     SortNode,
+    SubqueryMarkNode,
 )
 from ..errors import PlanError
 
@@ -51,6 +53,16 @@ def _plan_expressions(plan: PlanNode):
         yield from plan.filters
     elif isinstance(plan, JoinNode):
         yield from plan.residuals
+    elif isinstance(plan, SubqueryMarkNode):
+        if plan.outer is not None:
+            yield plan.outer
+        if plan.value is not None:
+            yield plan.value
+        for inner_ref, outer_expr in plan.correlations:
+            yield inner_ref
+            yield outer_expr
+        if plan.aggregate is not None and plan.aggregate.arg is not None:
+            yield plan.aggregate.arg
     elif isinstance(plan, GroupByNode):
         yield from plan.having
     elif isinstance(plan, FilterNode):
@@ -95,6 +107,32 @@ def clone_plan(
                 residuals=[rewrite(r) for r in node.residuals],
                 projection=node.projection,
                 index_name=node.index_name,
+                kind=node.kind,
+                null_aware=node.null_aware,
+            )
+        elif isinstance(node, SubqueryMarkNode):
+            aggregate = node.aggregate
+            if aggregate is not None and aggregate.arg is not None:
+                aggregate = AggregateCall(
+                    aggregate.func_name, rewrite(aggregate.arg)
+                )
+            clone = SubqueryMarkNode(
+                walk(node.child),
+                walk(node.inner),
+                node.kind,
+                negate=node.negate,
+                op=node.op,
+                outer=(
+                    rewrite(node.outer) if node.outer is not None else None
+                ),
+                correlations=[
+                    (rewrite(inner_ref), rewrite(outer_expr))
+                    for inner_ref, outer_expr in node.correlations
+                ],
+                value=(
+                    rewrite(node.value) if node.value is not None else None
+                ),
+                aggregate=aggregate,
             )
         elif isinstance(node, GroupByNode):
             clone = GroupByNode(

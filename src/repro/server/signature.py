@@ -54,6 +54,54 @@ def _block(block: QueryBlock) -> str:
     return "{" + "|".join(parts) + "}"
 
 
+def _join_units(query: CanonicalQuery) -> str:
+    """Join-kind structure: two queries differing only in a unit's kind
+    (LEFT vs semi vs anti, null-aware or not) must never share a plan."""
+    rendered = []
+    for unit in query.joins:
+        target = (
+            f"{unit.table.table} {unit.table.alias}"
+            if unit.table is not None
+            else f"view {unit.alias}"
+        )
+        kind = unit.kind + ("+null_aware" if unit.null_aware else "")
+        on = ";".join(e.display() for e in unit.on)
+        filters = ";".join(e.display() for e in unit.filters)
+        rendered.append(f"{kind}:{target}:on({on}):filters({filters})")
+    return "joins[" + ";;".join(rendered) + "]"
+
+
+def _subqueries(query: CanonicalQuery) -> str:
+    """Unflattened subquery structure: kind/negation/operator and every
+    inner component participate, so e.g. IN vs NOT IN, or two scalar
+    subqueries differing only in their aggregate, key distinct plans."""
+    rendered = []
+    for spec in query.subqueries:
+        head = spec.kind
+        if spec.negate:
+            head += "-not"
+        if spec.op is not None:
+            head += f"-{spec.op}"
+        relations = ";".join(
+            f"{ref.table} {ref.alias}" for ref in spec.relations
+        )
+        outer = spec.outer.display() if spec.outer is not None else ""
+        value = spec.value.display() if spec.value is not None else ""
+        aggregate = (
+            spec.aggregate.display() if spec.aggregate is not None else ""
+        )
+        correlations = ";".join(
+            f"{inner.display()}={outer_expr.display()}"
+            for inner, outer_expr in spec.correlations
+        )
+        local = ";".join(e.display() for e in spec.local_predicates)
+        rendered.append(
+            f"{head}:{outer}:{value}:{aggregate}:rels({relations})"
+            f":corr({correlations}):local({local})"
+        )
+    return "subqueries[" + ";;".join(rendered) + "]"
+
+
 def query_signature(query: CanonicalQuery) -> str:
     """Deterministic structural key of a bound query."""
     views = ";".join(
@@ -67,6 +115,8 @@ def query_signature(query: CanonicalQuery) -> str:
         + ";".join(f"{ref.table} {ref.alias}" for ref in query.base_tables)
         + "]",
         f"views[{views}]",
+        _join_units(query),
+        _subqueries(query),
         _expressions("where", query.predicates),
         "group[" + ";".join(c.display() for c in query.group_by) + "]",
         _aggregates(query.aggregates),

@@ -36,6 +36,22 @@ class SelectItem:
 
 
 @dataclass(frozen=True)
+class JoinClauseAst:
+    """An explicit ``[kind] JOIN table [alias] ON expr`` clause.
+
+    The FROM clause is a flat sequence: comma-separated table refs, each
+    optionally followed by JOIN clauses. As in SQLite, comma and JOIN
+    bind with equal precedence, left-associative — the left side of each
+    JOIN clause is everything parsed before it. ``kind`` is ``inner``,
+    ``left`` or ``cross`` (CROSS JOIN carries no ON).
+    """
+
+    kind: str
+    table: TableRefAst
+    on: Optional[Expression]
+
+
+@dataclass(frozen=True)
 class SelectStmt:
     """A (possibly nested) SELECT statement."""
 
@@ -47,6 +63,7 @@ class SelectStmt:
     with_views: Tuple["ViewDefAst", ...] = ()
     order_by: Tuple[Tuple[Expression, bool], ...] = ()  # (expr, desc)
     limit: Optional[int] = None
+    joins: Tuple[JoinClauseAst, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -134,3 +151,84 @@ class SubqueryExpr(Expression):
 
     def __hash__(self) -> int:
         return hash(("subquery", id(self.stmt)))
+
+
+class InSubqueryExpr(Expression):
+    """Parse-time ``expr [NOT] IN (SELECT ...)``. The binder lowers it
+    to a :class:`repro.algebra.query.SubquerySpec`."""
+
+    __slots__ = ("item", "stmt", "negate")
+
+    def __init__(self, item: Expression, stmt: SelectStmt, negate: bool):
+        self.item = item
+        self.stmt = stmt
+        self.negate = negate
+
+    def columns(self):
+        return self.item.columns()
+
+    def substitute(self, mapping):
+        return InSubqueryExpr(
+            self.item.substitute(mapping), self.stmt, self.negate
+        )
+
+    def bind(self, schema):
+        raise NotImplementedError(
+            "InSubqueryExpr must be eliminated by the binder before execution"
+        )
+
+    def dtype(self, schema):
+        raise NotImplementedError(
+            "InSubqueryExpr must be eliminated by the binder"
+        )
+
+    def display(self) -> str:
+        word = "not in" if self.negate else "in"
+        return f"{self.item.display()} {word} (subquery)"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InSubqueryExpr)
+            and self.item == other.item
+            and self.negate == other.negate
+            and self.stmt == other.stmt
+        )
+
+    def __hash__(self) -> int:
+        return hash(("in-subquery", self.item, self.negate, id(self.stmt)))
+
+
+class ExistsExpr(Expression):
+    """Parse-time ``EXISTS (SELECT ...)``. The binder lowers it to a
+    :class:`repro.algebra.query.SubquerySpec` (negation arrives wrapped
+    in :class:`repro.algebra.expressions.Not`)."""
+
+    __slots__ = ("stmt",)
+
+    def __init__(self, stmt: SelectStmt):
+        self.stmt = stmt
+
+    def columns(self):
+        return frozenset()
+
+    def substitute(self, mapping):
+        return self
+
+    def bind(self, schema):
+        raise NotImplementedError(
+            "ExistsExpr must be eliminated by the binder before execution"
+        )
+
+    def dtype(self, schema):
+        raise NotImplementedError(
+            "ExistsExpr must be eliminated by the binder"
+        )
+
+    def display(self) -> str:
+        return "exists (subquery)"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExistsExpr) and self.stmt == other.stmt
+
+    def __hash__(self) -> int:
+        return hash(("exists", id(self.stmt)))

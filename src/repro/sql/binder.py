@@ -6,8 +6,15 @@ Responsibilities:
 - instantiate WITH / catalog views, flattening aggregate-free SPJ views
   into the outer block (the traditional reduction, Section 3) and
   turning grouped views into :class:`AggregateView`s;
-- unnest correlated scalar-aggregate subqueries (Kim's join-aggregate
-  class) into aggregate views joined in the outer block (Section 1);
+- lower explicit JOIN clauses: INNER/CROSS joins are sugar for the
+  comma form, LEFT OUTER joins become :class:`JoinUnit`s on the
+  canonical query;
+- lower WHERE-clause subqueries (scalar comparisons, IN / NOT IN,
+  EXISTS / NOT EXISTS, correlated or not) into neutral
+  :class:`SubquerySpec`s; the decorrelation pass
+  (``repro.transforms.decorrelate``) later flattens them into aggregate
+  views and semi/anti join units (Kim's join-aggregate transformation,
+  Section 1) or leaves them for naive mark-join execution;
 - name aggregate outputs and enforce SQL's grouped-select discipline
   (Section 2).
 """
@@ -22,6 +29,7 @@ from ..algebra.expressions import (
     Comparison,
     Expression,
     FieldKey,
+    Not,
     and_all,
     conjuncts,
     equijoin_sides,
@@ -29,7 +37,9 @@ from ..algebra.expressions import (
 from ..algebra.query import (
     AggregateView,
     CanonicalQuery,
+    JoinUnit,
     QueryBlock,
+    SubquerySpec,
     TableRef,
     rename_block_aliases,
 )
@@ -37,6 +47,9 @@ from ..catalog.catalog import Catalog
 from ..errors import BindError, UnsupportedFeatureError
 from .ast import (
     AggregateExpr,
+    ExistsExpr,
+    InSubqueryExpr,
+    JoinClauseAst,
     SelectItem,
     SelectStmt,
     SubqueryExpr,
@@ -44,6 +57,15 @@ from .ast import (
     ViewDefAst,
 )
 from .parser import parse_select
+
+_COMPARISON_FLIP = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    ">": "<",
+    "<=": ">=",
+    ">=": "<=",
+}
 
 
 def bind_sql(sql: str, catalog: Catalog) -> CanonicalQuery:
@@ -119,6 +141,8 @@ class Binder:
         base_tables: List[TableRef] = []
         agg_views: List[AggregateView] = []
         predicates: List[Expression] = []
+        join_units: List[JoinUnit] = []
+        subquery_specs: List[SubquerySpec] = []
 
         for table_ast in stmt.from_tables:
             alias = table_ast.alias or table_ast.name
@@ -138,12 +162,70 @@ class Binder:
             else:
                 raise BindError(f"unknown table or view {table_ast.name!r}")
 
-        # WHERE: resolve, then unnest subqueries
+        # JOIN clauses: INNER/CROSS are sugar for the comma form (ON
+        # conjuncts join WHERE); LEFT becomes a join unit. All aliases
+        # enter scope before any ON expression is resolved.
+        inner_on: List[Expression] = []
+        left_clauses: List[Tuple[JoinClauseAst, str]] = []
+        for clause in stmt.joins:
+            alias = clause.table.alias or clause.table.name
+            if clause.kind in ("inner", "cross"):
+                if clause.table.name in view_defs:
+                    self._instantiate_view(
+                        view_defs[clause.table.name],
+                        alias,
+                        scope,
+                        base_tables,
+                        agg_views,
+                        predicates,
+                    )
+                elif self.catalog.has_table(clause.table.name):
+                    table = self.catalog.table(clause.table.name)
+                    scope.add_alias(alias, [c.name for c in table.columns])
+                    base_tables.append(TableRef(clause.table.name, alias))
+                else:
+                    raise BindError(
+                        f"unknown table or view {clause.table.name!r}"
+                    )
+                if clause.on is not None:
+                    inner_on.append(clause.on)
+            else:  # left
+                if clause.table.name in view_defs:
+                    raise UnsupportedFeatureError(
+                        "LEFT JOIN against a view is not supported; join a "
+                        "base table"
+                    )
+                if not self.catalog.has_table(clause.table.name):
+                    raise BindError(
+                        f"unknown table or view {clause.table.name!r}"
+                    )
+                table = self.catalog.table(clause.table.name)
+                scope.add_alias(alias, [c.name for c in table.columns])
+                left_clauses.append((clause, alias))
+        for on_expression in inner_on:
+            for predicate in conjuncts(on_expression):
+                predicates.append(self._resolve(predicate, scope))
+        for clause, alias in left_clauses:
+            on = tuple(
+                self._resolve(predicate, scope)
+                for predicate in conjuncts(clause.on)
+            )
+            join_units.append(
+                JoinUnit(
+                    alias=alias,
+                    kind="left",
+                    table=TableRef(clause.table.name, alias),
+                    on=on,
+                )
+            )
+
+        # WHERE: resolve, then lower subqueries to specs
         for predicate in conjuncts(stmt.where):
             resolved = self._resolve(predicate, scope, allow_subquery=True)
-            predicates.extend(
-                self._unnest_if_needed(resolved, scope, agg_views)
-            )
+            plain, spec = self._lower_predicate(resolved, scope)
+            predicates.extend(plain)
+            if spec is not None:
+                subquery_specs.append(spec)
 
         group_by, aggregates, having, select = self._bind_projection(
             stmt, scope
@@ -159,6 +241,8 @@ class Binder:
             select=select,
             order_by=order_by,
             limit=stmt.limit,
+            joins=tuple(join_units),
+            subqueries=tuple(subquery_specs),
         )
         self._validate_outer(query)
         return query
@@ -207,6 +291,11 @@ class Binder:
         body = definition.body
         if body.with_views:
             raise UnsupportedFeatureError("nested WITH inside a view body")
+        if body.joins:
+            raise UnsupportedFeatureError(
+                "explicit JOIN clauses inside a view body are not "
+                "supported; use the comma form"
+            )
         if body.order_by or body.limit is not None:
             raise UnsupportedFeatureError(
                 "ORDER BY / LIMIT inside a view body has no effect on the "
@@ -321,7 +410,23 @@ class Binder:
                 raise UnsupportedFeatureError(
                     "subqueries are only supported in the WHERE clause"
                 )
-            return expression  # unnested later, with its own scope
+            return expression  # lowered later, with its own scope
+        if isinstance(expression, InSubqueryExpr):
+            if not allow_subquery:
+                raise UnsupportedFeatureError(
+                    "subqueries are only supported in the WHERE clause"
+                )
+            return InSubqueryExpr(
+                self._resolve(expression.item, scope),
+                expression.stmt,
+                expression.negate,
+            )
+        if isinstance(expression, ExistsExpr):
+            if not allow_subquery:
+                raise UnsupportedFeatureError(
+                    "subqueries are only supported in the WHERE clause"
+                )
+            return expression  # lowered later, with its own scope
         if isinstance(expression, AggregateExpr):
             arg = (
                 self._resolve(expression.arg, scope)
@@ -364,22 +469,58 @@ class Binder:
         return expression
 
     # ------------------------------------------------------------------
-    # Subquery unnesting (Kim's join-aggregate transformation)
+    # Subquery lowering (to neutral specs; flattening happens in
+    # transforms.decorrelate, which has the optimizer options in hand)
     # ------------------------------------------------------------------
 
-    def _unnest_if_needed(
-        self,
-        predicate: Expression,
-        scope: _Scope,
-        agg_views: List[AggregateView],
-    ) -> List[Expression]:
+    def _lower_predicate(
+        self, predicate: Expression, scope: _Scope
+    ) -> Tuple[List[Expression], Optional[SubquerySpec]]:
+        """Split a resolved WHERE conjunct into plain predicates and an
+        optional subquery spec."""
+        if isinstance(predicate, InSubqueryExpr):
+            if _contains_subquery(predicate.item):
+                raise UnsupportedFeatureError(
+                    "the left operand of IN (subquery) cannot itself "
+                    "contain a subquery"
+                )
+            spec = self._lower_subquery_block(
+                predicate.stmt,
+                scope,
+                kind="in",
+                negate=predicate.negate,
+                outer=predicate.item,
+            )
+            return [], spec
+        if isinstance(predicate, ExistsExpr):
+            return [], self._lower_subquery_block(
+                predicate.stmt, scope, kind="exists"
+            )
+        if isinstance(predicate, Not) and isinstance(
+            predicate.item, ExistsExpr
+        ):
+            return [], self._lower_subquery_block(
+                predicate.item.stmt, scope, kind="exists", negate=True
+            )
+        if isinstance(predicate, Not) and isinstance(
+            predicate.item, InSubqueryExpr
+        ):
+            inner = predicate.item
+            return [], self._lower_subquery_block(
+                inner.stmt,
+                scope,
+                kind="in",
+                negate=not inner.negate,
+                outer=inner.item,
+            )
         if not isinstance(predicate, Comparison):
             self._reject_stray_subquery(predicate)
-            return [predicate]
+            return [predicate], None
         left_sub = isinstance(predicate.left, SubqueryExpr)
         right_sub = isinstance(predicate.right, SubqueryExpr)
         if not (left_sub or right_sub):
-            return [predicate]
+            self._reject_stray_subquery(predicate)
+            return [predicate], None
         if left_sub and right_sub:
             raise UnsupportedFeatureError(
                 "comparisons between two subqueries are not supported"
@@ -387,65 +528,53 @@ class Binder:
         subquery = predicate.right if right_sub else predicate.left
         outer_side = predicate.left if right_sub else predicate.right
         assert isinstance(subquery, SubqueryExpr)
-        view, join_predicates, agg_column = self._unnest_scalar_subquery(
-            subquery.stmt, scope
+        if _contains_subquery(outer_side):
+            raise UnsupportedFeatureError(
+                "comparisons between two subqueries are not supported"
+            )
+        op = predicate.op if right_sub else _COMPARISON_FLIP[predicate.op]
+        spec = self._lower_subquery_block(
+            subquery.stmt, scope, kind="scalar", outer=outer_side, op=op
         )
-        agg_views.append(view)
-        comparison = (
-            Comparison(predicate.op, outer_side, agg_column)
-            if right_sub
-            else Comparison(predicate.op, agg_column, outer_side)
-        )
-        return join_predicates + [comparison]
+        return [], spec
 
     def _reject_stray_subquery(self, predicate: Expression) -> None:
-        """Subqueries are only unnestable as one side of a top-level
-        comparison conjunct; anywhere else (inside OR/NOT/arithmetic)
-        must fail at bind time, not at execution."""
+        """Subqueries are only supported as a top-level AND-ed conjunct
+        (one side of a comparison, an IN/EXISTS test, or the NOT of
+        one); anywhere else (inside OR/arithmetic) must fail at bind
+        time, not at execution."""
         if isinstance(predicate, SubqueryExpr):
             raise UnsupportedFeatureError(
                 "a subquery must appear on one side of a comparison"
             )
         if _contains_subquery(predicate):
             raise UnsupportedFeatureError(
-                "subqueries are only supported as one side of a top-level "
-                "AND-ed comparison (not inside OR/NOT/arithmetic)"
+                "subqueries are only supported as a top-level AND-ed "
+                "conjunct (not inside OR/arithmetic)"
             )
 
-    def _unnest_scalar_subquery(
-        self, stmt: SelectStmt, outer_scope: _Scope
-    ) -> Tuple[AggregateView, List[Expression], ColumnRef]:
-        """Kim's transformation: a correlated scalar-aggregate subquery
-        becomes an aggregate view grouped on the correlation columns.
-
-        COUNT subqueries are rejected: Kim's flattening of COUNT is
-        famously unsound for empty groups without outer joins (the
-        paper's footnote 3: "In some cases, such transformations may
-        introduce outerjoins"), and outer joins are outside scope.
-        """
+    def _lower_subquery_block(
+        self,
+        stmt: SelectStmt,
+        outer_scope: _Scope,
+        kind: str,
+        negate: bool = False,
+        outer: Optional[Expression] = None,
+        op: Optional[str] = None,
+    ) -> SubquerySpec:
+        """Bind one WHERE-clause subquery body to a neutral
+        :class:`SubquerySpec` with uniquified inner aliases."""
         if (
             stmt.with_views
             or stmt.group_by
             or stmt.having is not None
             or stmt.order_by
             or stmt.limit is not None
+            or stmt.joins
         ):
             raise UnsupportedFeatureError(
-                "subqueries must be simple scalar aggregate blocks"
-            )
-        if len(stmt.select_items) != 1:
-            raise UnsupportedFeatureError(
-                "a scalar subquery must select exactly one value"
-            )
-        agg_item = stmt.select_items[0].expression
-        if not isinstance(agg_item, AggregateExpr):
-            raise UnsupportedFeatureError(
-                "only aggregate scalar subqueries are supported"
-            )
-        if agg_item.func_name == "count":
-            raise UnsupportedFeatureError(
-                "COUNT subqueries need outer joins to flatten soundly "
-                "(Kim's COUNT bug); outer joins are outside this scope"
+                "subqueries must be simple single-block SELECTs (no WITH/"
+                "GROUP BY/HAVING/ORDER BY/LIMIT/JOIN inside a subquery)"
             )
 
         inner_scope = _Scope()
@@ -470,44 +599,79 @@ class Binder:
                 local.append(self._resolve(predicate, inner_scope))
             else:
                 correlations.append(split)
-        if not correlations:
-            raise UnsupportedFeatureError(
-                "uncorrelated scalar subqueries are not supported; "
-                "correlate with an equality predicate"
+
+        value: Optional[Expression] = None
+        aggregate: Optional[AggregateCall] = None
+        if kind == "scalar":
+            if len(stmt.select_items) != 1:
+                raise UnsupportedFeatureError(
+                    "a scalar subquery must select exactly one value"
+                )
+            agg_item = stmt.select_items[0].expression
+            if not isinstance(agg_item, AggregateExpr):
+                raise UnsupportedFeatureError(
+                    "only aggregate scalar subqueries are supported"
+                )
+            arg = (
+                self._resolve(agg_item.arg, inner_scope)
+                if agg_item.arg is not None
+                else None
+            )
+            aggregate = AggregateCall(agg_item.func_name, arg)
+        elif kind == "in":
+            if len(stmt.select_items) != 1:
+                raise UnsupportedFeatureError(
+                    "IN (subquery) must select exactly one value"
+                )
+            item = stmt.select_items[0].expression
+            if isinstance(item, AggregateExpr) or _contains_subquery(item):
+                raise UnsupportedFeatureError(
+                    "IN (subquery) must select a plain (non-aggregate) value"
+                )
+            value = self._resolve(item, inner_scope)
+
+        spec_alias = self._fresh_name("sq")
+        alias_map = {
+            ref.alias: f"{spec_alias}__{ref.alias}" for ref in relations
+        }
+
+        def rename(expression: Expression) -> Expression:
+            mapping = {
+                key: ColumnRef(alias_map[key[0]], key[1])
+                for key in expression.columns()
+                if key[0] in alias_map
+            }
+            return (
+                expression.substitute(mapping) if mapping else expression
             )
 
-        arg = (
-            self._resolve(agg_item.arg, inner_scope)
-            if agg_item.arg is not None
-            else None
+        return SubquerySpec(
+            alias=spec_alias,
+            kind=kind,
+            negate=negate,
+            op=op,
+            outer=outer,
+            relations=tuple(
+                TableRef(ref.table, alias_map[ref.alias])
+                for ref in relations
+            ),
+            local_predicates=tuple(rename(p) for p in local),
+            correlations=tuple(
+                (rename(inner), outer_ref)
+                for inner, outer_ref in correlations
+            ),
+            value=rename(value) if value is not None else None,
+            aggregate=(
+                AggregateCall(
+                    aggregate.func_name,
+                    rename(aggregate.arg)
+                    if aggregate.arg is not None
+                    else None,
+                )
+                if aggregate is not None
+                else None
+            ),
         )
-        view_alias = self._fresh_name("sq")
-        alias_map = {
-            ref.alias: f"{view_alias}__{ref.alias}" for ref in relations
-        }
-        agg_name = "agg"
-        group_refs = tuple(inner for inner, _ in correlations)
-        select: List[Tuple[str, Expression]] = []
-        for position, reference in enumerate(group_refs):
-            select.append((f"g{position}", reference))
-        select.append((agg_name, ColumnRef(None, agg_name)))
-        block = QueryBlock(
-            relations=tuple(relations),
-            predicates=tuple(local),
-            group_by=group_refs,
-            aggregates=((agg_name, AggregateCall(agg_item.func_name, arg)),),
-            having=(),
-            select=tuple(select),
-        )
-        block = rename_block_aliases(block, alias_map)
-        view = AggregateView(alias=view_alias, block=block)
-        join_predicates: List[Expression] = [
-            Comparison(
-                "=", outer, ColumnRef(view_alias, f"g{position}")
-            )
-            for position, (_, outer) in enumerate(correlations)
-        ]
-        return view, join_predicates, ColumnRef(view_alias, agg_name)
 
     def _split_correlation(
         self,
@@ -704,7 +868,7 @@ class _HavingRewriter:
 
 
 def _contains_subquery(expression: Expression) -> bool:
-    if isinstance(expression, SubqueryExpr):
+    if isinstance(expression, (SubqueryExpr, InSubqueryExpr, ExistsExpr)):
         return True
     from ..algebra.expressions import And, Arith, Not, Or
 

@@ -32,6 +32,14 @@ KEYWORDS = {
     "false",
     "is",
     "null",
+    "join",
+    "left",
+    "right",
+    "full",
+    "outer",
+    "inner",
+    "cross",
+    "on",
 }
 
 _PUNCTUATION = {

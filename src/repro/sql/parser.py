@@ -5,19 +5,26 @@ Grammar (informal)::
     statement   := [WITH view ("," view)*] select EOF
     view        := name "(" name ("," name)* ")" AS "(" select ")"
     select      := SELECT [ALL] item ("," item)*
-                   FROM table ("," table)*
+                   FROM from_item ("," from_item)*
                    [WHERE expr] [GROUP BY column ("," column)*]
                    [HAVING expr]
+    from_item   := table join_clause*
+    join_clause := [INNER] JOIN table ON expr
+                 | LEFT [OUTER] JOIN table ON expr
+                 | CROSS JOIN table
     item        := expr [AS name]
     table       := name [[AS] name]
     expr        := or-expr with the usual precedence:
                    OR < AND < NOT < comparison < additive < multiplicative
+    comparison  := additive [IS [NOT] NULL | [NOT] BETWEEN ... |
+                   [NOT] IN "(" (select | expr-list) ")" | op additive]
     primary     := literal | column | aggregate "(" (expr | "*") ")"
-                 | "(" expr ")" | "(" select ")"
+                 | EXISTS "(" select ")" | "(" expr ")" | "(" select ")"
 
-Join syntax is the implicit comma form (joins live in WHERE), matching
-the paper's examples. Explicit OUTER JOINs are outside the paper's scope
-(Section 2) and are rejected at the lexical level (no JOIN keyword).
+As in SQLite, comma and JOIN bind with equal precedence and associate
+left: ``A, B LEFT JOIN C ON e`` joins C against everything before it.
+``RIGHT`` and ``FULL OUTER`` joins are rejected with a positioned
+error.
 """
 
 from __future__ import annotations
@@ -40,6 +47,9 @@ from ..algebra.expressions import (
 from ..errors import SqlSyntaxError
 from .ast import (
     AggregateExpr,
+    ExistsExpr,
+    InSubqueryExpr,
+    JoinClauseAst,
     SelectItem,
     SelectStmt,
     SubqueryExpr,
@@ -132,6 +142,7 @@ class _Parser:
             with_views=tuple(views),
             order_by=select.order_by,
             limit=select.limit,
+            joins=select.joins,
         )
 
     def parse_view_def(self) -> ViewDefAst:
@@ -159,8 +170,15 @@ class _Parser:
             items.append(self.parse_select_item())
         self.expect_keyword("from")
         tables = [self.parse_table_ref()]
-        while self.accept_punct(","):
-            tables.append(self.parse_table_ref())
+        joins: List[JoinClauseAst] = []
+        while True:
+            if self.accept_punct(","):
+                tables.append(self.parse_table_ref())
+                continue
+            clause = self.parse_join_clause()
+            if clause is None:
+                break
+            joins.append(clause)
         where = None
         if self.accept_keyword("where"):
             where = self.parse_expression()
@@ -194,7 +212,37 @@ class _Parser:
             having=having,
             order_by=tuple(order_by),
             limit=limit,
+            joins=tuple(joins),
         )
+
+    def parse_join_clause(self) -> Optional[JoinClauseAst]:
+        token = self.current
+        if token.is_keyword("right"):
+            raise self.error(
+                "RIGHT [OUTER] JOIN is not supported; swap the sides and "
+                "use LEFT JOIN"
+            )
+        if token.is_keyword("full"):
+            raise self.error("FULL [OUTER] JOIN is not supported")
+        if token.is_keyword("left"):
+            self.advance()
+            self.accept_keyword("outer")
+            self.expect_keyword("join")
+            table = self.parse_table_ref()
+            self.expect_keyword("on")
+            return JoinClauseAst("left", table, self.parse_expression())
+        if token.is_keyword("cross"):
+            self.advance()
+            self.expect_keyword("join")
+            return JoinClauseAst("cross", self.parse_table_ref(), None)
+        if token.is_keyword("inner") or token.is_keyword("join"):
+            if token.is_keyword("inner"):
+                self.advance()
+            self.expect_keyword("join")
+            table = self.parse_table_ref()
+            self.expect_keyword("on")
+            return JoinClauseAst("inner", table, self.parse_expression())
+        return None
 
     def parse_order_item(self):
         expression = self.parse_primary()
@@ -275,10 +323,9 @@ class _Parser:
         if self.accept_keyword("in"):
             self.expect_punct("(")
             if self.current.is_keyword("select"):
-                raise self.error(
-                    "IN (subquery) is not supported; use a comparison "
-                    "with a scalar aggregate subquery"
-                )
+                stmt = self.parse_select_body()
+                self.expect_punct(")")
+                return InSubqueryExpr(left, stmt, negate)
             values = [self.parse_expression()]
             while self.accept_punct(","):
                 values.append(self.parse_expression())
@@ -348,6 +395,14 @@ class _Parser:
         if token.is_keyword("false"):
             self.advance()
             return Literal(False)
+        if token.is_keyword("exists"):
+            self.advance()
+            self.expect_punct("(")
+            if not self.current.is_keyword("select"):
+                raise self.error("EXISTS expects a (SELECT ...) subquery")
+            stmt = self.parse_select_body()
+            self.expect_punct(")")
+            return ExistsExpr(stmt)
         if token.kind == "punctuation" and token.text == "(":
             self.advance()
             if self.current.is_keyword("select"):

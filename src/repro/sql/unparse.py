@@ -23,7 +23,14 @@ from ..algebra.expressions import (
     Not,
     Or,
 )
-from ..algebra.query import AggregateView, CanonicalQuery, QueryBlock
+from ..algebra.query import (
+    AggregateView,
+    CanonicalQuery,
+    JoinUnit,
+    QueryBlock,
+    SubquerySpec,
+    TableRef,
+)
 from ..catalog.schema import RID_COLUMN
 from ..errors import UnsupportedFeatureError
 
@@ -164,10 +171,117 @@ class _AggregatePlaceholder(Expression):
 
 
 def view_to_sql(view: AggregateView) -> str:
-    """The WITH-clause definition text of one aggregate view."""
+    """The WITH-clause definition text of one aggregate view.
+
+    The binder uniquifies a view body's inner aliases by prefixing the
+    instance alias (``r3__r1``); emitting them verbatim would compound
+    on every re-bind (``r3__r3__r1``), so the prefix is stripped here —
+    the emitted text re-binds (and re-mangles) to the same structure,
+    making unparse a fixed point."""
     names = ", ".join(name for name, _ in view.block.select)
-    body = block_to_sql(view.block).replace("\n", "\n    ")
+    body = block_to_sql(_strip_block_prefix(view.block, f"{view.alias}__"))
+    body = body.replace("\n", "\n    ")
     return f"{view.alias}({names}) as (\n    {body}\n)"
+
+
+def _strip_block_prefix(block: QueryBlock, prefix: str) -> QueryBlock:
+    """A copy of *block* with the binder's ``{alias}__`` inner-alias
+    mangling undone on every component."""
+
+    def strip_expr(expression: Expression) -> Expression:
+        return _strip_alias_prefix(expression, prefix)
+
+    def strip_call(call: AggregateCall) -> AggregateCall:
+        if call.arg is None:
+            return call
+        return AggregateCall(call.func_name, strip_expr(call.arg))
+
+    return QueryBlock(
+        relations=tuple(
+            TableRef(
+                ref.table,
+                ref.alias[len(prefix):]
+                if ref.alias.startswith(prefix)
+                else ref.alias,
+            )
+            for ref in block.relations
+        ),
+        predicates=tuple(strip_expr(p) for p in block.predicates),
+        group_by=tuple(strip_expr(c) for c in block.group_by),
+        aggregates=tuple(
+            (name, strip_call(call)) for name, call in block.aggregates
+        ),
+        having=tuple(strip_expr(p) for p in block.having),
+        select=tuple(
+            (name, strip_expr(source)) for name, source in block.select
+        ),
+    )
+
+
+def _strip_alias_prefix(expression: Expression, prefix: str) -> Expression:
+    """Undo the binder's ``{spec_alias}__`` inner-alias mangling so the
+    emitted subquery re-binds (and re-mangles) cleanly."""
+    mapping = {}
+    for alias, name in expression.columns():
+        if alias is not None and alias.startswith(prefix):
+            mapping[(alias, name)] = ColumnRef(alias[len(prefix):], name)
+    return expression.substitute(mapping) if mapping else expression
+
+
+def subquery_to_sql(spec: SubquerySpec) -> str:
+    """The WHERE-conjunct text of one subquery spec."""
+    prefix = f"{spec.alias}__"
+
+    def strip(expression: Expression) -> str:
+        return expression_to_sql(_strip_alias_prefix(expression, prefix))
+
+    from_parts = ", ".join(
+        f"{ref.table} "
+        + (
+            ref.alias[len(prefix):]
+            if ref.alias.startswith(prefix)
+            else ref.alias
+        )
+        for ref in spec.relations
+    )
+    conjuncts = [strip(predicate) for predicate in spec.local_predicates]
+    conjuncts += [
+        f"({strip(inner)} = {expression_to_sql(outer)})"
+        for inner, outer in spec.correlations
+    ]
+    where = " where " + " and ".join(conjuncts) if conjuncts else ""
+    if spec.kind == "scalar":
+        assert spec.aggregate is not None and spec.op is not None
+        if spec.aggregate.arg is None:
+            item = f"{spec.aggregate.func_name}(*)"
+        else:
+            item = f"{spec.aggregate.func_name}({strip(spec.aggregate.arg)})"
+        body = f"(select {item} from {from_parts}{where})"
+        return f"({expression_to_sql(spec.outer)} {spec.op} {body})"
+    if spec.kind == "in":
+        assert spec.value is not None and spec.outer is not None
+        body = f"(select {strip(spec.value)} from {from_parts}{where})"
+        keyword = "not in" if spec.negate else "in"
+        return f"({expression_to_sql(spec.outer)} {keyword} {body})"
+    # EXISTS cares only about emptiness; the binder never kept the
+    # original select item, and ``select 1`` re-binds identically.
+    keyword = "not exists" if spec.negate else "exists"
+    return f"{keyword} (select 1 from {from_parts}{where})"
+
+
+def _unit_to_sql(unit: JoinUnit) -> str:
+    """The JOIN-clause text of one join unit."""
+    if unit.kind != "left" or unit.table is None or unit.filters:
+        # semi/anti and view-backed units exist only after
+        # decorrelation; their SQL spelling is the subquery they came
+        # from, which the flattening discarded.
+        raise UnsupportedFeatureError(
+            f"a {unit.kind} join unit has no SQL spelling"
+        )
+    condition = " and ".join(
+        expression_to_sql(predicate) for predicate in unit.on
+    )
+    return f"left join {unit.table.table} {unit.alias} on {condition}"
 
 
 def query_to_sql(query: CanonicalQuery) -> str:
@@ -196,14 +310,14 @@ def query_to_sql(query: CanonicalQuery) -> str:
     lines.append("select " + ", ".join(select_parts))
     from_parts = [f"{ref.table} {ref.alias}" for ref in query.base_tables]
     from_parts.extend(f"{view.alias} {view.alias}" for view in query.views)
-    lines.append("from " + ", ".join(from_parts))
-    if query.predicates:
-        lines.append(
-            "where "
-            + " and ".join(
-                expression_to_sql(p) for p in query.predicates
-            )
-        )
+    from_line = "from " + ", ".join(from_parts)
+    for unit in query.joins:
+        from_line += " " + _unit_to_sql(unit)
+    lines.append(from_line)
+    where_parts = [expression_to_sql(p) for p in query.predicates]
+    where_parts.extend(subquery_to_sql(spec) for spec in query.subqueries)
+    if where_parts:
+        lines.append("where " + " and ".join(where_parts))
     if query.group_by:
         lines.append(
             "group by " + ", ".join(ref.display() for ref in query.group_by)

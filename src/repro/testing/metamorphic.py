@@ -119,6 +119,14 @@ CONFIGS: Tuple[EngineConfig, ...] = (
         "full-eagercost",
         params=CostParams(memory_pages=4, cpu_tuple_weight=0.01),
     ),
+    # Decorrelation ablation: subqueries execute as naive mark joins
+    # instead of flattened semi/anti/LEFT units — the slow path must
+    # agree with the decorrelated plans and the oracle on every row,
+    # including NOT IN meeting NULL-bearing inner sides.
+    EngineConfig(
+        "full-nodecorrelate",
+        options=OptimizerOptions(enable_decorrelation=False),
+    ),
 )
 
 

@@ -163,13 +163,21 @@ def _query_reductions(query: QuerySpec):
     """Yield one-step-smaller variants of a query, most aggressive
     first. Variants may be invalid (e.g. empty select) — the checker
     rejects those via signature mismatch."""
-    # drop a joined relation and every piece that mentions it
+    # drop a joined relation and every piece that mentions it (LEFT
+    # JOIN clauses whose ON touches the relation go too, taking their
+    # own dependents along)
     if len(query.relations) > 1:
         for rel in query.relations:
+            removed = {rel.alias}
+            removed.update(
+                clause.rel.alias
+                for clause in query.left_joins
+                if rel.alias in clause.aliases
+            )
             keep_select = [
                 item
                 for item in query.select
-                if rel.alias not in item.aliases
+                if not (item.aliases & removed)
             ]
             if not keep_select:
                 continue
@@ -179,22 +187,51 @@ def _query_reductions(query: QuerySpec):
                 ],
                 select=keep_select,
                 where=[
-                    p for p in query.where if rel.alias not in p.aliases
+                    p for p in query.where if not (p.aliases & removed)
                 ],
                 group_by=[
                     key
                     for key in query.group_by
-                    if not key.startswith(rel.alias + ".")
+                    if key.split(".", 1)[0] not in removed
                 ],
                 having=[
                     p
                     for p in query.having
-                    if rel.alias not in p.aliases
+                    if not (p.aliases & removed)
                 ],
                 views=[
                     v for v in query.views if v.name != rel.table
                 ],
+                left_joins=[
+                    clause
+                    for clause in query.left_joins
+                    if not (clause.aliases & removed)
+                ],
             )
+    # drop one LEFT JOIN clause and every piece that mentions it
+    for clause in query.left_joins:
+        removed = {clause.rel.alias}
+        keep_select = [
+            item for item in query.select if not (item.aliases & removed)
+        ]
+        if not keep_select:
+            continue
+        yield _with(
+            query,
+            select=keep_select,
+            where=[p for p in query.where if not (p.aliases & removed)],
+            group_by=[
+                key
+                for key in query.group_by
+                if key.split(".", 1)[0] not in removed
+            ],
+            having=[
+                p for p in query.having if not (p.aliases & removed)
+            ],
+            left_joins=[
+                c for c in query.left_joins if c is not clause
+            ],
+        )
     # drop one WHERE conjunct
     for index in range(len(query.where)):
         yield _with(query, where=_without(query.where, index))
@@ -233,6 +270,7 @@ def _with(query: QuerySpec, **changes) -> QuerySpec:
         group_by=list(query.group_by),
         having=list(query.having),
         views=list(query.views),
+        left_joins=list(query.left_joins),
     )
     merged.update(changes)
     return QuerySpec(**merged)

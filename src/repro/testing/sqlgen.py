@@ -61,6 +61,25 @@ class RelRef:
     alias: str
 
 
+@dataclass(frozen=True)
+class LeftJoinSpec:
+    """One ``LEFT JOIN table alias ON on_sql`` clause.
+
+    ``aliases`` lists every alias the ON condition touches (the joined
+    alias plus the prior relations it references), so the shrinker can
+    drop the clause together with everything that mentions it."""
+
+    rel: RelRef
+    on_sql: str
+    aliases: frozenset
+
+    def to_sql(self) -> str:
+        return (
+            f"left join {self.rel.table} {self.rel.alias} "
+            f"on {self.on_sql}"
+        )
+
+
 @dataclass
 class QuerySpec:
     """Structured form of one generated query."""
@@ -71,6 +90,7 @@ class QuerySpec:
     group_by: List[str] = field(default_factory=list)
     having: List[PredSpec] = field(default_factory=list)
     views: List["ViewSpec"] = field(default_factory=list)
+    left_joins: List[LeftJoinSpec] = field(default_factory=list)
 
     @property
     def is_grouped(self) -> bool:
@@ -93,6 +113,8 @@ class QuerySpec:
             f"{rel.table} {rel.alias}" for rel in self.relations
         )
         parts.append(f"from {from_list}")
+        for clause in self.left_joins:
+            parts.append(clause.to_sql())
         if self.where:
             parts.append(
                 "where " + " and ".join(pred.sql for pred in self.where)
@@ -187,6 +209,15 @@ class GenProfile:
     aggregate arguments drawn from one relation, grouping keys from
     another — the shape where eager partial aggregation and COUNT-carry
     pre-collapse below the join apply."""
+    subquery_prob: float = 0.35
+    """Chance a query gains one WHERE-clause subquery conjunct (scalar
+    aggregate / IN / NOT IN / EXISTS / NOT EXISTS, correlated or not).
+    Inner select columns are biased toward nullable ones so NOT IN
+    meets NULL-bearing inner sides — the three-valued-logic case the
+    null-aware anti-join must get right."""
+    left_join_prob: float = 0.3
+    """Chance a query appends one ``LEFT JOIN ... ON`` clause; padded
+    NULL rows then flow through filters, grouping, and aggregates."""
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +419,198 @@ class ScriptGenerator:
             # tables are small, and both systems agree on cross joins)
         return preds
 
+    # -- subqueries and LEFT JOIN --------------------------------------
+
+    @staticmethod
+    def _types_comparable(a: str, b: str) -> bool:
+        """int/float compare numerically in both systems; strings only
+        against strings (and only with =/!=, per the dialect rules)."""
+        if a == "str" or b == "str":
+            return a == b
+        return True
+
+    def _correlation_sql(
+        self,
+        inner_alias: str,
+        inner_table: GenTable,
+        rels: Sequence[Tuple[RelRef, GenTable]],
+    ) -> Optional[Tuple[str, str]]:
+        """One ``inner.col = outer.col`` equality (the only correlated
+        predicate shape the binder splits), or None when no type-
+        compatible pair exists. Returns (sql, outer alias)."""
+        rng = self.rng
+        options = [
+            (inner_column, rel, outer_column)
+            for inner_column in inner_table.columns
+            for rel, table in rels
+            for outer_column in table.columns
+            if self._types_comparable(
+                inner_column.dtype, outer_column.dtype
+            )
+        ]
+        if not options:
+            return None
+        inner_column, rel, outer_column = rng.choice(options)
+        sql = (
+            f"{inner_alias}.{inner_column.name} = "
+            f"{rel.alias}.{outer_column.name}"
+        )
+        return sql, rel.alias
+
+    def _inner_column(self, table: GenTable) -> GenColumn:
+        """A subquery's selected column, biased toward nullable ones so
+        IN / NOT IN regularly meet NULL-bearing inner sides."""
+        rng = self.rng
+        nullable = [c for c in table.columns if c.nullable]
+        if nullable and rng.random() < 0.6:
+            return rng.choice(nullable)
+        return rng.choice(list(table.columns))
+
+    def _subquery_predicate(
+        self, rels: Sequence[Tuple[RelRef, GenTable]]
+    ) -> Optional[PredSpec]:
+        """One WHERE conjunct with a subquery: scalar aggregate
+        comparison, [NOT] IN membership, or [NOT] EXISTS — correlated
+        or not. Subquery bodies stay inside the binder's surface: one
+        base table, simple conjuncts, correlation only as
+        ``inner.col = outer.col``."""
+        rng = self.rng
+        if not self.tables:
+            return None
+        inner_table = rng.choice(self.tables)
+        inner_alias = self._fresh("s")
+        inner_rel = RelRef(inner_table.name, inner_alias)
+
+        inner_where: List[str] = []
+        outer_aliases: set = set()
+        if rng.random() < 0.45:
+            local = self._predicate([(inner_rel, inner_table)])
+            inner_where.append(local.sql)
+        correlated = rng.random() < 0.55
+        if correlated:
+            pair = self._correlation_sql(inner_alias, inner_table, rels)
+            if pair is None:
+                correlated = False
+            else:
+                sql, outer_alias = pair
+                inner_where.append(sql)
+                outer_aliases.add(outer_alias)
+        where_sql = (
+            " where " + " and ".join(inner_where) if inner_where else ""
+        )
+
+        kind = rng.choice(
+            ("scalar", "scalar", "in", "in", "in", "exists", "exists")
+        )
+        if kind == "scalar":
+            numeric = [
+                c
+                for c in inner_table.columns
+                if c.dtype in ("int", "float")
+            ]
+            if numeric and rng.random() < 0.8:
+                column = rng.choice(numeric)
+                func = rng.choice(("count", "sum", "avg", "min", "max"))
+                agg = f"{func}({inner_alias}.{column.name})"
+            else:
+                agg = "count(*)"
+            body = (
+                f"(select {agg} from {inner_table.name} "
+                f"{inner_alias}{where_sql})"
+            )
+            outer_numeric = [
+                (rel, column)
+                for rel, table in rels
+                for column in table.columns
+                if column.dtype in ("int", "float")
+            ]
+            op = rng.choice(self.COMPARISONS)
+            if outer_numeric and rng.random() < 0.7:
+                rel, column = rng.choice(outer_numeric)
+                left = self._column_ref(rel, column)
+                outer_aliases.add(rel.alias)
+            else:
+                left = str(rng.randint(-4, 12))
+            if not outer_aliases:
+                # anchor constant-only tests to some relation so the
+                # shrinker's drop-relation pass treats them as global
+                outer_aliases.add(rels[0][0].alias)
+            return PredSpec(
+                f"{left} {op} {body}", frozenset(outer_aliases)
+            )
+        if kind == "in":
+            column = self._inner_column(inner_table)
+            body = (
+                f"(select {inner_alias}.{column.name} from "
+                f"{inner_table.name} {inner_alias}{where_sql})"
+            )
+            options = [
+                (rel, outer_column)
+                for rel, table in rels
+                for outer_column in table.columns
+                if self._types_comparable(
+                    column.dtype, outer_column.dtype
+                )
+            ]
+            if not options:
+                return None
+            rel, outer_column = rng.choice(options)
+            outer_aliases.add(rel.alias)
+            negate = "not " if rng.random() < 0.4 else ""
+            return PredSpec(
+                f"{self._column_ref(rel, outer_column)} {negate}in {body}",
+                frozenset(outer_aliases),
+            )
+        # exists / not exists
+        column = rng.choice(list(inner_table.columns))
+        body = (
+            f"(select {inner_alias}.{column.name} from "
+            f"{inner_table.name} {inner_alias}{where_sql})"
+        )
+        if not outer_aliases:
+            outer_aliases.add(rels[0][0].alias)
+        negate = "not " if rng.random() < 0.4 else ""
+        return PredSpec(f"{negate}exists {body}", frozenset(outer_aliases))
+
+    def _left_join(
+        self, rels: Sequence[Tuple[RelRef, GenTable]]
+    ) -> Optional[Tuple[LeftJoinSpec, RelRef, GenTable]]:
+        """One ``LEFT JOIN table alias ON prior.col = alias.col`` clause
+        (sometimes with an extra ANDed filter on the joined side)."""
+        rng = self.rng
+        if not self.tables:
+            return None
+        table = rng.choice(self.tables)
+        alias = self._fresh("r")
+        options = [
+            (rel, outer_column, join_column)
+            for rel, outer_table in rels
+            for outer_column in outer_table.columns
+            for join_column in table.columns
+            if self._types_comparable(
+                outer_column.dtype, join_column.dtype
+            )
+        ]
+        if not options:
+            return None
+        rel, outer_column, join_column = rng.choice(options)
+        on = (
+            f"{rel.alias}.{outer_column.name} = "
+            f"{alias}.{join_column.name}"
+        )
+        if rng.random() < 0.3:
+            extra = rng.choice(table.columns)
+            if extra.dtype == "str":
+                op = rng.choice(("=", "!="))
+            else:
+                op = rng.choice(self.COMPARISONS)
+            literal = self._literal(extra)
+            on += f" and {alias}.{extra.name} {op} {literal}"
+        spec = LeftJoinSpec(
+            RelRef(table.name, alias), on, frozenset([alias, rel.alias])
+        )
+        return spec, spec.rel, table
+
     def _aggregate(
         self, rels: Sequence[Tuple[RelRef, GenTable]], allow_holistic: bool
     ) -> Tuple[str, str, frozenset]:
@@ -436,6 +659,8 @@ class ScriptGenerator:
         allow_holistic: bool = True,
         source_tables: Optional[Sequence[GenTable]] = None,
         max_relations: int = 3,
+        allow_subqueries: bool = True,
+        allow_left_joins: bool = True,
     ) -> QuerySpec:
         rng = self.rng
         pool = (
@@ -450,6 +675,24 @@ class ScriptGenerator:
         for table in chosen:
             alias = self._fresh("r")
             rels.append((RelRef(table.name, alias), table))
+
+        # LEFT JOIN clauses and subquery correlations reference only the
+        # plain FROM-list relations (base tables and matviews), never a
+        # WITH-view alias — the binder resolves those, but keeping the
+        # outer side concrete keeps generated scripts inside the
+        # engine's supported surface.
+        plain_rels = list(rels)
+        left_joins: List[LeftJoinSpec] = []
+        extended: List[Tuple[RelRef, GenTable]] = []
+        if (
+            allow_left_joins
+            and rng.random() < self.profile.left_join_prob
+        ):
+            joined = self._left_join(plain_rels)
+            if joined is not None:
+                spec, joined_rel, joined_table = joined
+                left_joins.append(spec)
+                extended.append((joined_rel, joined_table))
 
         if (
             allow_views
@@ -469,12 +712,20 @@ class ScriptGenerator:
             )
             alias = self._fresh("r")
             rels.append((RelRef(view.name, alias), view_table))
+        extended = list(rels) + extended
 
         where: List[PredSpec] = []
         if len(rels) > 1:
             where.extend(self._join_chain(rels))
         for _ in range(rng.randint(0, 2)):
-            where.append(self._predicate(rels))
+            where.append(self._predicate(extended))
+        if (
+            allow_subqueries
+            and rng.random() < self.profile.subquery_prob
+        ):
+            subquery_pred = self._subquery_predicate(plain_rels)
+            if subquery_pred is not None:
+                where.append(subquery_pred)
 
         grouped = rng.random() < 0.6
         select: List[SelectItem] = []
@@ -483,7 +734,7 @@ class ScriptGenerator:
         if grouped:
             key_count = rng.randint(1, 2)
             for _ in range(key_count):
-                rel, table = rng.choice(rels)
+                rel, table = rng.choice(extended)
                 column = rng.choice(table.columns)
                 ref = self._column_ref(rel, column)
                 if ref not in group_by:
@@ -497,7 +748,9 @@ class ScriptGenerator:
                     )
             seen_aggregates = set()
             for _ in range(rng.randint(1, 3)):
-                sql, _, aliases = self._aggregate(rels, allow_holistic)
+                sql, _, aliases = self._aggregate(
+                    extended, allow_holistic
+                )
                 if sql in seen_aggregates:
                     continue  # the binder rejects duplicate aggregates
                 seen_aggregates.add(sql)
@@ -525,14 +778,14 @@ class ScriptGenerator:
         else:
             for _ in range(rng.randint(1, 4)):
                 if rng.random() < 0.2:
-                    expr = self._numeric_expr(rels)
+                    expr = self._numeric_expr(extended)
                     if expr is not None:
                         sql, aliases = expr
                         select.append(
                             SelectItem(self._fresh("x"), sql, aliases)
                         )
                         continue
-                rel, table = rng.choice(rels)
+                rel, table = rng.choice(extended)
                 column = rng.choice(table.columns)
                 select.append(
                     SelectItem(
@@ -549,6 +802,7 @@ class ScriptGenerator:
             group_by=group_by,
             having=having,
             views=views,
+            left_joins=left_joins,
         )
 
     def _gen_grouped_join_query(self) -> QuerySpec:
@@ -570,6 +824,12 @@ class ScriptGenerator:
         where = self._join_chain(rels)
         for _ in range(rng.randint(0, 2)):
             where.append(self._predicate(rels))
+        if rng.random() < self.profile.subquery_prob:
+            # decorrelation interacting with eager aggregation: the
+            # semi/anti/LEFT unit must not break the partial-agg DP
+            subquery_pred = self._subquery_predicate(rels)
+            if subquery_pred is not None:
+                where.append(subquery_pred)
 
         fact = rng.choice(rels)
         dims = [pair for pair in rels if pair is not fact] or [fact]
@@ -682,6 +942,8 @@ class ScriptGenerator:
             allow_holistic=False,
             source_tables=self.tables,
             max_relations=count,
+            allow_subqueries=False,
+            allow_left_joins=False,
         )
         # matview bodies must group and must not HAVING
         if not body.group_by:
@@ -827,6 +1089,7 @@ def render_script(script: Sequence[Stmt]) -> str:
 
 __all__ = [
     "GenProfile",
+    "LeftJoinSpec",
     "PredSpec",
     "QuerySpec",
     "RelRef",

@@ -77,6 +77,8 @@ def propagate_predicates(query: CanonicalQuery) -> CanonicalQuery:
         select=query.select,
         order_by=query.order_by,
         limit=query.limit,
+        joins=query.joins,
+        subqueries=query.subqueries,
     )
 
 
@@ -95,6 +97,12 @@ def _movable_target(
         return None
     (alias,) = aliases
     if alias not in query.view_aliases:
+        return None
+    if any(unit.alias == alias for unit in query.joins):
+        # The view is the target of a non-inner join unit: a WHERE
+        # conjunct over it filters the *padded* join output and must
+        # not move inside the view (it would turn kept-but-unmatched
+        # rows into matches).
         return None
     view = query.view(alias)
     group_keys = {reference.key for reference in view.block.group_by}

@@ -1,11 +1,13 @@
 """Kim-style unnesting of correlated nested subqueries (Section 1).
 
-The heavy lifting lives in the SQL binder (:mod:`repro.sql.binder`),
-which rewrites each correlated scalar-aggregate subquery into an
-aggregate view grouped on its correlation columns, joined in the outer
-block. This module is the programmatic entry point used by examples and
-the E8 benchmark: it exposes the flattened canonical query together with
-a description of what was unnested.
+The binder (:mod:`repro.sql.binder`) lowers each WHERE-clause subquery
+to a neutral :class:`SubquerySpec`; the decorrelation pass
+(:mod:`repro.transforms.decorrelate`) flattens correlated
+scalar-aggregate subqueries into aggregate views grouped on their
+correlation columns, joined in the outer block. This module is the
+programmatic entry point used by examples and the E8 benchmark: it
+exposes the flattened canonical query together with a description of
+what was unnested.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from typing import Tuple
 from ..algebra.query import CanonicalQuery
 from ..catalog.catalog import Catalog
 from ..sql.binder import bind_sql
+from .decorrelate import decorrelate_query
 
 
 @dataclass(frozen=True)
@@ -34,7 +37,7 @@ def unnest_sql(sql: str, catalog: Catalog) -> UnnestReport:
     """Bind *sql*, unnesting its correlated subqueries into aggregate
     views (Kim's join-aggregate transformation), and report the views
     that were introduced."""
-    query = bind_sql(sql, catalog)
+    query = decorrelate_query(bind_sql(sql, catalog))
     generated = tuple(
         view.alias for view in query.views if view.alias.startswith("sq_")
     )

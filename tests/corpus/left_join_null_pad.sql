@@ -1,0 +1,14 @@
+-- corpus regression: left_join_null_pad.sql
+-- pins: LEFT JOIN padding -- unmatched outer rows survive with NULLs
+-- on the inner side; count(inner.col) skips the padding while
+-- count(*) counts it, a WHERE on the padded side drops the padded
+-- rows, and an extra ON conjunct fails rows into padding rather
+-- than filtering them after the join.
+create table t1 (c0 int, c1 int);
+create table t2 (c0 int, c2 int null);
+insert into t1 values (1, 10), (2, 20), (3, 30);
+insert into t2 values (1, 100), (1, 101), (3, null);
+select r1.c0 as x1, r2.c2 as x2 from t1 r1 left join t2 r2 on r1.c0 = r2.c0;
+select r1.c0 as x1, count(r2.c2) as x2, count(*) as x3 from t1 r1 left join t2 r2 on r1.c0 = r2.c0 group by r1.c0;
+select r1.c0 as x1, r2.c2 as x2 from t1 r1 left join t2 r2 on r1.c0 = r2.c0 and r2.c2 > 100;
+select r1.c0 as x1 from t1 r1 left join t2 r2 on r1.c0 = r2.c0 where r2.c0 is null;

@@ -1,0 +1,12 @@
+-- corpus regression: semi_join_dup_inner.sql
+-- pins: semi-join multiplicity -- IN must emit each qualifying outer
+-- row exactly once however many inner duplicates match, and EXISTS
+-- must behave identically; a grouped query on top must see
+-- un-duplicated counts.
+create table t1 (c0 int, c1 int);
+create table t2 (c0 int);
+insert into t1 values (1, 10), (2, 20), (2, 21), (3, 30);
+insert into t2 values (2), (2), (2), (3);
+select r1.c0 as x1, r1.c1 as x2 from t1 r1 where r1.c0 in (select s1.c0 from t2 s1);
+select r1.c0 as x1, r1.c1 as x2 from t1 r1 where exists (select s1.c0 from t2 s1 where s1.c0 = r1.c0);
+select r1.c0 as x1, count(*) as x2 from t1 r1 where r1.c0 in (select s1.c0 from t2 s1) group by r1.c0;

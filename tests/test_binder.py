@@ -5,6 +5,7 @@ import pytest
 from repro.algebra.expressions import ColumnRef
 from repro.errors import BindError, UnsupportedFeatureError
 from repro.sql import bind_sql
+from repro.transforms.decorrelate import decorrelate_query
 
 
 class TestResolution:
@@ -181,12 +182,19 @@ class TestViews:
 
 
 class TestUnnesting:
+    """The binder lowers subqueries to neutral specs; flattening is
+    ``decorrelate_query``'s job (``transforms/decorrelate.py``)."""
+
     def test_correlated_avg_subquery(self, emp_dept_db):
-        query = bind_sql(
+        bound = bind_sql(
             "select e1.sal from emp e1 where e1.sal > "
             "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno)",
             emp_dept_db.catalog,
         )
+        assert len(bound.subqueries) == 1
+        assert bound.subqueries[0].kind == "scalar"
+        query = decorrelate_query(bound)
+        assert not query.subqueries
         assert len(query.views) == 1
         view = query.views[0]
         assert view.block.aggregates[0][1].func_name == "avg"
@@ -195,48 +203,126 @@ class TestUnnesting:
         assert len(query.predicates) == 2
 
     def test_subquery_on_left_side(self, emp_dept_db):
-        query = bind_sql(
-            "select e1.sal from emp e1 where "
-            "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno) < e1.sal",
-            emp_dept_db.catalog,
+        query = decorrelate_query(
+            bind_sql(
+                "select e1.sal from emp e1 where "
+                "(select avg(e2.sal) from emp e2 where e2.dno = e1.dno)"
+                " < e1.sal",
+                emp_dept_db.catalog,
+            )
         )
         assert len(query.views) == 1
 
     def test_multiple_correlations(self, emp_dept_db):
-        query = bind_sql(
-            "select e1.sal from emp e1 where e1.sal > "
-            "(select min(e2.sal) from emp e2 "
-            "where e2.dno = e1.dno and e2.age = e1.age)",
-            emp_dept_db.catalog,
+        query = decorrelate_query(
+            bind_sql(
+                "select e1.sal from emp e1 where e1.sal > "
+                "(select min(e2.sal) from emp e2 "
+                "where e2.dno = e1.dno and e2.age = e1.age)",
+                emp_dept_db.catalog,
+            )
         )
         view = query.views[0]
         assert len(view.block.group_by) == 2
 
     def test_subquery_local_predicate_stays_inside(self, emp_dept_db):
-        query = bind_sql(
-            "select e1.sal from emp e1 where e1.sal > "
-            "(select avg(e2.sal) from emp e2 "
-            "where e2.dno = e1.dno and e2.age > 30)",
-            emp_dept_db.catalog,
+        query = decorrelate_query(
+            bind_sql(
+                "select e1.sal from emp e1 where e1.sal > "
+                "(select avg(e2.sal) from emp e2 "
+                "where e2.dno = e1.dno and e2.age > 30)",
+                emp_dept_db.catalog,
+            )
         )
         assert len(query.views[0].block.predicates) == 1
 
-    def test_count_subquery_rejected(self, emp_dept_db):
-        # Kim's COUNT bug: unsound without outer joins
-        with pytest.raises(UnsupportedFeatureError):
+    def test_count_subquery_left_unit(self, emp_dept_db):
+        # Kim's COUNT bug: flattening must go through a LEFT unit so
+        # empty groups read as COUNT = 0, not "no row".
+        query = decorrelate_query(
             bind_sql(
                 "select e1.sal from emp e1 where e1.eno > "
                 "(select count(*) from emp e2 where e2.dno = e1.dno)",
                 emp_dept_db.catalog,
             )
+        )
+        assert len(query.views) == 1
+        assert len(query.joins) == 1
+        assert query.joins[0].kind == "left"
 
-    def test_uncorrelated_subquery_rejected(self, emp_dept_db):
-        with pytest.raises(UnsupportedFeatureError):
+    def test_uncorrelated_scalar_stays_as_mark(self, emp_dept_db):
+        query = decorrelate_query(
             bind_sql(
                 "select e1.sal from emp e1 where e1.sal > "
                 "(select avg(e2.sal) from emp e2)",
                 emp_dept_db.catalog,
             )
+        )
+        # No correlation columns to group on: executes as a mark join.
+        assert not query.views
+        assert len(query.subqueries) == 1
+
+    def test_in_subquery_semi_unit(self, emp_dept_db):
+        query = decorrelate_query(
+            bind_sql(
+                "select e1.sal from emp e1 where e1.dno in "
+                "(select d.dno from dept d where d.budget > 500000)",
+                emp_dept_db.catalog,
+            )
+        )
+        assert len(query.joins) == 1
+        unit = query.joins[0]
+        assert unit.kind == "semi"
+        assert len(unit.filters) == 1  # budget predicate stays inside
+
+    def test_not_in_null_aware_anti_unit(self, emp_dept_db):
+        query = decorrelate_query(
+            bind_sql(
+                "select e1.sal from emp e1 where e1.dno not in "
+                "(select d.dno from dept d)",
+                emp_dept_db.catalog,
+            )
+        )
+        assert len(query.joins) == 1
+        unit = query.joins[0]
+        assert unit.kind == "anti"
+        assert unit.null_aware
+
+    def test_exists_units(self, emp_dept_db):
+        for prefix, kind in (("", "semi"), ("not ", "anti")):
+            query = decorrelate_query(
+                bind_sql(
+                    "select e1.sal from emp e1 where "
+                    f"{prefix}exists (select d.dno from dept d "
+                    "where d.dno = e1.dno)",
+                    emp_dept_db.catalog,
+                )
+            )
+            assert query.joins[0].kind == kind
+            assert not query.joins[0].null_aware
+
+    def test_decorrelation_disabled_keeps_specs(self, emp_dept_db):
+        from repro.optimizer.options import OptimizerOptions
+
+        bound = bind_sql(
+            "select e1.sal from emp e1 where e1.dno in "
+            "(select d.dno from dept d)",
+            emp_dept_db.catalog,
+        )
+        query = decorrelate_query(
+            bound, OptimizerOptions(enable_decorrelation=False)
+        )
+        assert not query.joins
+        assert len(query.subqueries) == 1
+
+    def test_left_join_unit_bound(self, emp_dept_db):
+        query = bind_sql(
+            "select e1.sal from emp e1 left join dept d on e1.dno = d.dno",
+            emp_dept_db.catalog,
+        )
+        assert len(query.joins) == 1
+        assert query.joins[0].kind == "left"
+        assert query.joins[0].alias == "d"
 
     def test_non_aggregate_subquery_rejected(self, emp_dept_db):
         with pytest.raises(UnsupportedFeatureError):

@@ -236,3 +236,105 @@ class TestSessionCaching:
         with db.session():
             pass
         assert db.sessions_opened == 2
+
+
+class TestSubqueryJoinSignatures:
+    """The signature must cover join-unit kinds and subquery structure:
+    queries that differ only there can never share a cached plan."""
+
+    def test_in_vs_not_in_distinct(self, emp_dept_db):
+        a = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE e.dno IN "
+            "(SELECT d.dno FROM dept d)"
+        )
+        b = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE e.dno NOT IN "
+            "(SELECT d.dno FROM dept d)"
+        )
+        assert query_signature(a) != query_signature(b)
+
+    def test_exists_vs_not_exists_distinct(self, emp_dept_db):
+        a = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE EXISTS "
+            "(SELECT 1 FROM dept d WHERE d.dno = e.dno)"
+        )
+        b = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE NOT EXISTS "
+            "(SELECT 1 FROM dept d WHERE d.dno = e.dno)"
+        )
+        assert query_signature(a) != query_signature(b)
+
+    def test_left_vs_inner_join_distinct(self, emp_dept_db):
+        a = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e LEFT JOIN dept d ON e.dno = d.dno"
+        )
+        b = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e INNER JOIN dept d ON e.dno = d.dno"
+        )
+        assert query_signature(a) != query_signature(b)
+
+    def test_subquery_aggregate_changes_key(self, emp_dept_db):
+        a = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE e.sal > "
+            "(SELECT AVG(e2.sal) FROM emp e2 WHERE e2.dno = e.dno)"
+        )
+        b = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE e.sal > "
+            "(SELECT MAX(e2.sal) FROM emp e2 WHERE e2.dno = e.dno)"
+        )
+        assert query_signature(a) != query_signature(b)
+
+    def test_correlation_changes_key(self, emp_dept_db):
+        a = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE e.sal > "
+            "(SELECT AVG(e2.sal) FROM emp e2 WHERE e2.dno = e.dno)"
+        )
+        b = emp_dept_db.bind(
+            "SELECT e.eno FROM emp e WHERE e.sal > "
+            "(SELECT AVG(e2.sal) FROM emp e2)"
+        )
+        assert query_signature(a) != query_signature(b)
+
+
+class TestSubqueryPlanCaching:
+    """Cached plans with the new node shapes must survive the per-
+    execution clone (kind / null_aware / SubqueryMarkNode fields)."""
+
+    def _roundtrip(self, db, sql):
+        expected = db.reference(sql).rows
+        with db.session() as session:
+            first = session.execute(sql)
+            second = session.execute(sql)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert sorted(first.rows) == sorted(expected)
+        assert sorted(second.rows) == sorted(expected)
+
+    def test_semi_join_roundtrip(self, emp_dept_db):
+        self._roundtrip(
+            emp_dept_db,
+            "SELECT e.eno FROM emp e WHERE e.dno IN "
+            "(SELECT d.dno FROM dept d WHERE d.budget > 5300)",
+        )
+
+    def test_null_aware_anti_roundtrip(self, emp_dept_db):
+        self._roundtrip(
+            emp_dept_db,
+            "SELECT e.eno FROM emp e WHERE e.dno NOT IN "
+            "(SELECT d.dno FROM dept d WHERE d.budget > 5300)",
+        )
+
+    def test_left_join_roundtrip(self, emp_dept_db):
+        self._roundtrip(
+            emp_dept_db,
+            "SELECT e.eno, d.budget FROM emp e "
+            "LEFT JOIN dept d ON e.dno = d.dno AND d.budget > 5600",
+        )
+
+    def test_mark_join_roundtrip(self, emp_dept_db):
+        # uncorrelated scalar subqueries stay as mark joins
+        self._roundtrip(
+            emp_dept_db,
+            "SELECT e.eno FROM emp e WHERE e.sal > "
+            "(SELECT AVG(e2.sal) FROM emp e2)",
+        )

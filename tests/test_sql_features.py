@@ -42,11 +42,11 @@ class TestBetweenAndIn:
         )
         assert len(single.rows) == len(equality.rows)
 
-    def test_in_subquery_rejected(self):
-        with pytest.raises(SqlSyntaxError):
-            parse_select(
-                "select x from t where x in (select y from u)"
-            )
+    def test_in_subquery_parses(self):
+        stmt = parse_select(
+            "select x from t where x in (select y from u)"
+        )
+        assert stmt.where is not None
 
     def test_between_and_boolean_and_disambiguated(self, emp_dept_db):
         result = emp_dept_db.query(
